@@ -1,0 +1,123 @@
+"""Ablations of Silo's design choices (the DESIGN.md call-outs).
+
+Three knobs the paper motivates individually:
+
+* **log merging** (Section III-C, Fig. 7) — without it, rewrite-heavy
+  transactions fill the 20-entry buffer and overflow;
+* **log ignorance** (Section III-C) — without it, silent stores (data
+  copies) become real log entries;
+* **batched overflow flushing** (Section III-F) — flushing overflowed
+  undo logs one-by-one instead of 14 per on-PM line inflates log-region
+  write traffic.
+"""
+
+from conftest import run_once
+
+from repro.common.config import SystemConfig
+from repro.core.silo import SiloScheme
+from repro.sim.engine import TransactionEngine
+from repro.sim.system import System
+from repro.trace.synthetic import SyntheticTraceConfig, synthetic_trace
+from repro.workloads import build_workload
+
+
+def run_silo(trace, cores, **silo_kwargs):
+    system = System(SystemConfig.table2(cores))
+    scheme = SiloScheme(system, **silo_kwargs)
+    result = TransactionEngine(system, scheme, trace).run()
+    return result
+
+
+def test_ablation_log_merging(benchmark, bench_tx):
+    """Rewrite-heavy transactions without merging overflow the buffer."""
+    trace = synthetic_trace(
+        SyntheticTraceConfig(
+            threads=2,
+            transactions_per_thread=bench_tx,
+            write_set_words=16,
+            rewrite_fraction=1.0,  # every word stored twice
+            arena_words=2048,
+            seed=7,
+        )
+    )
+
+    def experiment():
+        with_merge = run_silo(trace, 2, merging=True)
+        without = run_silo(trace, 2, merging=False)
+        return with_merge, without
+
+    with_merge, without = run_once(benchmark, experiment)
+    print(
+        f"\nmerging on : overflows={int(with_merge.stats.get('silo.overflows', 0))} "
+        f"media={with_merge.media_writes}"
+    )
+    print(
+        f"merging off: overflows={int(without.stats.get('silo.overflows', 0))} "
+        f"media={without.media_writes}"
+    )
+    assert without.stats.get("silo.overflows", 0) > with_merge.stats.get(
+        "silo.overflows", 0
+    )
+    assert without.media_writes > with_merge.media_writes
+
+
+def test_ablation_log_ignorance(benchmark, bench_tx):
+    """Array's swaps mostly rewrite identical padding: without log
+    ignorance, those silent stores become logged entries."""
+    trace = build_workload("array", threads=2, transactions=bench_tx)
+
+    def experiment():
+        with_ign = run_silo(trace, 2, ignore_silent=True)
+        without = run_silo(trace, 2, ignore_silent=False)
+        return with_ign, without
+
+    with_ign, without = run_once(benchmark, experiment)
+    remaining_with = sum(r for _, r in with_ign.tx_log_counts) / len(
+        with_ign.tx_log_counts
+    )
+    remaining_without = sum(r for _, r in without.tx_log_counts) / len(
+        without.tx_log_counts
+    )
+    print(
+        f"\nignorance on : {remaining_with:.1f} entries/tx, "
+        f"media={with_ign.media_writes}"
+    )
+    print(
+        f"ignorance off: {remaining_without:.1f} entries/tx, "
+        f"media={without.media_writes}"
+    )
+    assert remaining_without > 4 * remaining_with
+    assert without.media_writes >= with_ign.media_writes
+
+
+def test_ablation_overflow_batching(benchmark, bench_tx):
+    """Unbatched overflow flushing (1 entry per request) inflates the
+    log-region traffic of large transactions."""
+    trace = synthetic_trace(
+        SyntheticTraceConfig(
+            threads=2,
+            transactions_per_thread=max(bench_tx // 2, 20),
+            write_set_words=60,  # 3x the log buffer
+            arena_words=4096,
+            seed=8,
+        )
+    )
+
+    def experiment():
+        batched = run_silo(trace, 2, overflow_batch=14)
+        single = run_silo(trace, 2, overflow_batch=1)
+        return batched, single
+
+    batched, single = run_once(benchmark, experiment)
+    print(
+        f"\nbatch=14: log requests={int(batched.stats.get('mc.writes.log', 0))} "
+        f"media={batched.media_writes}"
+    )
+    print(
+        f"batch=1 : log requests={int(single.stats.get('mc.writes.log', 0))} "
+        f"media={single.media_writes}"
+    )
+    assert single.stats.get("mc.writes.log") > 5 * batched.stats.get(
+        "mc.writes.log"
+    )
+    assert single.media_writes > batched.media_writes

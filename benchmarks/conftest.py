@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures (at a
+reduced transaction count — ratios stabilize long before the paper's
+10k transactions) and asserts its qualitative *shape*.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knob ``SILO_BENCH_TX`` scales the per-thread transaction
+count (default 120).
+"""
+
+import os
+
+import pytest
+
+#: Transactions per thread for benchmark runs.
+BENCH_TX = int(os.environ.get("SILO_BENCH_TX", "120"))
+
+
+@pytest.fixture(scope="session")
+def bench_tx():
+    return BENCH_TX
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer and
+    return its result object."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Design-space exploration: sizing the log buffer (the Section VI-D
+reasoning).
+
+The paper picked 20 entries per core because that covered the largest
+remaining (post-ignorance, post-merging) log count it observed.  This
+script sweeps the buffer size and shows the trade-off the designers
+faced: a smaller buffer overflows constantly (log-region writes
+return), a larger one buys nothing but SRAM and battery.
+
+Run:  python examples/buffer_sizing.py
+"""
+
+from repro import SystemConfig, run_trace
+from repro.core.battery import silo_requirement
+from repro.common.config import LogBufferConfig
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    cores = 4
+    trace = build_workload("rbtree", threads=cores, transactions=200)
+
+    print("RBtree inserts under Silo with varying log buffer sizes\n")
+    print(f"{'entries':>8s} {'overflows':>10s} {'log writes':>11s} "
+          f"{'PM writes':>10s} {'tx/s':>12s} {'battery (uJ)':>13s}")
+    for entries in (5, 10, 20, 40, 80):
+        config = SystemConfig.table2(cores).with_log_buffer(entries=entries)
+        result = run_trace(trace, scheme="silo", config=config)
+        energy = silo_requirement(
+            cores=cores, log_buffer=LogBufferConfig(entries=entries)
+        ).flush_energy_uj
+        print(
+            f"{entries:8d} "
+            f"{int(result.stats.get('silo.overflows', 0)):10d} "
+            f"{int(result.stats.get('mc.writes.log', 0)):11d} "
+            f"{result.media_writes:10d} "
+            f"{result.throughput_tx_per_sec:12,.0f} "
+            f"{energy:13.1f}"
+        )
+    print(
+        "\nthe paper's 20-entry choice sits at the knee: overflows (and the"
+        "\nlog-region writes they bring back) vanish, while battery energy"
+        "\nkeeps growing linearly with capacity"
+    )
+
+
+if __name__ == "__main__":
+    main()

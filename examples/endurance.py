@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""PM endurance: how much lifetime each logging design costs.
+
+The paper's abstract leads with endurance: conventional hardware
+logging "inevitably increases the log writes to PM, thus exacerbating
+the limited endurance".  This example measures the media wear each
+design leaves behind on a skewed YCSB run and converts it into
+relative PM lifetime under wear-leveling.
+
+Run:  python examples/endurance.py
+"""
+
+from repro import SystemConfig
+from repro.analysis import compare_wear, wear_report
+from repro.designs.scheme import SchemeRegistry
+from repro.harness.report import format_bars
+from repro.sim.engine import TransactionEngine
+from repro.sim.system import System
+from repro.workloads import build_workload
+
+SCHEMES = ("base", "fwb", "morlog", "lad", "silo")
+
+
+def main() -> None:
+    cores = 2
+    trace = build_workload("ycsb", threads=cores, transactions=400)
+
+    reports = {}
+    for scheme in SCHEMES:
+        system = System(SystemConfig.table2(cores))
+        result = TransactionEngine(
+            system, SchemeRegistry.create(scheme, system), trace
+        ).run()
+        reports[scheme] = wear_report(system, result)
+
+    print(f"{'design':8s} {'media writes/tx':>16s} {'hottest sector':>15s} "
+          f"{'hot-1% share':>13s}")
+    for scheme, report in reports.items():
+        print(
+            f"{scheme:8s} {report.total_per_transaction:16.2f} "
+            f"{report.peak_writes:15d} {report.hot_spot_share:13.2f}"
+        )
+
+    lifetimes = compare_wear(reports)
+    print()
+    print(format_bars(lifetimes, title="relative PM lifetime (wear-leveled, "
+                                       "normalized to base)", unit="x"))
+    print(
+        "\nSilo's speculative logging writes no logs in the failure-free"
+        "\ncase, so the PM outlives the conventional designs' by the same"
+        "\nfactor it cuts write traffic (paper: 76.5% fewer writes than"
+        "\nMorLog)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload under Silo and the Base design.
+
+Builds the Hash micro-benchmark (random inserts of 64-byte elements),
+replays the identical trace under both designs on the Table II system,
+and prints throughput and PM media write counts.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, run_trace
+from repro.workloads import build_workload
+
+
+def main() -> None:
+    cores = 4
+    trace = build_workload("hash", threads=cores, transactions=300)
+    print(f"workload: {trace.name}, {trace.total_transactions} transactions, "
+          f"{trace.mean_write_size_bytes():.0f}B written per transaction\n")
+
+    results = {}
+    for scheme in ("base", "silo"):
+        results[scheme] = run_trace(
+            trace, scheme=scheme, config=SystemConfig.table2(cores)
+        )
+
+    for scheme, result in results.items():
+        print(
+            f"{scheme:5s}  throughput = {result.throughput_tx_per_sec:12,.0f} tx/s   "
+            f"PM media writes = {result.media_writes:6d}   "
+            f"({result.writes_per_transaction:.1f} per tx)"
+        )
+
+    base, silo = results["base"], results["silo"]
+    print(
+        f"\nSilo speedup over Base: "
+        f"{silo.throughput_tx_per_sec / base.throughput_tx_per_sec:.2f}x, "
+        f"write reduction: {1 - silo.media_writes / base.media_writes:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

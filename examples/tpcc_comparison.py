@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""TPC-C New-Order under all five hardware logging designs.
+
+A miniature Fig. 11 + Fig. 12: runs the same TPCC trace under Base,
+FWB, MorLog, LAD and Silo at 1 and 8 cores and prints throughput and
+write traffic normalized to Base.
+
+Run:  python examples/tpcc_comparison.py
+"""
+
+from repro import SystemConfig, run_trace
+from repro.workloads import build_workload
+
+SCHEMES = ("base", "fwb", "morlog", "lad", "silo")
+
+
+def main() -> None:
+    for cores in (1, 8):
+        trace = build_workload("tpcc", threads=cores, transactions=200)
+        results = {
+            scheme: run_trace(trace, scheme=scheme, config=SystemConfig.table2(cores))
+            for scheme in SCHEMES
+        }
+        base = results["base"]
+        print(f"TPCC New-Order, {cores} core(s), "
+              f"{trace.total_transactions} transactions")
+        print(f"  {'design':8s} {'norm. throughput':>18s} {'norm. PM writes':>17s}")
+        for scheme, result in results.items():
+            thr = result.throughput_tx_per_sec / base.throughput_tx_per_sec
+            wr = result.media_writes / base.media_writes
+            print(f"  {scheme:8s} {thr:18.2f} {wr:17.3f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

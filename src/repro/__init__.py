@@ -1,0 +1,92 @@
+"""Reproduction of *Silo: Speculative Hardware Logging for Atomic
+Durability in Persistent Memory* (Zhang & Hua, HPCA 2023).
+
+Public API quick tour::
+
+    from repro import SystemConfig, run_trace, synthetic_trace, SyntheticTraceConfig
+
+    trace = synthetic_trace(SyntheticTraceConfig(transactions_per_thread=100))
+    result = run_trace(trace, scheme="silo", config=SystemConfig.table2(cores=1))
+    print(result.throughput_tx_per_sec, result.media_writes)
+
+Workloads live in :mod:`repro.workloads`, the per-figure experiment
+drivers in :mod:`repro.harness`, and the Silo design itself in
+:mod:`repro.core`.
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    LogBufferConfig,
+    MemoryControllerConfig,
+    PMConfig,
+    SystemConfig,
+)
+from repro.common.stats import Stats
+from repro.core.silo import SiloScheme
+from repro.designs import (
+    BaseScheme,
+    FWBScheme,
+    LADScheme,
+    LoggingScheme,
+    MorLogScheme,
+    ProteusScheme,
+    ReDUScheme,
+    SchemeRegistry,
+    SoftwareLogScheme,
+    WrAPScheme,
+)
+from repro.sim import (
+    CrashPlan,
+    RunResult,
+    System,
+    TransactionEngine,
+    check_atomic_durability,
+    expected_image,
+    run_trace,
+)
+from repro.trace import (
+    Load,
+    Store,
+    SyntheticTraceConfig,
+    ThreadTrace,
+    Trace,
+    Transaction,
+    synthetic_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "LogBufferConfig",
+    "MemoryControllerConfig",
+    "PMConfig",
+    "SystemConfig",
+    "Stats",
+    "SiloScheme",
+    "BaseScheme",
+    "FWBScheme",
+    "LADScheme",
+    "LoggingScheme",
+    "MorLogScheme",
+    "ProteusScheme",
+    "ReDUScheme",
+    "SoftwareLogScheme",
+    "WrAPScheme",
+    "SchemeRegistry",
+    "CrashPlan",
+    "RunResult",
+    "System",
+    "TransactionEngine",
+    "check_atomic_durability",
+    "expected_image",
+    "run_trace",
+    "Load",
+    "Store",
+    "SyntheticTraceConfig",
+    "ThreadTrace",
+    "Trace",
+    "Transaction",
+    "synthetic_trace",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Post-processing of simulation results: comparisons and exports."""
+
+from repro.analysis.compare import ComparisonRow, compare_results, speedup_table
+from repro.analysis.export import (
+    grid_to_csv,
+    grid_to_json,
+    result_to_dict,
+    write_csv,
+    write_json,
+)
+from repro.analysis.wear import (
+    WearReport,
+    compare_wear,
+    hottest_sectors,
+    wear_report,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "compare_results",
+    "speedup_table",
+    "grid_to_csv",
+    "grid_to_json",
+    "result_to_dict",
+    "write_csv",
+    "write_json",
+    "WearReport",
+    "compare_wear",
+    "hottest_sectors",
+    "wear_report",
+]

@@ -1,0 +1,95 @@
+"""Comparing runs across designs: speedups, reductions, geomeans."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
+
+from repro.common.errors import ReproError
+from repro.sim.results import RunResult
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One design compared against a baseline run."""
+
+    scheme: str
+    throughput_speedup: float
+    write_reduction: float
+    end_cycle: int
+    media_writes: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "throughput_speedup": self.throughput_speedup,
+            "write_reduction": self.write_reduction,
+            "end_cycle": self.end_cycle,
+            "media_writes": self.media_writes,
+        }
+
+
+def compare_results(
+    results: Mapping[str, RunResult], baseline: str = "base"
+) -> List[ComparisonRow]:
+    """Compare every run to the baseline run.
+
+    ``throughput_speedup`` > 1 means faster than the baseline;
+    ``write_reduction`` is the fraction of the baseline's media writes
+    avoided (0.765 = the paper's "reduces the memory writes by 76.5%").
+    """
+    if baseline not in results:
+        raise ReproError(f"baseline {baseline!r} missing from results")
+    base = results[baseline]
+    if base.throughput_tx_per_sec <= 0 or base.media_writes <= 0:
+        raise ReproError("baseline run has no measurable work")
+    rows = []
+    for scheme, result in results.items():
+        rows.append(
+            ComparisonRow(
+                scheme=scheme,
+                throughput_speedup=(
+                    result.throughput_tx_per_sec / base.throughput_tx_per_sec
+                ),
+                write_reduction=1.0 - result.media_writes / base.media_writes,
+                end_cycle=result.end_cycle,
+                media_writes=result.media_writes,
+            )
+        )
+    rows.sort(key=lambda row: row.throughput_speedup, reverse=True)
+    return rows
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 for an empty input)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ReproError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_table(
+    per_workload: Mapping[str, Mapping[str, RunResult]],
+    baseline: str = "base",
+    metric: str = "throughput_tx_per_sec",
+) -> Dict[str, Dict[str, float]]:
+    """``{workload: {scheme: metric/baseline}}`` plus a ``geomean`` row."""
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, results in per_workload.items():
+        base_value = float(getattr(results[baseline], metric))
+        if base_value <= 0:
+            raise ReproError(f"baseline metric is zero for {workload!r}")
+        table[workload] = {
+            scheme: float(getattr(result, metric)) / base_value
+            for scheme, result in results.items()
+        }
+    if table:
+        schemes = next(iter(table.values())).keys()
+        table["geomean"] = {
+            scheme: geomean(row[scheme] for row in list(table.values()))
+            for scheme in schemes
+        }
+    return table

@@ -1,0 +1,91 @@
+"""Exporting results to JSON/CSV for external analysis and archiving."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Mapping, TextIO, Union
+
+from repro.sim.results import RunResult
+
+
+def result_to_dict(result: RunResult) -> Dict[str, object]:
+    """Flatten one run into a JSON-compatible record."""
+    return {
+        "scheme": result.scheme,
+        "trace": result.trace_name,
+        "cores": result.config.cores,
+        "memory_channels": result.config.memory_channels,
+        "committed": result.committed_count,
+        "total_transactions": result.total_transactions,
+        "end_cycle": result.end_cycle,
+        "runtime_seconds": result.runtime_seconds,
+        "throughput_tx_per_sec": result.throughput_tx_per_sec,
+        "media_writes": result.media_writes,
+        "writes_per_transaction": result.writes_per_transaction,
+        "crashed": result.crashed,
+        "traffic": result.traffic_breakdown(),
+        "stats": {k: v for k, v in result.stats.items()},
+    }
+
+
+def grid_to_json(
+    per_workload: Mapping[str, Mapping[str, RunResult]]
+) -> List[Dict[str, object]]:
+    """Flatten a (workload x scheme) grid into one record per run."""
+    records = []
+    for workload, results in sorted(per_workload.items()):
+        for scheme, result in sorted(results.items()):
+            record = result_to_dict(result)
+            record["workload"] = workload
+            records.append(record)
+    return records
+
+
+_CSV_COLUMNS = (
+    "workload",
+    "scheme",
+    "cores",
+    "committed",
+    "end_cycle",
+    "throughput_tx_per_sec",
+    "media_writes",
+    "writes_per_transaction",
+)
+
+
+def grid_to_csv(per_workload: Mapping[str, Mapping[str, RunResult]]) -> str:
+    """Render a grid as CSV text with one row per run."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for record in grid_to_json(per_workload):
+        writer.writerow({column: record[column] for column in _CSV_COLUMNS})
+    return buffer.getvalue()
+
+
+def write_json(
+    per_workload: Mapping[str, Mapping[str, RunResult]],
+    target: Union[str, TextIO],
+) -> None:
+    """Write a grid's records to a JSON file or stream."""
+    records = grid_to_json(per_workload)
+    if isinstance(target, (str, bytes)):
+        with open(target, "w") as handle:
+            json.dump(records, handle, indent=2)
+    else:
+        json.dump(records, target, indent=2)
+
+
+def write_csv(
+    per_workload: Mapping[str, Mapping[str, RunResult]],
+    target: Union[str, TextIO],
+) -> None:
+    """Write a grid's rows to a CSV file or stream."""
+    text = grid_to_csv(per_workload)
+    if isinstance(target, (str, bytes)):
+        with open(target, "w") as handle:
+            handle.write(text)
+    else:
+        target.write(text)

@@ -1,0 +1,110 @@
+"""PM wear/endurance analysis.
+
+The paper's first stated cost of conventional hardware logging is that
+extra log writes "exacerbate the write endurance of PM and hence
+shorten the PM lifetime" (Section I).  This module turns the media's
+per-sector wear profile into that argument: total wear, hot-spot
+concentration, and a first-order lifetime estimate.
+
+The lifetime model: PCM cells endure ``CELL_ENDURANCE`` writes; a
+region dies when its most-written sector does; so estimated lifetime is
+proportional to ``endurance / peak_write_rate``.  Relative lifetimes
+across designs (same run length, same workload) are what matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.common.errors import ReproError
+from repro.sim.results import RunResult
+from repro.sim.system import System
+
+#: Per-cell write endurance of phase-change memory (order of 1e8).
+CELL_ENDURANCE = 10**8
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Wear statistics of one run.
+
+    Two lifetime views: *leveled* assumes the device wear-levels (the
+    realistic PCM case, where lifetime is set by the total write
+    volume — the paper's framing: fewer writes, longer lifetime), and
+    *unleveled* is bounded by the hottest sector (relevant when a
+    design concentrates writes, e.g. per-store flushing of a hot line).
+    """
+
+    total_writes: int
+    sectors_touched: int
+    peak_writes: int
+    mean_writes: float
+    #: Fraction of all writes landing on the hottest 1% of sectors.
+    hot_spot_share: float
+    #: Peak sector writes per committed transaction (unleveled rate).
+    peak_per_transaction: float
+    #: Total sector writes per committed transaction (leveled rate).
+    total_per_transaction: float
+
+    def relative_lifetime(self, other: "WearReport") -> float:
+        """How much longer this run's wear-leveled PM lasts than
+        ``other``'s (the paper's "reduces writes -> improves lifetime")."""
+        if self.total_per_transaction <= 0:
+            return float("inf")
+        return other.total_per_transaction / self.total_per_transaction
+
+    def relative_unleveled_lifetime(self, other: "WearReport") -> float:
+        """Lifetime ratio if nothing levels the hottest sector."""
+        if self.peak_per_transaction <= 0:
+            return float("inf")
+        return other.peak_per_transaction / self.peak_per_transaction
+
+    def estimated_lifetime_transactions(self, capacity_sectors: int) -> float:
+        """Transactions until a wear-leveled region of
+        ``capacity_sectors`` exhausts its cells."""
+        if self.total_per_transaction <= 0:
+            return float("inf")
+        budget = CELL_ENDURANCE * capacity_sectors
+        return budget / self.total_per_transaction
+
+
+def wear_report(system: System, result: RunResult) -> WearReport:
+    """Summarize the media wear a run left behind."""
+    profile = system.pm.media.wear_profile()
+    if not profile:
+        return WearReport(0, 0, 0, 0.0, 0.0, 0.0, 0.0)
+    counts = sorted(profile.values(), reverse=True)
+    total = sum(counts)
+    hot = max(1, len(counts) // 100)
+    committed = max(result.committed_count, 1)
+    return WearReport(
+        total_writes=total,
+        sectors_touched=len(counts),
+        peak_writes=counts[0],
+        mean_writes=total / len(counts),
+        hot_spot_share=sum(counts[:hot]) / total,
+        peak_per_transaction=counts[0] / committed,
+        total_per_transaction=total / committed,
+    )
+
+
+def hottest_sectors(
+    system: System, top: int = 10
+) -> List[Tuple[int, int]]:
+    """The ``top`` most-written sectors as ``(sector_addr, writes)``."""
+    profile = system.pm.media.wear_profile()
+    return sorted(profile.items(), key=lambda kv: kv[1], reverse=True)[:top]
+
+
+def compare_wear(
+    reports: Mapping[str, WearReport], baseline: str = "base"
+) -> Dict[str, float]:
+    """Relative PM lifetime of each design versus the baseline."""
+    if baseline not in reports:
+        raise ReproError(f"baseline {baseline!r} missing from wear reports")
+    base = reports[baseline]
+    return {
+        scheme: report.relative_lifetime(base)
+        for scheme, report in reports.items()
+    }

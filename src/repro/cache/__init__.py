@@ -1,0 +1,7 @@
+"""Volatile cache hierarchy (L1D / L2 private, L3 shared; Table II)."""
+
+from repro.cache.line import CacheLine
+from repro.cache.set_assoc import SetAssocCache
+from repro.cache.hierarchy import AccessResult, CacheHierarchy
+
+__all__ = ["CacheLine", "SetAssocCache", "AccessResult", "CacheHierarchy"]

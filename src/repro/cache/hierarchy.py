@@ -1,0 +1,133 @@
+"""Three-level cache hierarchy with per-core L1/L2 and a shared L3.
+
+The hierarchy provides timing (hit level determines access latency),
+write-back traffic (dirty L3 victims flow to the memory controller) and
+crash semantics (everything here is volatile).  Values are only held
+for dirty words — see :mod:`repro.cache.line`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.stats import Stats
+from repro.cache.line import CacheLine
+from repro.cache.set_assoc import SetAssocCache
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    latency: int
+    hit_level: str
+    #: Dirty lines pushed out of the hierarchy, destined for the MC:
+    #: ``[(line_base, {word_addr: value}), ...]``.
+    writebacks: List[Tuple[int, Dict[int, int]]] = field(default_factory=list)
+
+
+class CacheHierarchy:
+    """L1D + L2 per core, shared L3; write-allocate, write-back."""
+
+    def __init__(self, config: SystemConfig, stats: Optional[Stats] = None) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else Stats()
+        self._l1 = [
+            SetAssocCache(config.l1, f"l1.core{c}", self.stats)
+            for c in range(config.cores)
+        ]
+        self._l2 = [
+            SetAssocCache(config.l2, f"l2.core{c}", self.stats)
+            for c in range(config.cores)
+        ]
+        self._l3 = SetAssocCache(config.l3, "l3", self.stats)
+        self._line_mask = ~(config.l1.line_size - 1)
+        self._lat_l1 = config.l1.latency_cycles
+        self._lat_l2 = config.l2.latency_cycles
+        self._lat_l3 = config.l3.latency_cycles
+        self._lat_pm = config.pm_read_cycles
+
+    # ------------------------------------------------------------------
+    # Core-facing accesses
+    # ------------------------------------------------------------------
+    def store(self, core: int, addr: int, value: int) -> AccessResult:
+        """A CPU store of one word; allocates the line in L1."""
+        base = addr & self._line_mask
+        line, result = self._fetch_into_l1(core, base)
+        line.write_word(addr, value)
+        return result
+
+    def load(self, core: int, addr: int) -> AccessResult:
+        """A CPU load; allocates the line in L1 (timing only)."""
+        _, result = self._fetch_into_l1(core, addr & self._line_mask)
+        return result
+
+    def _fetch_into_l1(
+        self, core: int, base: int
+    ) -> Tuple[CacheLine, AccessResult]:
+        result = AccessResult(latency=self._lat_l1, hit_level="l1")
+        resident = self._l1[core].lookup(base)
+        if resident is not None:
+            return resident, result
+
+        line = self._l2[core].remove(base)
+        if line is not None:
+            result.latency += self._lat_l2
+            result.hit_level = "l2"
+        else:
+            result.latency += self._lat_l2
+            line = self._l3.remove(base)
+            if line is not None:
+                result.latency += self._lat_l3
+                result.hit_level = "l3"
+            else:
+                result.latency += self._lat_l3 + self._lat_pm
+                result.hit_level = "pm"
+                line = CacheLine(base)
+
+        victim = self._l1[core].insert(line)
+        if victim is not None:
+            self._demote_to_l2(core, victim, result)
+        return line, result
+
+    def _demote_to_l2(self, core: int, line: CacheLine, result: AccessResult) -> None:
+        victim = self._l2[core].insert(line)
+        if victim is not None:
+            self._demote_to_l3(victim, result)
+
+    def _demote_to_l3(self, line: CacheLine, result: AccessResult) -> None:
+        victim = self._l3.insert(line)
+        if victim is not None and victim.dirty:
+            result.writebacks.append((victim.base, victim.clean()))
+
+    # ------------------------------------------------------------------
+    # Design-driven flushes
+    # ------------------------------------------------------------------
+    def writeback_line(self, core: int, base: int) -> Optional[Dict[int, int]]:
+        """Write back (but keep resident) the dirty words of one line.
+
+        Merges dirty words across levels with L1 taking priority, clears
+        all dirty state for the line and returns the merged words, or
+        ``None`` if the line is clean/absent everywhere.
+        """
+        merged: Dict[int, int] = {}
+        l3_line = self._l3.probe(base)
+        if l3_line is not None and l3_line.dirty:
+            merged.update(l3_line.clean())
+        l2_line = self._l2[core].probe(base)
+        if l2_line is not None and l2_line.dirty:
+            merged.update(l2_line.clean())
+        l1_line = self._l1[core].probe(base)
+        if l1_line is not None and l1_line.dirty:
+            merged.update(l1_line.clean())
+        return merged or None
+
+    def is_dirty_in_l1(self, core: int, base: int) -> bool:
+        line = self._l1[core].probe(base)
+        return line is not None and line.dirty
+
+    def drop_all(self) -> None:
+        """Discard every cached line (a crash: caches are volatile)."""
+        self.__init__(self.config, self.stats)

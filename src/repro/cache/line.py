@@ -1,0 +1,38 @@
+"""A single cacheline holding its dirty word values.
+
+Clean resident lines carry no data: the simulator only needs cached
+*values* when a dirty line is written back, so a line tracks the words
+modified while it was cached.  Everything in a cache is volatile and
+vanishes on a crash.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class CacheLine:
+    """One resident line: base address plus modified-word values."""
+
+    __slots__ = ("base", "dirty_words")
+
+    def __init__(self, base: int) -> None:
+        self.base = base
+        #: ``{word_addr: value}`` for words stored while resident.
+        self.dirty_words: Dict[int, int] = {}
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.dirty_words)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.dirty_words[addr] = value
+
+    def clean(self) -> Dict[int, int]:
+        """Return and clear the dirty words (used after a write-back)."""
+        words, self.dirty_words = self.dirty_words, {}
+        return words
+
+    def __repr__(self) -> str:
+        state = "dirty" if self.dirty else "clean"
+        return f"CacheLine({self.base:#x}, {state}, {len(self.dirty_words)} words)"

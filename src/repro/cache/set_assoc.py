@@ -1,0 +1,91 @@
+"""A set-associative, write-back, LRU cache level."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+from repro.common.config import CacheConfig
+from repro.common.stats import Stats
+from repro.cache.line import CacheLine
+
+
+class SetAssocCache:
+    """One cache level; eviction returns the victim line to the caller."""
+
+    def __init__(
+        self, config: CacheConfig, name: str = "cache", stats: Optional[Stats] = None
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.stats = stats if stats is not None else Stats()
+        self._sets: List["OrderedDict[int, CacheLine]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        self._line_shift = config.line_size.bit_length() - 1
+
+    def _set_for(self, base: int) -> "OrderedDict[int, CacheLine]":
+        return self._sets[(base >> self._line_shift) % self._num_sets]
+
+    # ------------------------------------------------------------------
+    # Lookup / insert / remove
+    # ------------------------------------------------------------------
+    def lookup(self, base: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the resident line at ``base`` (LRU-touched) or None."""
+        bucket = self._set_for(base)
+        line = bucket.get(base)
+        if line is None:
+            self.stats.add(f"{self.name}.misses")
+            return None
+        if touch:
+            bucket.move_to_end(base)
+        self.stats.add(f"{self.name}.hits")
+        return line
+
+    def probe(self, base: int) -> Optional[CacheLine]:
+        """Like :meth:`lookup` but without LRU or hit/miss accounting;
+        used by design-driven flushes that are not demand accesses."""
+        return self._set_for(base).get(base)
+
+    def insert(self, line: CacheLine) -> Optional[CacheLine]:
+        """Make ``line`` resident; returns an evicted victim, if any."""
+        bucket = self._set_for(line.base)
+        victim: Optional[CacheLine] = None
+        if line.base not in bucket and len(bucket) >= self._ways:
+            _, victim = bucket.popitem(last=False)
+            self.stats.add(f"{self.name}.evictions")
+            if victim.dirty:
+                self.stats.add(f"{self.name}.dirty_evictions")
+        existing = bucket.get(line.base)
+        if existing is not None:
+            # Merge: the incoming line's words are newer only when the
+            # caller says so; in this simulator inserts of an existing
+            # base only happen when folding an upper-level victim into
+            # a lower level, where the victim's words are newest.
+            existing.dirty_words.update(line.dirty_words)
+            bucket.move_to_end(line.base)
+            return victim
+        bucket[line.base] = line
+        return victim
+
+    def remove(self, base: int) -> Optional[CacheLine]:
+        """Remove and return the line at ``base`` without write-back."""
+        return self._set_for(base).pop(base, None)
+
+    # ------------------------------------------------------------------
+    # Iteration / inspection
+    # ------------------------------------------------------------------
+    def iter_lines(self) -> Iterator[CacheLine]:
+        for bucket in self._sets:
+            yield from bucket.values()
+
+    def dirty_lines(self) -> Iterator[CacheLine]:
+        return (line for line in self.iter_lines() if line.dirty)
+
+    def resident(self, base: int) -> bool:
+        return base in self._set_for(base)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)

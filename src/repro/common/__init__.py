@@ -1,0 +1,45 @@
+"""Shared building blocks: constants, configuration, statistics, errors."""
+
+from repro.common.config import (
+    CacheConfig,
+    LogBufferConfig,
+    MemoryControllerConfig,
+    PMConfig,
+    SystemConfig,
+)
+from repro.common.constants import (
+    LINE_SIZE,
+    ONPM_LINE_SIZE,
+    UNDO_LOG_ENTRY_SIZE,
+    UNDO_REDO_LOG_ENTRY_SIZE,
+    WORD_MASK,
+    WORD_SIZE,
+)
+from repro.common.errors import (
+    AddressError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TransactionError,
+)
+from repro.common.stats import Stats
+
+__all__ = [
+    "CacheConfig",
+    "LogBufferConfig",
+    "MemoryControllerConfig",
+    "PMConfig",
+    "SystemConfig",
+    "LINE_SIZE",
+    "ONPM_LINE_SIZE",
+    "UNDO_LOG_ENTRY_SIZE",
+    "UNDO_REDO_LOG_ENTRY_SIZE",
+    "WORD_MASK",
+    "WORD_SIZE",
+    "AddressError",
+    "ConfigError",
+    "ReproError",
+    "SimulationError",
+    "TransactionError",
+    "Stats",
+]

@@ -1,0 +1,36 @@
+"""Architectural constants shared across the simulator.
+
+The values follow the paper's hardware assumptions: 64-bit x86 cores
+(8-byte words, 64-byte cachelines) and an on-PM internal buffer with
+256-byte lines (Silo, HPCA 2023, Sections III-D through III-F).
+"""
+
+#: Size of one CPU word in bytes.  A CPU store updates one word and one
+#: log entry records one old word plus one new word (Fig. 6).
+WORD_SIZE = 8
+
+#: Bit mask selecting a 64-bit word value.
+WORD_MASK = (1 << 64) - 1
+
+#: Size of one cacheline in bytes (Table II).
+LINE_SIZE = 64
+
+#: Line size of the internal buffer inside the PM DIMM (Section III-E).
+ONPM_LINE_SIZE = 256
+
+#: Size in bytes of a full undo+redo log entry: 1-bit flush-bit, 8-bit
+#: tid, 16-bit txid, 48-bit address packed into ~10 bytes of metadata
+#: plus two 8-byte data words (Fig. 6).  The paper quotes 26 bytes.
+UNDO_REDO_LOG_ENTRY_SIZE = 26
+
+#: Size in bytes of an undo-only log entry: metadata plus the old word.
+#: The paper quotes 18 bytes (Section III-F).
+UNDO_LOG_ENTRY_SIZE = 18
+
+#: Entries per on-PM buffer line when batching overflowed undo logs,
+#: ``N = floor(S / 18)`` with ``S = 256`` (Section III-F).
+OVERFLOW_BATCH_ENTRIES = ONPM_LINE_SIZE // UNDO_LOG_ENTRY_SIZE
+
+#: Energy to move one byte from the on-chip log buffer to PM, in
+#: nanojoules (Section VI-E, citing Pandiyan & Wu / BBB).
+ENERGY_NJ_PER_BYTE = 11.228

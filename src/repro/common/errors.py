@@ -1,0 +1,21 @@
+"""Exception hierarchy for the reproduction package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class AddressError(ReproError):
+    """A malformed or out-of-range physical address."""
+
+
+class TransactionError(ReproError):
+    """Illegal transaction usage (e.g. a store outside Tx_begin/Tx_end)."""
+
+
+class SimulationError(ReproError):
+    """Internal simulator invariant violation."""

@@ -1,0 +1,54 @@
+"""Lightweight statistics registry used by every simulated component.
+
+A single :class:`Stats` instance is threaded through the system so
+experiments can read one coherent set of counters after a run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class Stats:
+    """Named integer/float counters with a tiny, explicit API."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite counter ``name`` with ``value``."""
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self._counters.get(name, default)
+
+    def max(self, name: str, value: float) -> None:
+        """Record ``value`` if it exceeds the stored maximum."""
+        if value > self._counters.get(name, float("-inf")):
+            self._counters[name] = value
+
+    def merge(self, other: "Stats") -> None:
+        """Accumulate all counters of ``other`` into this registry."""
+        for name, value in other.items():
+            self._counters[name] += value
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def as_dict(self) -> Mapping[str, float]:
+        return dict(self._counters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.items())
+        return f"Stats({inner})"

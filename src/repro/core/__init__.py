@@ -1,0 +1,23 @@
+"""The paper's contribution: the Silo speculative hardware logging design,
+its crash-recovery procedure and the battery/energy model."""
+
+from repro.core.battery import (
+    BatteryRequirement,
+    bbb_requirement,
+    eadr_requirement,
+    hardware_overhead,
+    silo_requirement,
+)
+from repro.core.recovery import RecoveryReport, wal_recover
+from repro.core.silo import SiloScheme
+
+__all__ = [
+    "BatteryRequirement",
+    "bbb_requirement",
+    "eadr_requirement",
+    "hardware_overhead",
+    "silo_requirement",
+    "RecoveryReport",
+    "wal_recover",
+    "SiloScheme",
+]

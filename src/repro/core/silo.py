@@ -1,0 +1,293 @@
+"""Silo: speculative hardware logging with "Log as Data" (Section III).
+
+The scheme keeps each transaction's merged undo+redo logs in a small
+battery-backed log buffer in the memory controller.  In the common
+failure-free case nothing is ever written to the PM log region:
+
+* **commit** is an on-chip handshake; afterwards the log controller
+  flushes the *new data* words of the surviving log entries straight
+  into the PM data region (in-place update), in the background
+  (Section III-D);
+* **cacheline evictions** are never blocked — an evicted line sets the
+  flush-bit of the matching log entries so their new data is not
+  redundantly flushed at commit (Section III-D);
+* **log overflow** evicts the oldest entries' *undo* halves to the log
+  region in 14-entry batches while their new data goes to the data
+  region, in parallel with new log generation (Section III-F);
+* **a crash** triggers selective flushing: undo logs for open
+  transactions (atomicity), redo logs plus an ID tuple for a
+  transaction caught mid-commit (durability) (Section III-G).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.common.constants import ONPM_LINE_SIZE, OVERFLOW_BATCH_ENTRIES
+from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
+from repro.hwlog.entry import LogEntry
+from repro.hwlog.generator import LogGenerator
+from repro.hwlog.logbuffer import AppendResult, LogBuffer
+from repro.hwlog.region import PersistedLog
+from repro.core.recovery import RecoveryReport, wal_recover
+from repro.mem.address import split_words_by_line
+
+#: Dense crash-flush packing: undo+redo entries per 256-byte request.
+_CRASH_FLUSH_PER_LINE = ONPM_LINE_SIZE // LogEntry.UNDO_REDO_SIZE
+
+#: How far the per-core log controller may run behind before a commit
+#: handshake has to wait (the controller's work queue, in cycles).
+_CONTROLLER_QUEUE_CYCLES = 2000
+
+
+def _silo_redo_filter(entry: PersistedLog) -> bool:
+    """Committed transactions replay only flush-bit-0 redo logs; the
+    flush-bit-1 overflow undo logs next to them are discarded."""
+    return entry.kind == "redo" and not entry.flush_bit
+
+
+def _silo_undo_filter(entry: PersistedLog) -> bool:
+    """Uncommitted transactions revoke every persisted undo log."""
+    return entry.kind == "undo"
+
+
+@SchemeRegistry.register
+class SiloScheme(LoggingScheme):
+    """The paper's contribution (Fig. 2e, Fig. 5)."""
+
+    name = "silo"
+
+    def __init__(
+        self,
+        system,
+        merging: bool = True,
+        ignore_silent: bool = True,
+        overflow_batch: int = OVERFLOW_BATCH_ENTRIES,
+    ) -> None:
+        """``merging``, ``ignore_silent`` and ``overflow_batch`` exist
+        for the ablation benchmarks; the paper's design uses the
+        defaults (Sections III-C and III-F)."""
+        super().__init__(system)
+        cores = self.config.cores
+        self._overflow_batch = overflow_batch
+        self._gens = [
+            LogGenerator(c, self.stats, ignore_silent=ignore_silent)
+            for c in range(cores)
+        ]
+        self._bufs = [
+            LogBuffer(
+                self.config.log_buffer,
+                self.stats,
+                name=f"logbuf.core{c}",
+                merging=merging,
+            )
+            for c in range(cores)
+        ]
+        #: When each core's log controller finishes its queued flushes.
+        self._controller_free = [0] * cores
+        #: Arrival time of the most recent in-flight log entry per core.
+        self._last_store = [0] * cores
+        #: Transactions that spilled undo logs to the log region.
+        self._overflowed: Set[Tuple[int, int]] = set()
+        #: Per-transaction (total, remaining) log counts, for Fig. 13.
+        self.tx_log_counts: List[Tuple[int, int]] = []
+        self._tx_total = [0] * cores
+        self._buf_latency = self.config.log_buffer.access_latency_cycles
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def on_tx_begin(self, core: int, tid: int, txid: int, now: int) -> int:
+        self._gens[core].tx_begin(tid, txid)
+        self._tx_total[core] = 0
+        return 0
+
+    def on_store(
+        self,
+        core: int,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        now: int,
+        access,
+    ) -> int:
+        self._tx_total[core] += 1
+        entry = self._gens[core].on_store(addr, old, new)
+        self._last_store[core] = now
+        if entry is None:
+            return 0  # log ignorance: the store changed nothing
+        buf = self._bufs[core]
+        stall = 0
+        if buf.offer(entry) is AppendResult.FULL:
+            stall += self._handle_overflow(core, tid, txid, now)
+            if buf.offer(entry) is AppendResult.FULL:  # pragma: no cover
+                raise AssertionError("log buffer still full after overflow")
+        # The CPU store completes without waiting for the log entry to
+        # reach the buffer (Section III-B): no critical-path cost.
+        return stall
+
+    def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
+        self._gens[core].tx_end()
+        buf = self._bufs[core]
+        self.tx_log_counts.append((self._tx_total[core], buf.occupancy))
+
+        # Commit handshake: the log generator notifies the controller,
+        # which ACKs and starts flushing.  The final log entry was sent
+        # at the final store over the same FIFO channel, so it arrives
+        # before the notification regardless of the buffer's write
+        # latency (Section III-D) — the handshake never waits for it.
+        stall = self.config.commit_handshake_cycles
+        # The in-place updates run in the background; commit only waits
+        # if the controller's flush backlog exceeds its queue depth.
+        backlog = self._controller_free[core] - now
+        if backlog > _CONTROLLER_QUEUE_CYCLES:
+            stall += backlog - _CONTROLLER_QUEUE_CYCLES
+
+        # Background in-place update with the new data in the logs.
+        entries = buf.drain()
+        new_data: Dict[int, int] = {}
+        for entry in entries:
+            if entry.flush_bit:
+                self.stats.add("silo.flushbit_discarded")
+            else:
+                new_data[entry.addr] = entry.new
+        # The buffer read is pipelined: its latency delays when the
+        # flush data reaches the MC but does not occupy the controller.
+        start = max(now, self._controller_free[core]) + self._buf_latency
+        free = start
+        for _, words in split_words_by_line(new_data).items():
+            ticket = self.mc.submit_write(start, words, kind="data", channel=core)
+            free = max(free, ticket.persisted)
+        self._controller_free[core] = max(
+            self._controller_free[core], free - self._buf_latency
+        )
+        self.stats.add("silo.inplace_words", len(new_data))
+
+        # The overflowed undo logs of this transaction are now useless.
+        if (tid, txid) in self._overflowed:
+            self._overflowed.discard((tid, txid))
+            self.region.discard_tx(tid, txid)
+        return stall
+
+    # ------------------------------------------------------------------
+    # Log overflow (Section III-F)
+    # ------------------------------------------------------------------
+    def _handle_overflow(self, core: int, tid: int, txid: int, now: int) -> int:
+        """Evict the oldest entries: undo halves to the log region in a
+        single batched request, new data to the data region."""
+        buf = self._bufs[core]
+        # Flushing overflowed logs runs in parallel with adding new
+        # logs (Section III-F); only a controller whose flush queue has
+        # fallen far behind delays buffer eviction.
+        backlog = self._controller_free[core] - now
+        stall = max(0, backlog - _CONTROLLER_QUEUE_CYCLES)
+        start = now + stall + self._buf_latency
+
+        batch = buf.pop_oldest(self._overflow_batch)
+        new_data: Dict[int, int] = {}
+        for entry in batch:
+            if not entry.flush_bit:
+                new_data[entry.addr] = entry.new
+                entry.flush_bit = True
+        free = start
+        requests = self.region.persist_entries(
+            tid,
+            batch,
+            kind="undo",
+            per_request=OVERFLOW_BATCH_ENTRIES,
+            request_span=ONPM_LINE_SIZE,
+        )
+        # The batch targets one on-PM buffer line precisely so it can
+        # coalesce there (Section III-F): it is not forced through.
+        for words in requests:
+            ticket = self.mc.submit_write(start, words, kind="log", channel=core)
+            free = max(free, ticket.persisted)
+        for _, words in split_words_by_line(new_data).items():
+            ticket = self.mc.submit_write(start, words, kind="data", channel=core)
+            free = max(free, ticket.persisted)
+        self._controller_free[core] = max(
+            self._controller_free[core], free - self._buf_latency
+        )
+        self._overflowed.add((tid, txid))
+        self.stats.add("silo.overflows")
+        self.stats.add("silo.overflow_entries", len(batch))
+        return stall
+
+    # ------------------------------------------------------------------
+    # Cacheline evictions set flush-bits (Section III-D)
+    # ------------------------------------------------------------------
+    def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:
+        stall = 0
+        for line_base, words in writebacks:
+            ticket = self.mc.submit_write(now, words, kind="data", channel=core)
+            stall += ticket.admission_stall
+            for buf in self._bufs:
+                buf.mark_line_flushed(line_base)
+        return stall
+
+    # ------------------------------------------------------------------
+    # Rare cases: crash and recovery (Section III-G)
+    # ------------------------------------------------------------------
+    def on_crash(self, core_in_tx: Dict[int, Tuple[int, int]], now: int) -> None:
+        """Selective log flushing, powered by the small battery."""
+        for core, buf in enumerate(self._bufs):
+            if not len(buf):
+                continue
+            if core not in core_in_tx:  # pragma: no cover - defensive
+                continue
+            tid, _txid = core_in_tx[core]
+            # Transaction failed to commit: flush all undo logs so
+            # recovery can revoke the partial updates.
+            entries = buf.drain()
+            requests = self.region.persist_entries(
+                tid,
+                entries,
+                kind="undo",
+                per_request=self._overflow_batch,
+                request_span=ONPM_LINE_SIZE,
+            )
+            for words in requests:
+                self.mc.submit_write(
+                    now, words, kind="log", write_through=True, channel=core
+                )
+            self.stats.add("silo.crash_undo_flushed", len(entries))
+
+    def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
+        """Crash at commit: Tx_end retired, so durability must hold.
+        Flush the flush-bit-0 redo logs and the (tid, txid) ID tuple;
+        recovery will replay them (Fig. 10f)."""
+        self._gens[core].tx_end()
+        buf = self._bufs[core]
+        self.tx_log_counts.append((self._tx_total[core], buf.occupancy))
+        entries = buf.drain()
+        redo = [e for e in entries if not e.flush_bit]
+        requests = self.region.persist_entries(
+            tid,
+            redo,
+            kind="redo",
+            per_request=_CRASH_FLUSH_PER_LINE,
+            request_span=ONPM_LINE_SIZE,
+        )
+        for words in requests:
+            self.mc.submit_write(
+                now, words, kind="log", write_through=True, channel=core
+            )
+        tuple_words = self.region.persist_commit_tuple(tid, txid)
+        self.mc.submit_write(
+            now, tuple_words, kind="log", write_through=True, channel=core
+        )
+        self.stats.add("silo.crash_redo_flushed", len(redo))
+        return True
+
+    def recover(self) -> RecoveryReport:
+        return wal_recover(
+            self.region,
+            self.pm,
+            redo_filter=_silo_redo_filter,
+            undo_filter=_silo_undo_filter,
+        )
+
+    def finalize(self, now: int) -> int:
+        return max([now] + self._controller_free)

@@ -1,0 +1,31 @@
+"""The evaluated logging designs (Section VI-A).
+
+``Base``, ``FWB``, ``MorLog`` and ``LAD`` are the paper's comparison
+points; Silo itself lives in :mod:`repro.core` because it is the
+paper's contribution.  All designs implement the common
+:class:`~repro.designs.scheme.LoggingScheme` interface and strictly
+guarantee durability at transaction commit.
+"""
+
+from repro.designs.scheme import LoggingScheme, SchemeRegistry
+from repro.designs.base import BaseScheme
+from repro.designs.fwb import FWBScheme
+from repro.designs.morlog import MorLogScheme
+from repro.designs.lad import LADScheme
+from repro.designs.swlog import SoftwareLogScheme
+from repro.designs.wrap import WrAPScheme
+from repro.designs.redu import ReDUScheme
+from repro.designs.proteus import ProteusScheme
+
+__all__ = [
+    "LoggingScheme",
+    "SchemeRegistry",
+    "BaseScheme",
+    "FWBScheme",
+    "MorLogScheme",
+    "LADScheme",
+    "SoftwareLogScheme",
+    "WrAPScheme",
+    "ReDUScheme",
+    "ProteusScheme",
+]

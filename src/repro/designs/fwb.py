@@ -1,0 +1,163 @@
+"""FWB: "steal but no force" undo+redo logging (Ogleari et al.,
+HPCA 2018), as configured in Section VI-A.
+
+Per write, an undo+redo log entry is produced and sent towards PM in
+the background, but it is *forced* ahead of the corresponding data:
+a cacheline may only be written back once every log entry covering it
+has persisted.  Commit waits for all of the transaction's log entries
+to persist (undo+redo commit rule, Fig. 3).  Data reaches PM through
+normal evictions plus a periodic cache force-write-back (every
+3,000,000 cycles in the paper's configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
+from repro.hwlog.entry import LogEntry
+from repro.core.recovery import RecoveryReport, wal_recover
+
+#: Cache force-write-back interval in cycles (Section VI-A).
+FWB_INTERVAL_CYCLES = 3_000_000
+
+#: Lines written back per force-write-back event.  Real FWB walks
+#: cache frames gradually; flushing an unbounded backlog in one burst
+#: would stall the triggering store behind thousands of writes.
+FWB_LINES_PER_EPOCH = 128
+
+
+@SchemeRegistry.register
+class FWBScheme(LoggingScheme):
+    """Per-write undo+redo logging with log-before-data forcing."""
+
+    name = "fwb"
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        cores = self.config.cores
+        self._line_mask = ~(self.config.l1.line_size - 1)
+        #: Per-line time at which its most recent log entry persists.
+        self._log_ready: Dict[int, int] = {}
+        #: Persist time of every log of the open transaction, per core.
+        self._tx_log_done: List[int] = [0] * cores
+        #: Lines written since the last force-write-back, per core.
+        self._dirty_lines: List[Set[int]] = [set() for _ in range(cores)]
+        self._owner: Dict[int, int] = {}
+        self._last_fwb = 0
+        #: Committed transactions whose logs await truncation: they can
+        #: be discarded once a force-write-back persists their data.
+        self._await_truncate: List[Tuple[int, int]] = []
+
+    def on_store(
+        self,
+        core: int,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        now: int,
+        access,
+    ) -> int:
+        entry = LogEntry(tid, txid, addr, old, new)
+        requests = self.region.persist_entries(
+            tid, [entry], kind="undo_redo", per_request=1, request_span=64
+        )
+        stall = 0
+        for words in requests:
+            ticket = self.mc.submit_write(
+                now, words, kind="log", write_through=True, channel=core
+            )
+            stall += ticket.admission_stall
+            line = addr & self._line_mask
+            ready = self._log_ready.get(line, 0)
+            self._log_ready[line] = max(ready, ticket.persisted)
+            self._tx_log_done[core] = max(self._tx_log_done[core], ticket.persisted)
+        line = addr & self._line_mask
+        self._dirty_lines[core].add(line)
+        self._owner[line] = core
+        stall += self._maybe_force_writeback(core, now)
+        return stall
+
+    def _maybe_force_writeback(self, core: int, now: int) -> int:
+        """Periodic cache force-write-back of this core's dirty lines."""
+        if now - self._last_fwb < FWB_INTERVAL_CYCLES:
+            return 0
+        self._last_fwb = now
+        stall = 0
+        budget = FWB_LINES_PER_EPOCH
+        for victim_core in range(self.config.cores):
+            flushed, cost = self._flush_core_lines(victim_core, now, budget)
+            stall += cost
+            budget -= flushed
+            if budget <= 0:
+                break
+        if all(not lines for lines in self._dirty_lines):
+            # Everything written so far is persistent: the committed
+            # transactions' logs are no longer needed (log truncation).
+            for tid, txid in self._await_truncate:
+                self.region.discard_tx(tid, txid)
+            self._await_truncate.clear()
+        return stall
+
+    def _flush_core_lines(
+        self, core: int, now: int, limit: Optional[int] = None
+    ) -> Tuple[int, int]:
+        """Write back up to ``limit`` of the core's dirty lines; returns
+        ``(lines_flushed, stall)``."""
+        stall = 0
+        flushed = 0
+        for line in sorted(self._dirty_lines[core]):
+            if limit is not None and flushed >= limit:
+                break
+            self._dirty_lines[core].discard(line)
+            flushed += 1
+            words = self.hierarchy.writeback_line(core, line)
+            if not words:
+                continue
+            # Log-before-data: the covering logs were submitted
+            # earlier, and the FIFO write path persists them first.
+            ticket = self.mc.submit_write(now, words, kind="data", channel=core)
+            stall += ticket.admission_stall
+        return flushed, stall
+
+    def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:
+        """A data write-back is ordered after its logs; the logs were
+        submitted at store time, so the FIFO write path suffices."""
+        stall = 0
+        for line_base, words in writebacks:
+            ticket = self.mc.submit_write(now, words, kind="data", channel=core)
+            stall += ticket.admission_stall
+        return stall
+
+    def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
+        # Commit waits for every log of the transaction to persist.
+        stall = max(0, self._tx_log_done[core] - now)
+        words = self.region.persist_commit_tuple(tid, txid)
+        ticket = self.mc.submit_write(
+            now + stall, words, kind="log", write_through=True, channel=core
+        )
+        stall += ticket.admission_stall + (ticket.persisted - (now + stall))
+        self._tx_log_done[core] = 0
+        self._await_truncate.append((tid, txid))
+        return stall
+
+    def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
+        # The ADR domain finishes the already-submitted log writes and
+        # the tuple; recovery replays the redo data for durability.
+        self.on_tx_end(core, tid, txid, now)
+        return True
+
+    def recover(self) -> RecoveryReport:
+        return wal_recover(self.region, self.pm)
+
+    def finalize(self, now: int) -> int:
+        """Flush remaining dirty data so write accounting is complete,
+        and truncate the now-covered committed transactions' logs."""
+        for core in range(self.config.cores):
+            self._flush_core_lines(core, now)
+        for tid, txid in self._await_truncate:
+            self.region.discard_tx(tid, txid)
+        self._await_truncate.clear()
+        return now

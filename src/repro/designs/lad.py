@@ -1,0 +1,169 @@
+"""LAD: logless atomic durability (Gupta et al., MICRO 2019), as
+configured in Section VI-A (proactive flushing enabled).
+
+LAD keeps no logs in the common case.  Every cacheline a transaction
+updates claims a slot in a persistent capture buffer inside the memory
+controller (proactive flushing streams the line into the MC while the
+transaction runs); the line is withheld from the PM data region until
+commit.  Commit is two-phase: **Prepare** flushes the transaction's
+remaining dirty L1 lines down the on-chip hierarchy into the MC,
+stalling the CPU per line — LAD's ordering constraint — and **Commit**
+is a message after which the captured lines drain to PM in the
+background.
+
+When the capture buffer is full (concurrent write sets exceeding its
+64 lines), LAD falls back to a slow mode for the overflowing lines: it
+reads their old data from PM, persists undo logs per store, and lets
+the data through normally (Section V, point 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
+from repro.hwlog.entry import LogEntry
+from repro.core.recovery import RecoveryReport, wal_recover
+
+#: Capacity (in cachelines) of LAD's MC capture buffer; matches the
+#: 64-entry ADR queue of Table II.
+CAPTURE_LINES = 64
+#: Cost of flushing one dirty L1 line down the hierarchy to the MC at
+#: Prepare: L1 access (4) + L2 (12) + L3 (28) + bus transfer into the
+#: MC (20).  The Prepare phase stalls the CPU per line (Section V:
+#: "the transaction commit in LAD needs to wait for flushing the
+#: updated L1 cachelines to LLC and finally to MC").
+PREPARE_CYCLES_PER_LINE = 64
+
+
+@SchemeRegistry.register
+class LADScheme(LoggingScheme):
+    """Logless atomic durability through MC buffering."""
+
+    name = "lad"
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        cores = self.config.cores
+        self._line_mask = ~(self.config.l1.line_size - 1)
+        #: Lines holding a capture-buffer slot (across all cores).
+        self._slots: Set[int] = set()
+        #: Captured (evicted-before-commit) line contents in the MC.
+        self._captured: Dict[int, Dict[int, int]] = {}
+        #: Lines written by each core's open transaction.
+        self._tx_lines: List[Set[int]] = [set() for _ in range(cores)]
+        #: Lines that overflowed into the undo-logging slow mode.
+        self._fallback_lines: List[Set[int]] = [set() for _ in range(cores)]
+        self._in_tx = [False] * cores
+        self._fallback_txs: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def on_tx_begin(self, core: int, tid: int, txid: int, now: int) -> int:
+        self._in_tx[core] = True
+        return 0
+
+    def on_store(
+        self,
+        core: int,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        now: int,
+        access,
+    ) -> int:
+        line = addr & self._line_mask
+        stall = 0
+        if line not in self._tx_lines[core]:
+            self._tx_lines[core].add(line)
+            if len(self._slots) < CAPTURE_LINES:
+                self._slots.add(line)
+                self.stats.add("lad.captured_lines")
+            else:
+                # Slow mode: fetch the old line from PM for undo logging.
+                self._fallback_lines[core].add(line)
+                self._fallback_txs.add((tid, txid))
+                self.stats.add("lad.fallbacks")
+                read_done = self.mc.submit_read(now, line, channel=core)
+                stall += read_done - now
+        if line in self._fallback_lines[core]:
+            # Persist an undo log entry before the data may reach PM.
+            entry = LogEntry(tid, txid, addr, old, new)
+            requests = self.region.persist_entries(
+                tid, [entry], kind="undo", per_request=2, request_span=64
+            )
+            for words in requests:
+                ticket = self.mc.submit_write(
+                    now, words, kind="log", write_through=True, channel=core
+                )
+                stall += ticket.admission_stall + (ticket.persisted - now)
+        return stall
+
+    def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
+        # Prepare: flush the transaction's dirty L1 lines into the MC,
+        # stalling the CPU for each (LAD's commit-path ordering cost).
+        stall = 0
+        captured_words: List[Dict[int, int]] = []
+        for line in sorted(self._tx_lines[core]):
+            words = self.hierarchy.writeback_line(core, line)
+            merged = self._captured.pop(line, None)
+            if words or merged:
+                stall += PREPARE_CYCLES_PER_LINE
+                combined = dict(merged or {})
+                combined.update(words or {})
+                captured_words.append(combined)
+        # Commit: a message marks the lines committed; they drain to
+        # the PM data region in the background.
+        stall += self.config.commit_handshake_cycles
+        t = now + stall
+        for words in captured_words:
+            ticket = self.mc.submit_write(t, words, kind="data", channel=core)
+            stall += ticket.admission_stall
+        for line in self._tx_lines[core]:
+            self._slots.discard(line)
+        if (tid, txid) in self._fallback_txs:
+            self._fallback_txs.discard((tid, txid))
+            self.region.discard_tx(tid, txid)
+        self._tx_lines[core].clear()
+        self._fallback_lines[core].clear()
+        self._in_tx[core] = False
+        return stall
+
+    # ------------------------------------------------------------------
+    # Evictions: uncommitted captured lines stay inside the MC
+    # ------------------------------------------------------------------
+    def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:
+        stall = 0
+        for line_base, words in writebacks:
+            if line_base in self._slots:
+                self._captured.setdefault(line_base, {}).update(words)
+            else:
+                # Fallback lines (undo already persisted) and lines of
+                # committed transactions go to PM normally.
+                ticket = self.mc.submit_write(now, words, kind="data", channel=core)
+                stall += ticket.admission_stall
+        return stall
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def on_crash(self, core_in_tx: Dict[int, Tuple[int, int]], now: int) -> None:
+        """Uncommitted captured lines are simply discarded: they never
+        reached the PM data region, so atomicity holds by construction
+        for them; slow-mode lines are covered by their undo logs."""
+        self._captured.clear()
+        self._slots.clear()
+
+    def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
+        # Commit is a message; Prepare already moved everything into
+        # the persistent MC, which drains on the failure.
+        self.on_tx_end(core, tid, txid, now)
+        return True
+
+    def recover(self) -> RecoveryReport:
+        # Only the slow-mode undo logs of uncommitted transactions can
+        # require work: revoke them.
+        return wal_recover(self.region, self.pm)

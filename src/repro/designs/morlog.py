@@ -1,0 +1,182 @@
+"""MorLog: morphable hardware logging (Wei et al., ISCA 2020), as
+configured in Section VI-A (delay-persistence commit disabled, so
+durability holds at commit).
+
+MorLog keeps a transaction's undo+redo logs in an on-chip buffer where
+same-word updates merge — eliminating the *intermediate redo data*
+that FWB writes out per store (its headline 30% write saving).  At
+commit, the merged entries are flushed to the PM log region (two
+packed entries per 64-byte request) and the transaction stalls until
+they persist.  Data reaches PM through normal evictions; an eviction
+is ordered after the flush of the entries covering the line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.common.config import LogBufferConfig
+from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
+from repro.hwlog.entry import LogEntry
+from repro.hwlog.logbuffer import AppendResult, LogBuffer
+from repro.core.recovery import RecoveryReport, wal_recover
+
+#: MorLog's on-chip morph buffer: larger than Silo's log buffer because
+#: it is the design's central structure (64 entries per core).
+MORPH_BUFFER_ENTRIES = 64
+#: Merged undo+redo entries packed per 64-byte log write.
+ENTRIES_PER_REQUEST = 2
+
+
+@SchemeRegistry.register
+class MorLogScheme(LoggingScheme):
+    """On-chip log morphing; commit flushes the merged logs."""
+
+    name = "morlog"
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        cores = self.config.cores
+        self._line_mask = ~(self.config.l1.line_size - 1)
+        buf_cfg = LogBufferConfig(
+            entries=MORPH_BUFFER_ENTRIES,
+            access_latency_cycles=self.config.log_buffer.access_latency_cycles,
+        )
+        self._bufs = [
+            LogBuffer(buf_cfg, self.stats, name=f"morlog.core{c}")
+            for c in range(cores)
+        ]
+        #: Lines whose logs are still on chip (not yet persisted).
+        self._unpersisted_lines: List[Set[int]] = [set() for _ in range(cores)]
+        #: Persist time of flushed logs per line (eviction ordering).
+        self._log_ready: Dict[int, int] = {}
+        #: Lines written during the run, flushed at finalize.
+        self._dirty_lines: List[Set[int]] = [set() for _ in range(cores)]
+        #: Committed transactions whose logs await truncation.
+        self._await_truncate: List[Tuple[int, int]] = []
+
+    def on_store(
+        self,
+        core: int,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        now: int,
+        access,
+    ) -> int:
+        entry = LogEntry(tid, txid, addr, old, new)
+        buf = self._bufs[core]
+        stall = 0
+        if buf.offer(entry) is AppendResult.FULL:
+            stall += self._flush_oldest(core, tid, now, count=ENTRIES_PER_REQUEST)
+            if buf.offer(entry) is AppendResult.FULL:  # pragma: no cover
+                raise AssertionError("morph buffer still full after flush")
+        line = addr & self._line_mask
+        self._unpersisted_lines[core].add(line)
+        self._dirty_lines[core].add(line)
+        return stall
+
+    def _flush_oldest(self, core: int, tid: int, now: int, count: int) -> int:
+        entries = self._bufs[core].pop_oldest(count)
+        stall, _ = self._persist_entries(core, tid, entries, now)
+        return stall
+
+    def _persist_entries(
+        self, core: int, tid: int, entries: List[LogEntry], now: int
+    ) -> Tuple[int, int]:
+        """Flush merged entries to the log region; returns
+        ``(admission_stall, persist_completion)``."""
+        if not entries:
+            return 0, now
+        requests = self.region.persist_entries(
+            tid,
+            entries,
+            kind="undo_redo",
+            per_request=ENTRIES_PER_REQUEST,
+            request_span=64,
+        )
+        stall = 0
+        done = now
+        for words in requests:
+            ticket = self.mc.submit_write(
+                now, words, kind="log", write_through=True, channel=core
+            )
+            stall += ticket.admission_stall
+            done = max(done, ticket.persisted)
+        for entry in entries:
+            line = entry.line_addr
+            self._log_ready[line] = max(self._log_ready.get(line, 0), done)
+            self._unpersisted_lines[core].discard(line)
+        return stall, done
+
+    def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:
+        """An eviction whose logs are still on chip forces them out
+        first (log-before-data), then the data write follows."""
+        stall = 0
+        for line_base, words in writebacks:
+            when = now
+            for buf_core in range(self.config.cores):
+                if line_base not in self._unpersisted_lines[buf_core]:
+                    continue
+                buf = self._bufs[buf_core]
+                pending = [
+                    e for e in list(buf.entries()) if e.line_addr == line_base
+                ]
+                for e in pending:
+                    buf.remove(e.addr)
+                if pending:
+                    flush_stall, _ = self._persist_entries(
+                        buf_core, pending[0].tid, pending, now
+                    )
+                    stall += flush_stall
+            # The log flush was submitted first; the FIFO write path
+            # persists it before the data write-back.
+            ticket = self.mc.submit_write(when, words, kind="data", channel=core)
+            stall += ticket.admission_stall
+        return stall
+
+    def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
+        # Commit waits for flushing all on-chip logs of the transaction.
+        entries = self._bufs[core].drain()
+        flush_stall, done = self._persist_entries(core, tid, entries, now)
+        stall = flush_stall + max(0, done - now)
+        words = self.region.persist_commit_tuple(tid, txid)
+        t = now + stall
+        ticket = self.mc.submit_write(
+            t, words, kind="log", write_through=True, channel=core
+        )
+        stall += ticket.admission_stall + (ticket.persisted - t)
+        self._await_truncate.append((tid, txid))
+        return stall
+
+    def on_crash(self, core_in_tx: Dict[int, Tuple[int, int]], now: int) -> None:
+        """MorLog's buffer sits in the ADR domain: its contents are
+        flushed to the log region on a power failure."""
+        for core, buf in enumerate(self._bufs):
+            entries = buf.drain()
+            if entries:
+                self._persist_entries(core, entries[0].tid, entries, now)
+
+    def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
+        # Tx_end flushes the logs; the ADR domain completes the
+        # in-flight writes, so durability holds at commit.
+        self.on_tx_end(core, tid, txid, now)
+        return True
+
+    def recover(self) -> RecoveryReport:
+        return wal_recover(self.region, self.pm)
+
+    def finalize(self, now: int) -> int:
+        for core in range(self.config.cores):
+            for line in sorted(self._dirty_lines[core]):
+                words = self.hierarchy.writeback_line(core, line)
+                if words:
+                    self.mc.submit_write(now, words, kind="data", channel=core)
+            self._dirty_lines[core].clear()
+        # All committed data is persistent now: truncate covered logs.
+        for tid, txid in self._await_truncate:
+            self.region.discard_tx(tid, txid)
+        self._await_truncate.clear()
+        return now

@@ -1,0 +1,160 @@
+"""Proteus: software-supported hardware undo logging (Shin et al.,
+MICRO 2017) — Fig. 2d.
+
+Proteus keeps undo logs in an on-chip *log pending queue* and discards
+them after commit instead of writing them to PM — except that
+
+* a dirty cacheline evicted before commit forces its covering undo
+  logs out first (they are now needed for recovery), and
+* the transaction commit **waits for flushing the updated cachelines**
+  to the data region, with the last log entry flushed to mark the
+  commit (Sections I and II-E: "the transaction commit needs to wait
+  for flushing the updated cachelines, and the last log entry in each
+  transaction is flushed to indicate the commit").
+
+That data-flush wait is the ordering constraint Silo removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.common.config import LogBufferConfig
+from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
+from repro.hwlog.entry import LogEntry
+from repro.hwlog.logbuffer import AppendResult, LogBuffer
+from repro.core.recovery import RecoveryReport, wal_recover
+
+#: Capacity of the log pending queue per core.
+PENDING_ENTRIES = 64
+
+
+@SchemeRegistry.register
+class ProteusScheme(LoggingScheme):
+    """On-chip undo logs, discarded at commit; commit flushes data."""
+
+    name = "proteus"
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        cores = self.config.cores
+        self._line_mask = ~(self.config.l1.line_size - 1)
+        queue_cfg = LogBufferConfig(entries=PENDING_ENTRIES)
+        self._pending = [
+            LogBuffer(queue_cfg, self.stats, name=f"proteus.core{c}", merging=False)
+            for c in range(cores)
+        ]
+        #: Lines written by the open transaction, per core.
+        self._tx_lines: List[Set[int]] = [set() for _ in range(cores)]
+        self._in_tx = [False] * cores
+
+    def on_tx_begin(self, core: int, tid: int, txid: int, now: int) -> int:
+        self._in_tx[core] = True
+        return 0
+
+    def on_store(
+        self,
+        core: int,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        now: int,
+        access,
+    ) -> int:
+        entry = LogEntry(tid, txid, addr, old, new)
+        pending = self._pending[core]
+        stall = 0
+        if pending.offer(entry) is AppendResult.FULL:
+            stall += self._spill_pending(core, tid, now, count=4)
+            pending.offer(entry)
+        self._tx_lines[core].add(addr & self._line_mask)
+        return stall
+
+    def _spill_pending(self, core: int, tid: int, now: int, count: int) -> int:
+        entries = self._pending[core].pop_oldest(count)
+        return self._flush_undo(core, tid, entries, now)
+
+    def _flush_undo(
+        self, core: int, tid: int, entries: List[LogEntry], now: int
+    ) -> int:
+        if not entries:
+            return 0
+        requests = self.region.persist_entries(
+            tid, entries, kind="undo", per_request=2, request_span=64
+        )
+        stall = 0
+        for words in requests:
+            ticket = self.mc.submit_write(
+                now, words, kind="log", write_through=True, channel=core
+            )
+            stall += ticket.admission_stall
+        return stall
+
+    def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:
+        """A pre-commit eviction forces the covering undo logs out
+        first (they become recovery state), then the data follows."""
+        stall = 0
+        for line_base, words in writebacks:
+            for c in range(self.config.cores):
+                if not self._in_tx[c] or line_base not in self._tx_lines[c]:
+                    continue
+                pending = self._pending[c]
+                covering = [
+                    e for e in list(pending.entries()) if e.line_addr == line_base
+                ]
+                for e in covering:
+                    pending.remove(e.addr)
+                if covering:
+                    stall += self._flush_undo(c, covering[0].tid, covering, now)
+            ticket = self.mc.submit_write(now, words, kind="data", channel=core)
+            stall += ticket.admission_stall
+        return stall
+
+    def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
+        # The ordering constraint: commit waits for flushing every
+        # updated cacheline of the transaction to the data region.
+        stall = 0
+        done = now
+        for line in sorted(self._tx_lines[core]):
+            words = self.hierarchy.writeback_line(core, line)
+            if not words:
+                continue
+            ticket = self.mc.submit_write(
+                now, words, kind="data", write_through=True, channel=core
+            )
+            stall += ticket.admission_stall
+            done = max(done, ticket.persisted)
+        stall = max(stall, done - now)
+        # The last log entry is flushed to indicate the commit.
+        words = self.region.persist_commit_tuple(tid, txid)
+        t = now + stall
+        ticket = self.mc.submit_write(
+            t, words, kind="log", write_through=True, channel=core
+        )
+        stall += ticket.admission_stall + (ticket.persisted - t)
+        # Data durable: pending undo logs (and any spilled ones) die.
+        self._pending[core].drain()
+        self.region.discard_tx(tid, txid)
+        self._tx_lines[core].clear()
+        self._in_tx[core] = False
+        return stall
+
+    def on_crash(self, core_in_tx: Dict[int, Tuple[int, int]], now: int) -> None:
+        """The pending queue sits in the ADR domain: flush the open
+        transactions' undo logs so recovery can revoke."""
+        for core, pending in enumerate(self._pending):
+            entries = pending.drain()
+            if entries and core in core_in_tx:
+                tid, _ = core_in_tx[core]
+                self._flush_undo(core, tid, entries, now)
+
+    def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
+        self.on_tx_end(core, tid, txid, now)
+        return True
+
+    def recover(self) -> RecoveryReport:
+        # Committed transactions persisted their data at commit; only
+        # uncommitted partial updates need revoking.
+        return wal_recover(self.region, self.pm)

@@ -1,0 +1,160 @@
+"""ReDU: redo logging with a DRAM cacheline buffer (Jeong et al.,
+MICRO 2018) — Fig. 2c.
+
+ReDU avoids WrAP's log-read-back by buffering the *modified
+cachelines* in DRAM; after commit those cachelines directly update the
+PM data region (Section II-E).  Redo logs are still written to the log
+region per store, and the DRAM buffer also supports log coalescing —
+modelled here by packing two merged entries per log write like MorLog.
+
+Crash semantics: the DRAM buffer is volatile, so uncommitted data
+never reaches PM (atomicity by construction); committed transactions
+whose DRAM lines had not drained are replayed from their redo logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import LogBufferConfig
+from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
+from repro.hwlog.entry import LogEntry
+from repro.hwlog.logbuffer import AppendResult, LogBuffer
+from repro.core.recovery import RecoveryReport, wal_recover
+
+#: DRAM-side log staging buffer (coalesces same-word updates before
+#: the log write, ReDU's "log coalescing").
+STAGING_ENTRIES = 64
+#: Cycles for a DRAM buffer access on the commit path.
+DRAM_ACCESS_CYCLES = 30
+
+
+@SchemeRegistry.register
+class ReDUScheme(LoggingScheme):
+    """Redo logging + DRAM-buffered direct data updates."""
+
+    name = "redu"
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        cores = self.config.cores
+        self._line_mask = ~(self.config.l1.line_size - 1)
+        staging_cfg = LogBufferConfig(
+            entries=STAGING_ENTRIES,
+            access_latency_cycles=DRAM_ACCESS_CYCLES,
+        )
+        self._staging = [
+            LogBuffer(staging_cfg, self.stats, name=f"redu.core{c}")
+            for c in range(cores)
+        ]
+        #: DRAM buffer of modified lines per open transaction:
+        #: ``{line: {word: value}}`` per core.
+        self._dram: List[Dict[int, Dict[int, int]]] = [
+            {} for _ in range(cores)
+        ]
+        self._tx_log_done = [0] * cores
+        self._in_tx = [False] * cores
+
+    def on_tx_begin(self, core: int, tid: int, txid: int, now: int) -> int:
+        self._in_tx[core] = True
+        return 0
+
+    def on_store(
+        self,
+        core: int,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        now: int,
+        access,
+    ) -> int:
+        entry = LogEntry(tid, txid, addr, old, new)
+        staging = self._staging[core]
+        stall = 0
+        if staging.offer(entry) is AppendResult.FULL:
+            stall += self._flush_staging(core, tid, now, count=2)
+            staging.offer(entry)
+        line = addr & self._line_mask
+        self._dram[core].setdefault(line, {})[addr] = new
+        return stall
+
+    def _flush_staging(self, core: int, tid: int, now: int, count: int) -> int:
+        entries = self._staging[core].pop_oldest(count)
+        return self._persist_logs(core, tid, entries, now)
+
+    def _persist_logs(
+        self, core: int, tid: int, entries: List[LogEntry], now: int
+    ) -> int:
+        if not entries:
+            return 0
+        requests = self.region.persist_entries(
+            tid, entries, kind="redo", per_request=2, request_span=64
+        )
+        stall = 0
+        for words in requests:
+            ticket = self.mc.submit_write(
+                now, words, kind="log", write_through=True, channel=core
+            )
+            stall += ticket.admission_stall
+            self._tx_log_done[core] = max(
+                self._tx_log_done[core], ticket.persisted
+            )
+        return stall
+
+    def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:
+        """Evictions of uncommitted lines land in the DRAM buffer, not
+        PM (the data region may only change after commit)."""
+        stall = 0
+        captured = set()
+        for c in range(self.config.cores):
+            if self._in_tx[c]:
+                captured |= set(self._dram[c])
+        for line_base, words in writebacks:
+            if line_base in captured:
+                continue  # the DRAM buffer already holds these words
+            ticket = self.mc.submit_write(now, words, kind="data", channel=core)
+            stall += ticket.admission_stall
+        return stall
+
+    def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
+        # Flush the staged (coalesced) logs and wait for them: redo
+        # commit rule.
+        stall = self._persist_logs(
+            core, tid, self._staging[core].drain(), now
+        )
+        stall += max(0, self._tx_log_done[core] - now)
+        words = self.region.persist_commit_tuple(tid, txid)
+        t = now + stall
+        ticket = self.mc.submit_write(
+            t, words, kind="log", write_through=True, channel=core
+        )
+        stall += ticket.admission_stall + (ticket.persisted - t)
+
+        # The DRAM-buffered cachelines now update the data region
+        # directly — no log read-back (ReDU's improvement over WrAP).
+        t = now + stall + DRAM_ACCESS_CYCLES
+        for line, line_words in self._dram[core].items():
+            self.mc.submit_write(t, line_words, kind="data", channel=core)
+        self._dram[core].clear()
+        # Data durable: truncate this transaction's logs.
+        self.region.discard_tx(tid, txid)
+        self._tx_log_done[core] = 0
+        self._in_tx[core] = False
+        return stall
+
+    def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
+        # Persist any staged logs plus the tuple; recovery replays the
+        # redo data (the DRAM buffer dies with the power).
+        self._persist_logs(core, tid, self._staging[core].drain(), now)
+        words = self.region.persist_commit_tuple(tid, txid)
+        self.mc.submit_write(
+            now, words, kind="log", write_through=True, channel=core
+        )
+        self._dram[core].clear()
+        self._in_tx[core] = False
+        return True
+
+    def recover(self) -> RecoveryReport:
+        return wal_recover(self.region, self.pm)

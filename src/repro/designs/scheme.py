@@ -1,0 +1,142 @@
+"""Common interface for every hardware atomic-durability design.
+
+The simulation engine performs the cache access for each operation and
+then hands control to the active scheme, which models the design's log
+and persist behaviour.  Hooks return *extra stall cycles* charged to
+the issuing core on top of the cache access latency, which is how
+ordering constraints (Fig. 3) become visible in throughput (Fig. 12).
+
+Every scheme must strictly guarantee atomic durability: after
+``on_crash`` plus ``recover``, the PM data region must contain exactly
+the writes of the committed transactions.  The property-based tests in
+``tests/property`` enforce this for every design at every crash point.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple, Type
+
+from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.hierarchy import AccessResult
+    from repro.sim.system import System
+
+#: ``[(line_base, {word_addr: value}), ...]`` leaving the cache hierarchy.
+Writebacks = List[Tuple[int, Dict[int, int]]]
+
+
+class LoggingScheme(ABC):
+    """Base class for the five evaluated designs."""
+
+    #: Registry key and display name (e.g. ``"silo"``).
+    name: str = "abstract"
+
+    def __init__(self, system: "System") -> None:
+        self.system = system
+        self.config = system.config
+        self.stats = system.stats
+        self.mc = system.mc
+        self.pm = system.pm
+        self.hierarchy = system.hierarchy
+        self.region = system.region
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle hooks (return extra stall cycles)
+    # ------------------------------------------------------------------
+    def on_tx_begin(self, core: int, tid: int, txid: int, now: int) -> int:
+        return 0
+
+    @abstractmethod
+    def on_store(
+        self,
+        core: int,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        now: int,
+        access: "AccessResult",
+    ) -> int:
+        """One transactional CPU store (the cache was already updated)."""
+
+    @abstractmethod
+    def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
+        """Commit: returns the design's commit stall (ordering cost)."""
+
+    # ------------------------------------------------------------------
+    # Cacheline evictions that reached the memory controller
+    # ------------------------------------------------------------------
+    def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:
+        """Dirty L3 victims heading to PM.  The default behaviour of an
+        unmodified system: post them as data writes."""
+        stall = 0
+        for _, words in writebacks:
+            ticket = self.mc.submit_write(now, words, kind="data", channel=core)
+            stall += ticket.admission_stall
+        return stall
+
+    # ------------------------------------------------------------------
+    # Rare cases
+    # ------------------------------------------------------------------
+    def on_crash(self, core_in_tx: Dict[int, Tuple[int, int]], now: int) -> None:
+        """A power failure at cycle ``now``.  ``core_in_tx`` maps the
+        cores currently inside a transaction to their ``(tid, txid)``.
+        The scheme flushes whatever its battery covers; volatile caches
+        are dropped by the engine afterwards."""
+
+    def interrupted_commit(
+        self, core: int, tid: int, txid: int, now: int
+    ) -> bool:
+        """A crash strikes exactly at commit, after ``Tx_end`` retired
+        but before background persistence finished.  Returns ``True``
+        if the transaction still counts as committed (a design that
+        guarantees durability at commit must return ``True`` and make
+        recovery reproduce the transaction)."""
+        self.on_tx_end(core, tid, txid, now)
+        return True
+
+    def recover(self) -> None:
+        """Rebuild a consistent PM data region from the log region."""
+
+    def finalize(self, now: int) -> int:
+        """End of the workload: flush any remaining buffered state so
+        the write-traffic accounting is complete.  Returns the cycle at
+        which the flush is done."""
+        return now
+
+
+class SchemeRegistry:
+    """Name -> scheme class registry used by the harness and CLI."""
+
+    _schemes: Dict[str, Type[LoggingScheme]] = {}
+
+    @classmethod
+    def register(cls, scheme_cls: Type[LoggingScheme]) -> Type[LoggingScheme]:
+        key = scheme_cls.name
+        if key in cls._schemes and cls._schemes[key] is not scheme_cls:
+            raise ConfigError(f"duplicate scheme name {key!r}")
+        cls._schemes[key] = scheme_cls
+        return scheme_cls
+
+    @classmethod
+    def create(cls, name: str, system: "System") -> LoggingScheme:
+        try:
+            scheme_cls = cls._schemes[name]
+        except KeyError:
+            known = ", ".join(sorted(cls._schemes))
+            raise ConfigError(f"unknown scheme {name!r} (known: {known})") from None
+        return scheme_cls(system)
+
+    @classmethod
+    def names(cls) -> List[str]:
+        return sorted(cls._schemes)
+
+    @classmethod
+    def factory(cls, name: str) -> Callable[["System"], LoggingScheme]:
+        def make(system: "System") -> LoggingScheme:
+            return cls.create(name, system)
+
+        return make

@@ -1,0 +1,104 @@
+"""Software undo+redo logging (Fig. 1a) — the motivational baseline.
+
+Not one of the paper's five evaluated hardware designs, but the
+starting point of its argument (Section II-B): a software WAL built
+from ``clwb`` + ``sfence``.  For every transactional store the *CPU
+itself*:
+
+1. constructs a log entry in the cache (extra stores to the log
+   buffer's cachelines — the cache pollution of Section II-C),
+2. flushes the entry (``clwb``) and fences — a synchronous persist on
+   the critical path,
+3. performs the data store, flushes it and fences again before commit.
+
+All of this executes inline, which is why hardware logging exists: the
+paper cites up to a 70% throughput loss versus hardware undo+redo
+logging.  Including it lets the repository demonstrate the full
+motivation chain: swlog << base < fwb < morlog < lad < silo.
+"""
+
+from __future__ import annotations
+
+from repro.designs.scheme import LoggingScheme, SchemeRegistry
+from repro.hwlog.entry import LogEntry
+from repro.core.recovery import RecoveryReport, wal_recover
+
+#: Cycles for the CPU to construct a log entry in its cache (several
+#: stores plus address arithmetic, all inline).
+LOG_BUILD_CYCLES = 12
+#: Cycles for an sfence draining the store buffer.
+FENCE_CYCLES = 10
+
+
+@SchemeRegistry.register
+class SoftwareLogScheme(LoggingScheme):
+    """clwb/sfence write-ahead logging executed by the CPU."""
+
+    name = "swlog"
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        self._line_mask = ~(self.config.l1.line_size - 1)
+        self._tx_data_done = [0] * self.config.cores
+
+    def on_store(
+        self,
+        core: int,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        now: int,
+        access,
+    ) -> int:
+        # 1. Build the log entry in cache (inline CPU work + pollution).
+        stall = LOG_BUILD_CYCLES
+        entry = LogEntry(tid, txid, addr, old, new)
+        requests = self.region.persist_entries(
+            tid, [entry], kind="undo_redo", per_request=1, request_span=64
+        )
+        # 2. clwb the log entry + sfence: wait for the persist.
+        t = now + stall
+        done = t
+        for words in requests:
+            ticket = self.mc.submit_write(
+                t, words, kind="log", write_through=True, channel=core
+            )
+            stall += ticket.admission_stall
+            done = max(done, ticket.persisted)
+        stall += (done - t) + FENCE_CYCLES
+
+        # 3. clwb the updated data line + sfence (undo logging needs
+        # all data persisted before commit; doing it per store keeps
+        # the software simple — and slow, as in real PMDK-style code).
+        line_words = self.hierarchy.writeback_line(core, addr & self._line_mask)
+        if line_words:
+            t = now + stall
+            ticket = self.mc.submit_write(
+                t, line_words, kind="data", write_through=True, channel=core
+            )
+            stall += ticket.admission_stall + (ticket.persisted - t)
+        stall += FENCE_CYCLES
+        self._tx_data_done[core] = max(self._tx_data_done[core], now + stall)
+        return stall
+
+    def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
+        # Everything already persisted per store; seal the commit.
+        stall = max(0, self._tx_data_done[core] - now)
+        words = self.region.persist_commit_tuple(tid, txid)
+        t = now + stall
+        ticket = self.mc.submit_write(
+            t, words, kind="log", write_through=True, channel=core
+        )
+        stall += ticket.admission_stall + (ticket.persisted - t) + FENCE_CYCLES
+        self._tx_data_done[core] = 0
+        self.region.discard_tx(tid, txid)
+        return stall
+
+    def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
+        self.on_tx_end(core, tid, txid, now)
+        return True
+
+    def recover(self) -> RecoveryReport:
+        return wal_recover(self.region, self.pm)

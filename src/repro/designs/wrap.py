@@ -1,0 +1,132 @@
+"""WrAP: write-aside persistence (Doshi et al., HPCA 2016) — Fig. 2b.
+
+WrAP writes *redo* logs to the PM log region and later **reads those
+logs back** to update the data region, "thus causing extra reads"
+(Section II-E).  Modelled per the paper's characterization:
+
+* every transactional store appends a redo log entry (posted write);
+* commit waits for the transaction's log entries to persist (redo
+  commit rule, Fig. 3);
+* after commit, a background copier *reads* each log entry from PM and
+  writes its new data word to the data region — the design's extra
+  read traffic;
+* in-place data is never updated before commit (cacheline evictions of
+  uncommitted lines are dropped: the foreground copy lives in the
+  volatile cache, the durable copy is the redo log).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
+from repro.hwlog.entry import LogEntry
+from repro.core.recovery import RecoveryReport, wal_recover
+
+
+@SchemeRegistry.register
+class WrAPScheme(LoggingScheme):
+    """Redo logging with log-read-based data updates."""
+
+    name = "wrap"
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        cores = self.config.cores
+        self._line_mask = ~(self.config.l1.line_size - 1)
+        #: Persist time of the open transaction's last log, per core.
+        self._tx_log_done = [0] * cores
+        #: The open transaction's entries, to copy after commit.
+        self._tx_entries: List[List[LogEntry]] = [[] for _ in range(cores)]
+        #: Lines belonging to open transactions (evictions dropped).
+        self._uncommitted_lines: List[Set[int]] = [set() for _ in range(cores)]
+        self._in_tx = [False] * cores
+
+    def on_tx_begin(self, core: int, tid: int, txid: int, now: int) -> int:
+        self._in_tx[core] = True
+        return 0
+
+    def on_store(
+        self,
+        core: int,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        now: int,
+        access,
+    ) -> int:
+        entry = LogEntry(tid, txid, addr, old, new)
+        requests = self.region.persist_entries(
+            tid, [entry], kind="redo", per_request=2, request_span=64
+        )
+        stall = 0
+        for words in requests:
+            ticket = self.mc.submit_write(
+                now, words, kind="log", write_through=True, channel=core
+            )
+            stall += ticket.admission_stall
+            self._tx_log_done[core] = max(
+                self._tx_log_done[core], ticket.persisted
+            )
+        self._tx_entries[core].append(entry)
+        self._uncommitted_lines[core].add(addr & self._line_mask)
+        return stall
+
+    def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:
+        """In-place data may not be updated before commit: evictions of
+        uncommitted lines are dropped (the redo log is the durable
+        copy); other lines write back normally."""
+        stall = 0
+        uncommitted = set()
+        for c in range(self.config.cores):
+            if self._in_tx[c]:
+                uncommitted |= self._uncommitted_lines[c]
+        for line_base, words in writebacks:
+            if line_base in uncommitted:
+                continue
+            ticket = self.mc.submit_write(now, words, kind="data", channel=core)
+            stall += ticket.admission_stall
+        return stall
+
+    def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
+        # Redo commit rule: all logs persisted first.
+        stall = max(0, self._tx_log_done[core] - now)
+        words = self.region.persist_commit_tuple(tid, txid)
+        t = now + stall
+        ticket = self.mc.submit_write(
+            t, words, kind="log", write_through=True, channel=core
+        )
+        stall += ticket.admission_stall + (ticket.persisted - t)
+
+        # Background copier: READ each log entry back from PM, then
+        # write its word to the data region (WrAP's extra reads).
+        t = now + stall
+        for entry in self._tx_entries[core]:
+            self.mc.submit_read(t, entry.log_addr, channel=core)
+            self.stats.add("wrap.log_reads")
+            self.mc.submit_write(
+                t, {entry.addr: entry.new}, kind="data", channel=core
+            )
+        # Data now durable: the logs can be truncated.
+        self.region.discard_tx(tid, txid)
+        self._tx_entries[core].clear()
+        self._uncommitted_lines[core].clear()
+        self._in_tx[core] = False
+        return stall
+
+    def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
+        # Logs are persisted by commit time; seal the tuple and let
+        # recovery replay the redo data (the copier never ran).
+        self._tx_entries[core].clear()
+        self._uncommitted_lines[core].clear()
+        self._in_tx[core] = False
+        words = self.region.persist_commit_tuple(tid, txid)
+        self.mc.submit_write(
+            now, words, kind="log", write_through=True, channel=core
+        )
+        return True
+
+    def recover(self) -> RecoveryReport:
+        return wal_recover(self.region, self.pm)

@@ -1,0 +1,39 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes ``run(...) -> <Result dataclass>`` returning the
+raw numbers plus a ``format_report`` helper that prints the same rows
+or series the paper reports.  The CLI (``silo-repro``) and the
+``benchmarks/`` suite are thin wrappers around these.
+"""
+
+from repro.harness.runner import GridResult, normalize_to, run_grid
+from repro.harness import (
+    crashtest,
+    fig4,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    mcsweep,
+    recovery_cost,
+    table1,
+    table4,
+)
+
+__all__ = [
+    "GridResult",
+    "normalize_to",
+    "run_grid",
+    "crashtest",
+    "fig4",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "mcsweep",
+    "recovery_cost",
+    "table1",
+    "table4",
+]

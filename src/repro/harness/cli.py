@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    silo-repro fig4
+    silo-repro fig11 --cores 1 8 --transactions 300
+    silo-repro fig12
+    silo-repro fig13
+    silo-repro fig14 --transactions 80
+    silo-repro fig15
+    silo-repro table1
+    silo-repro table4
+    silo-repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness import (
+    crashtest,
+    fig4,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    mcsweep,
+    recovery_cost,
+    table1,
+    table4,
+)
+
+_EXPERIMENTS = {
+    "crashtest": lambda args: crashtest.run(points_per_pair=args.crash_points),
+    "mcsweep": lambda args: mcsweep.run(transactions=args.transactions),
+    "recovery": lambda args: recovery_cost.run(transactions=args.transactions),
+    "fig4": lambda args: fig4.run(transactions=args.transactions),
+    "fig11": lambda args: fig11.run(
+        core_counts=tuple(args.cores), transactions=args.transactions
+    ),
+    "fig12": lambda args: fig12.run(
+        core_counts=tuple(args.cores), transactions=args.transactions
+    ),
+    "fig13": lambda args: fig13.run(transactions=args.transactions),
+    "fig14": lambda args: fig14.run(transactions=min(args.transactions, 150)),
+    "fig15": lambda args: fig15.run(transactions=args.transactions),
+    "table1": lambda args: table1.run(),
+    "table4": lambda args: table4.run(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="silo-repro",
+        description="Regenerate the tables and figures of the Silo paper "
+        "(HPCA 2023) on the trace-driven simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=200,
+        help="transactions per thread (default 200; the paper used 10k "
+        "on Gem5 — ratios stabilize far earlier in this simulator)",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="core counts for fig11/fig12 (default: 1 2 4 8)",
+    )
+    parser.add_argument(
+        "--crash-points",
+        type=int,
+        default=20,
+        help="crash points per (scheme, workload) pair for crashtest",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = _EXPERIMENTS[name](args)
+        print(result.format_report())
+        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

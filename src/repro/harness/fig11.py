@@ -1,0 +1,71 @@
+"""Fig. 11: write traffic to the PM physical media, normalized to Base.
+
+One sub-experiment per core count (the paper shows 1, 2, 4 and 8
+cores).  Expected shape: Base worst; MorLog clearly below FWB
+(intermediate-redo elimination); LAD and Silo lowest and close to each
+other (Silo writes no logs in failure-free runs and coalesces its
+word-granular in-place updates in the on-PM buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.harness.report import format_grouped_bars, format_normalized
+from repro.harness.runner import (
+    DEFAULT_SCHEMES,
+    DEFAULT_TRANSACTIONS,
+    DEFAULT_WORKLOADS,
+    GridResult,
+    add_average,
+    normalize_to,
+    run_grid,
+)
+
+
+@dataclass
+class Fig11Result:
+    """Normalized media writes per core count."""
+
+    grids: Dict[int, GridResult]
+
+    def normalized(self, cores: int) -> Dict[str, Dict[str, float]]:
+        return add_average(normalize_to(self.grids[cores], "media_writes"))
+
+    def format_report(self) -> str:
+        parts: List[str] = []
+        for cores in sorted(self.grids):
+            parts.append(
+                format_normalized(
+                    self.normalized(cores),
+                    schemes=list(self.grids[cores].schemes()),
+                    title=f"Fig. 11 — normalized PM media write traffic ({cores} core(s))",
+                )
+            )
+        return "\n\n".join(parts)
+
+    def format_chart(self) -> str:
+        """ASCII grouped bars of the cross-workload averages, one group
+        per core count (the shape of the paper's figure)."""
+        groups = {
+            f"{cores} core(s)": self.normalized(cores)["average"]
+            for cores in sorted(self.grids)
+        }
+        return format_grouped_bars(
+            groups, title="fig11 — average normalized write traffic"
+        )
+
+
+def run(
+    core_counts: Sequence[int] = (1, 2, 4, 8),
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    transactions: int = DEFAULT_TRANSACTIONS,
+) -> Fig11Result:
+    """Run the full write-traffic grid."""
+    grids = {
+        cores: run_grid(cores, schemes, workloads, transactions)
+        for cores in core_counts
+    }
+    return Fig11Result(grids=grids)

@@ -1,0 +1,73 @@
+"""Fig. 12: transaction throughput, normalized to Base.
+
+Expected shape: Base slowest (synchronous per-store log+data
+persists); FWB above Base; MorLog above FWB (fewer log writes to wait
+for); LAD high (no logs) but paying its Prepare-phase line flushes;
+Silo highest, with the gap growing with core count because its commit
+path has no persist ordering to queue behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.harness.report import format_grouped_bars, format_normalized
+from repro.harness.runner import (
+    DEFAULT_SCHEMES,
+    DEFAULT_TRANSACTIONS,
+    DEFAULT_WORKLOADS,
+    GridResult,
+    add_average,
+    normalize_to,
+    run_grid,
+)
+
+
+@dataclass
+class Fig12Result:
+    """Normalized throughput per core count."""
+
+    grids: Dict[int, GridResult]
+
+    def normalized(self, cores: int) -> Dict[str, Dict[str, float]]:
+        return add_average(
+            normalize_to(self.grids[cores], "throughput_tx_per_sec")
+        )
+
+    def format_report(self) -> str:
+        parts: List[str] = []
+        for cores in sorted(self.grids):
+            parts.append(
+                format_normalized(
+                    self.normalized(cores),
+                    schemes=list(self.grids[cores].schemes()),
+                    title=f"Fig. 12 — normalized transaction throughput ({cores} core(s))",
+                )
+            )
+        return "\n\n".join(parts)
+
+    def format_chart(self) -> str:
+        """ASCII grouped bars of the cross-workload averages, one group
+        per core count (the shape of the paper's figure)."""
+        groups = {
+            f"{cores} core(s)": self.normalized(cores)["average"]
+            for cores in sorted(self.grids)
+        }
+        return format_grouped_bars(
+            groups, title="fig12 — average normalized throughput"
+        )
+
+
+def run(
+    core_counts: Sequence[int] = (1, 2, 4, 8),
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    transactions: int = DEFAULT_TRANSACTIONS,
+) -> Fig12Result:
+    """Run the full throughput grid."""
+    grids = {
+        cores: run_grid(cores, schemes, workloads, transactions)
+        for cores in core_counts
+    }
+    return Fig12Result(grids=grids)

@@ -1,0 +1,113 @@
+"""Fig. 13: total vs remaining on-chip log entries per transaction.
+
+Runs Silo with an effectively unbounded log buffer so no overflow
+disturbs the count, and reports per transaction how many logs would be
+generated naively (one per store) versus how many remain after log
+ignorance and log merging (Section III-C).  TPCC runs all five
+transaction types here, as in Section VI-D.
+
+Expected shape: a large fraction of logs removed on average (the paper
+reports 64.3%), with Array extreme (~90% ignored because element swaps
+rewrite identical padding) and the maximum remaining count — which
+sizes the 20-entry log buffer — reached by Hash-like workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.harness.report import format_table
+from repro.harness.runner import DEFAULT_TRANSACTIONS, run_single
+from repro.workloads.registry import build_workload
+
+#: Benchmarks of Fig. 13, with TPCC in its all-five-types variant.
+FIG13_WORKLOADS: Tuple[str, ...] = (
+    "array",
+    "btree",
+    "hash",
+    "queue",
+    "rbtree",
+    "tpcc",
+    "ycsb",
+)
+
+#: Entries in the measurement buffer: large enough to never overflow.
+UNBOUNDED_ENTRIES = 1 << 14
+
+
+@dataclass
+class WorkloadLogCounts:
+    """Per-transaction log statistics of one workload."""
+
+    mean_total: float
+    mean_remaining: float
+    max_remaining: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of naive logs removed by ignorance + merging."""
+        if not self.mean_total:
+            return 0.0
+        return 1.0 - self.mean_remaining / self.mean_total
+
+
+@dataclass
+class Fig13Result:
+    counts: Dict[str, WorkloadLogCounts]
+
+    @property
+    def average_reduction(self) -> float:
+        return sum(c.reduction for c in self.counts.values()) / len(self.counts)
+
+    @property
+    def overall_max_remaining(self) -> int:
+        return max(c.max_remaining for c in self.counts.values())
+
+    def format_report(self) -> str:
+        rows: List[List[object]] = []
+        for name, c in self.counts.items():
+            rows.append(
+                [name, c.mean_total, c.mean_remaining, c.max_remaining, c.reduction]
+            )
+        rows.append(
+            [
+                "Average",
+                sum(c.mean_total for c in self.counts.values()) / len(self.counts),
+                sum(c.mean_remaining for c in self.counts.values())
+                / len(self.counts),
+                self.overall_max_remaining,
+                self.average_reduction,
+            ]
+        )
+        return format_table(
+            ["workload", "total/tx", "remaining/tx", "max remaining", "reduction"],
+            rows,
+            title="Fig. 13 — on-chip log entries per transaction (Silo)",
+        )
+
+
+def run(
+    threads: int = 8,
+    transactions: int = DEFAULT_TRANSACTIONS,
+    workloads: Sequence[str] = FIG13_WORKLOADS,
+) -> Fig13Result:
+    """Measure total and remaining log counts for every workload."""
+    config = SystemConfig.table2(threads).with_log_buffer(entries=UNBOUNDED_ENTRIES)
+    counts: Dict[str, WorkloadLogCounts] = {}
+    for name in workloads:
+        kwargs = {"mix": "full"} if name == "tpcc" else {}
+        trace = build_workload(
+            name, threads=threads, transactions=transactions, **kwargs
+        )
+        result = run_single(trace, "silo", threads, config)
+        pairs = result.tx_log_counts or [(0, 0)]
+        totals = [t for t, _ in pairs]
+        remainings = [r for _, r in pairs]
+        counts[name] = WorkloadLogCounts(
+            mean_total=sum(totals) / len(totals),
+            mean_remaining=sum(remainings) / len(remainings),
+            max_remaining=max(remainings),
+        )
+    return Fig13Result(counts=counts)

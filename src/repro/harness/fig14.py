@@ -1,0 +1,105 @@
+"""Fig. 14: Silo processing large transactions (log overflow).
+
+For each benchmark the per-transaction write set is scaled to 1x, 2x,
+4x, 8x and 16x the log buffer capacity by batching more data-structure
+operations into one transaction.  Throughput and PM write traffic are
+normalized to the 1x configuration of the same benchmark.
+
+Expected shape (Section VI-F): throughput dips only mildly (the paper
+reports -7.4% on average at 16x) because overflowed undo logs flush in
+parallel with new log generation; write traffic grows but stays small
+(up to ~1.9x on average) thanks to batched 14-entry overflow flushes.
+Array stays flat (most of its logs are ignored); TPCC/YCSB stay stable
+thanks to locality/merging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_single
+from repro.workloads.registry import build_workload
+
+FIG14_WORKLOADS: Tuple[str, ...] = (
+    "array",
+    "btree",
+    "hash",
+    "queue",
+    "rbtree",
+    "tpcc",
+    "ycsb",
+)
+
+MULTIPLIERS: Tuple[int, ...] = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class Fig14Result:
+    """``throughput[workload][multiplier]`` etc., normalized to 1x."""
+
+    throughput: Dict[str, Dict[int, float]]
+    write_traffic: Dict[str, Dict[int, float]]
+    multipliers: Tuple[int, ...] = MULTIPLIERS
+
+    def average(self, table: Dict[str, Dict[int, float]], mult: int) -> float:
+        return sum(row[mult] for row in table.values()) / len(table)
+
+    def format_report(self) -> str:
+        parts: List[str] = []
+        for title, table in (
+            ("Fig. 14a — normalized transaction throughput", self.throughput),
+            ("Fig. 14b — normalized PM write traffic", self.write_traffic),
+        ):
+            rows: List[List[object]] = [
+                [name] + [row[m] for m in self.multipliers]
+                for name, row in table.items()
+            ]
+            rows.append(
+                ["Average"] + [self.average(table, m) for m in self.multipliers]
+            )
+            parts.append(
+                format_table(
+                    ["workload"] + [f"{m}x" for m in self.multipliers],
+                    rows,
+                    title=title,
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run(
+    threads: int = 8,
+    transactions: int = 100,
+    workloads: Sequence[str] = FIG14_WORKLOADS,
+    multipliers: Sequence[int] = MULTIPLIERS,
+) -> Fig14Result:
+    """Run the large-transaction sweep on Silo."""
+    throughput: Dict[str, Dict[int, float]] = {}
+    traffic: Dict[str, Dict[int, float]] = {}
+    for name in workloads:
+        per_tp: Dict[int, float] = {}
+        per_wr: Dict[int, float] = {}
+        for mult in multipliers:
+            trace = build_workload(
+                name,
+                threads=threads,
+                transactions=transactions,
+                ops_per_tx=mult,
+            )
+            result = run_single(trace, "silo", threads)
+            per_tp[mult] = result.throughput_tx_per_sec * mult  # ops rate
+            per_wr[mult] = result.media_writes / max(mult, 1)  # per op
+        base_tp, base_wr = per_tp[multipliers[0]], per_wr[multipliers[0]]
+        throughput[name] = {
+            m: (v / base_tp if base_tp else 0.0) for m, v in per_tp.items()
+        }
+        traffic[name] = {
+            m: (v / base_wr if base_wr else 0.0) for m, v in per_wr.items()
+        }
+    return Fig14Result(
+        throughput=throughput,
+        write_traffic=traffic,
+        multipliers=tuple(multipliers),
+    )

@@ -1,0 +1,83 @@
+"""Fig. 15: sensitivity to the log buffer access latency.
+
+Sweeps the buffer latency from 8 to 128 cycles (covering SRAM through
+slower buffer technologies) and reports Silo's throughput normalized
+to the 8-cycle configuration.
+
+Expected shape (Section VI-G): essentially flat — the CPU store never
+waits to write the buffer and the controller reads it off the critical
+path, so even a 128-cycle buffer costs only a few percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.harness.report import format_table
+from repro.harness.runner import run_single
+from repro.workloads.registry import build_workload
+
+FIG15_WORKLOADS: Tuple[str, ...] = (
+    "array",
+    "btree",
+    "hash",
+    "queue",
+    "rbtree",
+    "tpcc",
+    "ycsb",
+)
+
+LATENCIES: Tuple[int, ...] = tuple(range(8, 129, 24))
+
+
+@dataclass
+class Fig15Result:
+    """``throughput[workload][latency]`` normalized to the first
+    latency point."""
+
+    throughput: Dict[str, Dict[int, float]]
+    latencies: Tuple[int, ...]
+
+    def worst_degradation(self) -> float:
+        """Largest relative slowdown across all points."""
+        worst = 0.0
+        for row in self.throughput.values():
+            worst = max(worst, 1.0 - min(row.values()))
+        return worst
+
+    def format_report(self) -> str:
+        rows: List[List[object]] = [
+            [name] + [row[lat] for lat in self.latencies]
+            for name, row in self.throughput.items()
+        ]
+        return format_table(
+            ["workload"] + [f"{lat}cy" for lat in self.latencies],
+            rows,
+            title="Fig. 15 — normalized throughput vs log buffer latency (Silo)",
+        )
+
+
+def run(
+    threads: int = 8,
+    transactions: int = 150,
+    workloads: Sequence[str] = FIG15_WORKLOADS,
+    latencies: Sequence[int] = LATENCIES,
+) -> Fig15Result:
+    """Sweep the log buffer latency for every workload."""
+    throughput: Dict[str, Dict[int, float]] = {}
+    for name in workloads:
+        trace = build_workload(name, threads=threads, transactions=transactions)
+        per_lat: Dict[int, float] = {}
+        for latency in latencies:
+            config = SystemConfig.table2(threads).with_log_buffer(
+                access_latency_cycles=latency
+            )
+            result = run_single(trace, "silo", threads, config)
+            per_lat[latency] = result.throughput_tx_per_sec
+        base = per_lat[latencies[0]]
+        throughput[name] = {
+            lat: (v / base if base else 0.0) for lat, v in per_lat.items()
+        }
+    return Fig15Result(throughput=throughput, latencies=tuple(latencies))

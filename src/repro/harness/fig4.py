@@ -1,0 +1,50 @@
+"""Fig. 4: the write size (in bytes) in one transaction.
+
+Builds all eleven workloads and reports the mean bytes written per
+transaction.  The paper's observation to confirm: write sizes are
+generally below 0.5 KB, i.e. real PM transactions have small write
+sets, so a 20-entry on-chip log buffer suffices (Section II-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.harness.report import format_table
+from repro.workloads.registry import FIG4_WORKLOADS, build_workload
+
+
+@dataclass
+class Fig4Result:
+    """Mean write bytes per transaction, per workload."""
+
+    write_sizes: Dict[str, float]
+
+    @property
+    def average(self) -> float:
+        return sum(self.write_sizes.values()) / len(self.write_sizes)
+
+    def format_report(self) -> str:
+        rows: List[List[object]] = [
+            [name, size] for name, size in self.write_sizes.items()
+        ]
+        rows.append(["Average", self.average])
+        return format_table(
+            ["workload", "write size (B) per transaction"],
+            rows,
+            title="Fig. 4 — write size per transaction",
+        )
+
+
+def run(
+    threads: int = 2,
+    transactions: int = 300,
+    workloads: Sequence[str] = tuple(FIG4_WORKLOADS),
+) -> Fig4Result:
+    """Measure the mean write size of every Fig. 4 workload."""
+    sizes: Dict[str, float] = {}
+    for name in workloads:
+        trace = build_workload(name, threads=threads, transactions=transactions)
+        sizes[name] = trace.mean_write_size_bytes()
+    return Fig4Result(write_sizes=sizes)

@@ -1,0 +1,68 @@
+"""Sensitivity to the number of memory controllers (Section III-D).
+
+The paper argues Silo needs no cross-MC coordination: each MC serves
+the whole memory, a transaction's logs and in-place updates meet at
+its core's MC, and Silo's efficiency is therefore "not affected by the
+number of MCs".  This experiment sweeps 1/2/4 MCs and reports Silo's
+throughput advantage over Base at each point — the advantage should
+persist (more MCs relieve bandwidth pressure for everyone, but never
+invert the ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.harness.report import format_table
+from repro.harness.runner import run_single
+from repro.workloads.registry import build_workload
+
+SWEEP_CHANNELS: Tuple[int, ...] = (1, 2, 4)
+
+
+@dataclass
+class MCSweepResult:
+    """``speedup[workload][channels]`` = Silo throughput / Base
+    throughput at that MC count."""
+
+    speedup: Dict[str, Dict[int, float]]
+    channels: Tuple[int, ...]
+
+    def min_advantage(self) -> float:
+        return min(min(row.values()) for row in self.speedup.values())
+
+    def format_report(self) -> str:
+        rows: List[List[object]] = [
+            [name] + [row[c] for c in self.channels]
+            for name, row in self.speedup.items()
+        ]
+        return format_table(
+            ["workload"] + [f"{c} MC(s)" for c in self.channels],
+            rows,
+            title="MC sweep — Silo speedup over Base vs number of MCs",
+        )
+
+
+def run(
+    threads: int = 8,
+    transactions: int = 120,
+    workloads: Sequence[str] = ("hash", "queue", "tpcc"),
+    channels: Sequence[int] = SWEEP_CHANNELS,
+) -> MCSweepResult:
+    speedup: Dict[str, Dict[int, float]] = {}
+    for name in workloads:
+        trace = build_workload(name, threads=threads, transactions=transactions)
+        per_channel: Dict[int, float] = {}
+        for n in channels:
+            config = replace(SystemConfig.table2(threads), memory_channels=n)
+            silo = run_single(trace, "silo", threads, config)
+            base = run_single(trace, "base", threads, config)
+            per_channel[n] = (
+                silo.throughput_tx_per_sec / base.throughput_tx_per_sec
+                if base.throughput_tx_per_sec
+                else 0.0
+            )
+        speedup[name] = per_channel
+    return MCSweepResult(speedup=speedup, channels=tuple(channels))

@@ -1,0 +1,123 @@
+"""Recovery-cost comparison (extension beyond the paper's figures).
+
+Crashes each design at the same point of the same workload and reports
+how much log-region state recovery had to scan and apply, plus a
+first-order latency estimate (sequential scan reads + replay/revoke
+writes).  The expected shape follows the designs' logging volume:
+
+* Silo scans only what its battery flushed at the crash — the open
+  transactions' merged undo logs (plus any overflow spills);
+* LAD scans only slow-mode fallback logs (usually nothing);
+* Base/FWB/MorLog scan the logs persisted during the run that were not
+  yet truncated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.config import SystemConfig
+from repro.designs.scheme import SchemeRegistry
+from repro.harness.report import format_table
+from repro.sim.crash import CrashPlan
+from repro.sim.engine import TransactionEngine
+from repro.sim.system import System
+from repro.sim.verify import check_atomic_durability
+from repro.workloads.registry import build_workload
+
+DEFAULT_SCHEMES = ("base", "fwb", "morlog", "lad", "silo")
+
+
+@dataclass
+class RecoveryCostRow:
+    scheme: str
+    scanned: int
+    replayed: int
+    revoked: int
+    discarded: int
+    estimated_us: float
+    consistent: bool
+
+
+@dataclass
+class RecoveryCostResult:
+    workload: str
+    crash_at: int
+    rows: List[RecoveryCostRow]
+
+    def row(self, scheme: str) -> RecoveryCostRow:
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row
+        raise KeyError(scheme)
+
+    def format_report(self) -> str:
+        table = [
+            [
+                row.scheme,
+                row.scanned,
+                row.replayed,
+                row.revoked,
+                row.discarded,
+                row.estimated_us,
+                "yes" if row.consistent else "NO",
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            [
+                "scheme",
+                "logs scanned",
+                "replayed",
+                "revoked",
+                "discarded",
+                "est. recovery (us)",
+                "consistent",
+            ],
+            table,
+            title=(
+                f"Recovery cost — {self.workload}, crash at op {self.crash_at}"
+            ),
+        )
+
+
+def run(
+    workload: str = "hash",
+    threads: int = 2,
+    transactions: int = 60,
+    crash_fraction: float = 0.6,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    config: Optional[SystemConfig] = None,
+) -> RecoveryCostResult:
+    """Crash every design at the same trace point and compare recovery."""
+    trace = build_workload(workload, threads=threads, transactions=transactions)
+    total_ops = sum(
+        len(tx.ops) + 2 for thread in trace.threads for tx in thread.transactions
+    )
+    crash_at = int(total_ops * crash_fraction)
+    rows: List[RecoveryCostRow] = []
+    for scheme in schemes:
+        system = System(config if config is not None else SystemConfig.table2(threads))
+        engine = TransactionEngine(
+            system,
+            SchemeRegistry.create(scheme, system),
+            trace,
+            crash_plan=CrashPlan(at_op=crash_at),
+        )
+        result = engine.run()
+        report = result.recovery
+        rows.append(
+            RecoveryCostRow(
+                scheme=scheme,
+                scanned=report.scanned,
+                replayed=report.replayed,
+                revoked=report.revoked,
+                discarded=report.discarded,
+                estimated_us=report.estimated_ns / 1000.0,
+                consistent=not check_atomic_durability(
+                    system, trace, result.committed
+                ),
+            )
+        )
+    return RecoveryCostResult(workload=workload, crash_at=crash_at, rows=rows)

@@ -1,0 +1,102 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_normalized(
+    normalized: Mapping[str, Mapping[str, float]],
+    schemes: Sequence[str],
+    title: str,
+    value_label: str = "normalized",
+) -> str:
+    """Render a ``{workload: {scheme: value}}`` table in plotting order."""
+    rows = [
+        [workload] + [per_scheme.get(scheme, float("nan")) for scheme in schemes]
+        for workload, per_scheme in normalized.items()
+    ]
+    return format_table(["workload"] + list(schemes), rows, title=title)
+
+
+def format_bars(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Render a labelled horizontal ASCII bar chart.
+
+    Bars are scaled to the largest value; each row shows the label,
+    the bar and the numeric value — a terminal stand-in for the
+    paper's grouped bar figures.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(str(k)) for k in values)
+    peak = max(values.values()) or 1.0
+    for label, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(f"{str(label).ljust(label_width)} |{bar.ljust(width)}| "
+                     f"{_fmt(value)}{unit}")
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render ``{group: {series: value}}`` as grouped ASCII bars, one
+    block per group (the shape of Figs. 11/12)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(
+        (v for row in groups.values() for v in row.values()), default=1.0
+    ) or 1.0
+    for group, row in groups.items():
+        lines.append(f"{group}:")
+        label_width = max(len(str(k)) for k in row)
+        for label, value in row.items():
+            bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+            lines.append(
+                f"  {str(label).ljust(label_width)} |{bar.ljust(width)}| {_fmt(value)}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Shared experiment plumbing: run (scheme x workload x cores) grids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.designs.scheme import SchemeRegistry
+from repro.sim.engine import TransactionEngine
+from repro.sim.results import RunResult
+from repro.sim.system import System
+from repro.trace.trace import Trace
+from repro.workloads.registry import build_workload
+
+#: The evaluated designs, in the paper's plotting order.
+DEFAULT_SCHEMES: Tuple[str, ...] = ("base", "fwb", "morlog", "lad", "silo")
+
+#: The Fig. 11/12 benchmarks, in the paper's plotting order.
+DEFAULT_WORKLOADS: Tuple[str, ...] = (
+    "array",
+    "btree",
+    "hash",
+    "queue",
+    "rbtree",
+    "tpcc",
+    "ycsb",
+)
+
+#: Default transactions per thread: large enough for stable ratios,
+#: small enough that the full grid runs in minutes of Python.
+DEFAULT_TRANSACTIONS = 200
+
+
+@dataclass
+class GridResult:
+    """Results of a (workload, scheme) grid at one core count."""
+
+    cores: int
+    #: ``results[workload][scheme]``
+    results: Dict[str, Dict[str, RunResult]] = field(default_factory=dict)
+
+    def metric(self, workload: str, scheme: str, name: str) -> float:
+        result = self.results[workload][scheme]
+        return float(getattr(result, name))
+
+    def workloads(self) -> List[str]:
+        return list(self.results)
+
+    def schemes(self) -> List[str]:
+        first = next(iter(self.results.values()))
+        return list(first)
+
+
+def run_single(
+    trace: Trace, scheme: str, cores: int, config: Optional[SystemConfig] = None
+) -> RunResult:
+    """Run one trace under one scheme on a fresh system."""
+    system = System(config if config is not None else SystemConfig.table2(cores))
+    scheme_obj = SchemeRegistry.create(scheme, system)
+    return TransactionEngine(system, scheme_obj, trace).run()
+
+
+def run_grid(
+    cores: int,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    transactions: int = DEFAULT_TRANSACTIONS,
+    config: Optional[SystemConfig] = None,
+    **workload_kwargs,
+) -> GridResult:
+    """Run every (workload, scheme) pair at one core count.
+
+    One trace is built per workload and replayed under each scheme so
+    all designs see identical operation streams.
+    """
+    grid = GridResult(cores=cores)
+    for workload in workloads:
+        trace = build_workload(
+            workload, threads=cores, transactions=transactions, **workload_kwargs
+        )
+        per_scheme: Dict[str, RunResult] = {}
+        for scheme in schemes:
+            per_scheme[scheme] = run_single(trace, scheme, cores, config)
+        grid.results[workload] = per_scheme
+    return grid
+
+
+def normalize_to(
+    grid: GridResult, metric: str, baseline: str = "base"
+) -> Dict[str, Dict[str, float]]:
+    """``{workload: {scheme: metric / metric(baseline)}}``."""
+    out: Dict[str, Dict[str, float]] = {}
+    for workload, per_scheme in grid.results.items():
+        base_value = float(getattr(per_scheme[baseline], metric))
+        out[workload] = {
+            scheme: (float(getattr(result, metric)) / base_value if base_value else 0.0)
+            for scheme, result in per_scheme.items()
+        }
+    return out
+
+
+def add_average(normalized: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+    """Append the cross-workload arithmetic mean (the paper's
+    "Average" group) to a normalized table."""
+    if not normalized:
+        return normalized
+    schemes = next(iter(normalized.values())).keys()
+    out = dict(normalized)
+    out["average"] = {
+        scheme: sum(row[scheme] for row in normalized.values()) / len(normalized)
+        for scheme in schemes
+    }
+    return out

@@ -1,0 +1,93 @@
+"""Generic parameter sweeps with export integration.
+
+A small driver for design-space exploration beyond the fixed figures:
+give it axes (workloads, schemes, core counts, config overrides) and it
+runs the Cartesian product, returning records ready for
+:mod:`repro.analysis.export`.
+
+Example::
+
+    from repro.harness.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        workloads=("hash", "btree"),
+        schemes=("lad", "silo"),
+        core_counts=(1, 4),
+        config_overrides={"buf40": {"log_buffer": {"entries": 40}}},
+    )
+    records = run_sweep(spec, transactions=100)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.analysis.export import result_to_dict
+from repro.harness.runner import run_single
+from repro.workloads.registry import build_workload
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Axes of one sweep.
+
+    ``config_overrides`` maps a variant label to nested dataclass field
+    overrides applied on top of the Table II configuration, e.g.
+    ``{"fastpm": {"pm": {"write_ns": 75.0}}}``.  The implicit variant
+    ``"table2"`` (no overrides) is always included first.
+    """
+
+    workloads: Tuple[str, ...] = ("hash",)
+    schemes: Tuple[str, ...] = ("base", "silo")
+    core_counts: Tuple[int, ...] = (1,)
+    config_overrides: Mapping[str, Mapping[str, Mapping[str, object]]] = field(
+        default_factory=dict
+    )
+
+
+def apply_overrides(
+    config: SystemConfig, overrides: Mapping[str, Mapping[str, object]]
+) -> SystemConfig:
+    """Apply ``{section: {field: value}}`` overrides to a config."""
+    for section, fields in overrides.items():
+        if not hasattr(config, section):
+            raise ConfigError(f"unknown config section {section!r}")
+        current = getattr(config, section)
+        if isinstance(fields, Mapping):
+            config = replace(config, **{section: replace(current, **fields)})
+        else:
+            config = replace(config, **{section: fields})
+    return config
+
+
+def run_sweep(
+    spec: SweepSpec,
+    transactions: int = 100,
+    workload_kwargs: Optional[Dict[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """Run the Cartesian product and return flat result records."""
+    records: List[Dict[str, object]] = []
+    variants: List[Tuple[str, Mapping[str, Mapping[str, object]]]] = [
+        ("table2", {})
+    ] + list(spec.config_overrides.items())
+
+    for cores in spec.core_counts:
+        for workload in spec.workloads:
+            trace = build_workload(
+                workload,
+                threads=cores,
+                transactions=transactions,
+                **(workload_kwargs or {}),
+            )
+            for variant, overrides in variants:
+                config = apply_overrides(SystemConfig.table2(cores), overrides)
+                for scheme in spec.schemes:
+                    result = run_single(trace, scheme, cores, config)
+                    record = result_to_dict(result)
+                    record["workload"] = workload
+                    record["variant"] = variant
+                    records.append(record)
+    return records

@@ -1,0 +1,25 @@
+"""Table I: the hardware overhead of Silo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.battery import hardware_overhead
+from repro.harness.report import format_table
+
+
+@dataclass
+class Table1Result:
+    rows: Dict[str, str]
+
+    def format_report(self) -> str:
+        return format_table(
+            ["component", "type and size"],
+            [[k, v] for k, v in self.rows.items()],
+            title="Table I — hardware overhead of Silo",
+        )
+
+
+def run(cores: int = 8) -> Table1Result:
+    return Table1Result(rows=hardware_overhead(cores=cores))

@@ -1,0 +1,52 @@
+"""Table IV: battery requirements of eADR, BBB and Silo (8 cores).
+
+Analytic (Section VI-E): flush size -> flush energy at 11.228 nJ/B ->
+supercapacitor and lithium thin-film volume/area from their energy
+densities.  Expected shape: Silo's battery orders of magnitude below
+eADR and well below BBB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.battery import BatteryRequirement, table4
+from repro.harness.report import format_table
+
+
+@dataclass
+class Table4Result:
+    rows: Dict[str, BatteryRequirement]
+
+    def format_report(self) -> str:
+        table: List[List[object]] = []
+        for name, req in self.rows.items():
+            table.append(
+                [
+                    name,
+                    req.flush_size_kb,
+                    req.flush_energy_uj,
+                    req.cap_volume_mm3,
+                    req.cap_area_mm2,
+                    req.li_volume_mm3,
+                    req.li_area_mm2,
+                ]
+            )
+        return format_table(
+            [
+                "system",
+                "flush size (KB)",
+                "flush energy (uJ)",
+                "Cap (mm^3)",
+                "Cap (mm^2)",
+                "Li (mm^3)",
+                "Li (mm^2)",
+            ],
+            table,
+            title="Table IV — battery requirements (8 cores)",
+        )
+
+
+def run(cores: int = 8) -> Table4Result:
+    return Table4Result(rows=table4(cores=cores))

@@ -1,0 +1,16 @@
+"""Hardware-logging substrate: entries, buffers, generators, log region."""
+
+from repro.hwlog.entry import LogEntry
+from repro.hwlog.logbuffer import AppendResult, LogBuffer
+from repro.hwlog.generator import LogGenerator
+from repro.hwlog.region import CommitTuple, LogRegion, PersistedLog
+
+__all__ = [
+    "LogEntry",
+    "AppendResult",
+    "LogBuffer",
+    "LogGenerator",
+    "CommitTuple",
+    "LogRegion",
+    "PersistedLog",
+]

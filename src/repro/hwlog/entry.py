@@ -1,0 +1,75 @@
+"""The undo+redo log entry of Fig. 6.
+
+One entry records the change a single CPU store made to one word:
+
+    | flush-bit | tid | txid | addr | old data | new data |
+    |   1 bit   | 8 b | 16 b | 48 b |  1 word  |  1 word  |
+
+Entries are generated and manipulated entirely by hardware; software
+never sees them.  ``log_addr`` is the physical address assigned to the
+entry inside the owning thread's PM log area (Section III-B).
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import (
+    UNDO_LOG_ENTRY_SIZE,
+    UNDO_REDO_LOG_ENTRY_SIZE,
+    WORD_MASK,
+)
+
+
+class LogEntry:
+    """A mutable undo+redo log entry living in a core's log buffer."""
+
+    __slots__ = ("tid", "txid", "addr", "old", "new", "flush_bit", "log_addr")
+
+    #: Byte footprint when flushed with both data words (Section VI-D).
+    UNDO_REDO_SIZE = UNDO_REDO_LOG_ENTRY_SIZE
+    #: Byte footprint when flushed as an undo-only entry (Section III-F).
+    UNDO_SIZE = UNDO_LOG_ENTRY_SIZE
+
+    def __init__(
+        self,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        flush_bit: bool = False,
+        log_addr: int = 0,
+    ) -> None:
+        if not 0 <= tid < (1 << 8):
+            raise ValueError(f"tid {tid} does not fit the 8-bit field")
+        if not 0 <= txid < (1 << 16):
+            raise ValueError(f"txid {txid} does not fit the 16-bit field")
+        if not 0 <= addr < (1 << 48):
+            raise ValueError(f"addr {addr:#x} does not fit the 48-bit field")
+        self.tid = tid
+        self.txid = txid
+        self.addr = addr
+        self.old = old & WORD_MASK
+        self.new = new & WORD_MASK
+        self.flush_bit = flush_bit
+        self.log_addr = log_addr
+
+    def merge_new(self, new: int) -> None:
+        """Log merging (Fig. 7): keep the oldest old data, adopt the
+        newest new data; intermediate values disappear."""
+        self.new = new & WORD_MASK
+
+    @property
+    def line_addr(self) -> int:
+        """Cacheline address of the logged word (used by the flush-bit
+        comparators, Section III-D)."""
+        return self.addr & ~63
+
+    def id_tuple(self) -> tuple:
+        return (self.tid, self.txid)
+
+    def __repr__(self) -> str:
+        fb = 1 if self.flush_bit else 0
+        return (
+            f"LogEntry(fb={fb}, tid={self.tid}, txid={self.txid}, "
+            f"addr={self.addr:#x}, old={self.old:#x}, new={self.new:#x})"
+        )

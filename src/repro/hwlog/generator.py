@@ -1,0 +1,100 @@
+"""The per-L1D log generator (Section III-B).
+
+When a cacheline is modified inside a transaction, the generator
+captures the in-flight store's new data and physical address, reads the
+old data from L1D (overlapped with tag matching, so free), and emits a
+log entry.  Two behaviours matter for the evaluation:
+
+* **Log ignorance** (Section III-C): a store whose new value equals the
+  old value (data copies, re-assignments) produces no entry at all.
+* **Transaction IDs**: ``Tx_begin`` latches the thread id and bumps the
+  per-core txid register; stores outside a transaction produce no logs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import TransactionError
+from repro.common.stats import Stats
+from repro.hwlog.entry import LogEntry
+
+_TXID_WRAP = 1 << 16
+
+
+class LogGenerator:
+    """One log generator, attached to one core's L1D controller."""
+
+    def __init__(
+        self,
+        core_id: int,
+        stats: Optional[Stats] = None,
+        ignore_silent: bool = True,
+    ) -> None:
+        self.core_id = core_id
+        self.stats = stats if stats is not None else Stats()
+        #: Log ignorance (Section III-C); disable only for ablations.
+        self.ignore_silent = ignore_silent
+        self._txid_register = 0
+        self._tid: Optional[int] = None
+        self._txid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Transaction boundaries
+    # ------------------------------------------------------------------
+    def tx_begin(self, tid: int, txid: Optional[int] = None) -> int:
+        """Record the thread id, advance the txid register and start
+        producing logs.  Returns the new transaction id.
+
+        The engine may impose its own ``txid`` so that all designs and
+        the crash checker agree on transaction identities; otherwise
+        the register simply increments (Section III-B).
+        """
+        if self._txid is not None:
+            raise TransactionError(
+                f"core {self.core_id}: Tx_begin inside an open transaction "
+                "(nested transactions are not supported, Section III-A)"
+            )
+        if txid is None:
+            self._txid_register = (self._txid_register + 1) % _TXID_WRAP
+        else:
+            self._txid_register = txid % _TXID_WRAP
+        self._tid = tid
+        self._txid = self._txid_register
+        return self._txid
+
+    def tx_end(self) -> None:
+        """Stop producing logs for this transaction."""
+        if self._txid is None:
+            raise TransactionError(
+                f"core {self.core_id}: Tx_end without a matching Tx_begin"
+            )
+        self._tid = None
+        self._txid = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txid is not None
+
+    @property
+    def current_txid(self) -> Optional[int]:
+        return self._txid
+
+    @property
+    def current_tid(self) -> Optional[int]:
+        return self._tid
+
+    # ------------------------------------------------------------------
+    # Store capture
+    # ------------------------------------------------------------------
+    def on_store(self, addr: int, old: int, new: int) -> Optional[LogEntry]:
+        """Produce a log entry for one transactional store, or ``None``
+        for non-transactional stores and ignored (no-change) writes."""
+        if self._txid is None:
+            return None
+        self.stats.add("loggen.stores_seen")
+        if old == new and self.ignore_silent:
+            self.stats.add("loggen.ignored")
+            return None
+        self.stats.add("loggen.entries")
+        return LogEntry(self._tid, self._txid, addr, old, new)

@@ -1,0 +1,154 @@
+"""The per-core battery-backed log buffer (Sections III-B to III-D).
+
+A small FIFO of log entries, one transaction at a time, with a 64-bit
+hardware comparator beside every entry.  The comparators provide two
+parallel (sub-nanosecond) search operations:
+
+* *merge search* — match an incoming entry's word address against every
+  resident entry (log merging, Fig. 7);
+* *eviction search* — match an evicted cacheline's line address against
+  the line address of every resident entry to set flush-bits
+  (Section III-D).
+
+The buffer is persistent: a small battery guarantees its contents can
+be flushed to the PM log region on a crash (Section III-G, Table I).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import Enum
+from typing import Iterable, List, Optional
+
+from repro.common.config import LogBufferConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import Stats
+from repro.hwlog.entry import LogEntry
+
+
+class AppendResult(Enum):
+    """Outcome of offering a new entry to the buffer."""
+
+    APPENDED = "appended"
+    MERGED = "merged"
+    #: The buffer was full: the caller must evict before re-offering.
+    FULL = "full"
+
+
+class LogBuffer:
+    """Bounded FIFO of :class:`LogEntry` with parallel comparators."""
+
+    def __init__(
+        self,
+        config: Optional[LogBufferConfig] = None,
+        stats: Optional[Stats] = None,
+        name: str = "logbuf",
+        merging: bool = True,
+    ) -> None:
+        self.config = config if config is not None else LogBufferConfig()
+        self.stats = stats if stats is not None else Stats()
+        self.name = name
+        #: Log merging (Fig. 7); disable only for ablations.
+        self.merging = merging
+        #: FIFO order preserved; keyed by word address because merging
+        #: guarantees at most one resident entry per word.  With
+        #: merging disabled (ablation), every store appends a distinct
+        #: entry under a synthetic sequence key.
+        self._entries: "OrderedDict[object, LogEntry]" = OrderedDict()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Append / merge (Fig. 7)
+    # ------------------------------------------------------------------
+    def offer(self, entry: LogEntry) -> AppendResult:
+        """Offer a new entry; merge if a comparator matches its word."""
+        if self.merging:
+            existing = self._entries.get(entry.addr)
+            if existing is not None:
+                if existing.id_tuple() != entry.id_tuple():
+                    raise SimulationError(
+                        "log merging must not cross transactions "
+                        f"({existing.id_tuple()} vs {entry.id_tuple()})"
+                    )
+                existing.merge_new(entry.new)
+                self.stats.add(f"{self.name}.merged")
+                return AppendResult.MERGED
+            key: object = entry.addr
+        else:
+            key = ("seq", self._seq)
+            self._seq += 1
+        if len(self._entries) >= self.config.entries:
+            return AppendResult.FULL
+        self._entries[key] = entry
+        self.stats.add(f"{self.name}.appended")
+        self.stats.max(f"{self.name}.peak_occupancy", len(self._entries))
+        return AppendResult.APPENDED
+
+    # ------------------------------------------------------------------
+    # Flush-bit maintenance (Section III-D)
+    # ------------------------------------------------------------------
+    def mark_line_flushed(self, line_addr: int) -> int:
+        """An updated cacheline reached the write-pending queue: set the
+        flush-bit of every entry recording a word of that line.  All
+        comparators fire in parallel; returns the number marked."""
+        marked = 0
+        for entry in self._entries.values():
+            if entry.line_addr == line_addr and not entry.flush_bit:
+                entry.flush_bit = True
+                marked += 1
+        if marked:
+            self.stats.add(f"{self.name}.flush_bits_set", marked)
+        return marked
+
+    # ------------------------------------------------------------------
+    # Eviction (overflow, Section III-F) and commit
+    # ------------------------------------------------------------------
+    def pop_oldest(self, count: int) -> List[LogEntry]:
+        """Remove and return up to ``count`` oldest entries (FIFO)."""
+        out: List[LogEntry] = []
+        for _ in range(min(count, len(self._entries))):
+            _, entry = self._entries.popitem(last=False)
+            out.append(entry)
+        return out
+
+    def remove(self, addr: int) -> Optional[LogEntry]:
+        """Remove and return the entry recording word ``addr``, if any
+        (used by designs that flush a line's logs at eviction time)."""
+        if self.merging:
+            return self._entries.pop(addr, None)
+        for key, entry in self._entries.items():
+            if entry.addr == addr:
+                del self._entries[key]
+                return entry
+        return None
+
+    def drain(self) -> List[LogEntry]:
+        """Remove and return every entry in FIFO order (commit path)."""
+        entries = list(self._entries.values())
+        self._entries.clear()
+        return entries
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterable[LogEntry]:
+        return self._entries.values()
+
+    def find(self, addr: int) -> Optional[LogEntry]:
+        if self.merging:
+            return self._entries.get(addr)
+        for entry in self._entries.values():
+            if entry.addr == addr:
+                return entry
+        return None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.config.entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,217 @@
+"""The PM log region: one private, circular log area per thread.
+
+The distributed log scheme of Section III-B avoids cross-thread
+contention: each thread appends to its own area, tracked by head/tail
+registers in the core (Table I).
+
+Functional split.  For *media traffic* the region serializes entries
+into word writes at their assigned physical addresses (the packing
+policy — one entry per 64 B line for naive designs, two for MorLog,
+fourteen undo entries per 256 B on-PM line for Silo overflow batches —
+is what differentiates the designs' log write volume).  For *recovery*
+the region keeps an authoritative structured record of every persisted
+entry; an entry is recoverable if and only if it was actually flushed
+before the crash, which preserves crash semantics exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.constants import WORD_MASK, WORD_SIZE
+from repro.common.stats import Stats
+from repro.hwlog.entry import LogEntry
+from repro.mem.pm import RegionLayout
+
+
+@dataclass(frozen=True)
+class PersistedLog:
+    """A log entry as it exists in the PM log region after a flush."""
+
+    tid: int
+    txid: int
+    addr: int
+    old: int
+    new: int
+    flush_bit: bool
+    #: ``"undo"``, ``"redo"`` or ``"undo_redo"`` — which data words were
+    #: actually written to the region.
+    kind: str
+
+    def id_tuple(self) -> Tuple[int, int]:
+        return (self.tid, self.txid)
+
+
+@dataclass(frozen=True)
+class CommitTuple:
+    """The (tid, txid) tuple identifying a committed transaction
+    (Section III-G, Fig. 10f)."""
+
+    tid: int
+    txid: int
+
+
+_KIND_SIZES = {
+    "undo": LogEntry.UNDO_SIZE,
+    "redo": LogEntry.UNDO_SIZE,  # metadata + one data word
+    "undo_redo": LogEntry.UNDO_REDO_SIZE,
+}
+
+
+class LogRegion:
+    """Per-thread log areas with append cursors and recovery records."""
+
+    def __init__(
+        self, layout: RegionLayout, stats: Optional[Stats] = None
+    ) -> None:
+        self.layout = layout
+        self.stats = stats if stats is not None else Stats()
+        self._cursor: Dict[int, int] = {}
+        self._records: Dict[int, List[PersistedLog]] = {}
+        self._commit_tuples: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    def persist_entries(
+        self,
+        tid: int,
+        entries: Iterable[LogEntry],
+        kind: str,
+        per_request: int = 1,
+        request_span: int = 64,
+    ) -> List[Dict[int, int]]:
+        """Serialize ``entries`` into the thread's log area.
+
+        ``per_request`` entries are packed into each write request of at
+        most ``request_span`` bytes.  Returns the word-write batches to
+        submit to the memory controller; the structured records become
+        recoverable immediately (callers submit the requests in the
+        same step, and crash injection happens at step boundaries).
+        """
+        size = _KIND_SIZES[kind]
+        requests: List[Dict[int, int]] = []
+        batch: List[LogEntry] = []
+        count = 0
+        for entry in entries:
+            batch.append(entry)
+            count += 1
+            if len(batch) == per_request:
+                requests.append(
+                    self._serialize(tid, batch, size, request_span, kind)
+                )
+                batch = []
+        if batch:
+            requests.append(self._serialize(tid, batch, size, request_span, kind))
+        self.stats.add("region.requests", len(requests))
+        self.stats.add(f"region.entries.{kind}", count)
+        return requests
+
+    def _serialize(
+        self, tid: int, batch: List[LogEntry], size: int, span: int, kind: str
+    ) -> Dict[int, int]:
+        """Assign addresses to one request's entries, record them as
+        recoverable and pack their words."""
+        base, area = self.layout.thread_log_area(tid)
+        records = self._records.setdefault(tid, [])
+        cursor = self._cursor.get(tid, 0)
+        # Every request is a dedicated line write: it starts on a fresh
+        # span boundary (hardware flushes whole aligned bursts rather
+        # than read-modify-writing a previously flushed log line).
+        if cursor % span:
+            cursor += span - cursor % span
+        words: Dict[int, int] = {}
+        for entry in batch:
+            addr = base + (cursor % area)
+            entry.log_addr = addr
+            payload = self._pack(entry)
+            start = addr & ~(WORD_SIZE - 1)
+            end = addr + size
+            for i, word in enumerate(range(start, end, WORD_SIZE)):
+                words[word] = (payload + i) & WORD_MASK
+            cursor += size
+            records.append(
+                PersistedLog(
+                    tid=entry.tid,
+                    txid=entry.txid,
+                    addr=entry.addr,
+                    old=entry.old,
+                    new=entry.new,
+                    flush_bit=entry.flush_bit,
+                    kind=kind,
+                )
+            )
+        self._cursor[tid] = cursor
+        return words
+
+    @staticmethod
+    def _pack(entry: LogEntry) -> int:
+        """Deterministic word payload standing in for the serialized
+        entry bytes (recovery uses the structured records)."""
+        mixed = (
+            (entry.tid << 56)
+            ^ (entry.txid << 40)
+            ^ entry.addr
+            ^ (entry.old * 0x9E3779B97F4A7C15)
+            ^ (entry.new * 0xC2B2AE3D27D4EB4F)
+        )
+        return (mixed | 1) & WORD_MASK
+
+    # ------------------------------------------------------------------
+    # Commit tuples
+    # ------------------------------------------------------------------
+    def persist_commit_tuple(self, tid: int, txid: int) -> Dict[int, int]:
+        """Record a committed-transaction ID tuple; returns the word
+        write for the memory controller."""
+        self._commit_tuples.add((tid, txid))
+        base, area = self.layout.thread_log_area(tid)
+        cursor = self._cursor.get(tid, 0)
+        if cursor % 64:  # the tuple is flushed as its own line write
+            cursor += 64 - cursor % 64
+        addr = base + (cursor % area)
+        self._cursor[tid] = cursor + 2 * WORD_SIZE
+        word = addr & ~(WORD_SIZE - 1)
+        payload = ((tid << 16) | txid | (1 << 63)) & WORD_MASK
+        return {word: payload, word + WORD_SIZE: payload ^ WORD_MASK}
+
+    # ------------------------------------------------------------------
+    # Recovery-side accessors
+    # ------------------------------------------------------------------
+    def logs_for_thread(self, tid: int) -> List[PersistedLog]:
+        """Persisted entries of one thread in append (oldest-first) order."""
+        return list(self._records.get(tid, ()))
+
+    def all_threads(self) -> List[int]:
+        return sorted(self._records)
+
+    def is_committed(self, tid: int, txid: int) -> bool:
+        return (tid, txid) in self._commit_tuples
+
+    @property
+    def commit_tuples(self) -> Set[Tuple[int, int]]:
+        return set(self._commit_tuples)
+
+    # ------------------------------------------------------------------
+    # Truncation
+    # ------------------------------------------------------------------
+    def discard_tx(self, tid: int, txid: int) -> int:
+        """Delete the persisted logs of one transaction (log truncation
+        after commit / after an overflow-heavy transaction commits)."""
+        records = self._records.get(tid)
+        if not records:
+            return 0
+        kept = [r for r in records if r.txid != txid]
+        removed = len(records) - len(kept)
+        self._records[tid] = kept
+        return removed
+
+    def truncate_thread(self, tid: int) -> None:
+        self._records.pop(tid, None)
+
+    def truncate_all(self) -> None:
+        self._records.clear()
+        self._commit_tuples.clear()
+
+    def total_persisted(self) -> int:
+        return sum(len(v) for v in self._records.values())

@@ -1,0 +1,6 @@
+"""Memory controller: banked PM bandwidth + ADR write-pending queue."""
+
+from repro.mc.wpq import BoundedQueueModel
+from repro.mc.memctrl import MemoryController, WriteTicket
+
+__all__ = ["BoundedQueueModel", "MemoryController", "WriteTicket"]

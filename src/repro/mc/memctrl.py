@@ -1,0 +1,163 @@
+"""Shared memory controller: the timing gateway between cores and PM.
+
+Two-stage timing model (FRFCFS approximation).
+
+1. *Request stage* — transferring a request into the DIMM's ADR buffer
+   takes ``pm_request_cycles`` (bus + buffer insert).  A write is
+   **durable** once this completes: the WPQ and the on-PM buffer are in
+   the ADR persistent domain, so the words are applied to the
+   functional :class:`~repro.mem.pm.PMDevice` image immediately.
+
+2. *Media stage* — when a request causes on-PM buffer line evictions,
+   each eviction occupies one of ``banks`` media servers for
+   ``pm_write_cycles``.  Media bandwidth is therefore consumed by
+   post-coalescing traffic only.
+
+The write-pending queue bounds in-flight writes: an entry drains once
+its media work (if any) completes, so when the media falls behind the
+WPQ fills and *admission* begins to stall issuers.  That back-pressure
+is exactly what makes write-heavy, ordering-constrained designs scale
+poorly with core count (Fig. 12): their synchronous persists queue
+behind their own log traffic.
+
+Designs that must respect persist ordering wait on the returned
+:class:`WriteTicket.persisted` cycle; "background" writes ignore it but
+still consume WPQ slots and media bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.common.stats import Stats
+from repro.mc.wpq import BoundedQueueModel
+from repro.mem.pm import PMDevice
+
+
+@dataclass(frozen=True)
+class WriteTicket:
+    """Result of submitting one write request.
+
+    ``admission_stall`` cycles are always charged to the issuing core
+    (a full WPQ blocks even posted writes).  ``persisted`` is the cycle
+    at which the request is inside the ADR domain — the point a persist
+    barrier waits for.  ``media_done`` is when any media work it
+    triggered finishes (used only for end-of-run draining).
+    """
+
+    admission_stall: int
+    persisted: int
+    media_done: int
+
+
+class MemoryController:
+    """One shared controller in front of the PM device."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        pm: PMDevice,
+        stats: Optional[Stats] = None,
+        channels: int = 1,
+    ) -> None:
+        """``channels`` models multiple memory controllers: each MC has
+        its own bus, write-pending queue and bank pool, and each serves
+        the whole memory (Section III-D).  A thread's requests all go
+        to the MC chosen by the issuer, so a transaction's logs and
+        in-place updates always meet at the same controller."""
+        if channels <= 0:
+            raise ConfigError("need at least one memory channel")
+        self.config = config
+        self.pm = pm
+        self.stats = stats if stats is not None else pm.stats
+        self.channels = channels
+        self._bank_free = [
+            [0] * config.pm.banks for _ in range(channels)
+        ]
+        self._write_service = config.pm_write_cycles
+        self._read_service = config.pm_read_cycles
+        self._bus_overhead = config.pm.bus_overhead_cycles
+        self._bus_beat = config.pm.bus_beat_cycles
+        self._wpq = [
+            BoundedQueueModel(config.mc.write_queue_entries)
+            for _ in range(channels)
+        ]
+        #: Each MC's request channel is serial: back-to-back requests
+        #: are spaced by the request service time.
+        self._channel_free = [0] * channels
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def submit_write(
+        self,
+        now: int,
+        words: Mapping[int, int],
+        kind: str = "data",
+        write_through: bool = False,
+        channel: int = 0,
+    ) -> WriteTicket:
+        """Submit one write request (a cacheline, a log-entry flush, a
+        word flush or a batched overflow line) for persistence.
+        ``write_through`` marks an explicit forced flush: the DIMM may
+        not hold it for coalescing.  ``channel`` selects the issuing
+        core's memory controller."""
+        media_sectors = self.pm.write_request(words, kind, write_through=write_through)
+        self.stats.add("mc.writes")
+        self.stats.add(f"mc.writes.{kind}")
+        c = channel % self.channels
+
+        admit_at = self._wpq[c].admit(now)
+        start = max(admit_at, self._channel_free[c])
+        persisted = start + self._bus_overhead + self._bus_beat * len(words)
+        self._channel_free[c] = persisted
+
+        banks = self._bank_free[c]
+        media_done = persisted
+        for _ in range(media_sectors):
+            i = banks.index(min(banks))
+            begin = max(persisted, banks[i])
+            banks[i] = begin + self._write_service
+            media_done = max(media_done, banks[i])
+        self._wpq[c].record(media_done)
+
+        stall = admit_at - now
+        if stall:
+            self.stats.add("mc.wpq_stall_cycles", stall)
+        # An explicit forced flush is only "persisted" once the media
+        # write completes (the persist latency the conventional designs
+        # wait for); a posted write is durable at WPQ admission (ADR).
+        return WriteTicket(
+            admission_stall=stall,
+            persisted=media_done if write_through else persisted,
+            media_done=media_done,
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def submit_read(self, now: int, addr: int, channel: int = 0) -> int:
+        """Timing for one demand read from PM; returns completion cycle."""
+        self.stats.add("mc.reads")
+        banks = self._bank_free[channel % self.channels]
+        i = banks.index(min(banks))
+        start = max(now, banks[i])
+        completion = start + self._read_service
+        banks[i] = completion
+        return completion
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def drain_completion(self) -> int:
+        """Cycle at which every accepted write has reached the media."""
+        latest = 0
+        for c in range(self.channels):
+            latest = max(latest, max(self._bank_free[c]), self._channel_free[c])
+        return latest
+
+    def occupancy(self, now: int, channel: int = 0) -> int:
+        return self._wpq[channel % self.channels].occupancy(now)

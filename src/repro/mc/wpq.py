@@ -1,0 +1,48 @@
+"""Finite-queue admission model for the write-pending queue.
+
+The WPQ has 64 entries (Table II) and sits in the ADR persistent
+domain: once a request is admitted it is durable.  When the queue is
+full, the next request cannot be accepted until an entry drains to the
+DIMM, which back-pressures the issuing core.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from repro.common.errors import ConfigError
+
+
+class BoundedQueueModel:
+    """Tracks occupancy of a bounded queue via completion timestamps."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigError("queue capacity must be positive")
+        self.capacity = capacity
+        self._completions: List[int] = []
+
+    def admit(self, now: int) -> int:
+        """Earliest cycle at which a new entry can be admitted.
+
+        Entries whose completion time has passed are pruned first; if
+        the queue is still full, admission waits for the oldest
+        in-flight entry to drain.
+        """
+        heap = self._completions
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        if len(heap) < self.capacity:
+            return now
+        return heap[0]
+
+    def record(self, completion: int) -> None:
+        """Register the completion time of an admitted entry."""
+        heapq.heappush(self._completions, completion)
+
+    def occupancy(self, now: int) -> int:
+        heap = self._completions
+        while heap and heap[0] <= now:
+            heapq.heappop(heap)
+        return len(heap)

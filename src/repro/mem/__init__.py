@@ -1,0 +1,26 @@
+"""Persistent-memory device model: media, on-PM buffer, address utils."""
+
+from repro.mem.address import (
+    line_addr,
+    line_offset,
+    onpm_line_addr,
+    split_words_by_line,
+    word_addr,
+    words_of_line,
+)
+from repro.mem.media import PMMedia
+from repro.mem.onpm_buffer import OnPMBuffer
+from repro.mem.pm import PMDevice, RegionLayout
+
+__all__ = [
+    "line_addr",
+    "line_offset",
+    "onpm_line_addr",
+    "split_words_by_line",
+    "word_addr",
+    "words_of_line",
+    "PMMedia",
+    "OnPMBuffer",
+    "PMDevice",
+    "RegionLayout",
+]

@@ -1,0 +1,64 @@
+"""Physical-address helpers.
+
+All addresses in the simulator are plain byte addresses.  Words are
+8-byte aligned, cachelines 64-byte aligned and on-PM buffer lines
+256-byte aligned (see :mod:`repro.common.constants`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping
+
+from repro.common.constants import LINE_SIZE, ONPM_LINE_SIZE, WORD_SIZE
+from repro.common.errors import AddressError
+
+
+def word_addr(addr: int) -> int:
+    """Round ``addr`` down to its containing word."""
+    return addr & ~(WORD_SIZE - 1)
+
+
+def check_word_aligned(addr: int) -> int:
+    """Validate that ``addr`` is a non-negative word-aligned address."""
+    if addr < 0:
+        raise AddressError(f"negative address {addr:#x}")
+    if addr % WORD_SIZE:
+        raise AddressError(f"address {addr:#x} is not {WORD_SIZE}-byte aligned")
+    return addr
+
+
+def line_addr(addr: int, line_size: int = LINE_SIZE) -> int:
+    """Round ``addr`` down to its containing cacheline."""
+    return addr & ~(line_size - 1)
+
+
+def line_offset(addr: int, line_size: int = LINE_SIZE) -> int:
+    """Byte offset of ``addr`` inside its cacheline."""
+    return addr & (line_size - 1)
+
+
+def onpm_line_addr(addr: int) -> int:
+    """Round ``addr`` down to its containing on-PM buffer line."""
+    return addr & ~(ONPM_LINE_SIZE - 1)
+
+
+def words_of_line(base: int, line_size: int = LINE_SIZE) -> Iterator[int]:
+    """Yield the word addresses covered by the line at ``base``."""
+    return iter(range(base, base + line_size, WORD_SIZE))
+
+
+def split_words_by_line(
+    words: Mapping[int, int], line_size: int = LINE_SIZE
+) -> Dict[int, Dict[int, int]]:
+    """Group a ``{word_addr: value}`` mapping by containing line."""
+    grouped: Dict[int, Dict[int, int]] = {}
+    mask = ~(line_size - 1)
+    for addr, value in words.items():
+        grouped.setdefault(addr & mask, {})[addr] = value
+    return grouped
+
+
+def distinct_lines(addrs: Iterable[int], line_size: int = LINE_SIZE) -> int:
+    """Count the distinct lines covering the given byte addresses."""
+    mask = ~(line_size - 1)
+    return len({a & mask for a in addrs})

@@ -1,0 +1,102 @@
+"""The PM physical media (phase-change memory) with data-comparison-write.
+
+The media is a word-granular image.  Writes arrive as groups of words
+belonging to one media line; a group only counts as a *media write* if
+at least one word actually changes value.  This models the bit-level
+write-reduction schemes (data-comparison-write, Zhou et al. ISCA'09)
+that the paper relies on in Sections III-D and III-E: redundant
+overwrites of unchanged words never reach the physical cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.common.constants import ONPM_LINE_SIZE, WORD_SIZE
+from repro.common.stats import Stats
+
+
+class PMMedia:
+    """Word-addressable persistent media image with write accounting."""
+
+    def __init__(self, stats: Optional[Stats] = None) -> None:
+        self._words: Dict[int, int] = {}
+        self.stats = stats if stats is not None else Stats()
+        #: Writes per 64-byte sector (sector index = addr >> 6): the
+        #: wear profile that determines PM lifetime (PCM endurance is
+        #: per-cell; Section I motivates Silo with exactly this).
+        self._sector_wear: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read_word(self, addr: int) -> int:
+        """Return the persisted 64-bit value at word address ``addr``."""
+        return self._words.get(addr, 0)
+
+    def read_words(self, addrs: Iterable[int]) -> Dict[int, int]:
+        return {a: self._words.get(a, 0) for a in addrs}
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write_line(self, words: Mapping[int, int]) -> int:
+        """Apply one line-grouped batch of word writes.
+
+        Media writes are counted at 64-byte sector granularity: each
+        distinct 64-byte sector containing at least one *changed* word
+        costs one media write.  A fully redundant batch costs nothing
+        (data-comparison-write).  Returns the number of sectors written.
+        """
+        changed_sectors = set()
+        changed_words = 0
+        for addr, value in words.items():
+            if self._words.get(addr, 0) != value:
+                self._words[addr] = value
+                changed_words += 1
+                changed_sectors.add(addr >> 6)
+        if changed_words:
+            self.stats.add("media.line_writes")
+            self.stats.add("media.sector_writes", len(changed_sectors))
+            self.stats.add("media.word_writes", changed_words)
+            for sector in changed_sectors:
+                self._sector_wear[sector] = self._sector_wear.get(sector, 0) + 1
+            return len(changed_sectors)
+        self.stats.add("media.redundant_line_writes")
+        return 0
+
+    def load_image(self, image: Mapping[int, int]) -> None:
+        """Install initial data without write accounting (setup phase)."""
+        self._words.update(image)
+
+    def wear_profile(self) -> Dict[int, int]:
+        """Writes per 64-byte sector: ``{sector_addr: writes}``."""
+        return {sector << 6: count for sector, count in self._sector_wear.items()}
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[int, int]:
+        """A copy of the current image (non-zero words only)."""
+        return {a: v for a, v in self._words.items() if v != 0}
+
+    def nonzero_words(self) -> int:
+        return sum(1 for v in self._words.values() if v != 0)
+
+    def lines_touched(self) -> int:
+        """Distinct on-PM lines holding any non-zero word."""
+        mask = ~(ONPM_LINE_SIZE - 1)
+        return len({a & mask for a, v in self._words.items() if v != 0})
+
+    def diff(self, other: "PMMedia") -> Dict[int, Tuple[int, int]]:
+        """Word-level differences ``{addr: (self_value, other_value)}``."""
+        addrs = set(self._words) | set(other._words)
+        out: Dict[int, Tuple[int, int]] = {}
+        for a in addrs:
+            mine, theirs = self._words.get(a, 0), other._words.get(a, 0)
+            if mine != theirs:
+                out[a] = (mine, theirs)
+        return out
+
+    def __contains__(self, addr: int) -> bool:
+        return (addr & ~(WORD_SIZE - 1)) in self._words

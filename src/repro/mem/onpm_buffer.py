@@ -1,0 +1,121 @@
+"""The internal write-coalescing buffer of the PM DIMM (Section III-E).
+
+Every write request that the memory controller sends to the DIMM lands
+here first.  The buffer holds 256-byte lines; words destined for the
+same buffer line coalesce (cases 1-3 of Fig. 9) and are written to the
+physical media as a single read-modify-write when the line is evicted
+or drained.  The buffer sits inside the ADR persistent domain, so its
+contents survive a crash (they are drained, not lost).
+
+Coalescing correctness relies on arrival order: later words overwrite
+earlier words at the same address, matching the in-order flush of new
+data from the log buffer (Fig. 9, case 1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Mapping, Optional
+
+from repro.common.constants import ONPM_LINE_SIZE
+from repro.common.stats import Stats
+from repro.mem.media import PMMedia
+
+
+class OnPMBuffer:
+    """LRU write-combining buffer in front of :class:`PMMedia`."""
+
+    def __init__(
+        self,
+        media: PMMedia,
+        lines: int = 64,
+        line_size: int = ONPM_LINE_SIZE,
+        stats: Optional[Stats] = None,
+    ) -> None:
+        self._media = media
+        self._capacity = lines
+        self._line_size = line_size
+        self._line_mask = ~(line_size - 1)
+        self._lines: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
+        self.stats = stats if stats is not None else media.stats
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def write_words(self, words: Mapping[int, int], write_through: bool = False) -> int:
+        """Accept one write request (a set of word updates).
+
+        The request may span several buffer lines (e.g. a 64-byte
+        cacheline never does, but a batch of overflowed log entries
+        might straddle a boundary).  Returns the number of 64-byte
+        media sectors actually written by the evictions this request
+        forced, which the memory controller uses to charge media
+        bandwidth (post-coalescing, post-DCW traffic only).
+
+        ``write_through`` models an explicit persist (``clwb``-style
+        forced flush, as the log and per-store data flushes of the
+        conventional designs are): the touched buffer lines are pushed
+        to the media immediately instead of lingering for coalescing.
+        """
+        self.stats.add("onpm.requests")
+        sectors = 0
+        touched = set()
+        for addr, value in words.items():
+            base = addr & self._line_mask
+            pending = self._lines.get(base)
+            if pending is None:
+                if len(self._lines) >= self._capacity:
+                    sectors += self._evict_lru()
+                pending = {}
+                self._lines[base] = pending
+            else:
+                self._lines.move_to_end(base)
+                self.stats.add("onpm.coalesced_words")
+            pending[addr] = value
+            touched.add(base)
+        if write_through:
+            for base in touched:
+                pending = self._lines.pop(base, None)
+                if pending is not None:
+                    sectors += self._write_to_media(base, pending)
+        return sectors
+
+    def _evict_lru(self) -> int:
+        base, pending = self._lines.popitem(last=False)
+        return self._write_to_media(base, pending)
+
+    def _write_to_media(self, base: int, pending: Dict[int, int]) -> int:
+        self.stats.add("onpm.line_evictions")
+        return self._media.write_line(pending)
+
+    # ------------------------------------------------------------------
+    # Drain / crash behaviour
+    # ------------------------------------------------------------------
+    def drain(self) -> int:
+        """Flush every resident line to the media (ADR drain on crash,
+        or end-of-run accounting).  Returns the number of lines drained.
+        """
+        drained = 0
+        while self._lines:
+            base, pending = self._lines.popitem(last=False)
+            self._write_to_media(base, pending)
+            drained += 1
+        return drained
+
+    # ------------------------------------------------------------------
+    # Reads must observe pending data for functional correctness.
+    # ------------------------------------------------------------------
+    def read_word(self, addr: int) -> int:
+        base = addr & self._line_mask
+        pending = self._lines.get(base)
+        if pending is not None and addr in pending:
+            return pending[addr]
+        return self._media.read_word(addr)
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self._lines)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity

@@ -1,0 +1,126 @@
+"""The complete PM device: region layout, on-PM buffer and media.
+
+The physical address space is split into a *data region* (application
+heap) and a *log region* with one private log area per hardware thread
+(the distributed log scheme of Section III-B, avoiding cross-thread
+contention on log writes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.common.config import PMConfig
+from repro.common.errors import AddressError, ConfigError
+from repro.common.stats import Stats
+from repro.mem.media import PMMedia
+from repro.mem.onpm_buffer import OnPMBuffer
+
+
+class RegionLayout:
+    """Static partition of the PM physical address space."""
+
+    def __init__(
+        self,
+        data_base: int = 0x0,
+        data_size: int = 8 << 30,
+        log_base: Optional[int] = None,
+        per_thread_log_size: int = 64 << 20,
+        threads: int = 8,
+    ) -> None:
+        if threads <= 0:
+            raise ConfigError("need at least one thread log area")
+        self.data_base = data_base
+        self.data_size = data_size
+        self.log_base = log_base if log_base is not None else data_base + data_size
+        if self.log_base < data_base + data_size:
+            raise ConfigError("log region overlaps the data region")
+        self.per_thread_log_size = per_thread_log_size
+        self.threads = threads
+
+    def thread_log_area(self, tid: int) -> Tuple[int, int]:
+        """``(base, size)`` of thread ``tid``'s private log area."""
+        if not 0 <= tid < self.threads:
+            raise AddressError(f"thread id {tid} outside layout ({self.threads})")
+        return self.log_base + tid * self.per_thread_log_size, self.per_thread_log_size
+
+    def in_data_region(self, addr: int) -> bool:
+        return self.data_base <= addr < self.data_base + self.data_size
+
+    def in_log_region(self, addr: int) -> bool:
+        end = self.log_base + self.threads * self.per_thread_log_size
+        return self.log_base <= addr < end
+
+
+class PMDevice:
+    """PM DIMM: write requests pass through the on-PM buffer to media.
+
+    Requests are tagged with a traffic ``kind`` (``data``, ``log`` or
+    ``meta``) so experiments can break down write traffic by source.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PMConfig] = None,
+        layout: Optional[RegionLayout] = None,
+        stats: Optional[Stats] = None,
+    ) -> None:
+        self.config = config if config is not None else PMConfig()
+        self.stats = stats if stats is not None else Stats()
+        self.layout = layout if layout is not None else RegionLayout()
+        self.media = PMMedia(self.stats)
+        self.buffer = OnPMBuffer(
+            self.media,
+            lines=self.config.onpm_buffer_lines,
+            line_size=self.config.onpm_line_size,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # MC-facing interface
+    # ------------------------------------------------------------------
+    def write_request(
+        self,
+        words: Mapping[int, int],
+        kind: str = "data",
+        write_through: bool = False,
+    ) -> int:
+        """Accept one write request from the memory controller.
+
+        Returns the number of 64-byte media sectors the request's
+        buffer evictions actually wrote (the memory controller charges
+        media bandwidth for them).  ``write_through`` marks an explicit
+        forced flush that may not linger in the on-PM buffer.
+        """
+        if not words:
+            return 0
+        self.stats.add(f"pm.requests.{kind}")
+        self.stats.add(f"pm.request_bytes.{kind}", 8 * len(words))
+        return self.buffer.write_words(words, write_through=write_through)
+
+    def read_word(self, addr: int) -> int:
+        """Read one word, observing data pending in the on-PM buffer."""
+        self.stats.add("pm.reads")
+        return self.buffer.read_word(addr)
+
+    def read_words(self, addrs: Iterable[int]) -> Dict[int, int]:
+        return {a: self.buffer.read_word(a) for a in addrs}
+
+    # ------------------------------------------------------------------
+    # Crash / accounting
+    # ------------------------------------------------------------------
+    def drain(self) -> int:
+        """Drain the on-PM buffer to media (ADR guarantees this on a
+        crash; experiments also call it before reading final traffic).
+        """
+        return self.buffer.drain()
+
+    @property
+    def media_line_writes(self) -> int:
+        return int(self.stats.get("media.line_writes"))
+
+    @property
+    def media_writes(self) -> int:
+        """Media writes at 64-byte sector granularity (the Fig. 11
+        metric: write requests reaching the PM physical media)."""
+        return int(self.stats.get("media.sector_writes"))

@@ -1,0 +1,20 @@
+"""Trace-driven system simulator: wiring, engine, crash injection."""
+
+from repro.sim.system import System
+from repro.sim.crash import CrashPlan
+from repro.sim.results import RunResult
+from repro.sim.engine import TransactionEngine, run_trace
+from repro.sim.restart import continuation_trace, resume_trace
+from repro.sim.verify import check_atomic_durability, expected_image
+
+__all__ = [
+    "System",
+    "CrashPlan",
+    "RunResult",
+    "TransactionEngine",
+    "run_trace",
+    "continuation_trace",
+    "resume_trace",
+    "check_atomic_durability",
+    "expected_image",
+]

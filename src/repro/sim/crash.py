@@ -1,0 +1,43 @@
+"""Crash injection.
+
+A :class:`CrashPlan` names the single point at which power fails, in
+one of two ways:
+
+* ``at_op`` — the global operation index (in deterministic engine
+  scheduling order) whose execution the failure replaces;
+* ``at_commit_of=(tid, tx_index)`` — the failure strikes exactly when
+  that thread's ``tx_index``-th transaction executes ``Tx_end``.
+
+Two situations arise:
+
+* the doomed operation is a plain memory op or ``Tx_begin`` — the
+  machine dies with that core (and possibly others) mid-transaction;
+* the doomed operation is ``Tx_end`` — the crash strikes *during
+  commit*: the scheme's :meth:`interrupted_commit` decides whether the
+  transaction still counts (designs guaranteeing durability at commit
+  must make it recoverable; Silo flushes redo logs + the ID tuple,
+  Fig. 10f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Power fails at one precisely-defined point."""
+
+    at_op: Optional[int] = None
+    at_commit_of: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if (self.at_op is None) == (self.at_commit_of is None):
+            raise ConfigError(
+                "specify exactly one of at_op / at_commit_of"
+            )
+        if self.at_op is not None and self.at_op < 0:
+            raise ConfigError("crash point must be non-negative")

@@ -1,0 +1,265 @@
+"""The trace-driven execution engine.
+
+Cores advance private cycle clocks; the engine always steps the core
+with the smallest local time, which serializes shared-resource access
+(memory controller bandwidth, WPQ slots, the shared L3) in a
+deterministic, contention-faithful order.  Each step executes one
+trace operation:
+
+* ``Tx_begin`` / ``Tx_end`` drive the active scheme's transaction
+  hooks (commit stalls come back from ``on_tx_end``);
+* ``Store`` updates the cache hierarchy, lets the scheme observe the
+  store (log generation) and any dirty L3 victims it pushed out
+  (eviction handling differs per design);
+* ``Load`` is timing-only.
+
+Crash injection replaces the operation at the plan's global index with
+a power failure, after which the engine models the ADR drain, the
+scheme's battery-backed flushes, the loss of the volatile caches and
+finally runs the scheme's recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.designs.scheme import LoggingScheme, SchemeRegistry
+from repro.sim.crash import CrashPlan
+from repro.sim.results import RunResult
+from repro.sim.system import System
+from repro.trace.ops import Load, Store, TxBegin, TxEnd
+from repro.trace.trace import Trace
+
+_TXID_WRAP = 1 << 16
+
+
+class _CoreState:
+    """Program counter and clock of one core running one thread."""
+
+    __slots__ = ("tid", "ops", "pc", "time", "tx_index", "in_tx", "txid")
+
+    def __init__(self, tid: int, ops: List) -> None:
+        self.tid = tid
+        self.ops = ops
+        self.pc = 0
+        self.time = 0
+        self.tx_index = -1
+        self.in_tx = False
+        self.txid = 0
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.ops)
+
+
+def _flatten(trace: Trace) -> List[List]:
+    """Expand each thread's transactions into a flat op stream with
+    explicit markers."""
+    streams = []
+    for thread in trace.threads:
+        ops: List = []
+        for tx in thread.transactions:
+            ops.append(TxBegin())
+            ops.extend(tx.ops)
+            ops.append(TxEnd())
+        streams.append(ops)
+    return streams
+
+
+class TransactionEngine:
+    """Runs one trace under one scheme on one system."""
+
+    def __init__(
+        self,
+        system: System,
+        scheme: LoggingScheme,
+        trace: Trace,
+        crash_plan: Optional[CrashPlan] = None,
+    ) -> None:
+        if len(trace.threads) > system.config.cores:
+            raise ConfigError(
+                f"trace has {len(trace.threads)} threads but the system "
+                f"only has {system.config.cores} cores"
+            )
+        self.system = system
+        self.scheme = scheme
+        self.trace = trace
+        self.crash_plan = crash_plan
+        self._cores = [
+            _CoreState(thread.tid, ops)
+            for thread, ops in zip(trace.threads, _flatten(trace))
+        ]
+        #: Architectural (crash-free) value of every word.
+        self._current: Dict[int, int] = dict(trace.initial_image)
+        self._committed: set = set()
+        self._global_op = 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        self.system.install_image(self.trace.initial_image)
+        crashed = False
+
+        active = [c for c in self._cores if not c.done]
+        while active:
+            core_idx, core = min(
+                ((i, c) for i, c in enumerate(self._cores) if not c.done),
+                key=lambda pair: pair[1].time,
+            )
+            if self._should_crash(core):
+                crashed = True
+                self._crash(core_idx, core)
+                break
+            self._step(core_idx, core)
+            self._global_op += 1
+            active = [c for c in self._cores if not c.done]
+
+        recovery = None
+        if crashed:
+            recovery = self.scheme.recover()
+            end = max(c.time for c in self._cores)
+        else:
+            end = max(c.time for c in self._cores)
+            end = max(end, self.scheme.finalize(end))
+            end = max(end, self.system.mc.drain_completion())
+        self.system.pm.drain()
+
+        result = RunResult(
+            scheme=self.scheme.name,
+            trace_name=self.trace.name,
+            config=self.system.config,
+            stats=self.system.stats,
+            committed=set(self._committed),
+            end_cycle=end,
+            total_transactions=self.trace.total_transactions,
+            crashed=crashed,
+            recovery=recovery,
+            tx_log_counts=list(getattr(self.scheme, "tx_log_counts", [])),
+        )
+        return result
+
+    def _should_crash(self, core: _CoreState) -> bool:
+        plan = self.crash_plan
+        if plan is None:
+            return False
+        if plan.at_op is not None:
+            return self._global_op == plan.at_op
+        if not core.in_tx and type(core.ops[core.pc]) is not TxEnd:
+            return False
+        next_op = core.ops[core.pc]
+        return (
+            type(next_op) is TxEnd
+            and (core.tid, core.tx_index) == plan.at_commit_of
+        )
+
+    # ------------------------------------------------------------------
+    # One operation
+    # ------------------------------------------------------------------
+    def _step(self, core_idx: int, core: _CoreState) -> None:
+        op = core.ops[core.pc]
+        core.pc += 1
+        now = core.time
+        cost = self.system.config.op_overhead_cycles
+        op_type = type(op)
+
+        if op_type is Store:
+            cost += self._do_store(core_idx, core, op, now)
+        elif op_type is Load:
+            cost += self._do_load(core_idx, core, op, now)
+        elif op_type is TxBegin:
+            core.tx_index += 1
+            core.txid = (core.tx_index + 1) % _TXID_WRAP
+            core.in_tx = True
+            cost += self.scheme.on_tx_begin(core_idx, core.tid, core.txid, now)
+        elif op_type is TxEnd:
+            cost += self.scheme.on_tx_end(core_idx, core.tid, core.txid, now)
+            core.in_tx = False
+            self._committed.add((core.tid, core.tx_index))
+            self.system.stats.add("engine.committed")
+        else:  # pragma: no cover - trace construction guards this
+            raise SimulationError(f"unknown op {op!r}")
+
+        core.time = now + cost
+
+    def _do_store(self, core_idx: int, core: _CoreState, op: Store, now: int) -> int:
+        if not core.in_tx:
+            raise SimulationError("store outside a transaction in trace")
+        old = self._current.get(op.addr)
+        if old is None:
+            # Not covered by the trace's image: the architectural value
+            # is whatever PM holds (restart runs continue on a
+            # recovered image).
+            old = self.system.pm.media.read_word(op.addr)
+            self._current[op.addr] = old
+        access = self.system.hierarchy.store(core_idx, op.addr, op.value)
+        cost = access.latency + self._read_contention(access, now, core_idx)
+        if access.writebacks:
+            cost += self.scheme.on_evictions(core_idx, now, access.writebacks)
+        cost += self.scheme.on_store(
+            core_idx, core.tid, core.txid, op.addr, old, op.value, now, access
+        )
+        self._current[op.addr] = op.value
+        return cost
+
+    def _do_load(self, core_idx: int, core: _CoreState, op: Load, now: int) -> int:
+        access = self.system.hierarchy.load(core_idx, op.addr)
+        cost = access.latency + self._read_contention(access, now, core_idx)
+        if access.writebacks:
+            cost += self.scheme.on_evictions(core_idx, now, access.writebacks)
+        return cost
+
+    def _read_contention(self, access, now: int, core_idx: int = 0) -> int:
+        """Demand misses to PM queue at the memory controller."""
+        if access.hit_level != "pm":
+            return 0
+        completion = self.system.mc.submit_read(now, 0, channel=core_idx)
+        queueing = completion - now - self.system.config.pm_read_cycles
+        return max(0, queueing)
+
+    # ------------------------------------------------------------------
+    # Crash path
+    # ------------------------------------------------------------------
+    def _crash(self, victim_idx: int, victim: _CoreState) -> None:
+        now = max(c.time for c in self._cores)
+        doomed_op = victim.ops[victim.pc] if not victim.done else None
+
+        if type(doomed_op) is TxEnd:
+            # The crash strikes during this core's commit.
+            counts = self.scheme.interrupted_commit(
+                victim_idx, victim.tid, victim.txid, victim.time
+            )
+            victim.in_tx = False
+            if counts:
+                self._committed.add((victim.tid, victim.tx_index))
+                self.system.stats.add("engine.committed")
+
+        core_in_tx: Dict[int, Tuple[int, int]] = {
+            i: (c.tid, c.txid)
+            for i, c in enumerate(self._cores)
+            if c.in_tx
+        }
+        self.scheme.on_crash(core_in_tx, now)
+        # ADR drains the WPQ and the on-PM buffer; caches are lost.
+        self.system.pm.drain()
+        self.system.hierarchy.drop_all()
+
+
+def run_trace(
+    trace: Trace,
+    scheme: str = "silo",
+    config=None,
+    crash_plan: Optional[CrashPlan] = None,
+    system_factory: Optional[Callable[[], System]] = None,
+) -> RunResult:
+    """Convenience entry point: build a system, run a trace, return the
+    result.  ``scheme`` is a registry name (``base``, ``fwb``,
+    ``morlog``, ``lad``, ``silo``)."""
+    if system_factory is not None:
+        system = system_factory()
+    else:
+        system = System(config)
+    scheme_obj = SchemeRegistry.create(scheme, system)
+    engine = TransactionEngine(system, scheme_obj, trace, crash_plan=crash_plan)
+    return engine.run()

@@ -1,0 +1,72 @@
+"""Restart-and-continue after a crash.
+
+After a power failure and recovery, a real application restarts and
+re-executes the work that did not commit.  :func:`resume_trace` builds
+the *continuation trace*: for every thread, the transactions that had
+not committed when power failed (recovery revoked any partial effects
+of the first uncommitted one, so re-running it from scratch is exactly
+correct).  The continuation runs on a fresh engine against the
+recovered system; afterwards the PM image must equal a crash-free
+run's — which ``tests/integration/test_restart.py`` asserts for every
+design.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import SimulationError
+from repro.designs.scheme import LoggingScheme, SchemeRegistry
+from repro.sim.engine import TransactionEngine
+from repro.sim.results import RunResult
+from repro.sim.system import System
+from repro.trace.trace import ThreadTrace, Trace
+
+
+def continuation_trace(trace: Trace, result: RunResult) -> Trace:
+    """The per-thread suffix of uncommitted transactions.
+
+    Commits are in-order per thread, so the committed set of each
+    thread is a prefix; anything after it must re-execute.
+    """
+    if not result.crashed:
+        raise SimulationError("continuation requested for a run without a crash")
+    threads = []
+    for thread in trace.threads:
+        committed_prefix = 0
+        while (thread.tid, committed_prefix) in result.committed:
+            committed_prefix += 1
+        # No holes: a committed transaction after an uncommitted one
+        # would violate per-thread ordering.
+        for index in range(committed_prefix, len(thread.transactions)):
+            if (thread.tid, index) in result.committed:
+                raise SimulationError(
+                    f"thread {thread.tid} committed tx {index} after an "
+                    "uncommitted one"
+                )
+        threads.append(
+            ThreadTrace(thread.tid, thread.transactions[committed_prefix:])
+        )
+    # The recovered PM image *is* the initial state of the restart; the
+    # trace carries no image so the engine won't overwrite it.
+    return Trace(threads, initial_image={}, name=f"{trace.name}+restart")
+
+
+def resume_trace(
+    system: System,
+    trace: Trace,
+    result: RunResult,
+    scheme: Optional[LoggingScheme] = None,
+) -> RunResult:
+    """Re-execute the uncommitted suffix on the recovered ``system``.
+
+    A fresh scheme instance is used (the old one's volatile state died
+    with the power); the battery-backed structures were drained by the
+    crash path, so starting clean is exactly the hardware's state.
+    """
+    remaining = continuation_trace(trace, result)
+    scheme = scheme if scheme is not None else SchemeRegistry.create(
+        result.scheme, system
+    )
+    engine = TransactionEngine(system, scheme, remaining)
+    return engine.run()

@@ -1,0 +1,73 @@
+"""Results of one simulated run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.stats import Stats
+from repro.core.recovery import RecoveryReport
+
+
+@dataclass
+class RunResult:
+    """Everything the experiments read after a run."""
+
+    scheme: str
+    trace_name: str
+    config: SystemConfig
+    stats: Stats
+    #: Transactions that committed, as ``(tid, tx_index)`` with
+    #: ``tx_index`` the 0-based position in the thread's trace.
+    committed: Set[Tuple[int, int]] = field(default_factory=set)
+    end_cycle: int = 0
+    total_transactions: int = 0
+    crashed: bool = False
+    recovery: Optional[RecoveryReport] = None
+    #: Per-transaction (total, remaining) on-chip log counts (Silo).
+    tx_log_counts: List[Tuple[int, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def committed_count(self) -> int:
+        return len(self.committed)
+
+    @property
+    def media_writes(self) -> int:
+        """Write requests reaching the PM physical media (Fig. 11)."""
+        return int(self.stats.get("media.sector_writes"))
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.end_cycle / (self.config.freq_ghz * 1e9)
+
+    @property
+    def throughput_tx_per_sec(self) -> float:
+        """Committed transactions per second (Fig. 12)."""
+        if self.end_cycle <= 0:
+            return 0.0
+        return self.committed_count / self.runtime_seconds
+
+    @property
+    def writes_per_transaction(self) -> float:
+        if not self.committed_count:
+            return 0.0
+        return self.media_writes / self.committed_count
+
+    def traffic_breakdown(self) -> dict:
+        """MC write requests by source kind."""
+        return {
+            key.split(".", 2)[-1]: int(value)
+            for key, value in self.stats.items()
+            if key.startswith("mc.writes.")
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.scheme!r}, {self.trace_name!r}, "
+            f"{self.committed_count}/{self.total_transactions} committed, "
+            f"{self.end_cycle} cycles, {self.media_writes} media writes)"
+        )

@@ -1,0 +1,38 @@
+"""The simulated machine: cores' caches, memory controller, PM, logs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.config import SystemConfig
+from repro.common.stats import Stats
+from repro.hwlog.region import LogRegion
+from repro.mc.memctrl import MemoryController
+from repro.mem.pm import PMDevice, RegionLayout
+
+
+class System:
+    """Everything of Table II wired together, shared by all designs."""
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config if config is not None else SystemConfig.table2()
+        self.stats = Stats()
+        layout = RegionLayout(threads=max(self.config.cores, 1))
+        self.pm = PMDevice(self.config.pm, layout=layout, stats=self.stats)
+        self.mc = MemoryController(
+            self.config,
+            self.pm,
+            stats=self.stats,
+            channels=self.config.memory_channels,
+        )
+        self.hierarchy = CacheHierarchy(self.config, stats=self.stats)
+        self.region = LogRegion(layout, stats=self.stats)
+
+    def install_image(self, image: Dict[int, int]) -> None:
+        """Install the workload's initial data directly into the media
+        (setup is not part of the measured run)."""
+        self.pm.media.load_image(image)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,21 @@
+"""Transaction traces: the interface between workloads and the engine."""
+
+from repro.trace.ops import Load, Op, Store, TxBegin, TxEnd
+from repro.trace.trace import ThreadTrace, Trace, Transaction
+from repro.trace.synthetic import SyntheticTraceConfig, synthetic_trace
+from repro.trace.serialize import load_trace, save_trace
+
+__all__ = [
+    "Load",
+    "Op",
+    "Store",
+    "TxBegin",
+    "TxEnd",
+    "ThreadTrace",
+    "Trace",
+    "Transaction",
+    "SyntheticTraceConfig",
+    "synthetic_trace",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,95 @@
+"""Operations appearing inside a transaction trace.
+
+A trace is a sequence of word-granular memory operations between
+``Tx_begin`` / ``Tx_end`` markers, exactly the information the paper's
+hardware sees: the log generator captures in-flight stores, and the
+old value is read from L1D at store time (so traces carry only the
+*new* value; the engine derives the old one from the architectural
+state, which also makes log ignorance emerge naturally when a store
+rewrites an unchanged value).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.common.constants import WORD_SIZE
+from repro.common.errors import AddressError
+
+
+class TxBegin:
+    """Transaction start marker (the ``Tx_begin`` interface)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "TxBegin()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is TxBegin
+
+    def __hash__(self) -> int:
+        return hash(TxBegin)
+
+
+class TxEnd:
+    """Transaction commit marker (the ``Tx_end`` interface)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "TxEnd()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is TxEnd
+
+    def __hash__(self) -> int:
+        return hash(TxEnd)
+
+
+class Store:
+    """One CPU store of a 64-bit word."""
+
+    __slots__ = ("addr", "value")
+
+    def __init__(self, addr: int, value: int) -> None:
+        if addr % WORD_SIZE:
+            raise AddressError(f"store address {addr:#x} is not word aligned")
+        self.addr = addr
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Store({self.addr:#x}, {self.value:#x})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is Store
+            and other.addr == self.addr
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((Store, self.addr, self.value))
+
+
+class Load:
+    """One CPU load of a 64-bit word (timing only)."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int) -> None:
+        if addr % WORD_SIZE:
+            raise AddressError(f"load address {addr:#x} is not word aligned")
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"Load({self.addr:#x})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is Load and other.addr == self.addr
+
+    def __hash__(self) -> int:
+        return hash((Load, self.addr))
+
+
+Op = Union[TxBegin, TxEnd, Store, Load]

@@ -1,0 +1,115 @@
+"""Trace serialization: save and reload workload traces as JSON.
+
+Workload generation (especially TPCC) costs more time than small
+simulation runs; serializing traces lets experiment sweeps reuse one
+trace across designs, machines and sessions, and pins the exact
+operation stream a result was measured on.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "name": "tpcc",
+      "initial_image": [[addr, value], ...],
+      "threads": [
+        {"tid": 0, "transactions": [
+            [["s", addr, value], ["l", addr], ...], ...
+        ]}, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, TextIO, Union
+
+from repro.common.errors import ReproError
+from repro.trace.ops import Load, Store
+from repro.trace.trace import ThreadTrace, Trace, Transaction
+
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ReproError):
+    """The serialized trace is malformed or from an unknown version."""
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """Convert a trace to a JSON-compatible dictionary."""
+    threads: List[Dict[str, Any]] = []
+    for thread in trace.threads:
+        transactions = []
+        for tx in thread.transactions:
+            ops: List[List[Union[str, int]]] = []
+            for op in tx.ops:
+                if type(op) is Store:
+                    ops.append(["s", op.addr, op.value])
+                elif type(op) is Load:
+                    ops.append(["l", op.addr])
+                else:  # pragma: no cover - trace ops are only s/l
+                    raise TraceFormatError(f"unserializable op {op!r}")
+            transactions.append(ops)
+        threads.append({"tid": thread.tid, "transactions": transactions})
+    return {
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "initial_image": sorted(trace.initial_image.items()),
+        "threads": threads,
+    }
+
+
+def trace_from_dict(payload: Dict[str, Any]) -> Trace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(f"unsupported trace format version {version!r}")
+    try:
+        threads = []
+        for thread_payload in payload["threads"]:
+            transactions = []
+            for ops_payload in thread_payload["transactions"]:
+                tx = Transaction()
+                for op in ops_payload:
+                    if op[0] == "s":
+                        tx.store(int(op[1]), int(op[2]))
+                    elif op[0] == "l":
+                        tx.load(int(op[1]))
+                    else:
+                        raise TraceFormatError(f"unknown op tag {op[0]!r}")
+                transactions.append(tx)
+            threads.append(ThreadTrace(int(thread_payload["tid"]), transactions))
+        initial = {int(a): int(v) for a, v in payload["initial_image"]}
+        return Trace(threads, initial_image=initial, name=payload.get("name", "trace"))
+    except (KeyError, IndexError, TypeError) as exc:
+        raise TraceFormatError(f"malformed trace payload: {exc}") from exc
+
+
+def save_trace(trace: Trace, target: Union[str, TextIO]) -> None:
+    """Write a trace to a path or file-like object as JSON."""
+    payload = trace_to_dict(trace)
+    if isinstance(target, (str, bytes)):
+        with open(target, "w") as handle:
+            json.dump(payload, handle)
+    else:
+        json.dump(payload, target)
+
+
+def load_trace(source: Union[str, TextIO]) -> Trace:
+    """Read a trace from a path or file-like object."""
+    if isinstance(source, (str, bytes)):
+        with open(source) as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    return trace_from_dict(payload)
+
+
+def dumps(trace: Trace) -> str:
+    """Serialize a trace to a JSON string."""
+    return json.dumps(trace_to_dict(trace))
+
+
+def loads(text: str) -> Trace:
+    """Deserialize a trace from a JSON string."""
+    return trace_from_dict(json.loads(text))

@@ -1,0 +1,107 @@
+"""Synthetic trace generation.
+
+Used by the property-based crash tests (random but reproducible
+transaction mixes) and by the Fig. 14 experiment (write sets scaled to
+1-16x the log buffer capacity).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.constants import WORD_SIZE
+from repro.common.errors import ConfigError
+from repro.trace.trace import ThreadTrace, Trace, Transaction
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Knobs for the synthetic workload generator."""
+
+    threads: int = 1
+    transactions_per_thread: int = 100
+    #: Distinct words each transaction writes.
+    write_set_words: int = 10
+    #: Additional stores re-writing already-written words (exercises
+    #: log merging).
+    rewrite_fraction: float = 0.25
+    #: Fraction of stores that write the value already present
+    #: (exercises log ignorance).
+    silent_fraction: float = 0.0
+    #: Loads interleaved per store (timing/locality only).
+    loads_per_store: float = 0.5
+    #: Words available per thread arena (controls locality).
+    arena_words: int = 4096
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0 or self.transactions_per_thread < 0:
+            raise ConfigError("threads and transactions must be non-negative")
+        if self.write_set_words <= 0:
+            raise ConfigError("write_set_words must be positive")
+        if self.arena_words < self.write_set_words:
+            raise ConfigError("arena must be at least as large as a write set")
+
+
+#: Per-thread arenas start here (inside the PM data region) and are
+#: spaced far apart so threads never share cachelines.
+_ARENA_BASE = 0x1000_0000
+_ARENA_STRIDE = 0x100_0000
+
+
+def arena_word_addr(tid: int, index: int) -> int:
+    """Word address of slot ``index`` in thread ``tid``'s arena."""
+    return _ARENA_BASE + tid * _ARENA_STRIDE + index * WORD_SIZE
+
+
+def synthetic_trace(config: SyntheticTraceConfig) -> Trace:
+    """Generate a reproducible random workload.
+
+    Every word starts at a known non-zero value (``index + 1``) so
+    silent stores and undo data are well-defined.
+    """
+    rng = random.Random(config.seed)
+    initial = {}
+    for tid in range(config.threads):
+        for index in range(config.arena_words):
+            initial[arena_word_addr(tid, index)] = index + 1
+
+    current = dict(initial)
+    threads = []
+    for tid in range(config.threads):
+        thread = ThreadTrace(tid)
+        for _ in range(config.transactions_per_thread):
+            thread.append(_make_tx(config, rng, tid, current))
+        threads.append(thread)
+    return Trace(threads, initial_image=initial, name="synthetic")
+
+
+def _make_tx(
+    config: SyntheticTraceConfig,
+    rng: random.Random,
+    tid: int,
+    current: dict,
+) -> Transaction:
+    tx = Transaction()
+    indices = rng.sample(range(config.arena_words), config.write_set_words)
+    stores = []
+    for index in indices:
+        stores.append(index)
+        if rng.random() < config.rewrite_fraction:
+            stores.append(index)  # a second store to the same word
+    rng.shuffle(stores)
+    for index in stores:
+        addr = arena_word_addr(tid, index)
+        if rng.random() < config.silent_fraction:
+            value = current.get(addr, 0)  # silent: rewrite same value
+        else:
+            value = rng.getrandbits(64) or 1
+        tx.store(addr, value)
+        current[addr] = value
+        n_loads = int(config.loads_per_store) + (
+            1 if rng.random() < config.loads_per_store % 1 else 0
+        )
+        for _ in range(n_loads):
+            tx.load(arena_word_addr(tid, rng.randrange(config.arena_words)))
+    return tx

@@ -1,0 +1,33 @@
+"""Instrumented PM workloads (Table III + Fig. 4).
+
+Micro-benchmarks: Array, Btree, Hash, Queue, RBtree (64-byte data
+elements, random operations).  Macro-benchmarks: TPCC (New-Order by
+default, all five transaction types available) and YCSB (20%/80%
+read/update).  Additional Fig. 4 workloads: Rtree (radix tree), Ctrie
+(crit-bit trie), TATP and Bank.
+
+Every workload builds its persistent data structure on a simulated PM
+heap through a :class:`~repro.workloads.memspace.RecordingMemory`;
+operations executed inside ``begin_tx``/``commit`` become the
+transaction trace the engine replays.
+"""
+
+from repro.workloads.memspace import PMHeap, RecordingMemory, WorkloadContext
+from repro.workloads.registry import (
+    FIG4_WORKLOADS,
+    MACRO_WORKLOADS,
+    MICRO_WORKLOADS,
+    WORKLOADS,
+    build_workload,
+)
+
+__all__ = [
+    "PMHeap",
+    "RecordingMemory",
+    "WorkloadContext",
+    "FIG4_WORKLOADS",
+    "MACRO_WORKLOADS",
+    "MICRO_WORKLOADS",
+    "WORKLOADS",
+    "build_workload",
+]

@@ -1,0 +1,76 @@
+"""Bank: the banking transfer application (Fig. 4, citing Alomari et
+al.).
+
+Accounts are single balance words; a transfer debits one account,
+credits another and appends an audit entry — a three-store write set,
+the canonical tiny OLTP transaction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.trace.trace import Trace
+from repro.workloads.memspace import RecordingMemory, WorkloadContext
+
+#: Balances start biased so unsigned words never underflow.
+_BALANCE_BIAS = 1 << 40
+
+
+class BankDatabase:
+    """One thread's accounts table plus an audit log."""
+
+    def __init__(self, mem: RecordingMemory, accounts: int) -> None:
+        self.mem = mem
+        self.accounts = accounts
+        self._table = mem.heap.alloc(accounts * WORD_SIZE, align=LINE_SIZE)
+        for a in range(accounts):
+            mem.write(self._table + a * WORD_SIZE, _BALANCE_BIAS)
+        #: Audit ring buffer of one word per transfer.
+        self._audit_len = 4096
+        self._audit = mem.heap.alloc(self._audit_len * WORD_SIZE, align=LINE_SIZE)
+        self._audit_pos = 0
+        for i in range(self._audit_len):
+            mem.write(self._audit + i * WORD_SIZE, 0)
+
+    def _cell(self, account: int) -> int:
+        return self._table + account * WORD_SIZE
+
+    def balance(self, account: int) -> int:
+        return self.mem.peek(self._cell(account)) - _BALANCE_BIAS
+
+    def transfer(self, src: int, dst: int, amount: int) -> None:
+        mem = self.mem
+        src_balance = mem.read(self._cell(src))
+        dst_balance = mem.read(self._cell(dst))
+        mem.write(self._cell(src), src_balance - amount)
+        mem.write(self._cell(dst), dst_balance + amount)
+        slot = self._audit + self._audit_pos * WORD_SIZE
+        mem.write(slot, (src << 40) | (dst << 16) | (amount & 0xFFFF))
+        self._audit_pos = (self._audit_pos + 1) % self._audit_len
+
+    def total_balance(self) -> int:
+        return sum(self.balance(a) for a in range(self.accounts))
+
+
+def build(
+    threads: int = 8,
+    transactions: int = 1000,
+    accounts: int = 1024,
+    seed: int = 11,
+) -> Trace:
+    """Build the Bank trace: one transfer per transaction."""
+    ctx = WorkloadContext(threads, "bank")
+    for tid, mem in enumerate(ctx.memories):
+        rng = random.Random((seed << 8) | tid)
+        bank = BankDatabase(mem, accounts)
+        for _ in range(transactions):
+            src = rng.randrange(accounts)
+            dst = rng.randrange(accounts)
+            while dst == src:
+                dst = rng.randrange(accounts)
+            mem.begin_tx()
+            bank.transfer(src, dst, rng.randint(1, 1000))
+            mem.commit()
+    return ctx.build_trace()

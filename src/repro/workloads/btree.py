@@ -1,0 +1,370 @@
+"""B-tree micro-benchmark: random insertions of 64-byte elements.
+
+A real order-9 B-tree (at most 8 elements per node) implemented over
+the recording memory, using preemptive top-down splitting so one pass
+per insert suffices.  Each slot holds a full 64-byte data element
+(key + value + shared padding, Section VI-A); inserting shifts whole
+elements, so most of the shifted words rewrite identical padding —
+the log generator's *log ignorance* and *log merging* remove them
+(Section VI-D).
+
+Node layout (word indices):
+
+    0        element count (leaf flag in the high bit)
+    1..64    eight 8-word element slots
+    65..73   nine child pointers (internal nodes only)
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.constants import WORD_SIZE
+from repro.trace.trace import Trace
+from repro.workloads.elements import ELEMENT_WORDS, element_words
+from repro.workloads.memspace import RecordingMemory, WorkloadContext
+
+MAX_KEYS = 8
+_NODE_WORDS = 1 + MAX_KEYS * ELEMENT_WORDS + (MAX_KEYS + 1)
+_NODE_BYTES = _NODE_WORDS * WORD_SIZE
+_LEAF_FLAG = 1 << 62
+
+_COUNT = 0
+_ELEM0 = 1
+_CHILD0 = 1 + MAX_KEYS * ELEMENT_WORDS
+
+
+class BTree:
+    """One thread's persistent B-tree of 64-byte elements."""
+
+    def __init__(self, mem: RecordingMemory) -> None:
+        self.mem = mem
+        self.root = self._new_node(leaf=True)
+        #: Root pointer cell in PM (so root changes are persistent).
+        self.root_cell = mem.heap.alloc(WORD_SIZE)
+        mem.write(self.root_cell, self.root)
+
+    # ------------------------------------------------------------------
+    # Node helpers
+    # ------------------------------------------------------------------
+    def _new_node(self, leaf: bool) -> int:
+        node = self.mem.heap.alloc(_NODE_BYTES, align=64)
+        self.mem.write_field(node, _COUNT, _LEAF_FLAG if leaf else 0)
+        return node
+
+    def _count(self, node: int) -> int:
+        return self.mem.read_field(node, _COUNT) & ~_LEAF_FLAG
+
+    def _is_leaf(self, node: int) -> bool:
+        return bool(self.mem.read_field(node, _COUNT) & _LEAF_FLAG)
+
+    def _set_count(self, node: int, count: int, leaf: bool) -> None:
+        self.mem.write_field(node, _COUNT, count | (_LEAF_FLAG if leaf else 0))
+
+    def _elem_field(self, slot: int, word: int) -> int:
+        return _ELEM0 + slot * ELEMENT_WORDS + word
+
+    def _key(self, node: int, slot: int) -> int:
+        return self.mem.read_field(node, self._elem_field(slot, 0))
+
+    def _read_element(self, node: int, slot: int):
+        return [
+            self.mem.read_field(node, self._elem_field(slot, w))
+            for w in range(ELEMENT_WORDS)
+        ]
+
+    def _write_element(self, node: int, slot: int, words) -> None:
+        for w, value in enumerate(words):
+            self.mem.write_field(node, self._elem_field(slot, w), value)
+
+    def _child(self, node: int, i: int) -> int:
+        return self.mem.read_field(node, _CHILD0 + i)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int = 0) -> None:
+        root = self.mem.read(self.root_cell)
+        if self._count(root) == MAX_KEYS:
+            new_root = self._new_node(leaf=False)
+            self.mem.write_field(new_root, _CHILD0, root)
+            self._split_child(new_root, 0)
+            self.mem.write(self.root_cell, new_root)
+            root = new_root
+        self._insert_nonfull(root, key, value)
+
+    def _split_child(self, parent: int, index: int) -> None:
+        """Split the full child at ``index``; the median moves up."""
+        child = self._child(parent, index)
+        leaf = self._is_leaf(child)
+        sibling = self._new_node(leaf=leaf)
+        mid = MAX_KEYS // 2
+        median = self._read_element(child, mid)
+
+        # Upper half of the elements (and children) moves to the sibling.
+        upper = MAX_KEYS - mid - 1
+        for i in range(upper):
+            self._write_element(sibling, i, self._read_element(child, mid + 1 + i))
+        if not leaf:
+            for i in range(upper + 1):
+                self.mem.write_field(
+                    sibling, _CHILD0 + i, self._child(child, mid + 1 + i)
+                )
+        self._set_count(sibling, upper, leaf)
+        self._set_count(child, mid, leaf)
+
+        # Shift the parent's elements/children right, link the sibling.
+        count = self._count(parent)
+        for i in range(count - 1, index - 1, -1):
+            self._write_element(parent, i + 1, self._read_element(parent, i))
+        for i in range(count, index, -1):
+            self.mem.write_field(parent, _CHILD0 + i + 1, self._child(parent, i))
+        self._write_element(parent, index, median)
+        self.mem.write_field(parent, _CHILD0 + index + 1, sibling)
+        self._set_count(parent, count + 1, leaf=False)
+
+    def _insert_nonfull(self, node: int, key: int, value: int) -> None:
+        element = element_words(key, value)
+        while True:
+            count = self._count(node)
+            if self._is_leaf(node):
+                i = count - 1
+                while i >= 0 and self._key(node, i) > key:
+                    self._write_element(node, i + 1, self._read_element(node, i))
+                    i -= 1
+                self._write_element(node, i + 1, element)
+                self._set_count(node, count + 1, leaf=True)
+                return
+            i = count - 1
+            while i >= 0 and self._key(node, i) > key:
+                i -= 1
+            i += 1
+            if self._count(self._child(node, i)) == MAX_KEYS:
+                self._split_child(node, i)
+                if self._key(node, i) < key:
+                    i += 1
+            node = self._child(node, i)
+
+    # ------------------------------------------------------------------
+    # Deletion (classic CLRS top-down delete with merge/borrow)
+    # ------------------------------------------------------------------
+    #: Minimum keys per non-root node.  With an even MAX_KEYS a merge
+    #: combines two minimal children plus the separator, which must fit:
+    #: 2 * MIN + 1 <= MAX.
+    _MIN_KEYS = (MAX_KEYS - 1) // 2
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        root = self.mem.read(self.root_cell)
+        removed = self._delete_from(root, key)
+        # Shrink the root if it emptied out.
+        root = self.mem.read(self.root_cell)
+        if self._count(root) == 0 and not self._is_leaf(root):
+            self.mem.write(self.root_cell, self._child(root, 0))
+        return removed
+
+    def _find_slot(self, node: int, key: int) -> int:
+        i = 0
+        count = self._count(node)
+        while i < count and self._key(node, i) < key:
+            i += 1
+        return i
+
+    def _delete_from(self, node: int, key: int) -> bool:
+        while True:
+            count = self._count(node)
+            i = self._find_slot(node, key)
+            hit = i < count and self._key(node, i) == key
+            if self._is_leaf(node):
+                if not hit:
+                    return False
+                for j in range(i, count - 1):
+                    self._write_element(node, j, self._read_element(node, j + 1))
+                self._set_count(node, count - 1, leaf=True)
+                return True
+            if hit:
+                return self._delete_internal(node, i)
+            child = self._child(node, i)
+            if self._count(child) <= self._MIN_KEYS:
+                i = self._refill_child(node, i)
+            node = self._child(node, i)
+
+    def _delete_internal(self, node: int, i: int) -> bool:
+        """Key found in an internal node: replace it with the
+        predecessor (or successor) and delete that from the subtree."""
+        left, right = self._child(node, i), self._child(node, i + 1)
+        if self._count(left) > self._MIN_KEYS:
+            pred = self._max_element(left)
+            self._write_element(node, i, pred)
+            return self._delete_from(left, pred[0])
+        if self._count(right) > self._MIN_KEYS:
+            succ = self._min_element(right)
+            self._write_element(node, i, succ)
+            return self._delete_from(right, succ[0])
+        key = self._key(node, i)
+        self._merge_children(node, i)
+        return self._delete_from(self._child(node, i), key)
+
+    def _max_element(self, node: int):
+        while not self._is_leaf(node):
+            node = self._child(node, self._count(node))
+        return self._read_element(node, self._count(node) - 1)
+
+    def _min_element(self, node: int):
+        while not self._is_leaf(node):
+            node = self._child(node, 0)
+        return self._read_element(node, 0)
+
+    def _refill_child(self, node: int, i: int) -> int:
+        """Ensure child ``i`` has more than the minimum keys before
+        descending; returns the (possibly shifted) child index."""
+        count = self._count(node)
+        if i > 0 and self._count(self._child(node, i - 1)) > self._MIN_KEYS:
+            self._borrow_from_left(node, i)
+            return i
+        if i < count and self._count(self._child(node, i + 1)) > self._MIN_KEYS:
+            self._borrow_from_right(node, i)
+            return i
+        if i == count:  # rightmost: merge with the left sibling
+            i -= 1
+        self._merge_children(node, i)
+        return i
+
+    def _borrow_from_left(self, node: int, i: int) -> None:
+        child, left = self._child(node, i), self._child(node, i - 1)
+        child_count = self._count(child)
+        leaf = self._is_leaf(child)
+        for j in range(child_count - 1, -1, -1):
+            self._write_element(child, j + 1, self._read_element(child, j))
+        if not leaf:
+            for j in range(child_count, -1, -1):
+                self.mem.write_field(
+                    child, _CHILD0 + j + 1, self._child(child, j)
+                )
+        self._write_element(child, 0, self._read_element(node, i - 1))
+        left_count = self._count(left)
+        self._write_element(node, i - 1, self._read_element(left, left_count - 1))
+        if not leaf:
+            self.mem.write_field(
+                child, _CHILD0, self._child(left, left_count)
+            )
+        self._set_count(child, child_count + 1, leaf)
+        self._set_count(left, left_count - 1, leaf)
+
+    def _borrow_from_right(self, node: int, i: int) -> None:
+        child, right = self._child(node, i), self._child(node, i + 1)
+        child_count = self._count(child)
+        leaf = self._is_leaf(child)
+        self._write_element(child, child_count, self._read_element(node, i))
+        self._write_element(node, i, self._read_element(right, 0))
+        right_count = self._count(right)
+        if not leaf:
+            self.mem.write_field(
+                child, _CHILD0 + child_count + 1, self._child(right, 0)
+            )
+        for j in range(right_count - 1):
+            self._write_element(right, j, self._read_element(right, j + 1))
+        if not leaf:
+            for j in range(right_count):
+                self.mem.write_field(
+                    right, _CHILD0 + j, self._child(right, j + 1)
+                )
+        self._set_count(child, child_count + 1, leaf)
+        self._set_count(right, right_count - 1, leaf)
+
+    def _merge_children(self, node: int, i: int) -> None:
+        """Fold the separator at ``i`` and child ``i+1`` into child
+        ``i`` (both have the minimum key count)."""
+        child, right = self._child(node, i), self._child(node, i + 1)
+        child_count = self._count(child)
+        right_count = self._count(right)
+        leaf = self._is_leaf(child)
+        self._write_element(child, child_count, self._read_element(node, i))
+        for j in range(right_count):
+            self._write_element(
+                child, child_count + 1 + j, self._read_element(right, j)
+            )
+        if not leaf:
+            for j in range(right_count + 1):
+                self.mem.write_field(
+                    child, _CHILD0 + child_count + 1 + j, self._child(right, j)
+                )
+        self._set_count(child, child_count + 1 + right_count, leaf)
+        # Close the gap in the parent.
+        count = self._count(node)
+        for j in range(i, count - 1):
+            self._write_element(node, j, self._read_element(node, j + 1))
+        for j in range(i + 1, count):
+            self.mem.write_field(node, _CHILD0 + j, self._child(node, j + 1))
+        self._set_count(node, count - 1, leaf=False)
+
+    # ------------------------------------------------------------------
+    # Lookup (used by tests)
+    # ------------------------------------------------------------------
+    def contains(self, key: int) -> bool:
+        node = self.mem.peek(self.root_cell)
+        while True:
+            count = self.mem.peek_field(node, _COUNT) & ~_LEAF_FLAG
+            leaf = bool(self.mem.peek_field(node, _COUNT) & _LEAF_FLAG)
+            i = 0
+            while (
+                i < count
+                and self.mem.peek_field(node, self._elem_field(i, 0)) < key
+            ):
+                i += 1
+            if i < count and self.mem.peek_field(node, self._elem_field(i, 0)) == key:
+                return True
+            if leaf:
+                return False
+            node = self.mem.peek_field(node, _CHILD0 + i)
+
+
+def build(
+    threads: int = 8,
+    transactions: int = 1000,
+    warmup_inserts: int = 256,
+    ops_per_tx: int = 1,
+    operation_mix: str = "insert",
+    seed: int = 2,
+) -> Trace:
+    """Build the Btree workload: ``ops_per_tx`` operations per
+    transaction.  ``operation_mix`` is ``"insert"`` (the paper's
+    configuration) or ``"mixed"`` (50% insert / 30% delete /
+    20% lookup), exercising the full structure."""
+    ctx = WorkloadContext(threads, "btree")
+    for tid, mem in enumerate(ctx.memories):
+        rng = random.Random((seed << 8) | tid)
+        tree = BTree(mem)
+        live = []
+        used = set()
+
+        def fresh_key() -> int:
+            while True:
+                key = rng.getrandbits(40) + 1
+                if key not in used:
+                    used.add(key)
+                    return key
+
+        def one_op() -> None:
+            roll = rng.random() if operation_mix == "mixed" else 0.0
+            if roll < 0.5 or not live:
+                key = fresh_key()
+                tree.insert(key)
+                live.append(key)
+            elif roll < 0.8:
+                index = rng.randrange(len(live))
+                live[index], live[-1] = live[-1], live[index]
+                tree.delete(live.pop())
+            else:
+                tree.contains(rng.choice(live))
+
+        for _ in range(warmup_inserts):
+            key = fresh_key()
+            tree.insert(key)
+            live.append(key)
+        for _ in range(transactions):
+            mem.begin_tx()
+            for _ in range(ops_per_tx):
+                one_op()
+            mem.commit()
+    return ctx.build_trace()

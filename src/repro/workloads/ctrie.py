@@ -1,0 +1,150 @@
+"""Ctrie: the PMDK crit-bit trie insert workload (Fig. 4).
+
+A binary crit-bit trie: internal nodes hold the index of the bit that
+distinguishes their two subtrees; leaves hold the key/value.  Inserts
+walk to the closest leaf, find the critical bit and splice a new
+internal node into the path — two allocations and a single pointer
+swing, the smallest write set of the Fig. 4 workloads.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.trace.trace import Trace
+from repro.workloads.memspace import RecordingMemory, WorkloadContext
+
+_KEY_BITS = 48
+
+# Leaf layout: [key, value]; internal layout: [bit | _INTERNAL, left, right]
+_INTERNAL = 1 << 63
+
+
+class CritBitTrie:
+    """One thread's persistent crit-bit trie."""
+
+    def __init__(self, mem: RecordingMemory) -> None:
+        self.mem = mem
+        self.root_cell = mem.heap.alloc(WORD_SIZE, align=LINE_SIZE)
+        mem.write(self.root_cell, 0)
+
+    def _new_leaf(self, key: int, value: int) -> int:
+        leaf = self.mem.heap.alloc(2 * WORD_SIZE, align=16)
+        self.mem.write(leaf, key)
+        self.mem.write(leaf + WORD_SIZE, value)
+        return leaf
+
+    def _new_internal(self, bit: int, left: int, right: int) -> int:
+        node = self.mem.heap.alloc(3 * WORD_SIZE, align=32)
+        self.mem.write(node, bit | _INTERNAL)
+        self.mem.write(node + WORD_SIZE, left)
+        self.mem.write(node + 2 * WORD_SIZE, right)
+        return node
+
+    def _is_internal(self, node: int) -> bool:
+        return bool(self.mem.read(node) & _INTERNAL)
+
+    @staticmethod
+    def _bit(key: int, index: int) -> int:
+        return (key >> (_KEY_BITS - 1 - index)) & 1
+
+    def insert(self, key: int, value: int) -> None:
+        root = self.mem.read(self.root_cell)
+        if not root:
+            self.mem.write(self.root_cell, self._new_leaf(key, value))
+            return
+
+        # Walk to the closest leaf.
+        node = root
+        while self._is_internal(node):
+            bit = self.mem.read(node) & ~_INTERNAL
+            node = self.mem.read(node + (2 if self._bit(key, bit) else 1) * WORD_SIZE)
+        leaf_key = self.mem.read(node)
+        if leaf_key == key:
+            self.mem.write(node + WORD_SIZE, value)  # update in place
+            return
+
+        # Find the critical bit.
+        crit = 0
+        while self._bit(key, crit) == self._bit(leaf_key, crit):
+            crit += 1
+
+        # Re-walk from the root to the splice point.
+        parent_cell = self.root_cell
+        node = self.mem.read(parent_cell)
+        while self._is_internal(node):
+            bit = self.mem.read(node) & ~_INTERNAL
+            if bit >= crit:
+                break
+            parent_cell = node + (2 if self._bit(key, bit) else 1) * WORD_SIZE
+            node = self.mem.read(parent_cell)
+
+        leaf = self._new_leaf(key, value)
+        if self._bit(key, crit):
+            internal = self._new_internal(crit, node, leaf)
+        else:
+            internal = self._new_internal(crit, leaf, node)
+        self.mem.write(parent_cell, internal)
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``, splicing its parent out of the path (the
+        sibling subtree takes the parent's place); returns whether the
+        key was present."""
+        root = self.mem.read(self.root_cell)
+        if not root:
+            return False
+        grand_cell = None  # cell pointing at the parent
+        parent = 0
+        parent_cell = self.root_cell
+        node = root
+        while self._is_internal(node):
+            bit = self.mem.read(node) & ~_INTERNAL
+            side = 2 if self._bit(key, bit) else 1
+            grand_cell = parent_cell
+            parent = node
+            parent_cell = node + side * WORD_SIZE
+            node = self.mem.read(parent_cell)
+        if self.mem.read(node) != key:
+            return False
+        if not parent:
+            self.mem.write(self.root_cell, 0)
+            return True
+        # The sibling replaces the parent in the grandparent's slot.
+        left = self.mem.read(parent + WORD_SIZE)
+        right = self.mem.read(parent + 2 * WORD_SIZE)
+        sibling = right if left == node else left
+        self.mem.write(grand_cell, sibling)
+        return True
+
+    def lookup(self, key: int):
+        node = self.mem.peek(self.root_cell)
+        if not node:
+            return None
+        while self.mem.peek(node) & _INTERNAL:
+            bit = self.mem.peek(node) & ~_INTERNAL
+            node = self.mem.peek(node + (2 if self._bit(key, bit) else 1) * WORD_SIZE)
+        if self.mem.peek(node) == key:
+            return self.mem.peek(node + WORD_SIZE)
+        return None
+
+
+def build(
+    threads: int = 8,
+    transactions: int = 1000,
+    warmup_inserts: int = 256,
+    seed: int = 7,
+) -> Trace:
+    """Build the Ctrie workload: one random insert per transaction."""
+    ctx = WorkloadContext(threads, "ctrie")
+    for tid, mem in enumerate(ctx.memories):
+        rng = random.Random((seed << 8) | tid)
+        trie = CritBitTrie(mem)
+        for i in range(warmup_inserts):
+            trie.insert(rng.getrandbits(_KEY_BITS), i + 1)
+        for i in range(transactions):
+            key = rng.getrandbits(_KEY_BITS)
+            mem.begin_tx()
+            trie.insert(key, i + 1)
+            mem.commit()
+    return ctx.build_trace()

@@ -1,0 +1,44 @@
+"""The 64-byte data element shared by the micro-benchmarks.
+
+Section VI-A: "The size of data element is 64B in each
+micro-benchmark."  An element is eight words: a key, a value and six
+words of common formatting/padding.  The padding words are identical
+across elements, which is what makes whole-element copies (Array's
+swaps) mostly *silent* stores — the behaviour behind the paper's
+observation that 90.4% of Array's logs are ignored (Section VI-D).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.workloads.memspace import RecordingMemory
+
+#: Words per element.
+ELEMENT_WORDS = LINE_SIZE // WORD_SIZE
+
+#: The common padding pattern shared by all elements.
+PAD_PATTERN = 0xABABABABABABABAB
+
+
+def element_words(key: int, value: int) -> List[int]:
+    """The eight word values of an element."""
+    return [key, value] + [PAD_PATTERN] * (ELEMENT_WORDS - 2)
+
+
+def write_element(mem: RecordingMemory, base: int, key: int, value: int) -> None:
+    """Store a full element (eight word stores)."""
+    for index, word in enumerate(element_words(key, value)):
+        mem.write_field(base, index, word)
+
+
+def read_element(mem: RecordingMemory, base: int) -> List[int]:
+    """Load a full element (eight word loads, line-deduplicated)."""
+    return [mem.read_field(base, index) for index in range(ELEMENT_WORDS)]
+
+
+def copy_element(mem: RecordingMemory, src_words: List[int], dst: int) -> None:
+    """Store previously-read element content to another slot."""
+    for index, word in enumerate(src_words):
+        mem.write_field(dst, index, word)

@@ -1,0 +1,127 @@
+"""Hash-table micro-benchmark: random insertions.
+
+Chained hashing with 64-byte nodes.  One insert allocates a node,
+fills it (key, value, next pointer, padding) and swings the bucket
+head — a small scattered write set typical of PM index updates.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.trace.trace import Trace
+from repro.workloads.elements import PAD_PATTERN
+from repro.workloads.memspace import RecordingMemory, WorkloadContext
+
+_KEY = 0
+_VALUE = 1
+_NEXT = 2
+_PAD0 = 3
+_NODE_WORDS = 8
+
+
+class HashTable:
+    """One thread's persistent chained hash table."""
+
+    def __init__(self, mem: RecordingMemory, buckets: int = 1024) -> None:
+        self.mem = mem
+        self.buckets = buckets
+        self.table = mem.heap.alloc(buckets * WORD_SIZE, align=64)
+        for i in range(buckets):
+            mem.write(self.table + i * WORD_SIZE, 0)
+
+    def _bucket_cell(self, key: int) -> int:
+        return self.table + (hash_mix(key) % self.buckets) * WORD_SIZE
+
+    def insert(self, key: int, value: int) -> None:
+        cell = self._bucket_cell(key)
+        head = self.mem.read(cell)
+        # Update in place if the key is already chained (map semantics).
+        node = head
+        while node:
+            if self.mem.read_field(node, _KEY) == key:
+                self.mem.write_field(node, _VALUE, value)
+                return
+            node = self.mem.read_field(node, _NEXT)
+        node = self.mem.heap.alloc(_NODE_WORDS * WORD_SIZE, align=LINE_SIZE)
+        self.mem.write_field(node, _KEY, key)
+        self.mem.write_field(node, _VALUE, value)
+        self.mem.write_field(node, _NEXT, head)
+        for i in range(_PAD0, _NODE_WORDS):
+            self.mem.write_field(node, i, PAD_PATTERN)
+        self.mem.write(cell, node)
+
+    def remove(self, key: int) -> bool:
+        """Unlink the first node holding ``key``; returns whether one
+        was present (the node itself is leaked, as PM allocators
+        without GC do — its slot would be reclaimed by an epoch-based
+        free list in a production system)."""
+        cell = self._bucket_cell(key)
+        node = self.mem.read(cell)
+        prev_cell = cell
+        while node:
+            if self.mem.read_field(node, _KEY) == key:
+                self.mem.write(prev_cell, self.mem.read_field(node, _NEXT))
+                return True
+            prev_cell = node + _NEXT * 8
+            node = self.mem.read_field(node, _NEXT)
+        return False
+
+    def lookup(self, key: int):
+        node = self.mem.peek(self._bucket_cell(key))
+        while node:
+            if self.mem.peek_field(node, _KEY) == key:
+                return self.mem.peek_field(node, _VALUE)
+            node = self.mem.peek_field(node, _NEXT)
+        return None
+
+
+def hash_mix(key: int) -> int:
+    """A 64-bit finalizer (splitmix64-style) for bucket selection."""
+    key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9 & (1 << 64) - 1
+    key = (key ^ (key >> 27)) * 0x94D049BB133111EB & (1 << 64) - 1
+    return key ^ (key >> 31)
+
+
+def build(
+    threads: int = 8,
+    transactions: int = 1000,
+    buckets: int = 1024,
+    warmup_inserts: int = 512,
+    ops_per_tx: int = 1,
+    operation_mix: str = "insert",
+    seed: int = 3,
+) -> Trace:
+    """Build the Hash workload: ``ops_per_tx`` operations per
+    transaction.  ``operation_mix`` is ``"insert"`` (paper) or
+    ``"mixed"`` (50% insert / 30% remove / 20% lookup)."""
+    ctx = WorkloadContext(threads, "hash")
+    for tid, mem in enumerate(ctx.memories):
+        rng = random.Random((seed << 8) | tid)
+        table = HashTable(mem, buckets=buckets)
+        live = []
+
+        def one_op(i: int) -> None:
+            roll = rng.random() if operation_mix == "mixed" else 0.0
+            if roll < 0.5 or not live:
+                key = rng.getrandbits(48)
+                table.insert(key, i)
+                live.append(key)
+            elif roll < 0.8:
+                index = rng.randrange(len(live))
+                live[index], live[-1] = live[-1], live[index]
+                table.remove(live.pop())
+            else:
+                table.lookup(rng.choice(live))
+
+        for i in range(warmup_inserts):
+            key = rng.getrandbits(48)
+            table.insert(key, i)
+            live.append(key)
+        for i in range(transactions):
+            mem.begin_tx()
+            for _ in range(ops_per_tx):
+                one_op(i)
+            mem.commit()
+    return ctx.build_trace()

@@ -1,0 +1,173 @@
+"""The simulated PM heap and the workload instrumentation layer.
+
+Workloads are real data-structure implementations.  They allocate
+persistent objects from a per-thread :class:`PMHeap` arena and access
+them through a :class:`RecordingMemory`:
+
+* writes/reads *outside* a transaction belong to the setup phase and
+  define the trace's initial PM image;
+* writes/reads *inside* ``begin_tx`` ... ``commit`` are recorded as
+  the transaction's :class:`~repro.trace.ops.Store`/``Load`` stream.
+
+Loads are deduplicated per cacheline within a transaction — repeat
+reads of a line the transaction already touched would be L1 hits and
+only bloat the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.common.errors import AddressError, TransactionError
+from repro.trace.trace import ThreadTrace, Trace, Transaction
+from repro.trace.ops import Load, Store
+
+#: Per-thread heap arenas inside the PM data region.
+_HEAP_BASE = 0x2000_0000
+_HEAP_STRIDE = 0x0400_0000  # 64 MB per thread
+
+
+class PMHeap:
+    """A bump allocator over one thread's PM arena."""
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self._base = _HEAP_BASE + tid * _HEAP_STRIDE
+        self._next = self._base
+        self._limit = self._base + _HEAP_STRIDE
+
+    def alloc(self, size_bytes: int, align: int = WORD_SIZE) -> int:
+        """Allocate ``size_bytes`` of persistent memory."""
+        if size_bytes <= 0:
+            raise AddressError("allocation size must be positive")
+        addr = (self._next + align - 1) & ~(align - 1)
+        if addr + size_bytes > self._limit:
+            raise AddressError(
+                f"thread {self.tid} heap exhausted ({self._next - self._base}B used)"
+            )
+        self._next = addr + size_bytes
+        return addr
+
+    def alloc_line(self, size_bytes: int = LINE_SIZE) -> int:
+        """Allocate a cacheline-aligned object (the micro-benchmarks'
+        64-byte data elements)."""
+        return self.alloc(size_bytes, align=LINE_SIZE)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._next - self._base
+
+
+class RecordingMemory:
+    """Word-granular memory view that records transactional accesses."""
+
+    def __init__(self, tid: int, dedup_loads: bool = True) -> None:
+        self.tid = tid
+        self.heap = PMHeap(tid)
+        self.trace = ThreadTrace(tid)
+        self._words: Dict[int, int] = {}
+        self._initial: Dict[int, int] = {}
+        self._tx: Optional[Transaction] = None
+        self._tx_loaded_lines: Set[int] = set()
+        self._dedup_loads = dedup_loads
+        self._setup_frozen = False
+
+    # ------------------------------------------------------------------
+    # Transaction control
+    # ------------------------------------------------------------------
+    def begin_tx(self) -> None:
+        if self._tx is not None:
+            raise TransactionError("nested transactions are not supported")
+        if not self._setup_frozen:
+            # First transaction: everything written so far is setup.
+            self._initial = dict(self._words)
+            self._setup_frozen = True
+        self._tx = Transaction()
+        self._tx_loaded_lines.clear()
+
+    def commit(self) -> Transaction:
+        if self._tx is None:
+            raise TransactionError("commit without begin_tx")
+        tx, self._tx = self._tx, None
+        self.trace.append(tx)
+        return tx
+
+    @property
+    def in_tx(self) -> bool:
+        return self._tx is not None
+
+    # ------------------------------------------------------------------
+    # Memory accesses
+    # ------------------------------------------------------------------
+    def write(self, addr: int, value: int) -> None:
+        """Store one word (recorded when inside a transaction)."""
+        if addr % WORD_SIZE:
+            raise AddressError(f"unaligned store to {addr:#x}")
+        if self._setup_frozen and self._tx is None:
+            raise TransactionError(
+                "workload wrote persistent memory outside a transaction "
+                "after the setup phase"
+            )
+        value &= (1 << 64) - 1
+        if self._tx is not None:
+            self._tx.ops.append(Store(addr, value))
+        self._words[addr] = value
+
+    def read(self, addr: int) -> int:
+        """Load one word (recorded, line-deduplicated, inside a tx)."""
+        if addr % WORD_SIZE:
+            raise AddressError(f"unaligned load from {addr:#x}")
+        if self._tx is not None:
+            line = addr & ~(LINE_SIZE - 1)
+            if not self._dedup_loads or line not in self._tx_loaded_lines:
+                self._tx.ops.append(Load(addr))
+                self._tx_loaded_lines.add(line)
+        return self._words.get(addr, 0)
+
+    def peek(self, addr: int) -> int:
+        """Read without recording (bookkeeping the hardware never sees)."""
+        return self._words.get(addr, 0)
+
+    # ------------------------------------------------------------------
+    # Struct helpers: objects are arrays of words
+    # ------------------------------------------------------------------
+    def write_field(self, base: int, index: int, value: int) -> None:
+        self.write(base + index * WORD_SIZE, value)
+
+    def read_field(self, base: int, index: int) -> int:
+        return self.read(base + index * WORD_SIZE)
+
+    def peek_field(self, base: int, index: int) -> int:
+        return self.peek(base + index * WORD_SIZE)
+
+    # ------------------------------------------------------------------
+    # Trace assembly
+    # ------------------------------------------------------------------
+    def initial_image(self) -> Dict[int, int]:
+        if not self._setup_frozen:
+            return dict(self._words)
+        return dict(self._initial)
+
+
+class WorkloadContext:
+    """Builds one multi-threaded workload trace from per-thread
+    :class:`RecordingMemory` instances."""
+
+    def __init__(self, threads: int, name: str) -> None:
+        if threads <= 0:
+            raise TransactionError("need at least one thread")
+        self.name = name
+        self.memories: List[RecordingMemory] = [
+            RecordingMemory(tid) for tid in range(threads)
+        ]
+
+    def build_trace(self) -> Trace:
+        image: Dict[int, int] = {}
+        for memory in self.memories:
+            image.update(memory.initial_image())
+        return Trace(
+            [memory.trace for memory in self.memories],
+            initial_image=image,
+            name=self.name,
+        )

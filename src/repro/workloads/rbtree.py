@@ -1,0 +1,357 @@
+"""Red-black tree micro-benchmark: random insertions.
+
+A full red-black tree with parent pointers, rotations and the classic
+recolouring fixup, implemented over the recording memory.  Inserts
+touch a handful of scattered nodes (parent/uncle/grandparent), giving
+the low-spatial-locality write pattern the paper attributes to tree
+workloads.
+
+Node layout (word indices): key, value, left, right, parent, color,
+two padding words — one 64-byte element per node.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.trace.trace import Trace
+from repro.workloads.elements import PAD_PATTERN
+from repro.workloads.memspace import RecordingMemory, WorkloadContext
+
+_KEY = 0
+_VALUE = 1
+_LEFT = 2
+_RIGHT = 3
+_PARENT = 4
+_COLOR = 5
+_NODE_WORDS = 8
+
+RED = 1
+BLACK = 0
+
+
+class RBTree:
+    """One thread's persistent red-black tree."""
+
+    def __init__(self, mem: RecordingMemory) -> None:
+        self.mem = mem
+        self.root_cell = mem.heap.alloc(WORD_SIZE, align=LINE_SIZE)
+        mem.write(self.root_cell, 0)
+
+    # ------------------------------------------------------------------
+    # Field accessors
+    # ------------------------------------------------------------------
+    def _get(self, node: int, field: int) -> int:
+        return self.mem.read_field(node, field)
+
+    def _set(self, node: int, field: int, value: int) -> None:
+        self.mem.write_field(node, field, value)
+
+    def _root(self) -> int:
+        return self.mem.read(self.root_cell)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int) -> None:
+        node = self.mem.heap.alloc(_NODE_WORDS * WORD_SIZE, align=LINE_SIZE)
+        self._set(node, _KEY, key)
+        self._set(node, _VALUE, value)
+        self._set(node, _LEFT, 0)
+        self._set(node, _RIGHT, 0)
+        self._set(node, _COLOR, RED)
+        self._set(node, 6, PAD_PATTERN)
+        self._set(node, 7, PAD_PATTERN)
+
+        parent, current = 0, self._root()
+        while current:
+            parent = current
+            current = self._get(
+                current, _LEFT if key < self._get(current, _KEY) else _RIGHT
+            )
+        self._set(node, _PARENT, parent)
+        if not parent:
+            self.mem.write(self.root_cell, node)
+        elif key < self._get(parent, _KEY):
+            self._set(parent, _LEFT, node)
+        else:
+            self._set(parent, _RIGHT, node)
+        self._fixup(node)
+
+    def _fixup(self, node: int) -> None:
+        while True:
+            parent = self._get(node, _PARENT)
+            if not parent or self._get(parent, _COLOR) != RED:
+                break
+            grand = self._get(parent, _PARENT)
+            if not grand:
+                break
+            if parent == self._get(grand, _LEFT):
+                uncle = self._get(grand, _RIGHT)
+                if uncle and self._get(uncle, _COLOR) == RED:
+                    self._set(parent, _COLOR, BLACK)
+                    self._set(uncle, _COLOR, BLACK)
+                    self._set(grand, _COLOR, RED)
+                    node = grand
+                    continue
+                if node == self._get(parent, _RIGHT):
+                    node = parent
+                    self._rotate_left(node)
+                    parent = self._get(node, _PARENT)
+                    grand = self._get(parent, _PARENT)
+                self._set(parent, _COLOR, BLACK)
+                self._set(grand, _COLOR, RED)
+                self._rotate_right(grand)
+            else:
+                uncle = self._get(grand, _LEFT)
+                if uncle and self._get(uncle, _COLOR) == RED:
+                    self._set(parent, _COLOR, BLACK)
+                    self._set(uncle, _COLOR, BLACK)
+                    self._set(grand, _COLOR, RED)
+                    node = grand
+                    continue
+                if node == self._get(parent, _LEFT):
+                    node = parent
+                    self._rotate_right(node)
+                    parent = self._get(node, _PARENT)
+                    grand = self._get(parent, _PARENT)
+                self._set(parent, _COLOR, BLACK)
+                self._set(grand, _COLOR, RED)
+                self._rotate_left(grand)
+        root = self._root()
+        if self._get(root, _COLOR) != BLACK:
+            self._set(root, _COLOR, BLACK)
+
+    def _rotate_left(self, node: int) -> None:
+        right = self._get(node, _RIGHT)
+        child = self._get(right, _LEFT)
+        self._set(node, _RIGHT, child)
+        if child:
+            self._set(child, _PARENT, node)
+        self._transplant_up(node, right)
+        self._set(right, _LEFT, node)
+        self._set(node, _PARENT, right)
+
+    def _rotate_right(self, node: int) -> None:
+        left = self._get(node, _LEFT)
+        child = self._get(left, _RIGHT)
+        self._set(node, _LEFT, child)
+        if child:
+            self._set(child, _PARENT, node)
+        self._transplant_up(node, left)
+        self._set(left, _RIGHT, node)
+        self._set(node, _PARENT, left)
+
+    def _transplant_up(self, node: int, replacement: int) -> None:
+        parent = self._get(node, _PARENT)
+        self._set(replacement, _PARENT, parent)
+        if not parent:
+            self.mem.write(self.root_cell, replacement)
+        elif node == self._get(parent, _LEFT):
+            self._set(parent, _LEFT, replacement)
+        else:
+            self._set(parent, _RIGHT, replacement)
+
+    # ------------------------------------------------------------------
+    # Deletion (CLRS delete with the double-black fixup)
+    # ------------------------------------------------------------------
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        node = self._root()
+        while node:
+            node_key = self._get(node, _KEY)
+            if node_key == key:
+                break
+            node = self._get(node, _LEFT if key < node_key else _RIGHT)
+        if not node:
+            return False
+        self._delete_node(node)
+        return True
+
+    def _delete_node(self, node: int) -> None:
+        # Reduce to deleting a node with at most one child.
+        if self._get(node, _LEFT) and self._get(node, _RIGHT):
+            successor = self._get(node, _RIGHT)
+            while self._get(successor, _LEFT):
+                successor = self._get(successor, _LEFT)
+            self._set(node, _KEY, self._get(successor, _KEY))
+            self._set(node, _VALUE, self._get(successor, _VALUE))
+            node = successor
+
+        child = self._get(node, _LEFT) or self._get(node, _RIGHT)
+        parent = self._get(node, _PARENT)
+        color = self._get(node, _COLOR)
+
+        if child:
+            self._set(child, _PARENT, parent)
+        if not parent:
+            self.mem.write(self.root_cell, child)
+        elif node == self._get(parent, _LEFT):
+            self._set(parent, _LEFT, child)
+        else:
+            self._set(parent, _RIGHT, child)
+
+        if color == BLACK:
+            if child and self._get(child, _COLOR) == RED:
+                self._set(child, _COLOR, BLACK)
+            else:
+                self._delete_fixup(child, parent)
+
+    def _delete_fixup(self, node: int, parent: int) -> None:
+        """``node`` (possibly null) carries an extra black."""
+        while parent and (not node or self._get(node, _COLOR) == BLACK):
+            if node == self._get(parent, _LEFT):
+                sibling = self._get(parent, _RIGHT)
+                if self._get(sibling, _COLOR) == RED:
+                    self._set(sibling, _COLOR, BLACK)
+                    self._set(parent, _COLOR, RED)
+                    self._rotate_left(parent)
+                    sibling = self._get(parent, _RIGHT)
+                s_left, s_right = (
+                    self._get(sibling, _LEFT),
+                    self._get(sibling, _RIGHT),
+                )
+                if (not s_left or self._get(s_left, _COLOR) == BLACK) and (
+                    not s_right or self._get(s_right, _COLOR) == BLACK
+                ):
+                    self._set(sibling, _COLOR, RED)
+                    node, parent = parent, self._get(parent, _PARENT)
+                    continue
+                if not s_right or self._get(s_right, _COLOR) == BLACK:
+                    if s_left:
+                        self._set(s_left, _COLOR, BLACK)
+                    self._set(sibling, _COLOR, RED)
+                    self._rotate_right(sibling)
+                    sibling = self._get(parent, _RIGHT)
+                self._set(sibling, _COLOR, self._get(parent, _COLOR))
+                self._set(parent, _COLOR, BLACK)
+                s_right = self._get(sibling, _RIGHT)
+                if s_right:
+                    self._set(s_right, _COLOR, BLACK)
+                self._rotate_left(parent)
+                node = self._root()
+                break
+            else:
+                sibling = self._get(parent, _LEFT)
+                if self._get(sibling, _COLOR) == RED:
+                    self._set(sibling, _COLOR, BLACK)
+                    self._set(parent, _COLOR, RED)
+                    self._rotate_right(parent)
+                    sibling = self._get(parent, _LEFT)
+                s_left, s_right = (
+                    self._get(sibling, _LEFT),
+                    self._get(sibling, _RIGHT),
+                )
+                if (not s_left or self._get(s_left, _COLOR) == BLACK) and (
+                    not s_right or self._get(s_right, _COLOR) == BLACK
+                ):
+                    self._set(sibling, _COLOR, RED)
+                    node, parent = parent, self._get(parent, _PARENT)
+                    continue
+                if not s_left or self._get(s_left, _COLOR) == BLACK:
+                    if s_right:
+                        self._set(s_right, _COLOR, BLACK)
+                    self._set(sibling, _COLOR, RED)
+                    self._rotate_left(sibling)
+                    sibling = self._get(parent, _LEFT)
+                self._set(sibling, _COLOR, self._get(parent, _COLOR))
+                self._set(parent, _COLOR, BLACK)
+                s_left = self._get(sibling, _LEFT)
+                if s_left:
+                    self._set(s_left, _COLOR, BLACK)
+                self._rotate_right(parent)
+                node = self._root()
+                break
+        if node:
+            self._set(node, _COLOR, BLACK)
+
+    # ------------------------------------------------------------------
+    # Validation helpers (tests)
+    # ------------------------------------------------------------------
+    def black_height_valid(self) -> bool:
+        """Check the red-black invariants via the non-recording view."""
+
+        def walk(node: int):
+            if not node:
+                return 1, True
+            color = self.mem.peek_field(node, _COLOR)
+            left, right = (
+                self.mem.peek_field(node, _LEFT),
+                self.mem.peek_field(node, _RIGHT),
+            )
+            if color == RED:
+                for child in (left, right):
+                    if child and self.mem.peek_field(child, _COLOR) == RED:
+                        return 0, False
+            lh, lok = walk(left)
+            rh, rok = walk(right)
+            if not (lok and rok) or lh != rh:
+                return 0, False
+            return lh + (1 if color == BLACK else 0), True
+
+        root = self.mem.peek(self.root_cell)
+        if not root:
+            return True
+        if self.mem.peek_field(root, _COLOR) != BLACK:
+            return False
+        return walk(root)[1]
+
+    def contains(self, key: int) -> bool:
+        node = self.mem.peek(self.root_cell)
+        while node:
+            node_key = self.mem.peek_field(node, _KEY)
+            if node_key == key:
+                return True
+            node = self.mem.peek_field(node, _LEFT if key < node_key else _RIGHT)
+        return False
+
+
+def build(
+    threads: int = 8,
+    transactions: int = 1000,
+    warmup_inserts: int = 256,
+    ops_per_tx: int = 1,
+    operation_mix: str = "insert",
+    seed: int = 5,
+) -> Trace:
+    """Build the RBtree workload: ``ops_per_tx`` operations per
+    transaction.  ``operation_mix`` is ``"insert"`` (paper) or
+    ``"mixed"`` (50% insert / 30% delete / 20% lookup)."""
+    ctx = WorkloadContext(threads, "rbtree")
+    for tid, mem in enumerate(ctx.memories):
+        rng = random.Random((seed << 8) | tid)
+        tree = RBTree(mem)
+        live = []
+        used = set()
+
+        def fresh_key() -> int:
+            while True:
+                key = rng.getrandbits(40)
+                if key not in used:
+                    used.add(key)
+                    return key
+
+        def one_op(i: int) -> None:
+            roll = rng.random() if operation_mix == "mixed" else 0.0
+            if roll < 0.5 or not live:
+                key = fresh_key()
+                tree.insert(key, i)
+                live.append(key)
+            elif roll < 0.8:
+                index = rng.randrange(len(live))
+                live[index], live[-1] = live[-1], live[index]
+                tree.delete(live.pop())
+            else:
+                tree.contains(rng.choice(live))
+
+        for i in range(warmup_inserts):
+            key = fresh_key()
+            tree.insert(key, i)
+            live.append(key)
+        for i in range(transactions):
+            mem.begin_tx()
+            for _ in range(ops_per_tx):
+                one_op(i)
+            mem.commit()
+    return ctx.build_trace()

@@ -1,0 +1,93 @@
+"""Rtree: the PMDK radix-tree insert workload (Fig. 4).
+
+A 16-ary radix tree over 40-bit keys (10 nibble levels).  An insert
+walks nibble by nibble, allocating interior nodes on demand and
+finally writing the leaf value — a pointer-chasing workload with small
+write sets, like PMDK's ``radix_tree`` example.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.trace.trace import Trace
+from repro.workloads.memspace import RecordingMemory, WorkloadContext
+
+_FANOUT = 16
+_LEVELS = 10  # 40-bit keys, 4 bits per level
+_NODE_BYTES = _FANOUT * WORD_SIZE
+
+
+class RadixTree:
+    """One thread's persistent 16-ary radix tree."""
+
+    def __init__(self, mem: RecordingMemory) -> None:
+        self.mem = mem
+        self.root = self._new_node()
+
+    def _new_node(self) -> int:
+        # Freshly allocated PM is zeroed, so a new node needs no
+        # initialization stores (its 16 child slots read as null).
+        return self.mem.heap.alloc(_NODE_BYTES, align=LINE_SIZE)
+
+    @staticmethod
+    def _nibble(key: int, level: int) -> int:
+        return (key >> (4 * (_LEVELS - 1 - level))) & 0xF
+
+    def insert(self, key: int, value: int) -> None:
+        node = self.root
+        for level in range(_LEVELS - 1):
+            slot = node + self._nibble(key, level) * WORD_SIZE
+            child = self.mem.read(slot)
+            if not child:
+                child = self._new_node()
+                self.mem.write(slot, child)
+            node = child
+        leaf_slot = node + self._nibble(key, _LEVELS - 1) * WORD_SIZE
+        self.mem.write(leaf_slot, value)
+
+    def delete(self, key: int) -> bool:
+        """Clear the leaf slot for ``key``; returns whether a value was
+        present.  Interior nodes are not collapsed (PMDK's radix tree
+        likewise defers reclamation)."""
+        node = self.root
+        for level in range(_LEVELS - 1):
+            node = self.mem.read(node + self._nibble(key, level) * WORD_SIZE)
+            if not node:
+                return False
+        slot = node + self._nibble(key, _LEVELS - 1) * WORD_SIZE
+        if not self.mem.read(slot):
+            return False
+        self.mem.write(slot, 0)
+        return True
+
+    def lookup(self, key: int):
+        node = self.root
+        for level in range(_LEVELS - 1):
+            node = self.mem.peek(node + self._nibble(key, level) * WORD_SIZE)
+            if not node:
+                return None
+        value = self.mem.peek(node + self._nibble(key, _LEVELS - 1) * WORD_SIZE)
+        return value or None
+
+
+def build(
+    threads: int = 8,
+    transactions: int = 1000,
+    warmup_inserts: int = 256,
+    seed: int = 6,
+) -> Trace:
+    """Build the Rtree workload: one random insert per transaction."""
+    ctx = WorkloadContext(threads, "rtree")
+    for tid, mem in enumerate(ctx.memories):
+        rng = random.Random((seed << 8) | tid)
+        tree = RadixTree(mem)
+        for i in range(warmup_inserts):
+            tree.insert(rng.getrandbits(40), i + 1)
+        for i in range(transactions):
+            key = rng.getrandbits(40)
+            mem.begin_tx()
+            tree.insert(key, i + 1)
+            mem.commit()
+    return ctx.build_trace()

@@ -1,0 +1,89 @@
+"""TATP: the telecom application transaction processing benchmark
+(Fig. 4; tatpbenchmark.sourceforge.net).
+
+A subscriber table with special-facility rows.  The classic TATP mix
+is read-dominated; its write transactions have the smallest write sets
+of the Fig. 4 workloads (one or two words), which is exactly why the
+paper includes it as evidence that real transactions write little.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.trace.trace import Trace
+from repro.workloads.memspace import RecordingMemory, WorkloadContext
+
+_S_ID = 0
+_BITS = 1
+_HEX = 2
+_LOCATION = 3
+_SF_DATA_A = 4
+_SF_DATA_B = 5
+_REC_WORDS = 8
+
+
+class TATPDatabase:
+    """One thread's subscriber table."""
+
+    def __init__(self, mem: RecordingMemory, subscribers: int) -> None:
+        self.mem = mem
+        self.subscribers = subscribers
+        self._table = mem.heap.alloc(
+            subscribers * _REC_WORDS * WORD_SIZE, align=LINE_SIZE
+        )
+        for s in range(subscribers):
+            base = self._record(s)
+            mem.write_field(base, _S_ID, s)
+            mem.write_field(base, _BITS, 0b1010)
+            mem.write_field(base, _HEX, 0xF0)
+            mem.write_field(base, _LOCATION, 1000 + s)
+            mem.write_field(base, _SF_DATA_A, 1)
+            mem.write_field(base, _SF_DATA_B, 2)
+            mem.write_field(base, 6, 0)
+            mem.write_field(base, 7, 0)
+
+    def _record(self, s_id: int) -> int:
+        return self._table + s_id * _REC_WORDS * WORD_SIZE
+
+    def get_subscriber_data(self, s_id: int) -> int:
+        base = self._record(s_id)
+        self.mem.read_field(base, _BITS)
+        self.mem.read_field(base, _HEX)
+        return self.mem.read_field(base, _LOCATION)
+
+    def update_subscriber_data(self, s_id: int, bits: int, sf_data: int) -> None:
+        base = self._record(s_id)
+        self.mem.write_field(base, _BITS, bits)
+        self.mem.write_field(base, _SF_DATA_A, sf_data)
+
+    def update_location(self, s_id: int, location: int) -> None:
+        base = self._record(s_id)
+        self.mem.write_field(base, _LOCATION, location)
+
+
+def build(
+    threads: int = 8,
+    transactions: int = 1000,
+    subscribers: int = 1024,
+    read_fraction: float = 0.80,
+    seed: int = 10,
+) -> Trace:
+    """Build the TATP trace with the standard read-heavy mix."""
+    ctx = WorkloadContext(threads, "tatp")
+    for tid, mem in enumerate(ctx.memories):
+        rng = random.Random((seed << 8) | tid)
+        db = TATPDatabase(mem, subscribers)
+        for _ in range(transactions):
+            s_id = rng.randrange(subscribers)
+            mem.begin_tx()
+            roll = rng.random()
+            if roll < read_fraction:
+                db.get_subscriber_data(s_id)
+            elif roll < read_fraction + (1 - read_fraction) * 0.625:
+                db.update_subscriber_data(s_id, rng.getrandbits(4), rng.getrandbits(8))
+            else:
+                db.update_location(s_id, rng.getrandbits(32))
+            mem.commit()
+    return ctx.build_trace()

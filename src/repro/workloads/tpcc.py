@@ -1,0 +1,273 @@
+"""TPC-C macro-benchmark (Whisper configuration, Section VI-A).
+
+One warehouse per thread (the standard conflict-free partitioning),
+with districts, customers, stock, orders, order lines and the
+new-order queue laid out as 64-byte persistent records.
+
+Like the paper (and MorLog), the default run executes only the
+``New-Order`` transaction; ``mix="full"`` runs all five types with the
+TPC-C mix percentages (45/43/4/4/4), which Section VI-D uses to size
+the log buffer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.common.errors import ConfigError
+from repro.trace.trace import Trace
+from repro.workloads.memspace import RecordingMemory, WorkloadContext
+
+#: TPC-C scaling, shrunk to simulation-friendly sizes.
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 32
+ITEMS_PER_WAREHOUSE = 256
+
+_REC_WORDS = 8
+_REC_BYTES = _REC_WORDS * WORD_SIZE
+_PAD = 0x5C5C5C5C5C5C5C5C
+
+# Warehouse fields
+_W_ID, _W_YTD, _W_TAX = 0, 1, 2
+# District fields
+_D_ID, _D_NEXT_O_ID, _D_YTD, _D_TAX = 0, 1, 2, 3
+# Customer fields
+_C_ID, _C_BALANCE, _C_YTD, _C_PAYMENT_CNT, _C_DELIVERY_CNT = 0, 1, 2, 3, 4
+# Stock fields
+_S_I_ID, _S_QTY, _S_YTD, _S_ORDER_CNT = 0, 1, 2, 3
+# Order fields
+_O_ID, _O_C_ID, _O_D_ID, _O_OL_CNT, _O_CARRIER, _O_NEXT = 0, 1, 2, 3, 4, 5
+_O_OL_HEAD = 6
+# Order-line fields
+_OL_O_ID, _OL_NUM, _OL_I_ID, _OL_QTY, _OL_AMOUNT = 0, 1, 2, 3, 4
+_OL_NEXT = 5
+
+#: Initial balance, in TPC-C cents, stored biased so it never goes
+#: negative in the unsigned word representation.
+_BALANCE_BIAS = 1 << 40
+
+
+class TPCCWarehouse:
+    """One thread's warehouse with all dependent tables."""
+
+    def __init__(self, mem: RecordingMemory, w_id: int) -> None:
+        self.mem = mem
+        self.w_id = w_id
+        self.warehouse = self._new_record([w_id, 0, 7])
+        self.districts = [
+            self._new_record([d, 1, 0, 5]) for d in range(DISTRICTS_PER_WAREHOUSE)
+        ]
+        self.customers = [
+            [
+                self._new_record([c, _BALANCE_BIAS, 0, 0, 0])
+                for c in range(CUSTOMERS_PER_DISTRICT)
+            ]
+            for _ in range(DISTRICTS_PER_WAREHOUSE)
+        ]
+        self.stock = [
+            self._new_record([i, 100, 0, 0]) for i in range(ITEMS_PER_WAREHOUSE)
+        ]
+        #: Per-district FIFO of undelivered orders: [head, tail] cells.
+        self.neworder_queues = []
+        for _ in range(DISTRICTS_PER_WAREHOUSE):
+            cells = mem.heap.alloc(2 * WORD_SIZE, align=16)
+            mem.write(cells, 0)
+            mem.write(cells + WORD_SIZE, 0)
+            self.neworder_queues.append(cells)
+
+    def _new_record(self, fields: List[int]) -> int:
+        rec = self.mem.heap.alloc(_REC_BYTES, align=LINE_SIZE)
+        for i in range(_REC_WORDS):
+            self.mem.write_field(rec, i, fields[i] if i < len(fields) else _PAD)
+        return rec
+
+    def _marshal_record(self, rec: int, changes: Dict[int, int]) -> None:
+        """Rewrite a whole record through a row buffer, changing only
+        the fields in ``changes`` — the rest are silent rewrites that
+        log ignorance removes (row-store update path)."""
+        for i in range(_REC_WORDS):
+            if i in changes:
+                self.mem.write_field(rec, i, changes[i])
+            else:
+                self.mem.write_field(rec, i, self.mem.peek_field(rec, i))
+
+    def _new_order_line(self, fields: List[int]) -> int:
+        """Order lines are 40-byte records: only their five live fields
+        are written (fresh PM reads as zero)."""
+        rec = self.mem.heap.alloc(_REC_BYTES, align=LINE_SIZE)
+        for i, value in enumerate(fields):
+            self.mem.write_field(rec, i, value)
+        return rec
+
+    # ------------------------------------------------------------------
+    # 1. New-Order (the default measured transaction)
+    # ------------------------------------------------------------------
+    def new_order(self, rng: random.Random) -> None:
+        mem = self.mem
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        district = self.districts[d]
+        c = rng.randrange(CUSTOMERS_PER_DISTRICT)
+
+        o_id = mem.read_field(district, _D_NEXT_O_ID)
+        mem.write_field(district, _D_NEXT_O_ID, o_id + 1)
+        mem.read_field(district, _D_TAX)
+        mem.read_field(self.warehouse, _W_TAX)
+
+        ol_cnt = rng.randint(3, 8)
+        order = self._new_record([o_id, c, d, ol_cnt, 0, 0])
+        ol_head = 0
+        for number in range(ol_cnt):
+            item = rng.randrange(ITEMS_PER_WAREHOUSE)
+            qty = rng.randint(1, 10)
+            stock = self.stock[item]
+            s_qty = mem.read_field(stock, _S_QTY)
+            if s_qty >= qty + 10:
+                s_qty -= qty
+            else:
+                s_qty += 91 - qty
+            mem.write_field(stock, _S_QTY, s_qty)
+            mem.write_field(stock, _S_YTD, mem.read_field(stock, _S_YTD) + qty)
+            mem.write_field(
+                stock, _S_ORDER_CNT, mem.read_field(stock, _S_ORDER_CNT) + 1
+            )
+            ol_head = self._new_order_line(
+                [o_id, number, item, qty, qty * 100 + item, ol_head]
+            )
+        mem.write_field(order, _O_OL_HEAD, ol_head)
+
+        # Append to the district's new-order queue.
+        cells = self.neworder_queues[d]
+        tail = mem.read(cells + WORD_SIZE)
+        if tail:
+            mem.write_field(tail, _O_NEXT, order)
+        else:
+            mem.write(cells, order)
+        mem.write(cells + WORD_SIZE, order)
+
+    # ------------------------------------------------------------------
+    # 2. Payment
+    # ------------------------------------------------------------------
+    def payment(self, rng: random.Random) -> None:
+        mem = self.mem
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        c = rng.randrange(CUSTOMERS_PER_DISTRICT)
+        amount = rng.randint(100, 500000)
+        customer = self.customers[d][c]
+        mem.write_field(
+            self.warehouse, _W_YTD, mem.read_field(self.warehouse, _W_YTD) + amount
+        )
+        district = self.districts[d]
+        mem.write_field(district, _D_YTD, mem.read_field(district, _D_YTD) + amount)
+        self._marshal_record(
+            customer,
+            {
+                _C_BALANCE: mem.read_field(customer, _C_BALANCE) - amount,
+                _C_YTD: mem.read_field(customer, _C_YTD) + amount,
+                _C_PAYMENT_CNT: mem.read_field(customer, _C_PAYMENT_CNT) + 1,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # 3. Order-Status (read only)
+    # ------------------------------------------------------------------
+    def order_status(self, rng: random.Random) -> None:
+        mem = self.mem
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        c = rng.randrange(CUSTOMERS_PER_DISTRICT)
+        customer = self.customers[d][c]
+        mem.read_field(customer, _C_BALANCE)
+        order = mem.read(self.neworder_queues[d])
+        if order:
+            mem.read_field(order, _O_ID)
+            mem.read_field(order, _O_CARRIER)
+            # Walk the order's real order lines (read-only).
+            line = mem.read_field(order, _O_OL_HEAD)
+            while line:
+                mem.read_field(line, _OL_I_ID)
+                mem.read_field(line, _OL_AMOUNT)
+                line = mem.read_field(line, _OL_NEXT)
+
+    # ------------------------------------------------------------------
+    # 4. Delivery
+    # ------------------------------------------------------------------
+    def delivery(self, rng: random.Random) -> None:
+        mem = self.mem
+        carrier = rng.randint(1, 10)
+        for d in range(DISTRICTS_PER_WAREHOUSE):
+            cells = self.neworder_queues[d]
+            order = mem.read(cells)
+            if not order:
+                continue
+            nxt = mem.read_field(order, _O_NEXT)
+            mem.write(cells, nxt)
+            if not nxt:
+                mem.write(cells + WORD_SIZE, 0)
+            mem.write_field(order, _O_CARRIER, carrier)
+            c = mem.read_field(order, _O_C_ID)
+            customer = self.customers[d][c]
+            # Sum the delivered order's real order-line amounts.
+            amount = 0
+            line = mem.read_field(order, _O_OL_HEAD)
+            while line:
+                amount += mem.read_field(line, _OL_AMOUNT)
+                line = mem.read_field(line, _OL_NEXT)
+            self._marshal_record(
+                customer,
+                {
+                    _C_BALANCE: mem.read_field(customer, _C_BALANCE) + amount,
+                    _C_DELIVERY_CNT: mem.read_field(customer, _C_DELIVERY_CNT)
+                    + 1,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # 5. Stock-Level (read only)
+    # ------------------------------------------------------------------
+    def stock_level(self, rng: random.Random) -> None:
+        mem = self.mem
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        mem.read_field(self.districts[d], _D_NEXT_O_ID)
+        for _ in range(8):
+            stock = self.stock[rng.randrange(ITEMS_PER_WAREHOUSE)]
+            mem.read_field(stock, _S_QTY)
+
+
+#: TPC-C transaction mix (name, weight percent).
+FULL_MIX = [
+    ("new_order", 45),
+    ("payment", 43),
+    ("order_status", 4),
+    ("delivery", 4),
+    ("stock_level", 4),
+]
+
+
+def build(
+    threads: int = 8,
+    transactions: int = 1000,
+    mix: str = "neworder",
+    ops_per_tx: int = 1,
+    seed: int = 8,
+) -> Trace:
+    """Build the TPCC trace.  ``mix`` is ``"neworder"`` (the paper's
+    default measured configuration) or ``"full"`` (all five types)."""
+    if mix not in ("neworder", "full"):
+        raise ConfigError(f"unknown TPCC mix {mix!r}")
+    name = "tpcc" if mix == "neworder" else "tpcc_full"
+    ctx = WorkloadContext(threads, name)
+    for tid, mem in enumerate(ctx.memories):
+        rng = random.Random((seed << 8) | tid)
+        warehouse = TPCCWarehouse(mem, w_id=tid)
+        choices, weights = zip(*FULL_MIX)
+        for _ in range(transactions):
+            if mix == "neworder":
+                kind = "new_order"
+            else:
+                kind = rng.choices(choices, weights=weights)[0]
+            mem.begin_tx()
+            for _ in range(ops_per_tx):
+                getattr(warehouse, kind)(rng)
+            mem.commit()
+    return ctx.build_trace()

@@ -1,0 +1,97 @@
+"""YCSB macro-benchmark: 20% reads / 80% updates (Section VI-A).
+
+Key-value records with an 8-word (64-byte) value payload, accessed
+with a Zipfian key distribution.  An update rewrites the record's
+value line; a read loads it.  The skewed access pattern gives the
+strong locality the paper credits for TPCC/YCSB's stable behaviour in
+large-transaction runs (Section VI-F).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.trace.trace import Trace
+from repro.workloads.memspace import RecordingMemory, WorkloadContext
+
+_VALUE_WORDS = 8
+
+
+class ZipfSampler:
+    """Zipfian(theta) sampler over ``0..n-1`` via inverse-CDF lookup."""
+
+    def __init__(self, n: int, theta: float = 0.99) -> None:
+        weights = [1.0 / ((i + 1) ** theta) for i in range(n)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        self._cdf = cumulative
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())
+
+
+class YCSBStore:
+    """One thread's key-value store: a flat record table."""
+
+    def __init__(self, mem: RecordingMemory, records: int) -> None:
+        self.mem = mem
+        self.records = records
+        self._table = mem.heap.alloc(records * _VALUE_WORDS * WORD_SIZE, align=LINE_SIZE)
+        for key in range(records):
+            base = self.record_addr(key)
+            for i in range(_VALUE_WORDS):
+                mem.write_field(base, i, (key << 8) | i)
+
+    def record_addr(self, key: int) -> int:
+        return self._table + key * _VALUE_WORDS * WORD_SIZE
+
+    def read(self, key: int) -> List[int]:
+        base = self.record_addr(key)
+        return [self.mem.read_field(base, i) for i in range(_VALUE_WORDS)]
+
+    def update(self, key: int, payload: int, fields: int = 2) -> None:
+        """Rewrite the whole record (row marshalling), changing only
+        ``fields`` field words — the rest are silent rewrites that log
+        ignorance removes, the locality the paper credits YCSB with."""
+        base = self.record_addr(key)
+        changed = {1 + (payload + k) % (_VALUE_WORDS - 1) for k in range(fields)}
+        for i in range(_VALUE_WORDS):
+            if i in changed:
+                self.mem.write_field(base, i, payload ^ (i << 56) | 1)
+            else:
+                self.mem.write_field(base, i, self.mem.peek_field(base, i))
+
+
+def build(
+    threads: int = 8,
+    transactions: int = 1000,
+    records: int = 1024,
+    read_fraction: float = 0.20,
+    zipf_theta: float = 0.99,
+    ops_per_tx: int = 1,
+    seed: int = 9,
+) -> Trace:
+    """Build the YCSB trace (``ops_per_tx`` reads/updates per
+    transaction)."""
+    ctx = WorkloadContext(threads, "ycsb")
+    zipf = ZipfSampler(records, zipf_theta)
+    for tid, mem in enumerate(ctx.memories):
+        rng = random.Random((seed << 8) | tid)
+        store = YCSBStore(mem, records)
+        for i in range(transactions):
+            mem.begin_tx()
+            for _ in range(ops_per_tx):
+                key = zipf.sample(rng)
+                if rng.random() < read_fraction:
+                    store.read(key)
+                else:
+                    store.update(key, rng.getrandbits(56))
+            mem.commit()
+    return ctx.build_trace()

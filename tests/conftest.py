@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.stats import Stats
+from repro.designs.scheme import SchemeRegistry
+from repro.mem.pm import PMDevice, RegionLayout
+from repro.sim.system import System
+
+ALL_SCHEMES = ("base", "fwb", "morlog", "lad", "silo")
+
+
+@pytest.fixture
+def stats():
+    return Stats()
+
+
+@pytest.fixture
+def config2():
+    """The Table II system shrunk to two cores."""
+    return SystemConfig.table2(cores=2)
+
+
+@pytest.fixture
+def system2(config2):
+    return System(config2)
+
+
+@pytest.fixture
+def pm(stats):
+    return PMDevice(stats=stats)
+
+
+@pytest.fixture
+def layout():
+    return RegionLayout(threads=4)
+
+
+def make_system(cores: int = 1, **kwargs) -> System:
+    return System(SystemConfig.table2(cores=cores))
+
+
+def make_scheme(name: str, system: System):
+    return SchemeRegistry.create(name, system)
+
+
+@pytest.fixture(params=ALL_SCHEMES)
+def scheme_name(request):
+    return request.param

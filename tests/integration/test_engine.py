@@ -1,0 +1,128 @@
+"""Integration tests for the transaction engine (failure-free runs)."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError, SimulationError
+from repro.designs.scheme import SchemeRegistry
+from repro.sim.engine import TransactionEngine, run_trace
+from repro.sim.system import System
+from repro.sim.verify import check_atomic_durability, expected_image
+from repro.trace.synthetic import SyntheticTraceConfig, synthetic_trace
+from repro.trace.trace import ThreadTrace, Trace, Transaction
+
+ALL_SCHEMES = ("base", "fwb", "morlog", "lad", "silo")
+
+
+def small_trace(threads=2, txs=10, **kwargs):
+    return synthetic_trace(
+        SyntheticTraceConfig(
+            threads=threads,
+            transactions_per_thread=txs,
+            write_set_words=6,
+            arena_words=128,
+            seed=11,
+            **kwargs,
+        )
+    )
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+class TestFailureFreeRuns:
+    def test_all_transactions_commit(self, scheme):
+        trace = small_trace()
+        result = run_trace(trace, scheme=scheme, config=SystemConfig.table2(2))
+        assert result.committed_count == trace.total_transactions
+        assert not result.crashed
+
+    def test_final_pm_state_is_correct(self, scheme):
+        """After a failure-free run + drain, the media holds exactly
+        the committed writes for every design."""
+        trace = small_trace()
+        system = System(SystemConfig.table2(2))
+        engine = TransactionEngine(
+            system, SchemeRegistry.create(scheme, system), trace
+        )
+        result = engine.run()
+        assert check_atomic_durability(system, trace, result.committed) == []
+
+    def test_time_advances(self, scheme):
+        result = run_trace(
+            small_trace(), scheme=scheme, config=SystemConfig.table2(2)
+        )
+        assert result.end_cycle > 0
+        assert result.throughput_tx_per_sec > 0
+
+    def test_media_writes_positive(self, scheme):
+        result = run_trace(
+            small_trace(), scheme=scheme, config=SystemConfig.table2(2)
+        )
+        assert result.media_writes > 0
+
+
+class TestEngineValidation:
+    def test_too_many_threads_rejected(self):
+        trace = small_trace(threads=4)
+        with pytest.raises(ConfigError):
+            run_trace(trace, scheme="silo", config=SystemConfig.table2(2))
+
+    def test_store_outside_transaction_rejected(self):
+        bad = Trace(
+            [ThreadTrace(0, [Transaction().store(0x1000, 1)])], name="bad"
+        )
+        # Sneak a store before TxBegin by corrupting the stream.
+        from repro.trace.ops import Store
+
+        system = System(SystemConfig.table2(1))
+        engine = TransactionEngine(
+            system, SchemeRegistry.create("silo", system), bad
+        )
+        engine._cores[0].ops.insert(0, Store(0x2000, 1))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_runs_are_reproducible(self, scheme):
+        trace = small_trace()
+        r1 = run_trace(trace, scheme=scheme, config=SystemConfig.table2(2))
+        r2 = run_trace(trace, scheme=scheme, config=SystemConfig.table2(2))
+        assert r1.end_cycle == r2.end_cycle
+        assert r1.media_writes == r2.media_writes
+
+
+class TestExpectedImage:
+    def test_only_committed_transactions_applied(self):
+        trace = small_trace(threads=1, txs=3)
+        committed = {(0, 0), (0, 2)}
+        image = expected_image(trace, committed)
+        skipped = trace.threads[0].transactions[1]
+        for addr, value in skipped.final_values().items():
+            later = trace.threads[0].transactions[2].final_values()
+            if addr not in later:
+                assert image.get(addr, 0) != value or value == trace.initial_image.get(addr)
+
+
+class TestRunResult:
+    def test_traffic_breakdown(self):
+        result = run_trace(
+            small_trace(), scheme="base", config=SystemConfig.table2(2)
+        )
+        breakdown = result.traffic_breakdown()
+        assert "log" in breakdown and "data" in breakdown
+        assert breakdown["log"] > 0
+
+    def test_repr(self):
+        result = run_trace(
+            small_trace(), scheme="silo", config=SystemConfig.table2(2)
+        )
+        assert "silo" in repr(result)
+
+    def test_writes_per_transaction(self):
+        result = run_trace(
+            small_trace(), scheme="silo", config=SystemConfig.table2(2)
+        )
+        assert result.writes_per_transaction == pytest.approx(
+            result.media_writes / result.committed_count
+        )

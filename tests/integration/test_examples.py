@@ -1,0 +1,50 @@
+"""The shipped examples must run clean (they are documentation)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(monkeypatch, capsys, name, max_seconds=None):
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(f"examples/{name}", run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py")
+        assert "Silo speedup over Base" in out
+        assert "write reduction" in out
+
+    def test_crash_recovery_demo(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "crash_recovery_demo.py")
+        assert "atomic durability verified" in out
+        assert "A = A2" in out  # the Fig. 10h end state
+        assert "D = D0" in out
+
+    def test_buffer_sizing(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "buffer_sizing.py")
+        assert "20-entry choice" in out
+
+    @pytest.mark.slow
+    def test_endurance(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "endurance.py")
+        assert "relative PM lifetime" in out
+
+    @pytest.mark.slow
+    def test_design_space(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "design_space.py")
+        assert "Silo (Fig. 2e)" in out
+        assert "throughput (normalized to base)" in out
+
+    @pytest.mark.slow
+    def test_tpcc_comparison(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "tpcc_comparison.py")
+        assert "TPCC New-Order" in out
+
+    @pytest.mark.slow
+    def test_large_transactions(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "large_transactions.py")
+        assert "no transaction was aborted" in out

@@ -1,0 +1,164 @@
+"""The remaining Fig. 2 designs: WrAP (b), ReDU (c), Proteus (d).
+
+Together with Base-family (a) and Silo (e) these complete the paper's
+design-space diagram.  Each test pins the design's characteristic
+behaviour as the paper describes it in Section II-E.
+"""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.designs.scheme import SchemeRegistry
+from repro.sim.crash import CrashPlan
+from repro.sim.engine import TransactionEngine, run_trace
+from repro.sim.system import System
+from repro.sim.verify import check_atomic_durability
+from repro.trace.synthetic import SyntheticTraceConfig, synthetic_trace
+from repro.workloads import build_workload
+
+FIG2_SCHEMES = ("wrap", "redu", "proteus")
+
+
+def hash_trace(threads=2, txs=50):
+    return build_workload("hash", threads=threads, transactions=txs)
+
+
+def run(scheme, trace, cores=2):
+    return run_trace(trace, scheme=scheme, config=SystemConfig.table2(cores))
+
+
+class TestWrAP:
+    def test_extra_reads_from_log_read_back(self):
+        """Fig. 2b: WrAP reads its redo logs to update the data region,
+        'thus causing extra reads'."""
+        trace = hash_trace()
+        wrap = run("wrap", trace)
+        base = run("base", trace)
+        assert wrap.stats.get("wrap.log_reads") > 0
+        assert wrap.stats.get("mc.reads") > 2 * base.stats.get("mc.reads")
+
+    def test_logs_truncated_after_copy(self):
+        trace = hash_trace(threads=1, txs=20)
+        system = System(SystemConfig.table2(1))
+        TransactionEngine(
+            system, SchemeRegistry.create("wrap", system), trace
+        ).run()
+        assert system.region.total_persisted() == 0
+
+    def test_uncommitted_data_never_reaches_pm(self):
+        """In-place data cannot be updated before the redo logs commit:
+        a crash mid-transaction leaves the data region untouched."""
+        trace = hash_trace(threads=1, txs=5)
+        system = System(SystemConfig.table2(1))
+        engine = TransactionEngine(
+            system,
+            SchemeRegistry.create("wrap", system),
+            trace,
+            crash_plan=CrashPlan(at_op=5),  # mid first transaction
+        )
+        result = engine.run()
+        assert result.recovery.revoked == 0  # nothing to roll back
+        assert check_atomic_durability(system, trace, result.committed) == []
+
+
+class TestReDU:
+    def test_no_log_read_back(self):
+        """Fig. 2c: ReDU's DRAM buffer avoids WrAP's read-back."""
+        trace = hash_trace()
+        redu = run("redu", trace)
+        wrap = run("wrap", trace)
+        assert redu.stats.get("mc.reads") < wrap.stats.get("mc.reads")
+
+    def test_log_coalescing_beats_wrap_traffic(self):
+        trace = hash_trace()
+        assert run("redu", trace).media_writes < run("wrap", trace).media_writes
+
+    def test_faster_than_wrap(self):
+        trace = hash_trace()
+        assert (
+            run("redu", trace).throughput_tx_per_sec
+            > run("wrap", trace).throughput_tx_per_sec
+        )
+
+
+class TestProteus:
+    def test_discards_logs_in_common_case(self):
+        """Fig. 2d: on-chip undo logs are discarded after commit — the
+        common case writes almost no log traffic."""
+        trace = hash_trace()
+        proteus = run("proteus", trace)
+        base = run("base", trace)
+        assert proteus.stats.get("mc.writes.log", 0) < 0.2 * base.stats.get(
+            "mc.writes.log"
+        )
+
+    def test_commit_waits_for_data_flush(self):
+        """Proteus's ordering constraint keeps it below LAD and Silo."""
+        trace = hash_trace()
+        proteus = run("proteus", trace)
+        silo = run("silo", trace)
+        assert proteus.throughput_tx_per_sec < silo.throughput_tx_per_sec
+
+    def test_still_beats_the_log_writing_designs(self):
+        trace = hash_trace()
+        assert (
+            run("proteus", trace).media_writes < run("redu", trace).media_writes
+        )
+
+
+@pytest.mark.parametrize("scheme", FIG2_SCHEMES)
+class TestCrashCorrectness:
+    @pytest.mark.parametrize("at_op", [0, 3, 11, 29, 53, 97])
+    def test_atomic_durability(self, scheme, at_op):
+        trace = synthetic_trace(
+            SyntheticTraceConfig(
+                threads=2,
+                transactions_per_thread=5,
+                write_set_words=12,
+                rewrite_fraction=0.4,
+                silent_fraction=0.2,
+                arena_words=128,
+                seed=31,
+            )
+        )
+        system = System(SystemConfig.table2(2))
+        engine = TransactionEngine(
+            system,
+            SchemeRegistry.create(scheme, system),
+            trace,
+            crash_plan=CrashPlan(at_op=at_op),
+        )
+        result = engine.run()
+        assert check_atomic_durability(system, trace, result.committed) == []
+
+    def test_interrupted_commit_durable(self, scheme):
+        trace = synthetic_trace(
+            SyntheticTraceConfig(
+                threads=1, transactions_per_thread=3, write_set_words=8,
+                arena_words=64, seed=32,
+            )
+        )
+        system = System(SystemConfig.table2(1))
+        engine = TransactionEngine(
+            system,
+            SchemeRegistry.create(scheme, system),
+            trace,
+            crash_plan=CrashPlan(at_commit_of=(0, 1)),
+        )
+        result = engine.run()
+        assert (0, 1) in result.committed
+        assert check_atomic_durability(system, trace, result.committed) == []
+
+
+class TestFullDesignSpaceOrdering:
+    def test_fig2_throughput_ordering(self):
+        """The design-space story end to end: conservative log-writers
+        at the bottom, on-chip-log designs in the middle, Silo on top."""
+        trace = hash_trace()
+        thr = {
+            scheme: run(scheme, trace).throughput_tx_per_sec
+            for scheme in ("base", "wrap", "redu", "proteus", "lad", "silo")
+        }
+        assert thr["redu"] > thr["wrap"]
+        assert thr["proteus"] > thr["redu"]
+        assert thr["silo"] > thr["lad"] > thr["proteus"]

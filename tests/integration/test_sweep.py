@@ -1,0 +1,69 @@
+"""Tests for the generic sweep driver."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.harness.sweep import SweepSpec, apply_overrides, run_sweep
+
+
+class TestApplyOverrides:
+    def test_nested_field_override(self):
+        cfg = apply_overrides(
+            SystemConfig.table2(), {"log_buffer": {"entries": 40}}
+        )
+        assert cfg.log_buffer.entries == 40
+        assert cfg.cores == 8  # untouched
+
+    def test_scalar_section_override(self):
+        cfg = apply_overrides(SystemConfig.table2(), {"memory_channels": 2})
+        assert cfg.memory_channels == 2
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigError):
+            apply_overrides(SystemConfig.table2(), {"nope": {"x": 1}})
+
+    def test_pm_latency_override(self):
+        cfg = apply_overrides(SystemConfig.table2(), {"pm": {"write_ns": 75.0}})
+        assert cfg.pm_write_cycles == 150
+
+
+class TestRunSweep:
+    def test_cartesian_product_size(self):
+        spec = SweepSpec(
+            workloads=("hash",),
+            schemes=("base", "silo"),
+            core_counts=(1, 2),
+            config_overrides={"bigbuf": {"log_buffer": {"entries": 40}}},
+        )
+        records = run_sweep(spec, transactions=8)
+        # 1 workload x 2 schemes x 2 core counts x 2 variants
+        assert len(records) == 8
+        assert {r["variant"] for r in records} == {"table2", "bigbuf"}
+
+    def test_records_exportable(self):
+        import json
+
+        spec = SweepSpec(workloads=("queue",), schemes=("silo",))
+        records = run_sweep(spec, transactions=8)
+        assert json.loads(json.dumps(records))[0]["workload"] == "queue"
+
+    def test_variant_actually_changes_behaviour(self):
+        spec = SweepSpec(
+            workloads=("rbtree",),
+            schemes=("silo",),
+            core_counts=(1,),
+            config_overrides={"tinybuf": {"log_buffer": {"entries": 5}}},
+        )
+        records = run_sweep(spec, transactions=30)
+        by_variant = {r["variant"]: r for r in records}
+        tiny = by_variant["tinybuf"]["stats"].get("silo.overflows", 0)
+        normal = by_variant["table2"]["stats"].get("silo.overflows", 0)
+        assert tiny > normal
+
+    def test_workload_kwargs_passthrough(self):
+        spec = SweepSpec(workloads=("hash",), schemes=("silo",))
+        records = run_sweep(
+            spec, transactions=8, workload_kwargs={"ops_per_tx": 3}
+        )
+        assert records[0]["committed"] == 8

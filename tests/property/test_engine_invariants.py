@@ -1,0 +1,105 @@
+"""Property-based timing/accounting invariants of the engine."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SystemConfig
+from repro.designs.scheme import SchemeRegistry
+from repro.sim.crash import CrashPlan
+from repro.sim.engine import TransactionEngine
+from repro.sim.system import System
+from repro.trace.synthetic import SyntheticTraceConfig, synthetic_trace
+
+ALL_SCHEMES = ("base", "fwb", "morlog", "lad", "silo", "swlog")
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+params = st.fixed_dictionaries(
+    {
+        "threads": st.integers(1, 2),
+        "transactions_per_thread": st.integers(1, 6),
+        "write_set_words": st.integers(1, 25),
+        "rewrite_fraction": st.floats(0, 1),
+        "seed": st.integers(0, 9999),
+    }
+)
+
+
+def run(scheme, p, crash_at=None):
+    trace = synthetic_trace(SyntheticTraceConfig(arena_words=64, **p))
+    system = System(SystemConfig.table2(p["threads"]))
+    plan = CrashPlan(at_op=crash_at) if crash_at is not None else None
+    engine = TransactionEngine(
+        system, SchemeRegistry.create(scheme, system), trace, crash_plan=plan
+    )
+    return trace, system, engine.run()
+
+
+class TestAccounting:
+    @_SETTINGS
+    @given(p=params, scheme=st.sampled_from(ALL_SCHEMES))
+    def test_committed_matches_engine_counter(self, p, scheme):
+        trace, system, result = run(scheme, p)
+        assert result.committed_count == trace.total_transactions
+        assert result.committed_count == system.stats.get("engine.committed")
+
+    @_SETTINGS
+    @given(p=params, scheme=st.sampled_from(ALL_SCHEMES))
+    def test_end_cycle_covers_media_drain(self, p, scheme):
+        _, system, result = run(scheme, p)
+        assert result.end_cycle >= system.mc.drain_completion() - 1
+
+    @_SETTINGS
+    @given(p=params, scheme=st.sampled_from(ALL_SCHEMES))
+    def test_media_writes_monotone_in_stats(self, p, scheme):
+        _, system, result = run(scheme, p)
+        assert result.media_writes <= system.stats.get("mc.writes") * 32
+        assert result.media_writes >= 0
+
+    @_SETTINGS
+    @given(
+        p=params,
+        scheme=st.sampled_from(ALL_SCHEMES),
+        crash=st.integers(0, 10_000),
+    )
+    def test_crash_beyond_trace_never_fires(self, p, scheme, crash):
+        trace = synthetic_trace(SyntheticTraceConfig(arena_words=64, **p))
+        total_ops = sum(
+            len(tx.ops) + 2 for th in trace.threads for tx in th.transactions
+        )
+        system = System(SystemConfig.table2(p["threads"]))
+        engine = TransactionEngine(
+            system,
+            SchemeRegistry.create(scheme, system),
+            trace,
+            crash_plan=CrashPlan(at_op=total_ops + crash),
+        )
+        result = engine.run()
+        assert not result.crashed
+        assert result.committed_count == trace.total_transactions
+
+
+class TestMonotonicity:
+    @_SETTINGS
+    @given(p=params)
+    def test_more_transactions_take_more_time(self, p):
+        """Doubling the work never reduces the end cycle (sanity of
+        the per-core clocks)."""
+        small = dict(p)
+        big = dict(p)
+        big["transactions_per_thread"] = p["transactions_per_thread"] * 2
+        _, _, r_small = run("silo", small)
+        _, _, r_big = run("silo", big)
+        assert r_big.end_cycle >= r_small.end_cycle
+
+    @_SETTINGS
+    @given(p=params, scheme=st.sampled_from(ALL_SCHEMES))
+    def test_runs_deterministic(self, p, scheme):
+        _, _, a = run(scheme, p)
+        _, _, b = run(scheme, p)
+        assert a.end_cycle == b.end_cycle
+        assert a.media_writes == b.media_writes

@@ -1,0 +1,38 @@
+"""Atomic durability under crashes for the Fig. 2b-d designs and the
+software baseline (same oracle as test_atomic_durability)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.property.test_atomic_durability import (
+    assert_atomic_durability,
+    trace_params,
+)
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestFig2DesignsUnderCrash:
+    @_SETTINGS
+    @given(params=trace_params, crash=st.floats(0, 1))
+    def test_wrap(self, params, crash):
+        assert_atomic_durability("wrap", params, crash)
+
+    @_SETTINGS
+    @given(params=trace_params, crash=st.floats(0, 1))
+    def test_redu(self, params, crash):
+        assert_atomic_durability("redu", params, crash)
+
+    @_SETTINGS
+    @given(params=trace_params, crash=st.floats(0, 1))
+    def test_proteus(self, params, crash):
+        assert_atomic_durability("proteus", params, crash)
+
+    @_SETTINGS
+    @given(params=trace_params, crash=st.floats(0, 1))
+    def test_swlog(self, params, crash):
+        assert_atomic_durability("swlog", params, crash)

@@ -1,0 +1,75 @@
+"""Property-based round-trip tests for trace serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.ops import Load, Store
+from repro.trace.serialize import dumps, loads
+from repro.trace.trace import ThreadTrace, Trace, Transaction
+
+word_addr = st.integers(0, 1 << 30).map(lambda x: x * 8)
+word_value = st.integers(0, (1 << 64) - 1)
+
+op = st.one_of(
+    st.tuples(st.just("s"), word_addr, word_value),
+    st.tuples(st.just("l"), word_addr),
+)
+
+
+def build_tx(ops):
+    tx = Transaction()
+    for item in ops:
+        if item[0] == "s":
+            tx.store(item[1], item[2])
+        else:
+            tx.load(item[1])
+    return tx
+
+
+traces = st.builds(
+    lambda per_thread, image, name: Trace(
+        [
+            ThreadTrace(tid, [build_tx(ops) for ops in txs])
+            for tid, txs in enumerate(per_thread)
+        ],
+        initial_image=image,
+        name=name,
+    ),
+    per_thread=st.lists(
+        st.lists(st.lists(op, max_size=8), max_size=5), min_size=1, max_size=3
+    ),
+    image=st.dictionaries(word_addr, word_value, max_size=10),
+    name=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_-0123456789", min_size=1, max_size=20
+    ),
+)
+
+
+class TestSerializationRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(trace=traces)
+    def test_round_trip_preserves_everything(self, trace):
+        rebuilt = loads(dumps(trace))
+        assert rebuilt.name == trace.name
+        assert rebuilt.initial_image == trace.initial_image
+        assert len(rebuilt.threads) == len(trace.threads)
+        for a, b in zip(trace.threads, rebuilt.threads):
+            assert a.tid == b.tid
+            assert len(a.transactions) == len(b.transactions)
+            for ta, tb in zip(a.transactions, b.transactions):
+                assert ta.ops == tb.ops
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces)
+    def test_metrics_survive_round_trip(self, trace):
+        rebuilt = loads(dumps(trace))
+        assert rebuilt.total_transactions == trace.total_transactions
+        assert rebuilt.mean_write_size_bytes() == trace.mean_write_size_bytes()
+        assert set(rebuilt.touched_words()) == set(trace.touched_words())
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces)
+    def test_double_round_trip_is_stable(self, trace):
+        once = dumps(trace)
+        twice = dumps(loads(once))
+        assert once == twice

@@ -1,0 +1,96 @@
+"""Property-based tests on the persistent data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.btree import BTree
+from repro.workloads.ctrie import CritBitTrie
+from repro.workloads.hashtable import HashTable
+from repro.workloads.memspace import RecordingMemory
+from repro.workloads.queue import PersistentQueue
+from repro.workloads.rbtree import RBTree
+from repro.workloads.rtree import RadixTree
+
+keys = st.lists(
+    st.integers(1, (1 << 40) - 1), min_size=1, max_size=120, unique=True
+)
+
+
+class TestTrees:
+    @settings(max_examples=30, deadline=None)
+    @given(keys=keys)
+    def test_btree_contains_exactly_inserted_keys(self, keys):
+        tree = BTree(RecordingMemory(0))
+        for key in keys:
+            tree.insert(key)
+        for key in keys:
+            assert tree.contains(key)
+        probe = max(keys) + 1
+        assert not tree.contains(probe)
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=keys)
+    def test_rbtree_invariants_hold(self, keys):
+        tree = RBTree(RecordingMemory(0))
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        assert tree.black_height_valid()
+        for key in keys:
+            assert tree.contains(key)
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=keys)
+    def test_radix_tree_lookup(self, keys):
+        tree = RadixTree(RecordingMemory(0))
+        for i, key in enumerate(keys):
+            tree.insert(key, i + 1)
+        for i, key in enumerate(keys):
+            assert tree.lookup(key) == i + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=st.lists(st.integers(1, (1 << 48) - 1), min_size=1,
+                         max_size=120, unique=True))
+    def test_ctrie_lookup(self, keys):
+        trie = CritBitTrie(RecordingMemory(0))
+        for i, key in enumerate(keys):
+            trie.insert(key, i + 1)
+        for i, key in enumerate(keys):
+            assert trie.lookup(key) == i + 1
+
+
+class TestHashAndQueue:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pairs=st.dictionaries(
+            st.integers(1, 1 << 48), st.integers(0, 1 << 32), max_size=100
+        )
+    )
+    def test_hash_table_retrieves_all(self, pairs):
+        table = HashTable(RecordingMemory(0), buckets=16)
+        for key, value in pairs.items():
+            table.insert(key, value)
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        script=st.lists(
+            st.one_of(st.integers(1, 1000), st.none()), max_size=100
+        )
+    )
+    def test_queue_matches_reference_fifo(self, script):
+        """Drive the persistent queue and a plain deque with the same
+        script; they must agree on every dequeue."""
+        from collections import deque
+
+        q = PersistentQueue(RecordingMemory(0))
+        ref = deque()
+        for action in script:
+            if action is None:
+                got = q.dequeue()
+                want = ref.popleft() if ref else None
+                assert got == want
+            else:
+                q.enqueue(action)
+                ref.append(action)
+        assert q.is_empty() == (not ref)

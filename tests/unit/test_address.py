@@ -1,0 +1,71 @@
+"""Unit tests for address helpers."""
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.mem.address import (
+    check_word_aligned,
+    distinct_lines,
+    line_addr,
+    line_offset,
+    onpm_line_addr,
+    split_words_by_line,
+    word_addr,
+    words_of_line,
+)
+
+
+class TestAlignment:
+    def test_word_addr_rounds_down(self):
+        assert word_addr(0x1007) == 0x1000
+        assert word_addr(0x1008) == 0x1008
+
+    def test_line_addr(self):
+        assert line_addr(0x1039) == 0x1000
+        assert line_addr(0x1040) == 0x1040
+
+    def test_line_addr_custom_size(self):
+        assert line_addr(0x137, line_size=128) == 0x100
+
+    def test_line_offset(self):
+        assert line_offset(0x1039) == 0x39
+        assert line_offset(0x1040) == 0
+
+    def test_onpm_line_addr_256(self):
+        assert onpm_line_addr(0x1FF) == 0x100
+        assert onpm_line_addr(0x100) == 0x100
+        assert onpm_line_addr(0xFF) == 0x0
+
+    def test_check_word_aligned_passes(self):
+        assert check_word_aligned(0x1008) == 0x1008
+
+    def test_check_word_aligned_rejects_unaligned(self):
+        with pytest.raises(AddressError):
+            check_word_aligned(0x1004)
+
+    def test_check_word_aligned_rejects_negative(self):
+        with pytest.raises(AddressError):
+            check_word_aligned(-8)
+
+
+class TestIteration:
+    def test_words_of_line_covers_line(self):
+        words = list(words_of_line(0x1000))
+        assert len(words) == 8
+        assert words[0] == 0x1000
+        assert words[-1] == 0x1038
+
+    def test_split_words_by_line(self):
+        words = {0x1000: 1, 0x1008: 2, 0x2040: 3}
+        grouped = split_words_by_line(words)
+        assert grouped == {0x1000: {0x1000: 1, 0x1008: 2}, 0x2040: {0x2040: 3}}
+
+    def test_split_words_custom_line_size(self):
+        words = {0x0: 1, 0x40: 2, 0x100: 3}
+        grouped = split_words_by_line(words, line_size=256)
+        assert set(grouped) == {0x0, 0x100}
+        assert len(grouped[0x0]) == 2
+
+    def test_distinct_lines(self):
+        assert distinct_lines([0x1000, 0x1038, 0x1040]) == 2
+        assert distinct_lines([]) == 0

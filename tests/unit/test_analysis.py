@@ -1,0 +1,117 @@
+"""Unit tests for the analysis package (compare + export)."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    compare_results,
+    grid_to_csv,
+    grid_to_json,
+    result_to_dict,
+    speedup_table,
+    write_csv,
+    write_json,
+)
+from repro.analysis.compare import geomean
+from repro.common.config import SystemConfig
+from repro.common.errors import ReproError
+from repro.sim.engine import run_trace
+from repro.trace.synthetic import SyntheticTraceConfig, synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def results():
+    trace = synthetic_trace(
+        SyntheticTraceConfig(
+            threads=2, transactions_per_thread=20, write_set_words=8,
+            arena_words=256, seed=44,
+        )
+    )
+    return {
+        scheme: run_trace(trace, scheme=scheme, config=SystemConfig.table2(2))
+        for scheme in ("base", "morlog", "silo")
+    }
+
+
+class TestCompare:
+    def test_rows_sorted_fastest_first(self, results):
+        rows = compare_results(results)
+        assert rows[0].scheme == "silo"
+        assert rows[-1].scheme == "base"
+
+    def test_baseline_row_is_identity(self, results):
+        rows = {row.scheme: row for row in compare_results(results)}
+        assert rows["base"].throughput_speedup == pytest.approx(1.0)
+        assert rows["base"].write_reduction == pytest.approx(0.0)
+
+    def test_silo_reduces_writes(self, results):
+        rows = {row.scheme: row for row in compare_results(results)}
+        assert rows["silo"].write_reduction > 0.5
+
+    def test_missing_baseline_rejected(self, results):
+        with pytest.raises(ReproError):
+            compare_results(results, baseline="lad")
+
+    def test_row_as_dict(self, results):
+        row = compare_results(results)[0]
+        d = row.as_dict()
+        assert d["scheme"] == row.scheme
+        assert set(d) >= {"throughput_speedup", "write_reduction"}
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            geomean([1.0, 0.0])
+
+
+class TestSpeedupTable:
+    def test_table_with_geomean_row(self, results):
+        table = speedup_table({"synthetic": results})
+        assert table["synthetic"]["base"] == pytest.approx(1.0)
+        assert "geomean" in table
+        assert table["geomean"]["silo"] == pytest.approx(
+            table["synthetic"]["silo"]
+        )
+
+    def test_two_workload_geomean(self, results):
+        table = speedup_table({"a": results, "b": results})
+        assert table["geomean"]["silo"] == pytest.approx(table["a"]["silo"])
+
+
+class TestExport:
+    def test_result_to_dict_round_trips_json(self, results):
+        record = result_to_dict(results["silo"])
+        text = json.dumps(record)
+        assert json.loads(text)["scheme"] == "silo"
+        assert record["committed"] == 40
+
+    def test_grid_to_json_flattens(self, results):
+        records = grid_to_json({"w": results})
+        assert len(records) == 3
+        assert {r["scheme"] for r in records} == set(results)
+        assert all(r["workload"] == "w" for r in records)
+
+    def test_grid_to_csv_has_header_and_rows(self, results):
+        text = grid_to_csv({"w": results})
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("workload,scheme")
+        assert len(lines) == 4
+
+    def test_write_json_file(self, results, tmp_path):
+        path = str(tmp_path / "out.json")
+        write_json({"w": results}, path)
+        assert len(json.load(open(path))) == 3
+
+    def test_write_csv_stream(self, results):
+        buffer = io.StringIO()
+        write_csv({"w": results}, buffer)
+        assert "silo" in buffer.getvalue()

@@ -1,0 +1,196 @@
+"""Unit tests for the baseline designs' individual mechanics."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.designs.base import BaseScheme
+from repro.designs.fwb import FWBScheme
+from repro.designs.lad import CAPTURE_LINES, LADScheme
+from repro.designs.morlog import MorLogScheme
+from repro.designs.swlog import SoftwareLogScheme
+from repro.sim.system import System
+
+
+def make(scheme_cls, cores=1):
+    system = System(SystemConfig.table2(cores))
+    return system, scheme_cls(system)
+
+
+def store(scheme, addr, old, new, now=0, core=0, tid=0, txid=1):
+    return scheme.on_store(core, tid, txid, addr, old, new, now, access=None)
+
+
+class TestBase:
+    def test_every_store_writes_log_then_data(self):
+        system, base = make(BaseScheme)
+        system.hierarchy.store(0, 0x1000, 5)
+        store(base, 0x1000, 0, 5)
+        assert system.stats.get("mc.writes.log") == 1
+        assert system.stats.get("mc.writes.data") == 1
+
+    def test_commit_waits_for_log_persistence(self):
+        system, base = make(BaseScheme)
+        system.hierarchy.store(0, 0x1000, 5)
+        store(base, 0x1000, 0, 5, now=0)
+        stall = base.on_tx_end(0, 0, 1, now=1)
+        # The log media write (300 cycles) dominates the commit wait.
+        assert stall > 250
+
+    def test_logs_truncated_at_commit(self):
+        system, base = make(BaseScheme)
+        system.hierarchy.store(0, 0x1000, 5)
+        store(base, 0x1000, 0, 5)
+        base.on_tx_end(0, 0, 1, now=10)
+        assert system.region.total_persisted() == 0
+
+    def test_silent_store_still_logged(self):
+        """Base has no log ignorance: even value-preserving stores are
+        logged (that's what makes it the naive baseline)."""
+        system, base = make(BaseScheme)
+        system.hierarchy.store(0, 0x1000, 7)
+        store(base, 0x1000, 7, 7)
+        assert system.stats.get("mc.writes.log") == 1
+
+
+class TestFWB:
+    def test_log_written_per_store_asynchronously(self):
+        system, fwb = make(FWBScheme)
+        stall = store(fwb, 0x1000, 0, 5)
+        assert system.stats.get("mc.writes.log") == 1
+        assert stall < 50  # no synchronous media wait on the store
+
+    def test_commit_waits_for_all_tx_logs(self):
+        system, fwb = make(FWBScheme)
+        for i in range(5):
+            store(fwb, 0x1000 + 8 * i, 0, i + 1, now=i)
+        stall = fwb.on_tx_end(0, 0, 1, now=5)
+        assert stall > 250  # last log's media write
+
+    def test_finalize_flushes_dirty_lines(self):
+        system, fwb = make(FWBScheme)
+        system.hierarchy.store(0, 0x1000, 5)
+        store(fwb, 0x1000, 0, 5)
+        fwb.on_tx_end(0, 0, 1, now=10)
+        before = system.stats.get("mc.writes.data", 0)
+        fwb.finalize(1000)
+        assert system.stats.get("mc.writes.data") == before + 1
+        assert system.pm.read_word(0x1000) == 5
+
+
+class TestMorLog:
+    def test_logs_buffered_until_commit(self):
+        system, morlog = make(MorLogScheme)
+        store(morlog, 0x1000, 0, 5)
+        assert system.stats.get("mc.writes.log", 0) == 0
+        morlog.on_tx_end(0, 0, 1, now=10)
+        assert system.stats.get("mc.writes.log") > 0
+
+    def test_same_word_rewrites_merge_on_chip(self):
+        """The morphable buffer eliminates intermediate redo data: n
+        rewrites of one word flush a single packed entry."""
+        system, morlog = make(MorLogScheme)
+        for i in range(6):
+            store(morlog, 0x1000, i, i + 1, now=i)
+        morlog.on_tx_end(0, 0, 1, now=10)
+        # One entry + the commit tuple.
+        assert system.stats.get("mc.writes.log") == 2
+
+    def test_two_entries_packed_per_request(self):
+        system, morlog = make(MorLogScheme)
+        for i in range(4):
+            store(morlog, 0x1000 + 8 * i, 0, i + 1, now=i)
+        morlog.on_tx_end(0, 0, 1, now=10)
+        # 4 entries / 2 per request + 1 tuple = 3 log writes.
+        assert system.stats.get("mc.writes.log") == 3
+
+    def test_crash_flushes_adr_buffer(self):
+        system, morlog = make(MorLogScheme)
+        store(morlog, 0x1000, 3, 4)
+        morlog.on_crash({0: (0, 1)}, now=50)
+        logs = system.region.logs_for_thread(0)
+        assert len(logs) == 1 and logs[0].old == 3
+
+
+class TestLAD:
+    def test_no_pm_writes_before_commit(self):
+        system, lad = make(LADScheme)
+        lad.on_tx_begin(0, 0, 1, now=0)
+        store(lad, 0x1000, 0, 5)
+        assert system.stats.get("mc.writes", 0) == 0
+
+    def test_commit_drains_captured_lines(self):
+        system, lad = make(LADScheme)
+        lad.on_tx_begin(0, 0, 1, now=0)
+        system.hierarchy.store(0, 0x1000, 5)
+        store(lad, 0x1000, 0, 5)
+        stall = lad.on_tx_end(0, 0, 1, now=10)
+        assert system.pm.read_word(0x1000) == 5
+        assert stall >= 64  # the per-line Prepare cost
+
+    def test_capture_slots_released_at_commit(self):
+        system, lad = make(LADScheme)
+        lad.on_tx_begin(0, 0, 1, now=0)
+        system.hierarchy.store(0, 0x1000, 5)
+        store(lad, 0x1000, 0, 5)
+        lad.on_tx_end(0, 0, 1, now=10)
+        assert len(lad._slots) == 0
+
+    def test_fallback_when_slots_exhausted(self):
+        system, lad = make(LADScheme)
+        lad.on_tx_begin(0, 0, 1, now=0)
+        for i in range(CAPTURE_LINES + 2):
+            addr = 0x10000 + 64 * i  # one line per store
+            system.hierarchy.store(0, addr, i + 1)
+            store(lad, addr, 0, i + 1)
+        assert system.stats.get("lad.fallbacks") == 2
+        assert system.stats.get("mc.writes.log") > 0
+
+    def test_uncommitted_captures_discarded_on_crash(self):
+        system, lad = make(LADScheme)
+        lad.on_tx_begin(0, 0, 1, now=0)
+        system.hierarchy.store(0, 0x1000, 5)
+        store(lad, 0x1000, 0, 5)
+        # Evict the line mid-transaction: captured, not written to PM.
+        lad.on_evictions(0, 5, [(0x1000, {0x1000: 5})])
+        lad.on_crash({0: (0, 1)}, now=50)
+        system.pm.drain()
+        assert system.pm.media.read_word(0x1000) == 0
+
+
+class TestSoftwareLogging:
+    def test_per_store_cost_is_heavy(self):
+        system, swlog = make(SoftwareLogScheme)
+        system.hierarchy.store(0, 0x1000, 5)
+        stall = store(swlog, 0x1000, 0, 5)
+        # Log build + two synchronous persists + fences.
+        assert stall > 600
+
+    def test_registered_in_registry(self):
+        from repro.designs.scheme import SchemeRegistry
+
+        assert "swlog" in SchemeRegistry.names()
+
+    def test_recovers_like_a_wal(self):
+        from repro.common.config import SystemConfig
+        from repro.sim.crash import CrashPlan
+        from repro.sim.engine import TransactionEngine
+        from repro.sim.verify import check_atomic_durability
+        from repro.designs.scheme import SchemeRegistry
+        from repro.trace.synthetic import SyntheticTraceConfig, synthetic_trace
+
+        trace = synthetic_trace(
+            SyntheticTraceConfig(
+                threads=2, transactions_per_thread=4, write_set_words=6,
+                arena_words=64, seed=13,
+            )
+        )
+        for at in (0, 5, 17, 40):
+            system = System(SystemConfig.table2(2))
+            engine = TransactionEngine(
+                system,
+                SchemeRegistry.create("swlog", system),
+                trace,
+                crash_plan=CrashPlan(at_op=at),
+            )
+            result = engine.run()
+            assert check_atomic_durability(system, trace, result.committed) == []

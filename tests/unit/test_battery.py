@@ -1,0 +1,84 @@
+"""Unit tests for the battery/energy model (Tables I and IV)."""
+
+import pytest
+
+from repro.common.config import LogBufferConfig
+from repro.core.battery import (
+    bbb_requirement,
+    eadr_requirement,
+    hardware_overhead,
+    silo_requirement,
+    table4,
+)
+
+
+class TestSilo:
+    def test_flush_size_matches_paper(self):
+        req = silo_requirement(cores=8)
+        assert req.flush_size_bytes == 5440  # 8 x 680B
+        assert req.flush_size_kb == pytest.approx(5.3125)
+
+    def test_flush_energy_62_uj(self):
+        req = silo_requirement(cores=8)
+        assert req.flush_energy_uj == pytest.approx(61.08, rel=0.01)
+
+    def test_cap_volume_and_area(self):
+        req = silo_requirement(cores=8)
+        assert req.cap_volume_mm3 == pytest.approx(0.17, rel=0.02)
+        assert req.cap_area_mm2 == pytest.approx(0.31, rel=0.02)
+
+    def test_li_volume_and_area(self):
+        req = silo_requirement(cores=8)
+        assert req.li_volume_mm3 == pytest.approx(0.0017, rel=0.02)
+        assert req.li_area_mm2 == pytest.approx(0.014, rel=0.05)
+
+    def test_scales_with_cores(self):
+        assert silo_requirement(cores=1).flush_size_bytes == 680
+        assert (
+            silo_requirement(cores=16).flush_size_bytes
+            == 2 * silo_requirement(cores=8).flush_size_bytes
+        )
+
+
+class TestEADRAndBBB:
+    def test_eadr_energy_matches_paper(self):
+        req = eadr_requirement()
+        # Paper: 54,377 uJ for 45% dirty of 10,496 KB at 11.228 nJ/B.
+        assert req.flush_energy_uj == pytest.approx(54305, rel=0.01)
+        assert req.cap_volume_mm3 == pytest.approx(151, rel=0.01)
+        assert req.cap_area_mm2 == pytest.approx(28.4, rel=0.01)
+
+    def test_bbb_flush_size(self):
+        req = bbb_requirement(cores=8)
+        assert req.flush_size_bytes == 16 << 10
+
+    def test_ordering_silo_smallest(self):
+        rows = table4()
+        assert (
+            rows["Silo"].cap_volume_mm3
+            < rows["BBB"].cap_volume_mm3
+            < rows["eADR"].cap_volume_mm3
+        )
+
+    def test_eadr_hundreds_of_times_silo(self):
+        rows = table4()
+        ratio = rows["eADR"].cap_volume_mm3 / rows["Silo"].cap_volume_mm3
+        assert ratio > 500  # paper: 888x
+
+
+class TestHardwareOverhead:
+    def test_table1_components(self):
+        rows = hardware_overhead()
+        assert set(rows) == {
+            "Log buffer",
+            "64-bit comparators",
+            "Battery",
+            "Log head and tail",
+        }
+        assert "20 entries" in rows["Log buffer"]
+        assert "680B" in rows["Log buffer"]
+        assert "16B" in rows["Log head and tail"]
+
+    def test_custom_buffer_size_reflected(self):
+        rows = hardware_overhead(log_buffer=LogBufferConfig(entries=10))
+        assert "10 entries" in rows["Log buffer"]

@@ -1,0 +1,122 @@
+"""Unit tests for the WrAP / ReDU / Proteus internals."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.designs.proteus import ProteusScheme
+from repro.designs.redu import ReDUScheme
+from repro.designs.wrap import WrAPScheme
+from repro.sim.system import System
+
+
+def make(cls, cores=1):
+    system = System(SystemConfig.table2(cores))
+    return system, cls(system)
+
+
+def begin(scheme, core=0, tid=0, txid=1):
+    scheme.on_tx_begin(core, tid, txid, now=0)
+
+
+def store(scheme, addr, old, new, now=0, core=0, tid=0, txid=1):
+    return scheme.on_store(core, tid, txid, addr, old, new, now, access=None)
+
+
+class TestWrAPUnits:
+    def test_store_appends_redo_log(self):
+        system, wrap = make(WrAPScheme)
+        begin(wrap)
+        store(wrap, 0x1000, 0, 5)
+        assert system.stats.get("mc.writes.log") == 1
+        logs = system.region.logs_for_thread(0)
+        assert logs[0].kind == "redo"
+
+    def test_uncommitted_eviction_dropped(self):
+        system, wrap = make(WrAPScheme)
+        begin(wrap)
+        store(wrap, 0x1000, 0, 5)
+        stall = wrap.on_evictions(0, 5, [(0x1000, {0x1000: 5})])
+        assert stall == 0
+        assert system.stats.get("mc.writes.data", 0) == 0  # not written
+
+    def test_commit_copies_via_log_reads(self):
+        system, wrap = make(WrAPScheme)
+        begin(wrap)
+        store(wrap, 0x1000, 0, 5)
+        wrap.on_tx_end(0, 0, 1, now=10)
+        assert system.stats.get("wrap.log_reads") == 1
+        assert system.pm.read_word(0x1000) == 5
+
+    def test_unrelated_eviction_passes_through(self):
+        system, wrap = make(WrAPScheme)
+        begin(wrap)
+        wrap.on_evictions(0, 5, [(0x9000, {0x9000: 1})])
+        assert system.stats.get("mc.writes.data") == 1
+
+
+class TestReDUUnits:
+    def test_data_held_in_dram_until_commit(self):
+        system, redu = make(ReDUScheme)
+        begin(redu)
+        store(redu, 0x1000, 0, 5)
+        assert system.pm.read_word(0x1000) == 0
+        redu.on_tx_end(0, 0, 1, now=10)
+        assert system.pm.read_word(0x1000) == 5
+
+    def test_same_word_updates_coalesce_in_staging(self):
+        system, redu = make(ReDUScheme)
+        begin(redu)
+        store(redu, 0x1000, 0, 5)
+        store(redu, 0x1000, 5, 6)
+        redu.on_tx_end(0, 0, 1, now=10)
+        # One merged entry + tuple = 2 log writes.
+        assert system.stats.get("mc.writes.log") == 2
+
+    def test_logs_truncated_after_data_drain(self):
+        system, redu = make(ReDUScheme)
+        begin(redu)
+        store(redu, 0x1000, 0, 5)
+        redu.on_tx_end(0, 0, 1, now=10)
+        assert system.region.total_persisted() == 0
+
+    def test_eviction_of_buffered_line_dropped(self):
+        system, redu = make(ReDUScheme)
+        begin(redu)
+        store(redu, 0x1000, 0, 5)
+        redu.on_evictions(0, 5, [(0x1000, {0x1000: 5})])
+        assert system.stats.get("mc.writes.data", 0) == 0
+
+
+class TestProteusUnits:
+    def test_logs_stay_on_chip_in_common_case(self):
+        system, proteus = make(ProteusScheme)
+        begin(proteus)
+        store(proteus, 0x1000, 0, 5)
+        assert system.stats.get("mc.writes.log", 0) == 0
+
+    def test_commit_flushes_data_and_commit_record(self):
+        system, proteus = make(ProteusScheme)
+        begin(proteus)
+        system.hierarchy.store(0, 0x1000, 5)
+        store(proteus, 0x1000, 0, 5)
+        stall = proteus.on_tx_end(0, 0, 1, now=0)
+        assert system.pm.read_word(0x1000) == 5
+        assert stall > 250  # waits for the data line's media write
+        assert system.region.is_committed(0, 1)
+
+    def test_eviction_forces_covering_undo_logs(self):
+        system, proteus = make(ProteusScheme)
+        begin(proteus)
+        store(proteus, 0x1000, 3, 5)
+        proteus.on_evictions(0, 5, [(0x1000, {0x1000: 5})])
+        logs = system.region.logs_for_thread(0)
+        assert len(logs) == 1
+        assert logs[0].kind == "undo" and logs[0].old == 3
+
+    def test_crash_flushes_pending_undo(self):
+        system, proteus = make(ProteusScheme)
+        begin(proteus)
+        store(proteus, 0x1000, 3, 5)
+        proteus.on_crash({0: (0, 1)}, now=10)
+        logs = system.region.logs_for_thread(0)
+        assert logs and logs[0].old == 3

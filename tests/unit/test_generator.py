@@ -1,0 +1,78 @@
+"""Unit tests for the log generator (Section III-B, III-C)."""
+
+import pytest
+
+from repro.common.errors import TransactionError
+from repro.common.stats import Stats
+from repro.hwlog.generator import LogGenerator
+
+
+def make_gen():
+    return LogGenerator(core_id=0, stats=Stats())
+
+
+class TestLifecycle:
+    def test_txid_increments(self):
+        gen = make_gen()
+        first = gen.tx_begin(tid=0)
+        gen.tx_end()
+        second = gen.tx_begin(tid=0)
+        assert second == first + 1
+
+    def test_engine_can_impose_txid(self):
+        gen = make_gen()
+        assert gen.tx_begin(tid=0, txid=77) == 77
+
+    def test_txid_wraps_at_16_bits(self):
+        gen = make_gen()
+        assert gen.tx_begin(tid=0, txid=(1 << 16) + 5) == 5
+
+    def test_nested_begin_rejected(self):
+        gen = make_gen()
+        gen.tx_begin(tid=0)
+        with pytest.raises(TransactionError):
+            gen.tx_begin(tid=0)
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(TransactionError):
+            make_gen().tx_end()
+
+    def test_in_transaction_flag(self):
+        gen = make_gen()
+        assert not gen.in_transaction
+        gen.tx_begin(tid=2)
+        assert gen.in_transaction
+        assert gen.current_tid == 2
+        gen.tx_end()
+        assert not gen.in_transaction
+        assert gen.current_txid is None
+
+
+class TestStoreCapture:
+    def test_store_outside_tx_produces_no_log(self):
+        gen = make_gen()
+        assert gen.on_store(0x1000, 1, 2) is None
+
+    def test_store_inside_tx_produces_entry(self):
+        gen = make_gen()
+        txid = gen.tx_begin(tid=3)
+        e = gen.on_store(0x1000, old=1, new=2)
+        assert e is not None
+        assert (e.tid, e.txid, e.addr, e.old, e.new) == (3, txid, 0x1000, 1, 2)
+        assert e.flush_bit is False
+
+    def test_log_ignorance_for_silent_store(self):
+        """Section III-C: a write that does not change the word is not
+        logged at all."""
+        gen = make_gen()
+        gen.tx_begin(tid=0)
+        assert gen.on_store(0x1000, old=5, new=5) is None
+        assert gen.stats.get("loggen.ignored") == 1
+
+    def test_counters(self):
+        gen = make_gen()
+        gen.tx_begin(tid=0)
+        gen.on_store(0x1000, 1, 2)
+        gen.on_store(0x1008, 3, 3)
+        assert gen.stats.get("loggen.stores_seen") == 2
+        assert gen.stats.get("loggen.entries") == 1

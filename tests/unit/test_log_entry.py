@@ -1,0 +1,57 @@
+"""Unit tests for the log entry (Fig. 6)."""
+
+import pytest
+
+from repro.hwlog.entry import LogEntry
+
+
+class TestFields:
+    def test_basic_construction(self):
+        e = LogEntry(tid=1, txid=2, addr=0x1000, old=3, new=4)
+        assert (e.tid, e.txid, e.addr, e.old, e.new) == (1, 2, 0x1000, 3, 4)
+        assert e.flush_bit is False
+
+    def test_tid_is_8_bits(self):
+        LogEntry(255, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            LogEntry(256, 0, 0, 0, 0)
+
+    def test_txid_is_16_bits(self):
+        LogEntry(0, 65535, 0, 0, 0)
+        with pytest.raises(ValueError):
+            LogEntry(0, 65536, 0, 0, 0)
+
+    def test_addr_is_48_bits(self):
+        LogEntry(0, 0, (1 << 48) - 8, 0, 0)
+        with pytest.raises(ValueError):
+            LogEntry(0, 0, 1 << 48, 0, 0)
+
+    def test_data_words_masked_to_64_bits(self):
+        e = LogEntry(0, 0, 0, old=1 << 65, new=(1 << 64) + 7)
+        assert e.old == 0
+        assert e.new == 7
+
+    def test_sizes_match_paper(self):
+        assert LogEntry.UNDO_REDO_SIZE == 26
+        assert LogEntry.UNDO_SIZE == 18
+
+
+class TestBehaviour:
+    def test_merge_new_keeps_old(self):
+        e = LogEntry(0, 0, 0x1000, old=10, new=11)
+        e.merge_new(12)
+        assert e.old == 10
+        assert e.new == 12
+
+    def test_line_addr(self):
+        e = LogEntry(0, 0, 0x1038, 0, 0)
+        assert e.line_addr == 0x1000
+
+    def test_id_tuple(self):
+        e = LogEntry(3, 9, 0, 0, 0)
+        assert e.id_tuple() == (3, 9)
+
+    def test_repr_round_trips_fields(self):
+        e = LogEntry(1, 2, 0x1000, 3, 4, flush_bit=True)
+        text = repr(e)
+        assert "fb=1" in text and "tid=1" in text and "txid=2" in text

@@ -1,0 +1,120 @@
+"""Unit tests for the battery-backed log buffer."""
+
+import pytest
+
+from repro.common.config import LogBufferConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import Stats
+from repro.hwlog.entry import LogEntry
+from repro.hwlog.logbuffer import AppendResult, LogBuffer
+
+
+def make_buffer(entries=4):
+    return LogBuffer(LogBufferConfig(entries=entries), Stats(), name="buf")
+
+
+def entry(addr, old=0, new=1, tid=0, txid=1):
+    return LogEntry(tid, txid, addr, old, new)
+
+
+class TestOfferAndMerge:
+    def test_append(self):
+        buf = make_buffer()
+        assert buf.offer(entry(0x1000)) is AppendResult.APPENDED
+        assert buf.occupancy == 1
+
+    def test_merge_same_word(self):
+        """Fig. 7: Log(A0->A1) + Log(A1->A2) merge to Log(A0->A2)."""
+        buf = make_buffer()
+        buf.offer(entry(0x1000, old=0xA0, new=0xA1))
+        result = buf.offer(entry(0x1000, old=0xA1, new=0xA2))
+        assert result is AppendResult.MERGED
+        merged = buf.find(0x1000)
+        assert merged.old == 0xA0
+        assert merged.new == 0xA2
+        assert buf.occupancy == 1
+
+    def test_merge_never_crosses_transactions(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000, txid=1))
+        with pytest.raises(SimulationError):
+            buf.offer(entry(0x1000, txid=2))
+
+    def test_full_signals_overflow(self):
+        buf = make_buffer(entries=2)
+        buf.offer(entry(0x1000))
+        buf.offer(entry(0x1040))
+        assert buf.offer(entry(0x1080)) is AppendResult.FULL
+        assert buf.is_full
+
+    def test_merge_possible_even_when_full(self):
+        buf = make_buffer(entries=1)
+        buf.offer(entry(0x1000, old=1, new=2))
+        assert buf.offer(entry(0x1000, old=2, new=3)) is AppendResult.MERGED
+
+    def test_peak_occupancy_stat(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        buf.offer(entry(0x1040))
+        assert buf.stats.get("buf.peak_occupancy") == 2
+
+
+class TestFlushBits:
+    def test_mark_line_flushed_matches_all_words_of_line(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        buf.offer(entry(0x1008))
+        buf.offer(entry(0x1040))  # different line
+        marked = buf.mark_line_flushed(0x1000)
+        assert marked == 2
+        assert buf.find(0x1000).flush_bit
+        assert buf.find(0x1008).flush_bit
+        assert not buf.find(0x1040).flush_bit
+
+    def test_mark_is_idempotent(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        buf.mark_line_flushed(0x1000)
+        assert buf.mark_line_flushed(0x1000) == 0
+
+    def test_mark_no_match(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        assert buf.mark_line_flushed(0x2000) == 0
+
+
+class TestEvictionAndDrain:
+    def test_pop_oldest_fifo(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        buf.offer(entry(0x1040))
+        buf.offer(entry(0x1080))
+        popped = buf.pop_oldest(2)
+        assert [e.addr for e in popped] == [0x1000, 0x1040]
+        assert buf.occupancy == 1
+
+    def test_pop_more_than_available(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        assert len(buf.pop_oldest(10)) == 1
+
+    def test_drain_preserves_fifo_order_and_clears(self):
+        buf = make_buffer()
+        for i in range(3):
+            buf.offer(entry(0x1000 + 0x40 * i))
+        drained = buf.drain()
+        assert [e.addr for e in drained] == [0x1000, 0x1040, 0x1080]
+        assert buf.occupancy == 0
+
+    def test_remove_by_addr(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        removed = buf.remove(0x1000)
+        assert removed.addr == 0x1000
+        assert buf.remove(0x1000) is None
+
+    def test_len(self):
+        buf = make_buffer()
+        assert len(buf) == 0
+        buf.offer(entry(0x1000))
+        assert len(buf) == 1

@@ -1,0 +1,140 @@
+"""Unit tests for the workload instrumentation layer."""
+
+import pytest
+
+from repro.common.errors import AddressError, TransactionError
+from repro.trace.ops import Load, Store
+from repro.workloads.memspace import PMHeap, RecordingMemory, WorkloadContext
+
+
+class TestPMHeap:
+    def test_alloc_is_aligned(self):
+        heap = PMHeap(0)
+        addr = heap.alloc(10, align=64)
+        assert addr % 64 == 0
+
+    def test_allocations_do_not_overlap(self):
+        heap = PMHeap(0)
+        a = heap.alloc(100)
+        b = heap.alloc(100)
+        assert b >= a + 100
+
+    def test_alloc_line_is_line_aligned(self):
+        assert PMHeap(0).alloc_line() % 64 == 0
+
+    def test_thread_arenas_disjoint(self):
+        a, b = PMHeap(0), PMHeap(1)
+        assert a.alloc(64) != b.alloc(64)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(AddressError):
+            PMHeap(0).alloc(0)
+
+    def test_exhaustion_raises(self):
+        heap = PMHeap(0)
+        with pytest.raises(AddressError):
+            heap.alloc(1 << 40)
+
+    def test_used_bytes(self):
+        heap = PMHeap(0)
+        heap.alloc(64)
+        assert heap.used_bytes >= 64
+
+
+class TestRecordingMemory:
+    def test_setup_writes_become_initial_image(self):
+        mem = RecordingMemory(0)
+        mem.write(0x1000, 1)
+        mem.begin_tx()
+        mem.write(0x1000, 2)
+        mem.commit()
+        assert mem.initial_image() == {0x1000: 1}
+
+    def test_tx_writes_recorded_as_stores(self):
+        mem = RecordingMemory(0)
+        mem.begin_tx()
+        mem.write(0x1000, 7)
+        tx = mem.commit()
+        assert tx.ops == [Store(0x1000, 7)]
+
+    def test_tx_reads_recorded_and_line_deduped(self):
+        mem = RecordingMemory(0)
+        mem.begin_tx()
+        mem.read(0x1000)
+        mem.read(0x1008)  # same line: deduplicated
+        mem.read(0x2000)
+        tx = mem.commit()
+        loads = [op for op in tx.ops if type(op) is Load]
+        assert loads == [Load(0x1000), Load(0x2000)]
+
+    def test_dedup_can_be_disabled(self):
+        mem = RecordingMemory(0, dedup_loads=False)
+        mem.begin_tx()
+        mem.read(0x1000)
+        mem.read(0x1008)
+        tx = mem.commit()
+        assert len(tx.ops) == 2
+
+    def test_reads_observe_tx_writes(self):
+        mem = RecordingMemory(0)
+        mem.begin_tx()
+        mem.write(0x1000, 5)
+        assert mem.read(0x1000) == 5
+        mem.commit()
+
+    def test_peek_is_unrecorded(self):
+        mem = RecordingMemory(0)
+        mem.write(0x1000, 5)
+        mem.begin_tx()
+        assert mem.peek(0x1000) == 5
+        tx = mem.commit()
+        assert tx.ops == []
+
+    def test_write_outside_tx_after_setup_rejected(self):
+        mem = RecordingMemory(0)
+        mem.begin_tx()
+        mem.commit()
+        with pytest.raises(TransactionError):
+            mem.write(0x1000, 1)
+
+    def test_nested_tx_rejected(self):
+        mem = RecordingMemory(0)
+        mem.begin_tx()
+        with pytest.raises(TransactionError):
+            mem.begin_tx()
+
+    def test_commit_without_begin_rejected(self):
+        with pytest.raises(TransactionError):
+            RecordingMemory(0).commit()
+
+    def test_unaligned_access_rejected(self):
+        mem = RecordingMemory(0)
+        with pytest.raises(AddressError):
+            mem.write(0x1001, 1)
+        with pytest.raises(AddressError):
+            mem.read(0x1004)
+
+    def test_field_helpers(self):
+        mem = RecordingMemory(0)
+        mem.write_field(0x1000, 2, 9)
+        assert mem.peek_field(0x1000, 2) == 9
+        assert mem.peek(0x1010) == 9
+
+
+class TestWorkloadContext:
+    def test_build_trace_merges_initial_images(self):
+        ctx = WorkloadContext(2, "demo")
+        for mem in ctx.memories:
+            base = mem.heap.alloc(8)
+            mem.write(base, mem.tid + 1)
+            mem.begin_tx()
+            mem.write(base, 42)
+            mem.commit()
+        trace = ctx.build_trace()
+        assert trace.name == "demo"
+        assert len(trace.threads) == 2
+        assert len(trace.initial_image) == 2
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(TransactionError):
+            WorkloadContext(0, "x")

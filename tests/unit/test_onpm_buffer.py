@@ -1,0 +1,121 @@
+"""Unit tests for the on-PM write-coalescing buffer (Fig. 9)."""
+
+from repro.common.stats import Stats
+from repro.mem.media import PMMedia
+from repro.mem.onpm_buffer import OnPMBuffer
+
+
+def make_buffer(lines=4):
+    stats = Stats()
+    media = PMMedia(stats)
+    return OnPMBuffer(media, lines=lines, stats=stats), media, stats
+
+
+class TestCoalescing:
+    def test_case1_overlapping_words_latest_wins(self):
+        """Fig. 9 case 1: a later word overwrites an earlier one at the
+        same address before the line reaches the media."""
+        buf, media, stats = make_buffer()
+        buf.write_words({0x110: 1})
+        buf.write_words({0x110: 2})
+        buf.drain()
+        assert media.read_word(0x110) == 2
+        assert stats.get("media.sector_writes") == 1
+        assert stats.get("onpm.coalesced_words") == 1
+
+    def test_case2_same_line_different_words_one_media_write(self):
+        """Fig. 9 case 2: words in the same on-PM line are stored
+        together without writing the media twice."""
+        buf, media, stats = make_buffer()
+        buf.write_words({0x190: 4})   # addr 400-ish region, same 256B line
+        buf.write_words({0x19A & ~7: 5})
+        buf.drain()
+        assert stats.get("onpm.line_evictions") == 1
+
+    def test_case3_cachelines_share_buffer_with_words(self):
+        """Fig. 9 case 3: an 8B word and a 64B cacheline coalesce in
+        the same on-PM line."""
+        buf, media, stats = make_buffer()
+        buf.write_words({0x240: 6})  # single new-data word
+        line = {0x200 + 8 * i: i + 1 for i in range(8)}  # 64B cacheline
+        buf.write_words(line)
+        buf.drain()
+        assert stats.get("onpm.line_evictions") == 1
+        assert media.read_word(0x240) == 6
+
+    def test_multi_line_request_spans_lines(self):
+        buf, media, stats = make_buffer()
+        buf.write_words({0x0: 1, 0x100: 2})
+        assert buf.resident_lines == 2
+
+
+class TestEviction:
+    def test_lru_eviction_on_capacity(self):
+        buf, media, stats = make_buffer(lines=2)
+        buf.write_words({0x000: 1})
+        buf.write_words({0x100: 2})
+        buf.write_words({0x200: 3})  # evicts line 0x000
+        assert buf.resident_lines == 2
+        assert media.read_word(0x000) == 1   # reached the media
+        assert media.read_word(0x200) == 0   # still buffered
+
+    def test_touch_refreshes_lru(self):
+        buf, media, stats = make_buffer(lines=2)
+        buf.write_words({0x000: 1})
+        buf.write_words({0x100: 2})
+        buf.write_words({0x008: 9})  # touch line 0x000
+        buf.write_words({0x200: 3})  # should evict 0x100, not 0x000
+        assert media.read_word(0x100) == 2
+        assert media.read_word(0x000) == 0
+
+    def test_write_words_returns_sectors_evicted(self):
+        buf, media, stats = make_buffer(lines=1)
+        line = {0x0 + 8 * i: i + 1 for i in range(16)}  # 128B = 2 sectors
+        buf.write_words(line)
+        sectors = buf.write_words({0x100: 1})
+        assert sectors == 2
+
+    def test_drain_flushes_everything(self):
+        buf, media, stats = make_buffer()
+        buf.write_words({0x0: 1, 0x100: 2, 0x200: 3})
+        drained = buf.drain()
+        assert drained == 3
+        assert buf.resident_lines == 0
+        assert media.read_word(0x200) == 3
+
+
+class TestWriteThrough:
+    def test_write_through_reaches_media_immediately(self):
+        buf, media, stats = make_buffer()
+        sectors = buf.write_words({0x0: 7}, write_through=True)
+        assert sectors == 1
+        assert buf.resident_lines == 0
+        assert media.read_word(0x0) == 7
+
+    def test_write_through_takes_pending_words_along(self):
+        buf, media, stats = make_buffer()
+        buf.write_words({0x8: 1})
+        buf.write_words({0x0: 2}, write_through=True)
+        assert media.read_word(0x8) == 1
+
+    def test_redundant_write_through_costs_nothing(self):
+        buf, media, stats = make_buffer()
+        buf.write_words({0x0: 7}, write_through=True)
+        sectors = buf.write_words({0x0: 7}, write_through=True)
+        assert sectors == 0
+
+
+class TestReads:
+    def test_read_observes_pending_data(self):
+        buf, media, stats = make_buffer()
+        buf.write_words({0x40: 11})
+        assert buf.read_word(0x40) == 11
+
+    def test_read_falls_through_to_media(self):
+        buf, media, stats = make_buffer()
+        media.load_image({0x40: 5})
+        assert buf.read_word(0x40) == 5
+
+    def test_capacity_property(self):
+        buf, _, _ = make_buffer(lines=4)
+        assert buf.capacity == 4

@@ -1,0 +1,80 @@
+"""Unit tests for the PM device and region layout."""
+
+import pytest
+
+from repro.common.errors import AddressError, ConfigError
+from repro.common.stats import Stats
+from repro.mem.pm import PMDevice, RegionLayout
+
+
+class TestRegionLayout:
+    def test_default_layout_separates_regions(self):
+        layout = RegionLayout(threads=4)
+        assert layout.in_data_region(0x1000)
+        assert not layout.in_log_region(0x1000)
+        base, size = layout.thread_log_area(0)
+        assert layout.in_log_region(base)
+        assert not layout.in_data_region(base)
+
+    def test_thread_areas_disjoint_and_sized(self):
+        layout = RegionLayout(threads=3, per_thread_log_size=1 << 20)
+        areas = [layout.thread_log_area(t) for t in range(3)]
+        for (b1, s1), (b2, _) in zip(areas, areas[1:]):
+            assert b1 + s1 == b2
+
+    def test_rejects_bad_thread_id(self):
+        layout = RegionLayout(threads=2)
+        with pytest.raises(AddressError):
+            layout.thread_log_area(2)
+        with pytest.raises(AddressError):
+            layout.thread_log_area(-1)
+
+    def test_rejects_overlapping_log_region(self):
+        with pytest.raises(ConfigError):
+            RegionLayout(data_base=0, data_size=1 << 20, log_base=1 << 10)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigError):
+            RegionLayout(threads=0)
+
+
+class TestPMDevice:
+    def test_write_request_is_functionally_visible(self):
+        pm = PMDevice(stats=Stats())
+        pm.write_request({0x1000: 42})
+        assert pm.read_word(0x1000) == 42  # via the on-PM buffer
+
+    def test_traffic_kind_accounting(self):
+        pm = PMDevice(stats=Stats())
+        pm.write_request({0x1000: 1}, kind="log")
+        pm.write_request({0x2000: 2}, kind="data")
+        assert pm.stats.get("pm.requests.log") == 1
+        assert pm.stats.get("pm.requests.data") == 1
+        assert pm.stats.get("pm.request_bytes.log") == 8
+
+    def test_empty_request_free(self):
+        pm = PMDevice(stats=Stats())
+        assert pm.write_request({}) == 0
+        assert pm.stats.get("pm.requests.data") == 0
+
+    def test_drain_pushes_buffered_lines_to_media(self):
+        pm = PMDevice(stats=Stats())
+        pm.write_request({0x1000: 1})
+        assert pm.media.read_word(0x1000) == 0  # still buffered
+        pm.drain()
+        assert pm.media.read_word(0x1000) == 1
+
+    def test_media_writes_property(self):
+        pm = PMDevice(stats=Stats())
+        pm.write_request({0x1000: 1}, write_through=True)
+        assert pm.media_writes == 1
+
+    def test_read_counts(self):
+        pm = PMDevice(stats=Stats())
+        pm.read_word(0x0)
+        assert pm.stats.get("pm.reads") == 1
+
+    def test_read_words_batch(self):
+        pm = PMDevice(stats=Stats())
+        pm.write_request({0x1000: 5})
+        assert pm.read_words([0x1000, 0x1008]) == {0x1000: 5, 0x1008: 0}

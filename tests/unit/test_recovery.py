@@ -1,0 +1,133 @@
+"""Unit tests for the shared WAL recovery walk (Section III-G)."""
+
+from repro.common.stats import Stats
+from repro.core.recovery import wal_recover
+from repro.core.silo import _silo_redo_filter, _silo_undo_filter
+from repro.hwlog.entry import LogEntry
+from repro.hwlog.region import LogRegion
+from repro.mem.pm import PMDevice, RegionLayout
+
+
+def make_env():
+    stats = Stats()
+    layout = RegionLayout(threads=2)
+    pm = PMDevice(layout=layout, stats=stats)
+    region = LogRegion(layout, stats)
+    return pm, region
+
+
+def persist(region, tid, txid, triples, kind="undo_redo", flush_bit=False):
+    entries = []
+    for addr, old, new in triples:
+        e = LogEntry(tid, txid, addr, old, new, flush_bit=flush_bit)
+        entries.append(e)
+    region.persist_entries(tid, entries, kind, per_request=1, request_span=64)
+
+
+class TestCommittedReplay:
+    def test_redo_replay_restores_new_values(self):
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 1, 2), (0x1008, 3, 4)])
+        region.persist_commit_tuple(0, 1)
+        report = wal_recover(region, pm)
+        assert report.replayed == 2
+        assert pm.media.read_word(0x1000) == 2
+        assert pm.media.read_word(0x1008) == 4
+
+    def test_replay_in_append_order(self):
+        """Two committed transactions of one thread writing the same
+        word: the later value must win."""
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 0, 1)])
+        persist(region, 0, 2, [(0x1000, 1, 2)])
+        region.persist_commit_tuple(0, 1)
+        region.persist_commit_tuple(0, 2)
+        wal_recover(region, pm)
+        assert pm.media.read_word(0x1000) == 2
+
+
+class TestUncommittedRevoke:
+    def test_undo_revoke_restores_old_values(self):
+        pm, region = make_env()
+        pm.media.load_image({0x1000: 1})
+        pm.write_request({0x1000: 2})  # partial update hit PM
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        report = wal_recover(region, pm)
+        assert report.revoked == 1
+        assert pm.media.read_word(0x1000) == 1
+
+    def test_revoke_applies_in_reverse_order(self):
+        """If (exceptionally) two entries exist for one word, the
+        oldest old-value must win the revoke."""
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 10, 11), (0x1000, 11, 12)])
+        wal_recover(region, pm)
+        assert pm.media.read_word(0x1000) == 10
+
+
+class TestSiloFilters:
+    def test_committed_discards_overflow_undo_logs(self):
+        """Fig. 10g: a committed transaction's flush-bit-1 overflow
+        undo logs are identified and discarded."""
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 1, 2)], kind="undo", flush_bit=True)
+        persist(region, 0, 1, [(0x1008, 3, 4)], kind="redo", flush_bit=False)
+        region.persist_commit_tuple(0, 1)
+        report = wal_recover(
+            region, pm, redo_filter=_silo_redo_filter, undo_filter=_silo_undo_filter
+        )
+        assert report.replayed == 1
+        assert report.discarded == 1
+        assert pm.media.read_word(0x1008) == 4
+        assert pm.media.read_word(0x1000) == 0  # undo log not replayed
+
+    def test_uncommitted_revokes_all_undo(self):
+        pm, region = make_env()
+        pm.media.load_image({0x1000: 1, 0x1008: 3})
+        pm.write_request({0x1000: 2, 0x1008: 4})
+        persist(region, 0, 1, [(0x1000, 1, 2)], kind="undo", flush_bit=True)
+        persist(region, 0, 1, [(0x1008, 3, 4)], kind="undo", flush_bit=False)
+        wal_recover(
+            region, pm, redo_filter=_silo_redo_filter, undo_filter=_silo_undo_filter
+        )
+        assert pm.media.read_word(0x1000) == 1
+        assert pm.media.read_word(0x1008) == 3
+
+
+class TestReportAndTruncation:
+    def test_region_truncated_after_recovery(self):
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        wal_recover(region, pm)
+        assert region.total_persisted() == 0
+
+    def test_truncate_false_keeps_logs(self):
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        wal_recover(region, pm, truncate=False)
+        assert region.total_persisted() == 1
+
+    def test_report_lists_transactions(self):
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        persist(region, 1, 5, [(0x2000, 0, 9)])
+        region.persist_commit_tuple(0, 1)
+        report = wal_recover(region, pm)
+        assert report.committed_txs == [(0, 1)]
+        assert report.uncommitted_txs == [(1, 5)]
+
+    def test_recovery_traffic_tagged(self):
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        region.persist_commit_tuple(0, 1)
+        wal_recover(region, pm)
+        assert pm.stats.get("pm.requests.recovery") == 1
+
+    def test_idempotent_recovery(self):
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        region.persist_commit_tuple(0, 1)
+        wal_recover(region, pm, truncate=False)
+        first = pm.media.snapshot()
+        wal_recover(region, pm)
+        assert pm.media.snapshot() == first

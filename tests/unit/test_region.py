@@ -1,0 +1,124 @@
+"""Unit tests for the PM log region."""
+
+from repro.common.stats import Stats
+from repro.hwlog.entry import LogEntry
+from repro.hwlog.region import LogRegion
+from repro.mem.pm import RegionLayout
+
+
+def make_region(threads=2):
+    return LogRegion(RegionLayout(threads=threads), Stats())
+
+
+def entries(n, tid=0, txid=1, base=0x1000):
+    return [LogEntry(tid, txid, base + 8 * i, i, i + 1) for i in range(n)]
+
+
+class TestPersist:
+    def test_one_entry_per_request_occupies_own_line(self):
+        region = make_region()
+        requests = region.persist_entries(
+            0, entries(2), kind="undo_redo", per_request=1, request_span=64
+        )
+        assert len(requests) == 2
+        lines = {min(req) & ~63 for req in requests}
+        assert len(lines) == 2  # each request on a fresh 64B line
+
+    def test_packed_entries_share_line(self):
+        region = make_region()
+        requests = region.persist_entries(
+            0, entries(2), kind="undo_redo", per_request=2, request_span=64
+        )
+        assert len(requests) == 1
+        sectors = {addr & ~63 for addr in requests[0]}
+        assert len(sectors) == 1
+
+    def test_overflow_batch_fits_one_onpm_line(self):
+        region = make_region()
+        requests = region.persist_entries(
+            0, entries(14), kind="undo", per_request=14, request_span=256
+        )
+        assert len(requests) == 1
+        onpm_lines = {addr & ~255 for addr in requests[0]}
+        assert len(onpm_lines) == 1
+
+    def test_entries_get_log_addresses_in_thread_area(self):
+        region = make_region()
+        layout = region.layout
+        es = entries(3)
+        region.persist_entries(0, es, kind="undo", per_request=14, request_span=256)
+        base, size = layout.thread_log_area(0)
+        for e in es:
+            assert base <= e.log_addr < base + size
+
+    def test_threads_use_disjoint_areas(self):
+        region = make_region()
+        e0, e1 = entries(1, tid=0), entries(1, tid=1)
+        r0 = region.persist_entries(0, e0, "undo", 1, 64)
+        r1 = region.persist_entries(1, e1, "undo", 1, 64)
+        assert set(r0[0]).isdisjoint(set(r1[0]))
+
+    def test_records_preserve_append_order(self):
+        region = make_region()
+        region.persist_entries(0, entries(3), "undo", 1, 64)
+        logs = region.logs_for_thread(0)
+        assert [log.addr for log in logs] == [0x1000, 0x1008, 0x1010]
+
+    def test_records_snapshot_flush_bit_and_kind(self):
+        region = make_region()
+        e = entries(1)[0]
+        e.flush_bit = True
+        region.persist_entries(0, [e], "undo", 1, 64)
+        log = region.logs_for_thread(0)[0]
+        assert log.flush_bit is True
+        assert log.kind == "undo"
+
+    def test_request_counters(self):
+        region = make_region()
+        region.persist_entries(0, entries(3), "redo", 2, 64)
+        assert region.stats.get("region.requests") == 2
+        assert region.stats.get("region.entries.redo") == 3
+
+
+class TestCommitTuples:
+    def test_persist_commit_tuple_marks_committed(self):
+        region = make_region()
+        words = region.persist_commit_tuple(0, 7)
+        assert words  # a real write to submit
+        assert region.is_committed(0, 7)
+        assert not region.is_committed(0, 8)
+
+    def test_commit_tuples_set(self):
+        region = make_region()
+        region.persist_commit_tuple(1, 3)
+        assert region.commit_tuples == {(1, 3)}
+
+
+class TestTruncation:
+    def test_discard_tx_removes_only_that_tx(self):
+        region = make_region()
+        region.persist_entries(0, entries(2, txid=1), "undo", 1, 64)
+        region.persist_entries(0, entries(2, txid=2, base=0x2000), "undo", 1, 64)
+        removed = region.discard_tx(0, 1)
+        assert removed == 2
+        assert all(log.txid == 2 for log in region.logs_for_thread(0))
+
+    def test_discard_unknown_tx_is_noop(self):
+        region = make_region()
+        assert region.discard_tx(0, 99) == 0
+
+    def test_truncate_all(self):
+        region = make_region()
+        region.persist_entries(0, entries(2), "undo", 1, 64)
+        region.persist_commit_tuple(0, 1)
+        region.truncate_all()
+        assert region.total_persisted() == 0
+        assert not region.is_committed(0, 1)
+
+    def test_truncate_thread(self):
+        region = make_region()
+        region.persist_entries(0, entries(2), "undo", 1, 64)
+        region.persist_entries(1, entries(2, tid=1), "undo", 1, 64)
+        region.truncate_thread(0)
+        assert region.logs_for_thread(0) == []
+        assert len(region.logs_for_thread(1)) == 2

@@ -1,0 +1,58 @@
+"""Unit tests for RunResult's derived metrics."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.stats import Stats
+from repro.sim.results import RunResult
+
+
+def make_result(**kwargs):
+    stats = kwargs.pop("stats", Stats())
+    defaults = dict(
+        scheme="silo",
+        trace_name="t",
+        config=SystemConfig.table2(1),
+        stats=stats,
+    )
+    defaults.update(kwargs)
+    return RunResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_runtime_uses_frequency(self):
+        result = make_result(end_cycle=2_000_000_000)
+        assert result.runtime_seconds == pytest.approx(1.0)  # 2 GHz
+
+    def test_throughput(self):
+        result = make_result(end_cycle=2_000_000_000, committed={(0, i) for i in range(10)})
+        assert result.throughput_tx_per_sec == pytest.approx(10.0)
+
+    def test_zero_cycles_zero_throughput(self):
+        assert make_result(end_cycle=0).throughput_tx_per_sec == 0.0
+
+    def test_media_writes_from_stats(self):
+        stats = Stats()
+        stats.add("media.sector_writes", 42)
+        assert make_result(stats=stats).media_writes == 42
+
+    def test_writes_per_transaction(self):
+        stats = Stats()
+        stats.add("media.sector_writes", 40)
+        result = make_result(stats=stats, committed={(0, 0), (0, 1)})
+        assert result.writes_per_transaction == 20.0
+
+    def test_writes_per_transaction_no_commits(self):
+        assert make_result().writes_per_transaction == 0.0
+
+    def test_traffic_breakdown_strips_prefix(self):
+        stats = Stats()
+        stats.add("mc.writes.log", 3)
+        stats.add("mc.writes.data", 5)
+        stats.add("mc.writes", 8)
+        breakdown = make_result(stats=stats).traffic_breakdown()
+        assert breakdown == {"log": 3, "data": 5}
+
+    def test_committed_count(self):
+        result = make_result(committed={(0, 0), (1, 0)})
+        assert result.committed_count == 2

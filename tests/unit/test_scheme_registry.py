@@ -1,0 +1,60 @@
+"""Unit tests for the scheme registry and base-class defaults."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.designs.scheme import LoggingScheme, SchemeRegistry
+from repro.sim.system import System
+
+
+class TestRegistry:
+    def test_all_five_designs_registered(self):
+        assert set(SchemeRegistry.names()) >= {
+            "base",
+            "fwb",
+            "morlog",
+            "lad",
+            "silo",
+        }
+
+    def test_create_returns_fresh_instances(self):
+        system = System(SystemConfig.table2(1))
+        a = SchemeRegistry.create("silo", system)
+        b = SchemeRegistry.create("silo", System(SystemConfig.table2(1)))
+        assert a is not b
+        assert a.name == "silo"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            SchemeRegistry.create("nope", System(SystemConfig.table2(1)))
+
+    def test_factory(self):
+        make = SchemeRegistry.factory("lad")
+        scheme = make(System(SystemConfig.table2(1)))
+        assert scheme.name == "lad"
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigError):
+
+            @SchemeRegistry.register
+            class Clash(LoggingScheme):  # pragma: no cover - class body only
+                name = "silo"
+
+                def on_store(self, *a, **k):
+                    return 0
+
+                def on_tx_end(self, *a, **k):
+                    return 0
+
+
+class TestDefaults:
+    def test_default_eviction_posts_data_writes(self):
+        system = System(SystemConfig.table2(1))
+        scheme = SchemeRegistry.create("base", system)
+        stall = LoggingScheme.on_evictions(
+            scheme, 0, 0, [(0x1000, {0x1000: 1})]
+        )
+        assert stall == 0
+        assert system.stats.get("mc.writes.data") == 1
+        assert system.pm.read_word(0x1000) == 1

@@ -1,0 +1,93 @@
+"""Unit tests for trace serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.trace.serialize import (
+    TraceFormatError,
+    dumps,
+    load_trace,
+    loads,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.trace.synthetic import SyntheticTraceConfig, synthetic_trace
+from repro.trace.trace import ThreadTrace, Trace, Transaction
+from repro.workloads import build_workload
+
+
+def sample_trace():
+    t0 = ThreadTrace(0, [Transaction().store(0x1000, 7).load(0x2000)])
+    t1 = ThreadTrace(3, [Transaction().store(0x3000, 9), Transaction()])
+    return Trace([t0, t1], initial_image={0x1000: 1}, name="sample")
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        trace = sample_trace()
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.name == "sample"
+        assert rebuilt.initial_image == {0x1000: 1}
+        assert [t.tid for t in rebuilt.threads] == [0, 3]
+        assert rebuilt.threads[0].transactions[0].ops == trace.threads[0].transactions[0].ops
+
+    def test_string_round_trip(self):
+        trace = sample_trace()
+        assert loads(dumps(trace)).total_transactions == 3
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        save_trace(sample_trace(), path)
+        rebuilt = load_trace(path)
+        assert rebuilt.total_transactions == 3
+
+    def test_filelike_round_trip(self):
+        buffer = io.StringIO()
+        save_trace(sample_trace(), buffer)
+        buffer.seek(0)
+        assert load_trace(buffer).name == "sample"
+
+    def test_workload_trace_round_trip(self):
+        trace = build_workload("hash", threads=2, transactions=10)
+        rebuilt = loads(dumps(trace))
+        assert rebuilt.total_transactions == trace.total_transactions
+        assert rebuilt.mean_write_size_bytes() == trace.mean_write_size_bytes()
+        for a, b in zip(trace.threads, rebuilt.threads):
+            for ta, tb in zip(a, b):
+                assert ta.ops == tb.ops
+
+    def test_round_tripped_trace_simulates_identically(self):
+        from repro.common.config import SystemConfig
+        from repro.sim.engine import run_trace as run
+
+        trace = build_workload("queue", threads=1, transactions=15)
+        rebuilt = loads(dumps(trace))
+        r1 = run(trace, scheme="silo", config=SystemConfig.table2(1))
+        r2 = run(rebuilt, scheme="silo", config=SystemConfig.table2(1))
+        assert r1.end_cycle == r2.end_cycle
+        assert r1.media_writes == r2.media_writes
+
+
+class TestErrors:
+    def test_unknown_version_rejected(self):
+        payload = trace_to_dict(sample_trace())
+        payload["version"] = 99
+        with pytest.raises(TraceFormatError):
+            trace_from_dict(payload)
+
+    def test_missing_threads_rejected(self):
+        with pytest.raises(TraceFormatError):
+            trace_from_dict({"version": 1, "initial_image": []})
+
+    def test_unknown_op_tag_rejected(self):
+        payload = trace_to_dict(sample_trace())
+        payload["threads"][0]["transactions"][0][0][0] = "x"
+        with pytest.raises(TraceFormatError):
+            trace_from_dict(payload)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(json.JSONDecodeError):
+            loads("{not json")

@@ -1,0 +1,170 @@
+"""Unit tests for the Silo scheme's internal mechanics."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.silo import SiloScheme
+from repro.sim.system import System
+
+
+@pytest.fixture
+def env():
+    system = System(SystemConfig.table2(cores=1))
+    return system, SiloScheme(system)
+
+
+def store(scheme, addr, old, new, now=0, core=0, tid=0, txid=1):
+    return scheme.on_store(core, tid, txid, addr, old, new, now, access=None)
+
+
+class TestCommonCase:
+    def test_store_has_no_critical_path_cost(self, env):
+        system, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        assert store(silo, 0x1000, 0, 1) == 0
+
+    def test_commit_is_a_handshake(self, env):
+        system, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 0, 1)
+        stall = silo.on_tx_end(0, 0, 1, now=100)
+        assert stall == system.config.commit_handshake_cycles
+
+    def test_commit_flushes_new_data_to_data_region(self, env):
+        system, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 0, 42)
+        silo.on_tx_end(0, 0, 1, now=10)
+        assert system.pm.read_word(0x1000) == 42
+        assert system.stats.get("mc.writes.log", 0) == 0
+
+    def test_commit_groups_words_by_cacheline(self, env):
+        system, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 0, 1)
+        store(silo, 0x1008, 0, 2)   # same line
+        store(silo, 0x2000, 0, 3)   # other line
+        silo.on_tx_end(0, 0, 1, now=10)
+        assert system.stats.get("mc.writes.data") == 2
+
+    def test_silent_store_generates_nothing(self, env):
+        system, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 7, 7)
+        silo.on_tx_end(0, 0, 1, now=10)
+        assert system.stats.get("mc.writes", 0) == 0
+
+    def test_buffer_empty_after_commit(self, env):
+        _, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 0, 1)
+        silo.on_tx_end(0, 0, 1, now=10)
+        assert silo._bufs[0].occupancy == 0
+
+
+class TestFlushBit:
+    def test_eviction_sets_flush_bit_and_skips_inplace(self, env):
+        system, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 0, 42)
+        # The line holding the logged word is evicted mid-transaction.
+        silo.on_evictions(0, 5, [(0x1000, {0x1000: 42})])
+        assert silo._bufs[0].find(0x1000).flush_bit
+        before = system.stats.get("mc.writes.data")
+        silo.on_tx_end(0, 0, 1, now=10)
+        assert system.stats.get("mc.writes.data") == before  # discarded
+        assert system.stats.get("silo.flushbit_discarded") == 1
+
+    def test_unrelated_eviction_leaves_flush_bit(self, env):
+        _, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 0, 42)
+        silo.on_evictions(0, 5, [(0x9000, {0x9000: 1})])
+        assert not silo._bufs[0].find(0x1000).flush_bit
+
+
+class TestOverflow:
+    def test_overflow_spills_oldest_batch(self, env):
+        system, silo = env
+        capacity = system.config.log_buffer.entries
+        silo.on_tx_begin(0, 0, 1, now=0)
+        for i in range(capacity + 1):
+            store(silo, 0x1000 + 8 * i, 0, i + 1)
+        assert system.stats.get("silo.overflows") == 1
+        assert system.stats.get("silo.overflow_entries") == 14
+        # Spilled new data already reached the data region.
+        assert system.pm.read_word(0x1000) == 1
+
+    def test_overflow_logs_are_undo_kind_with_flush_bit(self, env):
+        system, silo = env
+        capacity = system.config.log_buffer.entries
+        silo.on_tx_begin(0, 0, 1, now=0)
+        for i in range(capacity + 1):
+            store(silo, 0x1000 + 8 * i, 0, i + 1)
+        logs = system.region.logs_for_thread(0)
+        assert logs and all(l.kind == "undo" and l.flush_bit for l in logs)
+
+    def test_overflow_records_discarded_at_commit(self, env):
+        system, silo = env
+        capacity = system.config.log_buffer.entries
+        silo.on_tx_begin(0, 0, 1, now=0)
+        for i in range(capacity + 1):
+            store(silo, 0x1000 + 8 * i, 0, i + 1)
+        silo.on_tx_end(0, 0, 1, now=100)
+        assert system.region.total_persisted() == 0
+
+
+class TestCrashPaths:
+    def test_crash_mid_tx_flushes_undo_logs(self, env):
+        system, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 5, 6)
+        silo.on_crash({0: (0, 1)}, now=50)
+        logs = system.region.logs_for_thread(0)
+        assert len(logs) == 1
+        assert logs[0].kind == "undo"
+        assert logs[0].old == 5
+
+    def test_interrupted_commit_flushes_redo_and_tuple(self, env):
+        system, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 5, 6)
+        assert silo.interrupted_commit(0, 0, 1, now=50) is True
+        logs = system.region.logs_for_thread(0)
+        assert logs[0].kind == "redo" and not logs[0].flush_bit
+        assert system.region.is_committed(0, 1)
+
+    def test_interrupted_commit_skips_flushed_entries(self, env):
+        system, silo = env
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 5, 6)
+        store(silo, 0x2000, 1, 2)
+        silo.on_evictions(0, 5, [(0x2000, {0x2000: 2})])
+        silo.interrupted_commit(0, 0, 1, now=50)
+        logs = system.region.logs_for_thread(0)
+        assert [l.addr for l in logs] == [0x1000]
+
+
+class TestAblationKnobs:
+    def test_no_merging_appends_duplicates(self):
+        system = System(SystemConfig.table2(cores=1))
+        silo = SiloScheme(system, merging=False)
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 0, 1)
+        store(silo, 0x1000, 1, 2)
+        assert silo._bufs[0].occupancy == 2
+
+    def test_no_ignorance_logs_silent_stores(self):
+        system = System(SystemConfig.table2(cores=1))
+        silo = SiloScheme(system, ignore_silent=False)
+        silo.on_tx_begin(0, 0, 1, now=0)
+        store(silo, 0x1000, 7, 7)
+        assert silo._bufs[0].occupancy == 1
+
+    def test_custom_overflow_batch(self):
+        system = System(SystemConfig.table2(cores=1))
+        silo = SiloScheme(system, overflow_batch=4)
+        silo.on_tx_begin(0, 0, 1, now=0)
+        for i in range(system.config.log_buffer.entries + 1):
+            store(silo, 0x1000 + 8 * i, 0, i + 1)
+        assert system.stats.get("silo.overflow_entries") == 4

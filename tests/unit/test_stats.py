@@ -1,0 +1,74 @@
+"""Unit tests for the Stats registry."""
+
+from repro.common.stats import Stats
+
+
+class TestStats:
+    def test_add_default_increment(self):
+        s = Stats()
+        s.add("x")
+        s.add("x")
+        assert s.get("x") == 2
+
+    def test_add_amount(self):
+        s = Stats()
+        s.add("bytes", 64)
+        s.add("bytes", 8)
+        assert s.get("bytes") == 72
+
+    def test_get_default(self):
+        assert Stats().get("missing") == 0
+        assert Stats().get("missing", 7) == 7
+
+    def test_set_overwrites(self):
+        s = Stats()
+        s.add("x", 5)
+        s.set("x", 2)
+        assert s.get("x") == 2
+
+    def test_max_tracks_maximum(self):
+        s = Stats()
+        s.max("peak", 3)
+        s.max("peak", 10)
+        s.max("peak", 7)
+        assert s.get("peak") == 10
+
+    def test_merge_accumulates(self):
+        a, b = Stats(), Stats()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_reset(self):
+        s = Stats()
+        s.add("x")
+        s.reset()
+        assert s.get("x") == 0
+        assert "x" not in s
+
+    def test_items_sorted(self):
+        s = Stats()
+        s.add("b")
+        s.add("a")
+        assert [k for k, _ in s.items()] == ["a", "b"]
+
+    def test_contains(self):
+        s = Stats()
+        s.add("present")
+        assert "present" in s
+        assert "absent" not in s
+
+    def test_as_dict_is_copy(self):
+        s = Stats()
+        s.add("x")
+        d = s.as_dict()
+        d["x"] = 99
+        assert s.get("x") == 1
+
+    def test_repr_mentions_counters(self):
+        s = Stats()
+        s.add("hits", 3)
+        assert "hits" in repr(s)

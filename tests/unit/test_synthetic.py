@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic trace generator."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.trace.ops import Load, Store
+from repro.trace.synthetic import (
+    SyntheticTraceConfig,
+    arena_word_addr,
+    synthetic_trace,
+)
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            SyntheticTraceConfig(threads=0)
+        with pytest.raises(ConfigError):
+            SyntheticTraceConfig(write_set_words=0)
+        with pytest.raises(ConfigError):
+            SyntheticTraceConfig(write_set_words=100, arena_words=50)
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        cfg = SyntheticTraceConfig(transactions_per_thread=5, seed=1)
+        a, b = synthetic_trace(cfg), synthetic_trace(cfg)
+        for ta, tb in zip(a.threads[0], b.threads[0]):
+            assert ta.ops == tb.ops
+
+    def test_different_seed_differs(self):
+        a = synthetic_trace(SyntheticTraceConfig(transactions_per_thread=5, seed=1))
+        b = synthetic_trace(SyntheticTraceConfig(transactions_per_thread=5, seed=2))
+        assert any(
+            ta.ops != tb.ops for ta, tb in zip(a.threads[0], b.threads[0])
+        )
+
+    def test_transaction_counts(self):
+        trace = synthetic_trace(
+            SyntheticTraceConfig(threads=3, transactions_per_thread=4)
+        )
+        assert len(trace.threads) == 3
+        assert trace.total_transactions == 12
+
+    def test_write_set_size_honored(self):
+        trace = synthetic_trace(
+            SyntheticTraceConfig(
+                transactions_per_thread=10, write_set_words=6, rewrite_fraction=0
+            )
+        )
+        for tx in trace.all_transactions():
+            assert tx.distinct_words() == 6
+
+    def test_rewrites_create_merge_candidates(self):
+        trace = synthetic_trace(
+            SyntheticTraceConfig(
+                transactions_per_thread=20, write_set_words=8, rewrite_fraction=1.0
+            )
+        )
+        tx = next(trace.all_transactions())
+        assert len(tx.stores) == 16
+        assert tx.distinct_words() == 8
+
+    def test_silent_fraction_produces_silent_stores(self):
+        trace = synthetic_trace(
+            SyntheticTraceConfig(
+                transactions_per_thread=30,
+                write_set_words=8,
+                silent_fraction=1.0,
+                rewrite_fraction=0.0,
+            )
+        )
+        current = dict(trace.initial_image)
+        silent = total = 0
+        for tx in trace.all_transactions():
+            for op in tx.ops:
+                if type(op) is Store:
+                    total += 1
+                    if current.get(op.addr, 0) == op.value:
+                        silent += 1
+                    current[op.addr] = op.value
+        assert silent == total
+
+    def test_initial_image_covers_arena(self):
+        cfg = SyntheticTraceConfig(threads=2, arena_words=16, write_set_words=4)
+        trace = synthetic_trace(cfg)
+        assert arena_word_addr(0, 0) in trace.initial_image
+        assert arena_word_addr(1, 15) in trace.initial_image
+
+    def test_loads_generated(self):
+        trace = synthetic_trace(
+            SyntheticTraceConfig(transactions_per_thread=5, loads_per_store=1.0)
+        )
+        tx = next(trace.all_transactions())
+        assert any(type(op) is Load for op in tx.ops)
+
+    def test_thread_arenas_disjoint(self):
+        assert arena_word_addr(0, 4095) < arena_word_addr(1, 0)

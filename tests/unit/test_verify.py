@@ -1,0 +1,68 @@
+"""Unit tests for the atomic-durability checker itself."""
+
+from repro.common.config import SystemConfig
+from repro.sim.system import System
+from repro.sim.verify import check_atomic_durability, expected_image
+from repro.trace.trace import ThreadTrace, Trace, Transaction
+
+
+def two_thread_trace():
+    t0 = ThreadTrace(0, [
+        Transaction().store(0x1000, 1),
+        Transaction().store(0x1000, 2).store(0x1008, 3),
+    ])
+    t1 = ThreadTrace(1, [Transaction().store(0x2000, 9)])
+    return Trace([t0, t1], initial_image={0x1000: 7}, name="v")
+
+
+class TestExpectedImage:
+    def test_no_commits_is_initial_image(self):
+        trace = two_thread_trace()
+        assert expected_image(trace, set()) == {0x1000: 7}
+
+    def test_partial_commits(self):
+        trace = two_thread_trace()
+        image = expected_image(trace, {(0, 0)})
+        assert image[0x1000] == 1
+        assert 0x1008 not in image
+
+    def test_later_tx_overwrites_earlier(self):
+        trace = two_thread_trace()
+        image = expected_image(trace, {(0, 0), (0, 1)})
+        assert image[0x1000] == 2
+        assert image[0x1008] == 3
+
+    def test_threads_independent(self):
+        trace = two_thread_trace()
+        image = expected_image(trace, {(1, 0)})
+        assert image[0x2000] == 9
+        assert image[0x1000] == 7
+
+
+class TestChecker:
+    def test_clean_system_matches_empty_commit_set(self):
+        trace = two_thread_trace()
+        system = System(SystemConfig.table2(2))
+        system.install_image(trace.initial_image)
+        assert check_atomic_durability(system, trace, set()) == []
+
+    def test_detects_missing_committed_write(self):
+        trace = two_thread_trace()
+        system = System(SystemConfig.table2(2))
+        system.install_image(trace.initial_image)
+        mismatches = check_atomic_durability(system, trace, {(0, 0)})
+        assert (0x1000, 7, 1) in mismatches
+
+    def test_detects_leaked_uncommitted_write(self):
+        trace = two_thread_trace()
+        system = System(SystemConfig.table2(2))
+        system.install_image({0x1000: 7, 0x2000: 9})  # t1 leaked
+        mismatches = check_atomic_durability(system, trace, set())
+        assert (0x2000, 9, 0) in mismatches
+
+    def test_mismatches_sorted_by_address(self):
+        trace = two_thread_trace()
+        system = System(SystemConfig.table2(2))
+        mismatches = check_atomic_durability(system, trace, {(0, 1), (1, 0)})
+        addrs = [a for a, _, _ in mismatches]
+        assert addrs == sorted(addrs)

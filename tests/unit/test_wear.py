@@ -1,0 +1,102 @@
+"""Unit tests for PM wear/endurance analysis."""
+
+import pytest
+
+from repro.analysis.wear import (
+    WearReport,
+    compare_wear,
+    hottest_sectors,
+    wear_report,
+)
+from repro.common.config import SystemConfig
+from repro.common.errors import ReproError
+from repro.common.stats import Stats
+from repro.designs.scheme import SchemeRegistry
+from repro.mem.media import PMMedia
+from repro.sim.engine import TransactionEngine
+from repro.sim.system import System
+from repro.workloads import build_workload
+
+
+class TestMediaWearProfile:
+    def test_profile_counts_changed_sectors(self):
+        media = PMMedia(Stats())
+        media.write_line({0x1000: 1})
+        media.write_line({0x1000: 2})
+        media.write_line({0x2000: 3})
+        profile = media.wear_profile()
+        assert profile[0x1000] == 2
+        assert profile[0x2000] == 1
+
+    def test_redundant_writes_cost_no_wear(self):
+        media = PMMedia(Stats())
+        media.write_line({0x1000: 1})
+        media.write_line({0x1000: 1})
+        assert media.wear_profile()[0x1000] == 1
+
+    def test_load_image_causes_no_wear(self):
+        media = PMMedia(Stats())
+        media.load_image({0x1000: 5})
+        assert media.wear_profile() == {}
+
+
+class TestWearReport:
+    def run_one(self, scheme):
+        trace = build_workload("ycsb", threads=2, transactions=100)
+        system = System(SystemConfig.table2(2))
+        result = TransactionEngine(
+            system, SchemeRegistry.create(scheme, system), trace
+        ).run()
+        return system, result
+
+    def test_report_fields_consistent(self):
+        system, result = self.run_one("silo")
+        report = wear_report(system, result)
+        assert report.total_writes == result.media_writes
+        assert report.peak_writes >= report.mean_writes
+        assert 0 < report.hot_spot_share <= 1
+        assert report.total_per_transaction > 0
+
+    def test_empty_system_report(self):
+        system = System(SystemConfig.table2(1))
+
+        class Dummy:
+            committed_count = 0
+            media_writes = 0
+
+        report = wear_report(system, Dummy())
+        assert report.total_writes == 0
+        assert report.relative_lifetime(report) == float("inf")
+
+    def test_silo_extends_lifetime_over_base(self):
+        """The endurance claim: fewer writes, longer PM lifetime."""
+        reports = {}
+        for scheme in ("base", "silo"):
+            system, result = self.run_one(scheme)
+            reports[scheme] = wear_report(system, result)
+        lifetimes = compare_wear(reports)
+        assert lifetimes["base"] == pytest.approx(1.0)
+        assert lifetimes["silo"] > 4.0
+
+    def test_estimated_lifetime_scales_with_capacity(self):
+        report = WearReport(100, 10, 20, 10.0, 0.2, 2.0, 10.0)
+        small = report.estimated_lifetime_transactions(capacity_sectors=10)
+        big = report.estimated_lifetime_transactions(capacity_sectors=100)
+        assert big == pytest.approx(10 * small)
+
+    def test_unleveled_lifetime_uses_peak(self):
+        hot = WearReport(100, 10, 50, 10.0, 0.5, 5.0, 10.0)
+        cool = WearReport(100, 10, 10, 10.0, 0.1, 1.0, 10.0)
+        assert cool.relative_unleveled_lifetime(hot) == pytest.approx(5.0)
+        assert cool.relative_lifetime(hot) == pytest.approx(1.0)
+
+    def test_hottest_sectors_sorted(self):
+        system, _ = self.run_one("base")
+        top = hottest_sectors(system, top=5)
+        counts = [c for _, c in top]
+        assert counts == sorted(counts, reverse=True)
+        assert len(top) == 5
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ReproError):
+            compare_wear({}, baseline="base")

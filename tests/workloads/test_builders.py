@@ -1,0 +1,155 @@
+"""Tests for the workload trace builders (Table III / Fig. 4)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.trace.ops import Store
+from repro.workloads.registry import (
+    FIG4_WORKLOADS,
+    FIG_WORKLOADS,
+    MACRO_WORKLOADS,
+    MICRO_WORKLOADS,
+    WORKLOADS,
+    build_workload,
+)
+
+
+class TestRegistry:
+    def test_all_eleven_workloads_present(self):
+        assert len(FIG4_WORKLOADS) == 11
+        assert set(FIG4_WORKLOADS) <= set(WORKLOADS)
+
+    def test_fig_workloads_are_micro_plus_macro(self):
+        assert FIG_WORKLOADS == MICRO_WORKLOADS + MACRO_WORKLOADS
+        assert len(FIG_WORKLOADS) == 7
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            build_workload("nope")
+
+
+@pytest.mark.parametrize("name", FIG4_WORKLOADS)
+class TestEveryWorkload:
+    def test_builds_and_has_transactions(self, name):
+        trace = build_workload(name, threads=2, transactions=20)
+        assert trace.total_transactions == 40
+        assert len(trace.threads) == 2
+
+    def test_deterministic(self, name):
+        a = build_workload(name, threads=1, transactions=10)
+        b = build_workload(name, threads=1, transactions=10)
+        for ta, tb in zip(a.threads[0], b.threads[0]):
+            assert ta.ops == tb.ops
+
+    def test_write_size_below_half_kb(self, name):
+        """The Fig. 4 observation: real PM transactions write little."""
+        trace = build_workload(name, threads=1, transactions=50)
+        assert trace.mean_write_size_bytes() < 512
+
+    def test_stores_word_aligned_in_data_region(self, name):
+        trace = build_workload(name, threads=1, transactions=10)
+        for tx in trace.all_transactions():
+            for op in tx.ops:
+                if type(op) is Store:
+                    assert op.addr % 8 == 0
+                    assert op.addr < 8 << 30  # inside the data region
+
+
+class TestOpsPerTx:
+    @pytest.mark.parametrize("name", FIG_WORKLOADS)
+    def test_ops_per_tx_scales_write_size(self, name):
+        small = build_workload(name, threads=1, transactions=20, ops_per_tx=1)
+        big = build_workload(name, threads=1, transactions=20, ops_per_tx=4)
+        assert (
+            big.mean_write_size_bytes() > 2 * small.mean_write_size_bytes()
+        )
+
+
+class TestTPCC:
+    def test_full_mix_runs_all_types(self):
+        trace = build_workload("tpcc", threads=1, transactions=300, mix="full")
+        sizes = [tx.write_size_bytes for tx in trace.all_transactions()]
+        assert min(sizes) == 0  # read-only types (order-status/stock-level)
+        assert max(sizes) > 100  # new-order
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            build_workload("tpcc", threads=1, transactions=5, mix="weird")
+
+    def test_next_order_ids_monotonic(self):
+        from repro.workloads.memspace import RecordingMemory
+        from repro.workloads.tpcc import TPCCWarehouse
+        import random
+
+        mem = RecordingMemory(0)
+        warehouse = TPCCWarehouse(mem, 0)
+        rng = random.Random(0)
+        before = [mem.peek_field(d, 1) for d in warehouse.districts]
+        for _ in range(30):
+            warehouse.new_order(rng)
+        after = [mem.peek_field(d, 1) for d in warehouse.districts]
+        assert sum(after) - sum(before) == 30
+
+
+class TestBank:
+    def test_transfers_conserve_total_balance(self):
+        from repro.workloads.bank import BankDatabase
+        from repro.workloads.memspace import RecordingMemory
+        import random
+
+        mem = RecordingMemory(0)
+        bank = BankDatabase(mem, accounts=16)
+        rng = random.Random(1)
+        initial_total = bank.total_balance()
+        for _ in range(100):
+            a, b = rng.randrange(16), rng.randrange(16)
+            if a != b:
+                bank.transfer(a, b, rng.randint(1, 100))
+        assert bank.total_balance() == initial_total
+
+
+class TestYCSB:
+    def test_zipf_sampler_is_skewed(self):
+        from repro.workloads.ycsb import ZipfSampler
+        import random
+
+        zipf = ZipfSampler(100, theta=0.99)
+        rng = random.Random(2)
+        samples = [zipf.sample(rng) for _ in range(2000)]
+        head = sum(1 for s in samples if s < 10)
+        assert head > len(samples) * 0.4  # top 10% of keys dominate
+
+    def test_updates_mostly_silent(self):
+        """Row marshalling rewrites the record; only a couple of field
+        words actually change."""
+        trace = build_workload("ycsb", threads=1, transactions=50, read_fraction=0)
+        current = dict(trace.initial_image)
+        silent = total = 0
+        for tx in trace.all_transactions():
+            for op in tx.ops:
+                if type(op) is Store:
+                    total += 1
+                    if current.get(op.addr, 0) == op.value:
+                        silent += 1
+                    current[op.addr] = op.value
+        assert silent / total > 0.5
+
+
+class TestArray:
+    def test_swap_is_mostly_silent(self):
+        """Section VI-D: ~90% of Array's logs are ignorable."""
+        trace = build_workload("array", threads=1, transactions=50)
+        current = dict(trace.initial_image)
+        silent = total = 0
+        for tx in trace.all_transactions():
+            for op in tx.ops:
+                if type(op) is Store:
+                    total += 1
+                    if current.get(op.addr, 0) == op.value:
+                        silent += 1
+                    current[op.addr] = op.value
+        assert silent / total > 0.8
+
+    def test_swap_write_size_is_two_elements(self):
+        trace = build_workload("array", threads=1, transactions=10)
+        assert trace.mean_write_size_bytes() == 128.0

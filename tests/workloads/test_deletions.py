@@ -1,0 +1,216 @@
+"""Deletion support across the persistent data structures."""
+
+import random
+
+import pytest
+
+from repro.workloads.btree import BTree, MAX_KEYS, _CHILD0, _LEAF_FLAG
+from repro.workloads.ctrie import CritBitTrie
+from repro.workloads.hashtable import HashTable
+from repro.workloads.memspace import RecordingMemory
+from repro.workloads.rbtree import RBTree
+from repro.workloads.rtree import RadixTree
+
+
+def check_btree_shape(mem, tree):
+    """Every non-root node within [min, max] keys; keys sorted."""
+
+    def walk(node, is_root, lo, hi):
+        raw = mem.peek_field(node, 0)
+        count = raw & ~_LEAF_FLAG
+        leaf = bool(raw & _LEAF_FLAG)
+        assert count <= MAX_KEYS
+        if not is_root:
+            assert count >= tree._MIN_KEYS
+        keys = [mem.peek_field(node, 1 + i * 8) for i in range(count)]
+        assert keys == sorted(keys)
+        for key in keys:
+            assert lo < key < hi
+        if not leaf:
+            bounds = [lo] + keys + [hi]
+            for i in range(count + 1):
+                walk(
+                    mem.peek_field(node, _CHILD0 + i), False, bounds[i], bounds[i + 1]
+                )
+
+    walk(mem.peek(tree.root_cell), True, -1, 1 << 62)
+
+
+class TestBTreeDelete:
+    def test_delete_leaf_keys(self):
+        tree = BTree(RecordingMemory(0))
+        for key in range(1, 9):
+            tree.insert(key)
+        assert tree.delete(3)
+        assert not tree.contains(3)
+        assert all(tree.contains(k) for k in (1, 2, 4, 5, 6, 7, 8))
+
+    def test_delete_absent_returns_false(self):
+        tree = BTree(RecordingMemory(0))
+        tree.insert(1)
+        assert not tree.delete(99)
+        assert tree.contains(1)
+
+    def test_delete_triggers_merges_and_root_shrink(self):
+        mem = RecordingMemory(0)
+        tree = BTree(mem)
+        keys = list(range(1, 200))
+        for key in keys:
+            tree.insert(key)
+        for key in keys[:-3]:
+            assert tree.delete(key)
+        check_btree_shape(mem, tree)
+        for key in keys[-3:]:
+            assert tree.contains(key)
+
+    def test_delete_internal_keys(self):
+        mem = RecordingMemory(0)
+        tree = BTree(mem)
+        for key in range(1, 100):
+            tree.insert(key)
+        # Deleting in insertion order repeatedly hits internal slots.
+        for key in range(1, 100, 7):
+            assert tree.delete(key)
+            assert not tree.contains(key)
+        check_btree_shape(mem, tree)
+
+    def test_randomized_against_reference(self):
+        rng = random.Random(11)
+        mem = RecordingMemory(0)
+        tree = BTree(mem)
+        ref = set()
+        for step in range(1500):
+            if ref and rng.random() < 0.45:
+                key = rng.choice(sorted(ref))
+                ref.discard(key)
+                assert tree.delete(key)
+            else:
+                key = rng.getrandbits(14) + 1
+                if key not in ref:
+                    tree.insert(key)
+                    ref.add(key)
+        check_btree_shape(mem, tree)
+        for key in ref:
+            assert tree.contains(key)
+        for _ in range(200):
+            key = rng.getrandbits(14) + 1
+            assert tree.contains(key) == (key in ref)
+
+
+class TestRBTreeDelete:
+    def test_delete_preserves_invariants(self):
+        rng = random.Random(12)
+        tree = RBTree(RecordingMemory(0))
+        ref = set()
+        for step in range(1200):
+            if ref and rng.random() < 0.45:
+                key = rng.choice(sorted(ref))
+                ref.discard(key)
+                assert tree.delete(key)
+            else:
+                key = rng.getrandbits(14) + 1
+                if key not in ref:
+                    tree.insert(key, step)
+                    ref.add(key)
+            if step % 200 == 0:
+                assert tree.black_height_valid()
+        assert tree.black_height_valid()
+        for key in ref:
+            assert tree.contains(key)
+
+    def test_delete_root(self):
+        tree = RBTree(RecordingMemory(0))
+        tree.insert(5, 1)
+        assert tree.delete(5)
+        assert not tree.contains(5)
+        assert tree.black_height_valid()
+
+    def test_delete_absent(self):
+        tree = RBTree(RecordingMemory(0))
+        tree.insert(5, 1)
+        assert not tree.delete(6)
+
+    def test_delete_down_to_empty(self):
+        tree = RBTree(RecordingMemory(0))
+        keys = list(range(1, 64))
+        for key in keys:
+            tree.insert(key, key)
+        for key in keys:
+            assert tree.delete(key)
+            assert tree.black_height_valid()
+        assert not tree.contains(1)
+
+
+class TestHashRemove:
+    def test_remove_unlinks(self):
+        table = HashTable(RecordingMemory(0), buckets=4)
+        table.insert(1, 10)
+        table.insert(2, 20)
+        assert table.remove(1)
+        assert table.lookup(1) is None
+        assert table.lookup(2) == 20
+
+    def test_remove_absent(self):
+        table = HashTable(RecordingMemory(0), buckets=4)
+        assert not table.remove(7)
+
+    def test_remove_middle_of_chain(self):
+        table = HashTable(RecordingMemory(0), buckets=1)
+        for key in (1, 2, 3):
+            table.insert(key, key * 10)
+        assert table.remove(2)
+        assert table.lookup(1) == 10
+        assert table.lookup(2) is None
+        assert table.lookup(3) == 30
+
+    def test_insert_updates_in_place(self):
+        table = HashTable(RecordingMemory(0), buckets=4)
+        table.insert(1, 10)
+        table.insert(1, 11)
+        assert table.lookup(1) == 11
+        assert table.remove(1)
+        assert table.lookup(1) is None  # no stale duplicate behind
+
+
+class TestTrieDeletes:
+    def test_rtree_delete(self):
+        tree = RadixTree(RecordingMemory(0))
+        tree.insert(0xABCDE, 5)
+        assert tree.delete(0xABCDE)
+        assert tree.lookup(0xABCDE) is None
+        assert not tree.delete(0xABCDE)
+
+    def test_rtree_delete_missing_path(self):
+        tree = RadixTree(RecordingMemory(0))
+        assert not tree.delete(0x12345)
+
+    def test_ctrie_delete_collapses_parent(self):
+        trie = CritBitTrie(RecordingMemory(0))
+        trie.insert(0b1000, 1)
+        trie.insert(0b1001, 2)
+        assert trie.delete(0b1000)
+        assert trie.lookup(0b1000) is None
+        assert trie.lookup(0b1001) == 2
+
+    def test_ctrie_delete_last_key_empties_root(self):
+        trie = CritBitTrie(RecordingMemory(0))
+        trie.insert(42, 1)
+        assert trie.delete(42)
+        assert trie.lookup(42) is None
+        trie.insert(43, 2)  # reusable afterwards
+        assert trie.lookup(43) == 2
+
+    def test_ctrie_randomized(self):
+        rng = random.Random(13)
+        trie = CritBitTrie(RecordingMemory(0))
+        ref = {}
+        for step in range(1000):
+            key = rng.getrandbits(16) + 1
+            if key in ref and rng.random() < 0.5:
+                assert trie.delete(key)
+                del ref[key]
+            else:
+                trie.insert(key, step)
+                ref[key] = step
+        for key, value in ref.items():
+            assert trie.lookup(key) == value

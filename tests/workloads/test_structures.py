@@ -1,0 +1,170 @@
+"""Structural-correctness tests for the persistent data structures.
+
+The workloads are real implementations: these tests drive them through
+the recording memory and check their own invariants (search trees stay
+sorted/balanced, queues stay FIFO, lookups find what was inserted).
+"""
+
+import random
+
+from repro.workloads.btree import BTree, MAX_KEYS
+from repro.workloads.ctrie import CritBitTrie
+from repro.workloads.hashtable import HashTable, hash_mix
+from repro.workloads.memspace import RecordingMemory
+from repro.workloads.queue import PersistentQueue
+from repro.workloads.rbtree import RBTree
+from repro.workloads.rtree import RadixTree
+
+
+class TestBTree:
+    def test_insert_and_contains(self):
+        mem = RecordingMemory(0)
+        tree = BTree(mem)
+        keys = random.Random(1).sample(range(1, 10_000), 300)
+        for key in keys:
+            tree.insert(key)
+        for key in keys:
+            assert tree.contains(key)
+        assert not tree.contains(10_001)
+
+    def test_splits_preserve_membership(self):
+        mem = RecordingMemory(0)
+        tree = BTree(mem)
+        # Sorted insertion forces repeated rightmost splits.
+        for key in range(1, 200):
+            tree.insert(key)
+        for key in range(1, 200):
+            assert tree.contains(key)
+
+    def test_node_capacity_respected(self):
+        mem = RecordingMemory(0)
+        tree = BTree(mem)
+        for key in range(1, 100):
+            tree.insert(key)
+
+        def check(node):
+            count = mem.peek_field(node, 0) & ~(1 << 62)
+            leaf = bool(mem.peek_field(node, 0) & (1 << 62))
+            assert count <= MAX_KEYS
+            if not leaf:
+                for i in range(count + 1):
+                    child_base = 1 + MAX_KEYS * 8 + i
+                    check(mem.peek_field(node, child_base))
+
+        check(mem.peek(tree.root_cell))
+
+
+class TestRBTree:
+    def test_invariants_after_random_inserts(self):
+        mem = RecordingMemory(0)
+        tree = RBTree(mem)
+        keys = random.Random(2).sample(range(1, 100_000), 400)
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        assert tree.black_height_valid()
+        for key in keys:
+            assert tree.contains(key)
+
+    def test_invariants_after_sorted_inserts(self):
+        mem = RecordingMemory(0)
+        tree = RBTree(mem)
+        for key in range(1, 300):
+            tree.insert(key, key)
+        assert tree.black_height_valid()
+
+    def test_empty_tree_valid(self):
+        assert RBTree(RecordingMemory(0)).black_height_valid()
+
+
+class TestHashTable:
+    def test_insert_lookup(self):
+        mem = RecordingMemory(0)
+        table = HashTable(mem, buckets=64)
+        rng = random.Random(3)
+        pairs = {rng.getrandbits(48): i for i in range(200)}
+        for key, value in pairs.items():
+            table.insert(key, value)
+        for key, value in pairs.items():
+            assert table.lookup(key) == value
+        assert table.lookup(0xDEAD) is None
+
+    def test_chaining_handles_collisions(self):
+        mem = RecordingMemory(0)
+        table = HashTable(mem, buckets=1)  # everything collides
+        for i in range(20):
+            table.insert(i + 1, i)
+        for i in range(20):
+            assert table.lookup(i + 1) == i
+
+    def test_hash_mix_spreads(self):
+        values = {hash_mix(i) % 64 for i in range(1000)}
+        assert len(values) == 64
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        mem = RecordingMemory(0)
+        q = PersistentQueue(mem)
+        for i in range(10):
+            q.enqueue(i + 1)
+        assert [q.dequeue() for _ in range(10)] == list(range(1, 11))
+
+    def test_dequeue_empty_returns_none(self):
+        q = PersistentQueue(RecordingMemory(0))
+        assert q.dequeue() is None
+        assert q.is_empty()
+
+    def test_interleaved_operations(self):
+        q = PersistentQueue(RecordingMemory(0))
+        q.enqueue(1)
+        q.enqueue(2)
+        assert q.dequeue() == 1
+        q.enqueue(3)
+        assert q.dequeue() == 2
+        assert q.dequeue() == 3
+        assert q.is_empty()
+
+
+class TestRadixTree:
+    def test_insert_lookup(self):
+        tree = RadixTree(RecordingMemory(0))
+        rng = random.Random(4)
+        pairs = {rng.getrandbits(40): i + 1 for i in range(200)}
+        for key, value in pairs.items():
+            tree.insert(key, value)
+        for key, value in pairs.items():
+            assert tree.lookup(key) == value
+        assert tree.lookup(0x12345) is None
+
+    def test_overwrite(self):
+        tree = RadixTree(RecordingMemory(0))
+        tree.insert(5, 1)
+        tree.insert(5, 2)
+        assert tree.lookup(5) == 2
+
+
+class TestCritBitTrie:
+    def test_insert_lookup(self):
+        trie = CritBitTrie(RecordingMemory(0))
+        rng = random.Random(5)
+        pairs = {rng.getrandbits(48): i + 1 for i in range(300)}
+        for key, value in pairs.items():
+            trie.insert(key, value)
+        for key, value in pairs.items():
+            assert trie.lookup(key) == value
+        # a key sharing a long prefix with an inserted one
+        some = next(iter(pairs))
+        assert trie.lookup(some ^ 1) in (None, pairs.get(some ^ 1))
+
+    def test_update_in_place(self):
+        trie = CritBitTrie(RecordingMemory(0))
+        trie.insert(42, 1)
+        trie.insert(42, 9)
+        assert trie.lookup(42) == 9
+
+    def test_adjacent_keys(self):
+        trie = CritBitTrie(RecordingMemory(0))
+        for key in range(1, 64):
+            trie.insert(key, key * 10)
+        for key in range(1, 64):
+            assert trie.lookup(key) == key * 10

@@ -1,0 +1,134 @@
+"""Deeper behavioural tests for the macro/Fig.-4 workload internals."""
+
+import random
+
+import pytest
+
+from repro.workloads.bank import BankDatabase
+from repro.workloads.memspace import RecordingMemory
+from repro.workloads.tatp import TATPDatabase
+from repro.workloads.tpcc import (
+    DISTRICTS_PER_WAREHOUSE,
+    TPCCWarehouse,
+    _O_OL_HEAD,
+    _OL_AMOUNT,
+    _OL_NEXT,
+)
+from repro.workloads.ycsb import YCSBStore
+
+
+class TestTPCCInternals:
+    def make(self):
+        mem = RecordingMemory(0)
+        return mem, TPCCWarehouse(mem, w_id=0), random.Random(5)
+
+    def test_new_order_links_order_lines(self):
+        mem, warehouse, rng = self.make()
+        warehouse.new_order(rng)
+        order = mem.peek(warehouse.neworder_queues[0])
+        # Find the district that actually got the order.
+        for d in range(DISTRICTS_PER_WAREHOUSE):
+            order = mem.peek(warehouse.neworder_queues[d])
+            if order:
+                break
+        assert order
+        line = mem.peek_field(order, _O_OL_HEAD)
+        count = 0
+        while line:
+            count += 1
+            assert mem.peek_field(line, _OL_AMOUNT) > 0
+            line = mem.peek_field(line, _OL_NEXT)
+        assert 3 <= count <= 8
+
+    def test_delivery_consumes_neworder_queue(self):
+        mem, warehouse, rng = self.make()
+        for _ in range(15):
+            warehouse.new_order(rng)
+        pending_before = sum(
+            1 for d in range(DISTRICTS_PER_WAREHOUSE)
+            if mem.peek(warehouse.neworder_queues[d])
+        )
+        warehouse.delivery(rng)
+        pending_after = sum(
+            1 for d in range(DISTRICTS_PER_WAREHOUSE)
+            if mem.peek(warehouse.neworder_queues[d])
+        )
+        assert pending_before > 0
+        assert pending_after < pending_before or pending_before == 0
+
+    def test_payment_moves_money(self):
+        mem, warehouse, rng = self.make()
+        ytd_before = mem.peek_field(warehouse.warehouse, 1)
+        warehouse.payment(rng)
+        assert mem.peek_field(warehouse.warehouse, 1) > ytd_before
+
+    def test_read_only_types_write_nothing(self):
+        mem, warehouse, rng = self.make()
+        warehouse.new_order(rng)  # give order_status something to read
+        mem.begin_tx()
+        warehouse.order_status(rng)
+        warehouse.stock_level(rng)
+        tx = mem.commit()
+        assert tx.write_size_bytes == 0
+        assert len(tx.ops) > 0  # but they do read
+
+
+class TestTATPInternals:
+    def test_update_location_changes_one_word(self):
+        mem = RecordingMemory(0)
+        db = TATPDatabase(mem, subscribers=8)
+        mem.begin_tx()
+        db.update_location(3, 999)
+        tx = mem.commit()
+        assert tx.write_size_bytes == 8
+        assert db.get_subscriber_data(3) == 999
+
+    def test_update_subscriber_data_two_words(self):
+        mem = RecordingMemory(0)
+        db = TATPDatabase(mem, subscribers=8)
+        mem.begin_tx()
+        db.update_subscriber_data(2, 0b1111, 42)
+        tx = mem.commit()
+        assert tx.write_size_bytes == 16
+
+
+class TestYCSBInternals:
+    def test_read_returns_current_record(self):
+        mem = RecordingMemory(0)
+        store = YCSBStore(mem, records=4)
+        mem.begin_tx()
+        words = store.read(2)
+        mem.commit()
+        assert words[0] == (2 << 8)  # setup value of field 0
+
+    def test_update_changes_requested_fields_only(self):
+        mem = RecordingMemory(0)
+        store = YCSBStore(mem, records=4)
+        before = [mem.peek_field(store.record_addr(1), i) for i in range(8)]
+        mem.begin_tx()
+        store.update(1, payload=12345, fields=2)
+        mem.commit()
+        after = [mem.peek_field(store.record_addr(1), i) for i in range(8)]
+        changed = sum(1 for b, a in zip(before, after) if b != a)
+        assert changed == 2
+
+
+class TestBankInternals:
+    def test_balances_move_exactly(self):
+        mem = RecordingMemory(0)
+        bank = BankDatabase(mem, accounts=4)
+        mem.begin_tx()
+        bank.transfer(0, 1, 25)
+        mem.commit()
+        assert bank.balance(0) == -25
+        assert bank.balance(1) == 25
+
+    def test_audit_ring_wraps(self):
+        mem = RecordingMemory(0)
+        bank = BankDatabase(mem, accounts=2)
+        mem.begin_tx()
+        for _ in range(bank._audit_len + 3):
+            bank.transfer(0, 1, 1)
+        mem.commit()
+        assert bank._audit_pos == 3
+        assert bank.total_balance() == 0
