@@ -1,0 +1,66 @@
+"""Hot-path throughput — the simulator's own speed, not the model's.
+
+Every other benchmark in this directory regenerates a paper figure;
+this one guards the *simulator* instead: trace operations per
+wall-clock second for every (workload, scheme, cores) cell on the
+write-heavy ycsb/tpcc workloads.  Run it before and after touching
+``engine.py``, ``memctrl.py``, the cache hierarchy or the stats layer,
+and compare the emitted ``BENCH_hotpath.json``:
+
+* ``ops_per_sec`` is the perf trajectory (higher is better);
+* ``end_cycle`` is the correctness tripwire — a perf-only change must
+  leave every cell's simulated end cycle bit-identical.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py          # full grid
+    PYTHONPATH=src python -m repro.harness bench --smoke       # CI budget
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness import bench
+
+
+def test_hotpath_throughput(benchmark, bench_tx):
+    result = run_once(
+        benchmark,
+        lambda: bench.run(transactions=bench_tx, output="BENCH_hotpath.json"),
+    )
+    print()
+    print(result.format_report())
+
+    # Every cell measured something and the grid is complete.
+    assert len(result.cells) == len(bench.DEFAULT_WORKLOADS) * len(
+        bench.DEFAULT_SCHEMES
+    ) * len(bench.DEFAULT_CORES)
+    assert all(c.ops_per_sec > 0 for c in result.cells)
+    assert all(c.committed == bench_tx * c.cores for c in result.cells)
+
+    # The simulated-timing shape the perf work must not disturb: the
+    # log-write designs order base slowest / silo fastest at 8 cores.
+    for workload in bench.DEFAULT_WORKLOADS:
+        cycles = {
+            s: result.cell(workload, s, 8).end_cycle
+            for s in bench.DEFAULT_SCHEMES
+        }
+        assert cycles["base"] > cycles["fwb"] > cycles["morlog"]
+        assert cycles["morlog"] > cycles["lad"] > cycles["silo"]
+
+
+def test_hotpath_smoke_budget(benchmark):
+    """The CI smoke grid stays small: two schemes, one core count."""
+    result = run_once(
+        benchmark,
+        lambda: bench.run(smoke=True, output=None),
+    )
+    assert result.smoke
+    assert {c.scheme for c in result.cells} == {"base", "silo"}
+    assert {c.cores for c in result.cells} == {8}
+
+
+if __name__ == "__main__":
+    outcome = bench.run()
+    print(outcome.format_report())
+    print("wrote BENCH_hotpath.json")

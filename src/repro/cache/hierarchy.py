@@ -8,7 +8,6 @@ for dirty words — see :mod:`repro.cache.line`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import SystemConfig
@@ -17,15 +16,32 @@ from repro.cache.line import CacheLine
 from repro.cache.set_assoc import SetAssocCache
 
 
-@dataclass
 class AccessResult:
-    """Outcome of one hierarchy access."""
+    """Outcome of one hierarchy access.
 
-    latency: int
-    hit_level: str
-    #: Dirty lines pushed out of the hierarchy, destined for the MC:
-    #: ``[(line_base, {word_addr: value}), ...]``.
-    writebacks: List[Tuple[int, Dict[int, int]]] = field(default_factory=list)
+    A ``__slots__`` class rather than a dataclass: one result object is
+    allocated per simulated memory access.
+    """
+
+    __slots__ = ("latency", "hit_level", "writebacks")
+
+    def __init__(
+        self,
+        latency: int,
+        hit_level: str,
+        writebacks: Optional[List[Tuple[int, Dict[int, int]]]] = None,
+    ) -> None:
+        self.latency = latency
+        self.hit_level = hit_level
+        #: Dirty lines pushed out of the hierarchy, destined for the
+        #: MC: ``[(line_base, {word_addr: value}), ...]``.
+        self.writebacks = writebacks if writebacks is not None else []
+
+    def __repr__(self) -> str:  # parity with the dataclass it replaced
+        return (
+            f"AccessResult(latency={self.latency}, "
+            f"hit_level={self.hit_level!r}, writebacks={self.writebacks})"
+        )
 
 
 class CacheHierarchy:
@@ -48,6 +64,10 @@ class CacheHierarchy:
         self._lat_l2 = config.l2.latency_cycles
         self._lat_l3 = config.l3.latency_cycles
         self._lat_pm = config.pm_read_cycles
+        #: Shared result for the L1-hit case.  An L1 hit can never
+        #: produce writebacks and callers treat results as read-only,
+        #: so the overwhelmingly common outcome needs no allocation.
+        self._l1_hit = AccessResult(self._lat_l1, "l1", ())
 
     # ------------------------------------------------------------------
     # Core-facing accesses
@@ -67,10 +87,17 @@ class CacheHierarchy:
     def _fetch_into_l1(
         self, core: int, base: int
     ) -> Tuple[CacheLine, AccessResult]:
-        result = AccessResult(latency=self._lat_l1, hit_level="l1")
-        resident = self._l1[core].lookup(base)
+        # L1 lookup() inlined: this runs once per simulated access and
+        # the overwhelming majority of accesses end right here.
+        l1 = self._l1[core]
+        bucket = l1._sets[(base >> l1._line_shift) % l1._num_sets]
+        resident = bucket.get(base)
         if resident is not None:
-            return resident, result
+            bucket.move_to_end(base)
+            l1._counters[l1._k_hits] += 1
+            return resident, self._l1_hit
+        l1._counters[l1._k_misses] += 1
+        result = AccessResult(latency=self._lat_l1, hit_level="l1")
 
         line = self._l2[core].remove(base)
         if line is not None:
@@ -112,17 +139,30 @@ class CacheHierarchy:
         all dirty state for the line and returns the merged words, or
         ``None`` if the line is clean/absent everywhere.
         """
-        merged: Dict[int, int] = {}
-        l3_line = self._l3.probe(base)
-        if l3_line is not None and l3_line.dirty:
-            merged.update(l3_line.clean())
-        l2_line = self._l2[core].probe(base)
-        if l2_line is not None and l2_line.dirty:
-            merged.update(l2_line.clean())
-        l1_line = self._l1[core].probe(base)
-        if l1_line is not None and l1_line.dirty:
-            merged.update(l1_line.clean())
-        return merged or None
+        # probe() inlined and the three levels unrolled: this runs once
+        # per transactional store in the per-store flush designs, and
+        # in the common case only one level holds dirty words — its
+        # clean() dict is returned without an extra merge copy.
+        merged: Optional[Dict[int, int]] = None
+        cache = self._l3
+        line = cache._sets[(base >> cache._line_shift) % cache._num_sets].get(base)
+        if line is not None and line.dirty_words:
+            merged = line.clean()
+        cache = self._l2[core]
+        line = cache._sets[(base >> cache._line_shift) % cache._num_sets].get(base)
+        if line is not None and line.dirty_words:
+            if merged is None:
+                merged = line.clean()
+            else:
+                merged.update(line.clean())
+        cache = self._l1[core]
+        line = cache._sets[(base >> cache._line_shift) % cache._num_sets].get(base)
+        if line is not None and line.dirty_words:
+            if merged is None:
+                merged = line.clean()
+            else:
+                merged.update(line.clean())
+        return merged
 
     def is_dirty_in_l1(self, core: int, base: int) -> bool:
         line = self._l1[core].probe(base)

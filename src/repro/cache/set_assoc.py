@@ -25,6 +25,15 @@ class SetAssocCache:
         self._num_sets = config.num_sets
         self._ways = config.ways
         self._line_shift = config.line_size.bit_length() - 1
+        # Counter names are precomputed: lookups run on the hottest
+        # path of the simulator and f-strings per access dominate it.
+        self._k_hits = f"{name}.hits"
+        self._k_misses = f"{name}.misses"
+        self._k_evictions = f"{name}.evictions"
+        self._k_dirty_evictions = f"{name}.dirty_evictions"
+        # The live counter mapping, hoisted once (the Stats backing
+        # Counter is stable for the object's lifetime).
+        self._counters = self.stats.counters
 
     def _set_for(self, base: int) -> "OrderedDict[int, CacheLine]":
         return self._sets[(base >> self._line_shift) % self._num_sets]
@@ -34,30 +43,31 @@ class SetAssocCache:
     # ------------------------------------------------------------------
     def lookup(self, base: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line at ``base`` (LRU-touched) or None."""
-        bucket = self._set_for(base)
+        bucket = self._sets[(base >> self._line_shift) % self._num_sets]
         line = bucket.get(base)
         if line is None:
-            self.stats.add(f"{self.name}.misses")
+            self._counters[self._k_misses] += 1
             return None
         if touch:
             bucket.move_to_end(base)
-        self.stats.add(f"{self.name}.hits")
+        self._counters[self._k_hits] += 1
         return line
 
     def probe(self, base: int) -> Optional[CacheLine]:
         """Like :meth:`lookup` but without LRU or hit/miss accounting;
         used by design-driven flushes that are not demand accesses."""
-        return self._set_for(base).get(base)
+        return self._sets[(base >> self._line_shift) % self._num_sets].get(base)
 
     def insert(self, line: CacheLine) -> Optional[CacheLine]:
         """Make ``line`` resident; returns an evicted victim, if any."""
-        bucket = self._set_for(line.base)
+        bucket = self._sets[(line.base >> self._line_shift) % self._num_sets]
         victim: Optional[CacheLine] = None
         if line.base not in bucket and len(bucket) >= self._ways:
             _, victim = bucket.popitem(last=False)
-            self.stats.add(f"{self.name}.evictions")
+            counters = self._counters
+            counters[self._k_evictions] += 1
             if victim.dirty:
-                self.stats.add(f"{self.name}.dirty_evictions")
+                counters[self._k_dirty_evictions] += 1
         existing = bucket.get(line.base)
         if existing is not None:
             # Merge: the incoming line's words are newer only when the

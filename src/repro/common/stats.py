@@ -2,52 +2,72 @@
 
 A single :class:`Stats` instance is threaded through the system so
 experiments can read one coherent set of counters after a run.
+
+The registry sits on the simulator's hottest paths (every cache access
+and memory-controller request increments counters), so it is backed by
+:class:`collections.Counter` and exposes that mapping directly as
+:attr:`Stats.counters`: components with per-event increments hoist it
+into a local and bump keys in place (``counters[key] += n``, which a
+``Counter`` resolves to 0 for missing keys) instead of paying a method
+call per event.  Hot components also precompute their counter-name
+strings once instead of building f-strings per event.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter
 from typing import Dict, Iterator, Mapping, Tuple
 
 
 class Stats:
-    """Named integer/float counters with a tiny, explicit API."""
+    """Named integer/float counters with a tiny, explicit API.
+
+    :attr:`counters` is the live backing ``Counter``; it is public so
+    hot paths can batch increments without the :meth:`add` call
+    overhead.  All reads still go through :meth:`get`/:meth:`items`.
+    """
+
+    __slots__ = ("counters",)
 
     def __init__(self) -> None:
-        self._counters: Dict[str, float] = defaultdict(float)
+        self.counters: Counter = Counter()
 
     def add(self, name: str, amount: float = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counters[name] += amount
+        self.counters[name] += amount
+
+    def add_many(self, increments: Mapping[str, float]) -> None:
+        """Batched increment: fold a whole ``{name: amount}`` mapping in
+        at once (one C-level ``Counter.update``)."""
+        self.counters.update(increments)
 
     def set(self, name: str, value: float) -> None:
         """Overwrite counter ``name`` with ``value``."""
-        self._counters[name] = value
+        self.counters[name] = value
 
     def get(self, name: str, default: float = 0) -> float:
-        return self._counters.get(name, default)
+        return self.counters.get(name, default)
 
     def max(self, name: str, value: float) -> None:
         """Record ``value`` if it exceeds the stored maximum."""
-        if value > self._counters.get(name, float("-inf")):
-            self._counters[name] = value
+        if value > self.counters.get(name, float("-inf")):
+            self.counters[name] = value
 
     def merge(self, other: "Stats") -> None:
         """Accumulate all counters of ``other`` into this registry."""
-        for name, value in other.items():
-            self._counters[name] += value
+        self.counters.update(other.counters)
 
     def reset(self) -> None:
-        self._counters.clear()
+        self.counters.clear()
 
     def items(self) -> Iterator[Tuple[str, float]]:
-        return iter(sorted(self._counters.items()))
+        return iter(sorted(self.counters.items()))
 
-    def as_dict(self) -> Mapping[str, float]:
-        return dict(self._counters)
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.counters)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._counters
+        return name in self.counters
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v:g}" for k, v in self.items())

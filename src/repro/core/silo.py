@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
-from repro.common.constants import ONPM_LINE_SIZE, OVERFLOW_BATCH_ENTRIES
+from repro.common.constants import ONPM_LINE_SIZE, OVERFLOW_BATCH_ENTRIES, WORD_MASK
+from repro.common.errors import SimulationError
 from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
 from repro.hwlog.entry import LogEntry
 from repro.hwlog.generator import LogGenerator
@@ -38,6 +39,10 @@ _CRASH_FLUSH_PER_LINE = ONPM_LINE_SIZE // LogEntry.UNDO_REDO_SIZE
 #: How far the per-core log controller may run behind before a commit
 #: handshake has to wait (the controller's work queue, in cycles).
 _CONTROLLER_QUEUE_CYCLES = 2000
+
+#: Enum member hoisted out of the per-store path (attribute lookups on
+#: an Enum class are surprisingly costly at this call rate).
+_FULL = AppendResult.FULL
 
 
 def _silo_redo_filter(entry: PersistedLog) -> bool:
@@ -93,6 +98,12 @@ class SiloScheme(LoggingScheme):
         self.tx_log_counts: List[Tuple[int, int]] = []
         self._tx_total = [0] * cores
         self._buf_latency = self.config.log_buffer.access_latency_cycles
+        self._line_mask = ~(self.config.l1.line_size - 1)
+        # Bound-method caches for the per-store/per-commit paths.
+        self._submit_write = self.mc.submit_write
+        self._buf_offer = [b.offer for b in self._bufs]
+        self._buf_capacity = self.config.log_buffer.entries
+        self._counters = self.stats.counters
 
     # ------------------------------------------------------------------
     # Transaction lifecycle
@@ -114,16 +125,49 @@ class SiloScheme(LoggingScheme):
         access,
     ) -> int:
         self._tx_total[core] += 1
-        entry = self._gens[core].on_store(addr, old, new)
         self._last_store[core] = now
-        if entry is None:
+        # LogGenerator.on_store() and LogBuffer.offer(), fused: this is
+        # the scheme's per-store path, and the merge case (one buffer
+        # probe, no LogEntry allocation) is the common one under
+        # workload locality.  Semantics match the two calls exactly.
+        gen = self._gens[core]
+        if gen._txid is None:
+            return 0
+        counters = self._counters
+        counters["loggen.stores_seen"] += 1
+        if old == new and gen.ignore_silent:
+            counters["loggen.ignored"] += 1
             return 0  # log ignorance: the store changed nothing
+        counters["loggen.entries"] += 1
         buf = self._bufs[core]
+        if not buf.merging:  # ablation configuration: generic path
+            entry = LogEntry(gen._tid, gen._txid, addr, old, new)
+            offer = self._buf_offer[core]
+            stall = 0
+            if offer(entry) is _FULL:
+                stall += self._handle_overflow(core, tid, txid, now)
+                if offer(entry) is _FULL:  # pragma: no cover
+                    raise AssertionError("log buffer still full after overflow")
+            return stall
+        entries = buf._entries
+        existing = entries.get(addr)
+        if existing is not None:
+            if existing.tid != gen._tid or existing.txid != gen._txid:
+                raise SimulationError(
+                    "log merging must not cross transactions "
+                    f"({existing.id_tuple()} vs {(gen._tid, gen._txid)})"
+                )
+            existing.new = new & WORD_MASK  # merge_new()
+            counters[buf._k_merged] += 1
+            return 0
         stall = 0
-        if buf.offer(entry) is AppendResult.FULL:
-            stall += self._handle_overflow(core, tid, txid, now)
-            if buf.offer(entry) is AppendResult.FULL:  # pragma: no cover
-                raise AssertionError("log buffer still full after overflow")
+        if len(entries) >= self._buf_capacity:
+            stall = self._handle_overflow(core, tid, txid, now)
+        entries[addr] = LogEntry(gen._tid, gen._txid, addr, old, new)
+        counters[buf._k_appended] += 1
+        occupancy = len(entries)
+        if occupancy > counters.get(buf._k_peak, 0):
+            counters[buf._k_peak] = occupancy
         # The CPU store completes without waiting for the log entry to
         # reach the buffer (Section III-B): no critical-path cost.
         return stall
@@ -147,23 +191,42 @@ class SiloScheme(LoggingScheme):
 
         # Background in-place update with the new data in the logs.
         entries = buf.drain()
+        counters = self.stats.counters
+        discarded = 0
         new_data: Dict[int, int] = {}
         for entry in entries:
             if entry.flush_bit:
-                self.stats.add("silo.flushbit_discarded")
+                discarded += 1
             else:
                 new_data[entry.addr] = entry.new
+        if discarded:
+            counters["silo.flushbit_discarded"] += discarded
         # The buffer read is pipelined: its latency delays when the
         # flush data reaches the MC but does not occupy the controller.
-        start = max(now, self._controller_free[core]) + self._buf_latency
+        controller_free = self._controller_free[core]
+        start = (now if now > controller_free else controller_free) + self._buf_latency
         free = start
-        for _, words in split_words_by_line(new_data).items():
-            ticket = self.mc.submit_write(start, words, kind="data", channel=core)
-            free = max(free, ticket.persisted)
-        self._controller_free[core] = max(
-            self._controller_free[core], free - self._buf_latency
-        )
-        self.stats.add("silo.inplace_words", len(new_data))
+        if new_data:
+            # split_words_by_line(), inlined (dict literal per line).
+            mask = self._line_mask
+            grouped: Dict[int, Dict[int, int]] = {}
+            for addr, value in new_data.items():
+                base = addr & mask
+                group = grouped.get(base)
+                if group is None:
+                    grouped[base] = {addr: value}
+                else:
+                    group[addr] = value
+            submit_write = self._submit_write
+            for words in grouped.values():
+                ticket = submit_write(start, words, kind="data", channel=core)
+                persisted = ticket.persisted
+                if persisted > free:
+                    free = persisted
+        back = free - self._buf_latency
+        if back > self._controller_free[core]:
+            self._controller_free[core] = back
+        counters["silo.inplace_words"] += len(new_data)
 
         # The overflowed undo logs of this transaction are now useless.
         if (tid, txid) in self._overflowed:
@@ -199,20 +262,26 @@ class SiloScheme(LoggingScheme):
             per_request=OVERFLOW_BATCH_ENTRIES,
             request_span=ONPM_LINE_SIZE,
         )
+        submit_write = self._submit_write
         # The batch targets one on-PM buffer line precisely so it can
         # coalesce there (Section III-F): it is not forced through.
         for words in requests:
-            ticket = self.mc.submit_write(start, words, kind="log", channel=core)
-            free = max(free, ticket.persisted)
-        for _, words in split_words_by_line(new_data).items():
-            ticket = self.mc.submit_write(start, words, kind="data", channel=core)
-            free = max(free, ticket.persisted)
-        self._controller_free[core] = max(
-            self._controller_free[core], free - self._buf_latency
-        )
+            ticket = submit_write(start, words, kind="log", channel=core)
+            persisted = ticket.persisted
+            if persisted > free:
+                free = persisted
+        for words in split_words_by_line(new_data).values():
+            ticket = submit_write(start, words, kind="data", channel=core)
+            persisted = ticket.persisted
+            if persisted > free:
+                free = persisted
+        back = free - self._buf_latency
+        if back > self._controller_free[core]:
+            self._controller_free[core] = back
         self._overflowed.add((tid, txid))
-        self.stats.add("silo.overflows")
-        self.stats.add("silo.overflow_entries", len(batch))
+        counters = self.stats.counters
+        counters["silo.overflows"] += 1
+        counters["silo.overflow_entries"] += len(batch)
         return stall
 
     # ------------------------------------------------------------------
@@ -220,11 +289,36 @@ class SiloScheme(LoggingScheme):
     # ------------------------------------------------------------------
     def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:
         stall = 0
-        for line_base, words in writebacks:
-            ticket = self.mc.submit_write(now, words, kind="data", channel=core)
+        bufs = self._bufs
+        counters = self.stats.counters
+        submit_write = self._submit_write
+        for _line_base, words in writebacks:
+            ticket = submit_write(now, words, kind="data", channel=core)
             stall += ticket.admission_stall
-            for buf in self._bufs:
-                buf.mark_line_flushed(line_base)
+            # The eviction search matches the *written-back words*, not
+            # the whole line: under false sharing another core's word on
+            # this line can still be dirty only in that core's private
+            # L1/L2, so its new data never reached PM and its flush-bit
+            # must stay clear — otherwise commit skips the in-place
+            # flush and the update is silently lost on a crash.
+            for buf in bufs:
+                if buf.merging:
+                    # mark_words_flushed(), inlined for the merging
+                    # (word-keyed) buffer: one dict probe per word.
+                    entries = buf._entries
+                    if not entries:
+                        continue
+                    marked = 0
+                    lookup = entries.get
+                    for addr in words:
+                        entry = lookup(addr)
+                        if entry is not None and not entry.flush_bit:
+                            entry.flush_bit = True
+                            marked += 1
+                    if marked:
+                        counters[buf._k_flush_bits] += marked
+                else:
+                    buf.mark_words_flushed(words)
         return stall
 
     # ------------------------------------------------------------------

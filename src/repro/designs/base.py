@@ -11,7 +11,6 @@ which is why all Fig. 11/12 results are normalized to it.
 from __future__ import annotations
 
 from repro.designs.scheme import LoggingScheme, SchemeRegistry
-from repro.hwlog.entry import LogEntry
 from repro.core.recovery import RecoveryReport, wal_recover
 
 
@@ -26,6 +25,10 @@ class BaseScheme(LoggingScheme):
         self._line_mask = ~(self.config.l1.line_size - 1)
         #: Persist time of every log of the open transaction, per core.
         self._tx_log_done = [0] * self.config.cores
+        # Bound-method caches for the per-store path.
+        self._persist_word_log = self.region.persist_word_log
+        self._submit_write = self.mc.submit_write
+        self._writeback_line = self.hierarchy.writeback_line
 
     def on_store(
         self,
@@ -39,30 +42,25 @@ class BaseScheme(LoggingScheme):
         access,
     ) -> int:
         # 1. Persist the undo+redo log entry (one 64B-aligned flush).
-        entry = LogEntry(tid, txid, addr, old, new)
-        requests = self.region.persist_entries(
-            tid, [entry], kind="undo_redo", per_request=1, request_span=64
+        words = self._persist_word_log(tid, txid, addr, old, new)
+        ticket = self._submit_write(
+            now, words, kind="log", write_through=True, channel=core
         )
-        log_done = now
-        stall = 0
-        for words in requests:
-            ticket = self.mc.submit_write(
-                now, words, kind="log", write_through=True, channel=core
-            )
-            stall += ticket.admission_stall
-            log_done = max(log_done, ticket.persisted)
+        stall = ticket.admission_stall
+        log_done = ticket.persisted  # always past ``now``
 
         # 2. Flush the updated cacheline, ordered after the log.  The
         # flush is posted right away: the MC's FIFO write path already
         # services the log request first, so the order costs no
         # bandwidth — only the commit-time wait below remains.
-        line_words = self.hierarchy.writeback_line(core, addr & self._line_mask)
+        line_words = self._writeback_line(core, addr & self._line_mask)
         if line_words:
-            ticket = self.mc.submit_write(
+            ticket = self._submit_write(
                 now, line_words, kind="data", write_through=True, channel=core
             )
             stall += ticket.admission_stall
-        self._tx_log_done[core] = max(self._tx_log_done[core], log_done)
+        if log_done > self._tx_log_done[core]:
+            self._tx_log_done[core] = log_done
         return stall
 
     def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:

@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
-from repro.hwlog.entry import LogEntry
 from repro.core.recovery import RecoveryReport, wal_recover
 
 #: Cache force-write-back interval in cycles (Section VI-A).
@@ -48,6 +47,9 @@ class FWBScheme(LoggingScheme):
         #: Committed transactions whose logs await truncation: they can
         #: be discarded once a force-write-back persists their data.
         self._await_truncate: List[Tuple[int, int]] = []
+        # Bound-method caches for the per-store path.
+        self._persist_word_log = self.region.persist_word_log
+        self._submit_write = self.mc.submit_write
 
     def on_store(
         self,
@@ -60,21 +62,17 @@ class FWBScheme(LoggingScheme):
         now: int,
         access,
     ) -> int:
-        entry = LogEntry(tid, txid, addr, old, new)
-        requests = self.region.persist_entries(
-            tid, [entry], kind="undo_redo", per_request=1, request_span=64
+        words = self._persist_word_log(tid, txid, addr, old, new)
+        ticket = self._submit_write(
+            now, words, kind="log", write_through=True, channel=core
         )
-        stall = 0
-        for words in requests:
-            ticket = self.mc.submit_write(
-                now, words, kind="log", write_through=True, channel=core
-            )
-            stall += ticket.admission_stall
-            line = addr & self._line_mask
-            ready = self._log_ready.get(line, 0)
-            self._log_ready[line] = max(ready, ticket.persisted)
-            self._tx_log_done[core] = max(self._tx_log_done[core], ticket.persisted)
+        stall = ticket.admission_stall
         line = addr & self._line_mask
+        persisted = ticket.persisted
+        if persisted > self._log_ready.get(line, 0):
+            self._log_ready[line] = persisted
+        if persisted > self._tx_log_done[core]:
+            self._tx_log_done[core] = persisted
         self._dirty_lines[core].add(line)
         self._owner[line] = core
         stall += self._maybe_force_writeback(core, now)

@@ -77,11 +77,12 @@ class LADScheme(LoggingScheme):
     ) -> int:
         line = addr & self._line_mask
         stall = 0
-        if line not in self._tx_lines[core]:
-            self._tx_lines[core].add(line)
+        tx_lines = self._tx_lines[core]
+        if line not in tx_lines:
+            tx_lines.add(line)
             if len(self._slots) < CAPTURE_LINES:
                 self._slots.add(line)
-                self.stats.add("lad.captured_lines")
+                self.stats.counters["lad.captured_lines"] += 1
             else:
                 # Slow mode: fetch the old line from PM for undo logging.
                 self._fallback_lines[core].add(line)

@@ -27,6 +27,9 @@ MORPH_BUFFER_ENTRIES = 64
 #: Merged undo+redo entries packed per 64-byte log write.
 ENTRIES_PER_REQUEST = 2
 
+#: Enum member hoisted out of the per-store path.
+_FULL = AppendResult.FULL
+
 
 @SchemeRegistry.register
 class MorLogScheme(LoggingScheme):
@@ -54,6 +57,10 @@ class MorLogScheme(LoggingScheme):
         self._dirty_lines: List[Set[int]] = [set() for _ in range(cores)]
         #: Committed transactions whose logs await truncation.
         self._await_truncate: List[Tuple[int, int]] = []
+        # Bound-method caches for the per-store path.
+        self._buf_offer = [b.offer for b in self._bufs]
+        self._submit_write = self.mc.submit_write
+        self._region_persist = self.region.persist_entries
 
     def on_store(
         self,
@@ -67,11 +74,11 @@ class MorLogScheme(LoggingScheme):
         access,
     ) -> int:
         entry = LogEntry(tid, txid, addr, old, new)
-        buf = self._bufs[core]
+        offer = self._buf_offer[core]
         stall = 0
-        if buf.offer(entry) is AppendResult.FULL:
+        if offer(entry) is _FULL:
             stall += self._flush_oldest(core, tid, now, count=ENTRIES_PER_REQUEST)
-            if buf.offer(entry) is AppendResult.FULL:  # pragma: no cover
+            if offer(entry) is _FULL:  # pragma: no cover
                 raise AssertionError("morph buffer still full after flush")
         line = addr & self._line_mask
         self._unpersisted_lines[core].add(line)
@@ -90,7 +97,7 @@ class MorLogScheme(LoggingScheme):
         ``(admission_stall, persist_completion)``."""
         if not entries:
             return 0, now
-        requests = self.region.persist_entries(
+        requests = self._region_persist(
             tid,
             entries,
             kind="undo_redo",
@@ -99,16 +106,23 @@ class MorLogScheme(LoggingScheme):
         )
         stall = 0
         done = now
+        submit_write = self._submit_write
         for words in requests:
-            ticket = self.mc.submit_write(
+            ticket = submit_write(
                 now, words, kind="log", write_through=True, channel=core
             )
             stall += ticket.admission_stall
-            done = max(done, ticket.persisted)
+            persisted = ticket.persisted
+            if persisted > done:
+                done = persisted
+        log_ready = self._log_ready
+        ready_get = log_ready.get
+        discard = self._unpersisted_lines[core].discard
         for entry in entries:
-            line = entry.line_addr
-            self._log_ready[line] = max(self._log_ready.get(line, 0), done)
-            self._unpersisted_lines[core].discard(line)
+            line = entry.addr & -64
+            if done > ready_get(line, 0):
+                log_ready[line] = done
+            discard(line)
         return stall, done
 
     def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:

@@ -8,6 +8,7 @@ or series the paper reports.  The CLI (``silo-repro``) and the
 
 from repro.harness.runner import GridResult, normalize_to, run_grid
 from repro.harness import (
+    bench,
     crashtest,
     fig4,
     fig11,
@@ -25,6 +26,7 @@ __all__ = [
     "GridResult",
     "normalize_to",
     "run_grid",
+    "bench",
     "crashtest",
     "fig4",
     "fig11",

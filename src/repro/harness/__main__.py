@@ -1,0 +1,10 @@
+"""``python -m repro.harness`` — same interface as the ``silo-repro``
+console script (useful where the package is on PYTHONPATH but not
+installed, e.g. CI)."""
+
+import sys
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

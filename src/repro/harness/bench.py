@@ -1,0 +1,181 @@
+"""Hot-path throughput benchmark: simulator ops/sec per scheme x cores.
+
+Unlike the figure harnesses (which report *simulated* metrics), this
+benchmark measures the *simulator itself*: how many trace operations
+per wall-clock second the engine sustains on the write-heavy ycsb/tpcc
+workloads.  It is the perf-regression guard for the engine's inner
+loop — run it before and after touching `engine.py`, `memctrl.py`,
+the cache hierarchy or the stats layer.
+
+Results are emitted as ``BENCH_hotpath.json`` so CI can archive the
+trajectory.  Each cell also records the run's ``end_cycle``: the
+simulated timing must be bit-identical across perf-only changes, so a
+changed ``end_cycle`` in this file flags an (intended or accidental)
+model change, not just a speed change.
+
+Modes::
+
+    python -m repro.harness bench            # full grid
+    python -m repro.harness bench --smoke    # CI budget (<60 s)
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_single
+from repro.trace.trace import Trace
+from repro.workloads.registry import build_workload
+
+#: The hot-path workloads: large write sets (tpcc) and skewed
+#: read-modify-writes (ycsb) keep every simulator layer busy.
+DEFAULT_WORKLOADS: Tuple[str, ...] = ("ycsb", "tpcc")
+DEFAULT_SCHEMES: Tuple[str, ...] = ("base", "fwb", "morlog", "lad", "silo")
+DEFAULT_CORES: Tuple[int, ...] = (1, 8)
+DEFAULT_TRANSACTIONS = 120
+DEFAULT_REPEATS = 3
+
+
+def _total_ops(trace: Trace) -> int:
+    """Engine-visible operations: every memory op plus the two
+    transaction markers."""
+    return sum(
+        len(tx.ops) + 2 for thread in trace.threads for tx in thread.transactions
+    )
+
+
+@dataclass(frozen=True)
+class HotpathCell:
+    """One (workload, scheme, cores) measurement."""
+
+    workload: str
+    scheme: str
+    cores: int
+    ops: int
+    seconds: float
+    ops_per_sec: float
+    end_cycle: int
+    committed: int
+
+
+@dataclass
+class HotpathBenchResult:
+    """All cells of one benchmark invocation."""
+
+    transactions: int
+    repeats: int
+    smoke: bool
+    cells: List[HotpathCell] = field(default_factory=list)
+
+    def cell(self, workload: str, scheme: str, cores: int) -> HotpathCell:
+        for c in self.cells:
+            if (c.workload, c.scheme, c.cores) == (workload, scheme, cores):
+                return c
+        raise KeyError((workload, scheme, cores))
+
+    def ops_per_sec(self, cores: int) -> float:
+        """Aggregate simulator throughput at one core count (total ops
+        over total time, across workloads and schemes)."""
+        picked = [c for c in self.cells if c.cores == cores]
+        total_seconds = sum(c.seconds for c in picked)
+        if not total_seconds:
+            return 0.0
+        return sum(c.ops for c in picked) / total_seconds
+
+    def format_report(self) -> str:
+        rows = [
+            [
+                c.workload,
+                c.scheme,
+                c.cores,
+                c.ops,
+                f"{c.seconds * 1e3:.1f}ms",
+                f"{c.ops_per_sec:,.0f}",
+                c.end_cycle,
+            ]
+            for c in self.cells
+        ]
+        title = "Simulator hot-path throughput (trace ops per wall-clock second)"
+        if self.smoke:
+            title += " [smoke]"
+        return format_table(
+            ["workload", "scheme", "cores", "ops", "wall", "ops/sec", "end_cycle"],
+            rows,
+            title=title,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "hotpath",
+            "transactions": self.transactions,
+            "repeats": self.repeats,
+            "smoke": self.smoke,
+            "python": platform.python_version(),
+            "cells": [asdict(c) for c in self.cells],
+        }
+
+    def write_json(self, path: str) -> str:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def run(
+    core_counts: Sequence[int] = DEFAULT_CORES,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    transactions: int = DEFAULT_TRANSACTIONS,
+    repeats: int = DEFAULT_REPEATS,
+    smoke: bool = False,
+    output: Optional[str] = "BENCH_hotpath.json",
+) -> HotpathBenchResult:
+    """Measure ops/sec for every (workload, scheme, cores) cell.
+
+    Each cell reruns the identical trace on a fresh system ``repeats``
+    times and keeps the fastest wall time (the standard way to strip
+    scheduler noise from a deterministic benchmark).  ``smoke`` shrinks
+    the grid to a <60 s CI budget.
+    """
+    if smoke:
+        core_counts = (8,)
+        schemes = ("base", "silo")
+        transactions = min(transactions, 40)
+        repeats = min(repeats, 2)
+
+    result = HotpathBenchResult(
+        transactions=transactions, repeats=repeats, smoke=smoke
+    )
+    for cores in core_counts:
+        for workload in workloads:
+            trace = build_workload(
+                workload, threads=cores, transactions=transactions
+            )
+            ops = _total_ops(trace)
+            for scheme in schemes:
+                best = float("inf")
+                run_result = None
+                for _ in range(max(1, repeats)):
+                    started = time.perf_counter()
+                    run_result = run_single(trace, scheme, cores)
+                    best = min(best, time.perf_counter() - started)
+                result.cells.append(
+                    HotpathCell(
+                        workload=workload,
+                        scheme=scheme,
+                        cores=cores,
+                        ops=ops,
+                        seconds=best,
+                        ops_per_sec=ops / best if best else 0.0,
+                        end_cycle=run_result.end_cycle,
+                        committed=run_result.committed_count,
+                    )
+                )
+    if output:
+        result.write_json(output)
+    return result

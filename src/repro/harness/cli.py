@@ -21,6 +21,7 @@ import time
 from typing import List, Optional
 
 from repro.harness import (
+    bench,
     crashtest,
     fig4,
     fig11,
@@ -35,6 +36,7 @@ from repro.harness import (
 )
 
 _EXPERIMENTS = {
+    "bench": lambda args: bench.run(smoke=args.smoke, output=args.bench_output),
     "crashtest": lambda args: crashtest.run(points_per_pair=args.crash_points),
     "mcsweep": lambda args: mcsweep.run(transactions=args.transactions),
     "recovery": lambda args: recovery_cost.run(transactions=args.transactions),
@@ -83,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=20,
         help="crash points per (scheme, workload) pair for crashtest",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bench only: shrink the grid to a <60s CI budget",
+    )
+    parser.add_argument(
+        "--bench-output",
+        default="BENCH_hotpath.json",
+        help="bench only: where to write the JSON record "
+        "(default: BENCH_hotpath.json)",
     )
     return parser
 

@@ -92,9 +92,10 @@ class LogGenerator:
         for non-transactional stores and ignored (no-change) writes."""
         if self._txid is None:
             return None
-        self.stats.add("loggen.stores_seen")
+        counters = self.stats.counters
+        counters["loggen.stores_seen"] += 1
         if old == new and self.ignore_silent:
-            self.stats.add("loggen.ignored")
+            counters["loggen.ignored"] += 1
             return None
-        self.stats.add("loggen.entries")
+        counters["loggen.entries"] += 1
         return LogEntry(self._tid, self._txid, addr, old, new)

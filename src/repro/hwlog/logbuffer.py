@@ -56,12 +56,18 @@ class LogBuffer:
         #: entry under a synthetic sequence key.
         self._entries: "OrderedDict[object, LogEntry]" = OrderedDict()
         self._seq = 0
+        # Precomputed counter names: offer() runs once per store.
+        self._k_merged = f"{name}.merged"
+        self._k_appended = f"{name}.appended"
+        self._k_peak = f"{name}.peak_occupancy"
+        self._k_flush_bits = f"{name}.flush_bits_set"
 
     # ------------------------------------------------------------------
     # Append / merge (Fig. 7)
     # ------------------------------------------------------------------
     def offer(self, entry: LogEntry) -> AppendResult:
         """Offer a new entry; merge if a comparator matches its word."""
+        counters = self.stats.counters
         if self.merging:
             existing = self._entries.get(entry.addr)
             if existing is not None:
@@ -71,33 +77,71 @@ class LogBuffer:
                         f"({existing.id_tuple()} vs {entry.id_tuple()})"
                     )
                 existing.merge_new(entry.new)
-                self.stats.add(f"{self.name}.merged")
+                counters[self._k_merged] += 1
                 return AppendResult.MERGED
             key: object = entry.addr
         else:
             key = ("seq", self._seq)
             self._seq += 1
-        if len(self._entries) >= self.config.entries:
+        occupancy = len(self._entries)
+        if occupancy >= self.config.entries:
             return AppendResult.FULL
         self._entries[key] = entry
-        self.stats.add(f"{self.name}.appended")
-        self.stats.max(f"{self.name}.peak_occupancy", len(self._entries))
+        counters[self._k_appended] += 1
+        # Stats.max(), inlined (occupancy is always >= 1 here).
+        if occupancy + 1 > counters.get(self._k_peak, 0):
+            counters[self._k_peak] = occupancy + 1
         return AppendResult.APPENDED
 
     # ------------------------------------------------------------------
     # Flush-bit maintenance (Section III-D)
     # ------------------------------------------------------------------
     def mark_line_flushed(self, line_addr: int) -> int:
-        """An updated cacheline reached the write-pending queue: set the
-        flush-bit of every entry recording a word of that line.  All
-        comparators fire in parallel; returns the number marked."""
+        """Set the flush-bit of every entry recording a word of the
+        line at ``line_addr``, regardless of which words the writeback
+        carried.  All comparators fire in parallel; returns the number
+        marked.
+
+        This is the coarse line-granular search; the eviction path must
+        use :meth:`mark_words_flushed` instead, because a falsely
+        shared line can leave words of *other* cores' entries dirty in
+        their private caches — those words never reached PM, so their
+        flush-bits must stay clear."""
         marked = 0
         for entry in self._entries.values():
             if entry.line_addr == line_addr and not entry.flush_bit:
                 entry.flush_bit = True
                 marked += 1
         if marked:
-            self.stats.add(f"{self.name}.flush_bits_set", marked)
+            self.stats.counters[self._k_flush_bits] += marked
+        return marked
+
+    def mark_words_flushed(self, words: Iterable[int]) -> int:
+        """Set the flush-bit of every entry whose word is among the
+        written-back ``words`` (an iterable/mapping of word addresses).
+
+        Word-granular variant of the eviction search (Section III-D):
+        only the words a writeback actually carried are durable, so
+        only their entries may skip the in-place flush at commit.
+        Returns the number of entries marked."""
+        marked = 0
+        if self.merging:
+            # Merging keys the buffer by word address: each comparator
+            # match is a direct lookup.
+            entries = self._entries
+            for addr in words:
+                entry = entries.get(addr)
+                if entry is not None and not entry.flush_bit:
+                    entry.flush_bit = True
+                    marked += 1
+        else:
+            lookup = set(words)
+            for entry in self._entries.values():
+                if entry.addr in lookup and not entry.flush_bit:
+                    entry.flush_bit = True
+                    marked += 1
+        if marked:
+            self.stats.counters[self._k_flush_bits] += marked
         return marked
 
     # ------------------------------------------------------------------

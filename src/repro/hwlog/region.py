@@ -17,7 +17,16 @@ before the crash, which preserves crash semantics exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.common.constants import WORD_MASK, WORD_SIZE
 from repro.common.stats import Stats
@@ -25,9 +34,14 @@ from repro.hwlog.entry import LogEntry
 from repro.mem.pm import RegionLayout
 
 
-@dataclass(frozen=True)
-class PersistedLog:
-    """A log entry as it exists in the PM log region after a flush."""
+class PersistedLog(NamedTuple):
+    """A log entry as it exists in the PM log region after a flush.
+
+    A :class:`~typing.NamedTuple` rather than a frozen dataclass: one
+    record is created per persisted entry on the simulator's hottest
+    path, and tuple construction avoids the ``object.__setattr__``
+    per-field cost of frozen-dataclass ``__init__``.
+    """
 
     tid: int
     txid: int
@@ -68,8 +82,23 @@ class LogRegion:
         self.layout = layout
         self.stats = stats if stats is not None else Stats()
         self._cursor: Dict[int, int] = {}
-        self._records: Dict[int, List[PersistedLog]] = {}
+        #: ``tid -> txid -> [records]``.  Grouping by transaction makes
+        #: log truncation (``discard_tx``) a dict pop instead of a scan
+        #: of every record the thread ever persisted — the designs that
+        #: truncate hundreds of transactions at finalize were spending
+        #: O(records²) there.  Iteration order (txid first-append order,
+        #: then append order within the transaction) matches the flat
+        #: append order because a thread's transactions are serial.
+        self._records: Dict[int, Dict[int, List[PersistedLog]]] = {}
         self._commit_tuples: Set[Tuple[int, int]] = set()
+        #: Precomputed per-kind counter names (persist_entries runs
+        #: once per store for the log-writing designs).
+        self._kind_keys: Dict[str, str] = {
+            kind: f"region.entries.{kind}" for kind in _KIND_SIZES
+        }
+        #: ``tid -> (base, size)`` memo of ``layout.thread_log_area``
+        #: (bounds-checked address arithmetic, invariant per thread).
+        self._area_cache: Dict[int, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # Append path
@@ -92,29 +121,162 @@ class LogRegion:
         """
         size = _KIND_SIZES[kind]
         requests: List[Dict[int, int]] = []
-        batch: List[LogEntry] = []
-        count = 0
-        for entry in entries:
-            batch.append(entry)
-            count += 1
-            if len(batch) == per_request:
+        if per_request == 1:
+            # Dominant shape: the per-store designs persist one entry
+            # per request, so skip the batching machinery.
+            serialize = self._serialize_one
+            for entry in entries:
+                requests.append(serialize(tid, entry, size, request_span, kind))
+            count = len(requests)
+        else:
+            batch: List[LogEntry] = []
+            count = 0
+            for entry in entries:
+                batch.append(entry)
+                count += 1
+                if len(batch) == per_request:
+                    requests.append(
+                        self._serialize(tid, batch, size, request_span, kind)
+                    )
+                    batch = []
+            if batch:
                 requests.append(
                     self._serialize(tid, batch, size, request_span, kind)
                 )
-                batch = []
-        if batch:
-            requests.append(self._serialize(tid, batch, size, request_span, kind))
-        self.stats.add("region.requests", len(requests))
-        self.stats.add(f"region.entries.{kind}", count)
+        counters = self.stats.counters
+        counters["region.requests"] += len(requests)
+        counters[self._kind_keys[kind]] += count
         return requests
 
+    def persist_word_log(
+        self, tid: int, txid: int, addr: int, old: int, new: int
+    ) -> Dict[int, int]:
+        """Persist one undo+redo entry for a single word, without an
+        intermediate :class:`LogEntry`.
+
+        The per-store flush designs (Base, FWB) build a log entry only
+        to serialize it in the same step and drop it, so this fast path
+        takes the raw fields directly: same cursor advance, same packed
+        words and same recovery record as ``persist_entries`` with one
+        ``undo_redo`` entry per 64-byte request.
+        """
+        old &= WORD_MASK
+        new &= WORD_MASK
+        cached = self._area_cache.get(tid)
+        if cached is None:
+            cached = self.layout.thread_log_area(tid)
+            self._area_cache[tid] = cached
+        base, area = cached
+        cursor = self._cursor.get(tid, 0)
+        rem = cursor % 64
+        if rem:
+            cursor += 64 - rem
+        log_addr = base + (cursor % area)
+        payload = (
+            (tid << 56)
+            ^ (txid << 40)
+            ^ addr
+            ^ (old * 0x9E3779B97F4A7C15)
+            ^ (new * 0xC2B2AE3D27D4EB4F)
+        ) | 1
+        m = WORD_MASK
+        # The cursor is 64-byte aligned here, so the 26-byte undo+redo
+        # entry always covers exactly the first four words of its line.
+        words = {
+            log_addr: payload & m,
+            log_addr + 8: (payload + 1) & m,
+            log_addr + 16: (payload + 2) & m,
+            log_addr + 24: (payload + 3) & m,
+        }
+        self._cursor[tid] = cursor + LogEntry.UNDO_REDO_SIZE
+        by_tx = self._records.get(tid)
+        if by_tx is None:
+            by_tx = self._records[tid] = {}
+        bucket = by_tx.get(txid)
+        if bucket is None:
+            bucket = by_tx[txid] = []
+        bucket.append(
+            PersistedLog(tid, txid, addr, old, new, False, "undo_redo")
+        )
+        counters = self.stats.counters
+        counters["region.requests"] += 1
+        counters["region.entries.undo_redo"] += 1
+        return words
+
+    def _serialize_one(
+        self, tid: int, entry: LogEntry, size: int, span: int, kind: str
+    ) -> Dict[int, int]:
+        """Single-entry specialization of :meth:`_serialize` — the
+        per-store logging designs run this once per transactional
+        store, so the batch loop and generic word loop are flattened
+        (the four-word undo+redo layout gets a literal dict)."""
+        cached = self._area_cache.get(tid)
+        if cached is None:
+            cached = self.layout.thread_log_area(tid)
+            self._area_cache[tid] = cached
+        base, area = cached
+        cursor = self._cursor.get(tid, 0)
+        rem = cursor % span
+        if rem:
+            cursor += span - rem
+        addr = base + (cursor % area)
+        entry.log_addr = addr
+        payload = (
+            (entry.tid << 56)
+            ^ (entry.txid << 40)
+            ^ entry.addr
+            ^ (entry.old * 0x9E3779B97F4A7C15)
+            ^ (entry.new * 0xC2B2AE3D27D4EB4F)
+        ) | 1
+        start = addr & ~(WORD_SIZE - 1)
+        if size == 32 and start == addr:
+            m = WORD_MASK
+            words = {
+                addr: payload & m,
+                addr + 8: (payload + 1) & m,
+                addr + 16: (payload + 2) & m,
+                addr + 24: (payload + 3) & m,
+            }
+        else:
+            words = {}
+            end = addr + size
+            while start < end:
+                words[start] = payload & WORD_MASK
+                payload += 1
+                start += WORD_SIZE
+        self._cursor[tid] = cursor + size
+        by_tx = self._records.get(tid)
+        if by_tx is None:
+            by_tx = self._records[tid] = {}
+        bucket = by_tx.get(entry.txid)
+        if bucket is None:
+            bucket = by_tx[entry.txid] = []
+        bucket.append(
+            PersistedLog(
+                entry.tid,
+                entry.txid,
+                entry.addr,
+                entry.old,
+                entry.new,
+                entry.flush_bit,
+                kind,
+            )
+        )
+        return words
+
     def _serialize(
-        self, tid: int, batch: List[LogEntry], size: int, span: int, kind: str
+        self, tid: int, batch: Sequence[LogEntry], size: int, span: int, kind: str
     ) -> Dict[int, int]:
         """Assign addresses to one request's entries, record them as
         recoverable and pack their words."""
-        base, area = self.layout.thread_log_area(tid)
-        records = self._records.setdefault(tid, [])
+        cached = self._area_cache.get(tid)
+        if cached is None:
+            cached = self.layout.thread_log_area(tid)
+            self._area_cache[tid] = cached
+        base, area = cached
+        by_tx = self._records.get(tid)
+        if by_tx is None:
+            by_tx = self._records[tid] = {}
         cursor = self._cursor.get(tid, 0)
         # Every request is a dedicated line write: it starts on a fresh
         # span boundary (hardware flushes whole aligned bursts rather
@@ -122,24 +284,41 @@ class LogRegion:
         if cursor % span:
             cursor += span - cursor % span
         words: Dict[int, int] = {}
+        last_txid: Optional[int] = None
+        append = None
+        m = WORD_MASK
         for entry in batch:
+            e_tid = entry.tid
+            e_txid = entry.txid
+            e_addr = entry.addr
+            e_old = entry.old
+            e_new = entry.new
+            if e_txid != last_txid:
+                last_txid = e_txid
+                bucket = by_tx.get(e_txid)
+                if bucket is None:
+                    bucket = by_tx[e_txid] = []
+                append = bucket.append
             addr = base + (cursor % area)
             entry.log_addr = addr
-            payload = self._pack(entry)
-            start = addr & ~(WORD_SIZE - 1)
+            # _pack(), inlined: one call per persisted entry adds up.
+            payload = (
+                (e_tid << 56)
+                ^ (e_txid << 40)
+                ^ e_addr
+                ^ (e_old * 0x9E3779B97F4A7C15)
+                ^ (e_new * 0xC2B2AE3D27D4EB4F)
+            ) | 1
+            word = addr & -8  # word-align (WORD_SIZE == 8)
             end = addr + size
-            for i, word in enumerate(range(start, end, WORD_SIZE)):
-                words[word] = (payload + i) & WORD_MASK
+            while word < end:
+                words[word] = payload & m
+                payload += 1
+                word += 8
             cursor += size
-            records.append(
+            append(
                 PersistedLog(
-                    tid=entry.tid,
-                    txid=entry.txid,
-                    addr=entry.addr,
-                    old=entry.old,
-                    new=entry.new,
-                    flush_bit=entry.flush_bit,
-                    kind=kind,
+                    e_tid, e_txid, e_addr, e_old, e_new, entry.flush_bit, kind
                 )
             )
         self._cursor[tid] = cursor
@@ -180,7 +359,10 @@ class LogRegion:
     # ------------------------------------------------------------------
     def logs_for_thread(self, tid: int) -> List[PersistedLog]:
         """Persisted entries of one thread in append (oldest-first) order."""
-        return list(self._records.get(tid, ()))
+        by_tx = self._records.get(tid)
+        if not by_tx:
+            return []
+        return [record for bucket in by_tx.values() for record in bucket]
 
     def all_threads(self) -> List[int]:
         return sorted(self._records)
@@ -198,13 +380,11 @@ class LogRegion:
     def discard_tx(self, tid: int, txid: int) -> int:
         """Delete the persisted logs of one transaction (log truncation
         after commit / after an overflow-heavy transaction commits)."""
-        records = self._records.get(tid)
-        if not records:
+        by_tx = self._records.get(tid)
+        if not by_tx:
             return 0
-        kept = [r for r in records if r.txid != txid]
-        removed = len(records) - len(kept)
-        self._records[tid] = kept
-        return removed
+        bucket = by_tx.pop(txid, None)
+        return len(bucket) if bucket else 0
 
     def truncate_thread(self, tid: int) -> None:
         self._records.pop(tid, None)
@@ -214,4 +394,8 @@ class LogRegion:
         self._commit_tuples.clear()
 
     def total_persisted(self) -> int:
-        return sum(len(v) for v in self._records.values())
+        return sum(
+            len(bucket)
+            for by_tx in self._records.values()
+            for bucket in by_tx.values()
+        )

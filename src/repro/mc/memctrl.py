@@ -13,6 +13,13 @@ Two-stage timing model (FRFCFS approximation).
    ``pm_write_cycles``.  Media bandwidth is therefore consumed by
    post-coalescing traffic only.
 
+Reads traverse the same two stages: a demand read's command occupies
+the per-channel request bus (``bus_overhead_cycles``, no data beats —
+the payload returns on the separate fill path) and then one media bank
+for ``pm_read_cycles``.  A full WPQ back-pressures the request channel
+for reads exactly as it does for writes, so read-heavy phases feel the
+write queue's congestion (the contention effect Fig. 12 depends on).
+
 The write-pending queue bounds in-flight writes: an entry drains once
 its media work (if any) completes, so when the media falls behind the
 WPQ fills and *admission* begins to stall issuers.  That back-pressure
@@ -23,12 +30,17 @@ behind their own log traffic.
 Designs that must respect persist ordering wait on the returned
 :class:`WriteTicket.persisted` cycle; "background" writes ignore it but
 still consume WPQ slots and media bandwidth.
+
+Each channel's media banks are kept as a min-heap of bank-free times
+(``heapq``): picking the earliest-free bank is O(log banks) instead of
+a linear scan, and because only the *value* of the minimum matters for
+timing, the schedule is identical to the scan it replaced.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Optional
+from heapq import heappop, heappush, heapreplace
+from typing import Dict, Mapping, NamedTuple, Optional
 
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
@@ -37,9 +49,12 @@ from repro.mc.wpq import BoundedQueueModel
 from repro.mem.pm import PMDevice
 
 
-@dataclass(frozen=True)
-class WriteTicket:
+class WriteTicket(NamedTuple):
     """Result of submitting one write request.
+
+    (A ``NamedTuple``: one ticket is allocated per write request on the
+    simulator's hottest path, and tuple construction is markedly
+    cheaper than a frozen dataclass's field-by-field ``__init__``.)
 
     ``admission_stall`` cycles are always charged to the issuing core
     (a full WPQ blocks even posted writes).  ``persisted`` is the cycle
@@ -74,6 +89,8 @@ class MemoryController:
         self.pm = pm
         self.stats = stats if stats is not None else pm.stats
         self.channels = channels
+        #: Per-channel min-heaps of bank-free cycles (all-zero lists are
+        #: valid heaps; only ``heapreplace`` mutates them afterwards).
         self._bank_free = [
             [0] * config.pm.banks for _ in range(channels)
         ]
@@ -85,9 +102,21 @@ class MemoryController:
             BoundedQueueModel(config.mc.write_queue_entries)
             for _ in range(channels)
         ]
+        #: The raw completion heaps of the per-channel WPQs, aliased so
+        #: the write path can prune/push in place without two method
+        #: calls per request.  All mutations keep heap order, so the
+        #: models stay valid for occupancy queries and the read path.
+        self._wpq_heaps = [q._completions for q in self._wpq]
+        self._wpq_capacity = config.mc.write_queue_entries
         #: Each MC's request channel is serial: back-to-back requests
         #: are spaced by the request service time.
         self._channel_free = [0] * channels
+        #: Precomputed per-kind counter names (hot path: no f-strings).
+        self._kind_keys: Dict[str, str] = {}
+        #: The live counter mapping, hoisted once (stable for life).
+        self._counters = self.stats.counters
+        #: Bound fast-path entry into the PM device.
+        self._pm_write_request = pm.write_request
 
     # ------------------------------------------------------------------
     # Write path
@@ -105,48 +134,84 @@ class MemoryController:
         ``write_through`` marks an explicit forced flush: the DIMM may
         not hold it for coalescing.  ``channel`` selects the issuing
         core's memory controller."""
-        media_sectors = self.pm.write_request(words, kind, write_through=write_through)
-        self.stats.add("mc.writes")
-        self.stats.add(f"mc.writes.{kind}")
+        media_sectors = self._pm_write_request(words, kind, write_through=write_through)
+        counters = self._counters
+        counters["mc.writes"] += 1
+        key = self._kind_keys.get(kind)
+        if key is None:
+            key = self._kind_keys.setdefault(kind, "mc.writes." + kind)
+        counters[key] += 1
         c = channel % self.channels
 
-        admit_at = self._wpq[c].admit(now)
-        start = max(admit_at, self._channel_free[c])
+        # Inlined BoundedQueueModel.admit/record on the aliased heap:
+        # identical semantics (prune on every admit — see wpq.py), two
+        # fewer calls on the hottest path in the simulator.
+        wpq_heap = self._wpq_heaps[c]
+        while wpq_heap and wpq_heap[0] <= now:
+            heappop(wpq_heap)
+        admit_at = (
+            now if len(wpq_heap) < self._wpq_capacity else wpq_heap[0]
+        )
+        channel_free = self._channel_free
+        busy_until = channel_free[c]
+        start = admit_at if admit_at > busy_until else busy_until
         persisted = start + self._bus_overhead + self._bus_beat * len(words)
-        self._channel_free[c] = persisted
+        channel_free[c] = persisted
 
-        banks = self._bank_free[c]
         media_done = persisted
-        for _ in range(media_sectors):
-            i = banks.index(min(banks))
-            begin = max(persisted, banks[i])
-            banks[i] = begin + self._write_service
-            media_done = max(media_done, banks[i])
-        self._wpq[c].record(media_done)
+        if media_sectors:
+            banks = self._bank_free[c]
+            service = self._write_service
+            for _ in range(media_sectors):
+                free = banks[0]
+                begin = persisted if persisted > free else free
+                media_done = begin + service
+                heapreplace(banks, media_done)
+            # Successive assignments pop a non-decreasing sequence of
+            # bank-free times, so the last completion is the latest.
+        heappush(wpq_heap, media_done)
 
         stall = admit_at - now
         if stall:
-            self.stats.add("mc.wpq_stall_cycles", stall)
+            counters["mc.wpq_stall_cycles"] += stall
         # An explicit forced flush is only "persisted" once the media
         # write completes (the persist latency the conventional designs
         # wait for); a posted write is durable at WPQ admission (ADR).
         return WriteTicket(
-            admission_stall=stall,
-            persisted=media_done if write_through else persisted,
-            media_done=media_done,
+            stall,
+            media_done if write_through else persisted,
+            media_done,
         )
 
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
     def submit_read(self, now: int, addr: int, channel: int = 0) -> int:
-        """Timing for one demand read from PM; returns completion cycle."""
-        self.stats.add("mc.reads")
-        banks = self._bank_free[channel % self.channels]
-        i = banks.index(min(banks))
-        start = max(now, banks[i])
-        completion = start + self._read_service
-        banks[i] = completion
+        """Timing for one demand read from PM; returns completion cycle.
+
+        The read command passes the same two stages as a write: it
+        waits for the per-channel request bus (and, when the WPQ is
+        full, for write back-pressure to clear) before occupying the
+        earliest-free media bank for the read service time.
+        """
+        counters = self._counters
+        counters["mc.reads"] += 1
+        c = channel % self.channels
+        # A full WPQ blocks the shared request channel for reads too:
+        # the command cannot be accepted until a write slot drains.
+        ready = self._wpq[c].admit(now)
+        if ready > now:
+            counters["mc.read_wpq_stall_cycles"] += ready - now
+        channel_free = self._channel_free
+        busy_until = channel_free[c]
+        start = ready if ready > busy_until else busy_until
+        issued = start + self._bus_overhead
+        channel_free[c] = issued
+        banks = self._bank_free[c]
+        free = banks[0]
+        begin = issued if issued > free else free
+        completion = begin + self._read_service
+        heapreplace(banks, completion)
         return completion
 
     # ------------------------------------------------------------------

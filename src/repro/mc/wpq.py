@@ -29,6 +29,13 @@ class BoundedQueueModel:
         Entries whose completion time has passed are pruned first; if
         the queue is still full, admission waits for the oldest
         in-flight entry to drain.
+
+        Pruning must happen on *every* call, even when the queue has a
+        free slot: callers admit at non-monotone times (background
+        flushes admit at future completion times), and a later-time
+        admit deliberately retires everything drained by then before an
+        earlier-time admit counts occupancy.  Deferring the prune to
+        full-queue calls is observably different.
         """
         heap = self._completions
         while heap and heap[0] <= now:

@@ -26,6 +26,8 @@ class PMMedia:
         #: wear profile that determines PM lifetime (PCM endurance is
         #: per-cell; Section I motivates Silo with exactly this).
         self._sector_wear: Dict[int, int] = {}
+        #: The live counter mapping, hoisted once (stable for life).
+        self._counters = self.stats.counters
 
     # ------------------------------------------------------------------
     # Reads
@@ -48,21 +50,27 @@ class PMMedia:
         costs one media write.  A fully redundant batch costs nothing
         (data-comparison-write).  Returns the number of sectors written.
         """
+        image = self._words
+        image_get = image.get
         changed_sectors = set()
+        changed = changed_sectors.add
         changed_words = 0
         for addr, value in words.items():
-            if self._words.get(addr, 0) != value:
-                self._words[addr] = value
+            if image_get(addr, 0) != value:
+                image[addr] = value
                 changed_words += 1
-                changed_sectors.add(addr >> 6)
+                changed(addr >> 6)
+        counters = self._counters
         if changed_words:
-            self.stats.add("media.line_writes")
-            self.stats.add("media.sector_writes", len(changed_sectors))
-            self.stats.add("media.word_writes", changed_words)
+            sectors = len(changed_sectors)
+            counters["media.line_writes"] += 1
+            counters["media.sector_writes"] += sectors
+            counters["media.word_writes"] += changed_words
+            wear = self._sector_wear
             for sector in changed_sectors:
-                self._sector_wear[sector] = self._sector_wear.get(sector, 0) + 1
-            return len(changed_sectors)
-        self.stats.add("media.redundant_line_writes")
+                wear[sector] = wear.get(sector, 0) + 1
+            return sectors
+        counters["media.redundant_line_writes"] += 1
         return 0
 
     def load_image(self, image: Mapping[int, int]) -> None:

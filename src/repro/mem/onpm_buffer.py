@@ -57,25 +57,74 @@ class OnPMBuffer:
         conventional designs are): the touched buffer lines are pushed
         to the media immediately instead of lingering for coalescing.
         """
-        self.stats.add("onpm.requests")
+        counters = self.stats.counters
+        counters["onpm.requests"] += 1
+        lines = self._lines
+        mask = self._line_mask
+        if write_through and not lines:
+            # Fast path: a forced flush against an empty buffer (the
+            # steady state of the write-through designs, which push
+            # every touched line out immediately).  The request's words
+            # group by line and go straight to the media — no resident
+            # line can coalesce with them and no eviction can trigger,
+            # so the LRU structure needn't be touched at all.  Counter
+            # semantics match the general path exactly: words beyond
+            # the first on a line count as coalesced, and each line
+            # written counts as an eviction.
+            groups: Dict[int, Dict[int, int]] = {}
+            for addr, value in words.items():
+                base = addr & mask
+                pending = groups.get(base)
+                if pending is None:
+                    groups[base] = {addr: value}
+                else:
+                    pending[addr] = value
+            coalesced = len(words) - len(groups)
+            if coalesced:
+                counters["onpm.coalesced_words"] += coalesced
+            sectors = 0
+            media_write = self._media.write_line
+            for pending in groups.values():
+                counters["onpm.line_evictions"] += 1
+                sectors += media_write(pending)
+            return sectors
+        capacity = self._capacity
         sectors = 0
-        touched = set()
-        for addr, value in words.items():
-            base = addr & self._line_mask
-            pending = self._lines.get(base)
-            if pending is None:
-                if len(self._lines) >= self._capacity:
-                    sectors += self._evict_lru()
-                pending = {}
-                self._lines[base] = pending
-            else:
-                self._lines.move_to_end(base)
-                self.stats.add("onpm.coalesced_words")
-            pending[addr] = value
-            touched.add(base)
+        coalesced = 0
+        lines_get = lines.get
+        move_to_end = lines.move_to_end
+        if write_through:
+            touched = set()
+            touch = touched.add
+            for addr, value in words.items():
+                base = addr & mask
+                pending = lines_get(base)
+                if pending is None:
+                    if len(lines) >= capacity:
+                        sectors += self._evict_lru()
+                    lines[base] = {addr: value}
+                else:
+                    move_to_end(base)
+                    coalesced += 1
+                    pending[addr] = value
+                touch(base)
+        else:
+            for addr, value in words.items():
+                base = addr & mask
+                pending = lines_get(base)
+                if pending is None:
+                    if len(lines) >= capacity:
+                        sectors += self._evict_lru()
+                    lines[base] = {addr: value}
+                else:
+                    move_to_end(base)
+                    coalesced += 1
+                    pending[addr] = value
+        if coalesced:
+            counters["onpm.coalesced_words"] += coalesced
         if write_through:
             for base in touched:
-                pending = self._lines.pop(base, None)
+                pending = lines.pop(base, None)
                 if pending is not None:
                     sectors += self._write_to_media(base, pending)
         return sectors
@@ -85,7 +134,7 @@ class OnPMBuffer:
         return self._write_to_media(base, pending)
 
     def _write_to_media(self, base: int, pending: Dict[int, int]) -> int:
-        self.stats.add("onpm.line_evictions")
+        self.stats.counters["onpm.line_evictions"] += 1
         return self._media.write_line(pending)
 
     # ------------------------------------------------------------------

@@ -75,6 +75,10 @@ class PMDevice:
             line_size=self.config.onpm_line_size,
             stats=self.stats,
         )
+        #: Precomputed per-kind counter names (hot path: no f-strings).
+        self._kind_keys: Dict[str, Tuple[str, str]] = {}
+        #: The live counter mapping, hoisted once (stable for life).
+        self._counters = self.stats.counters
 
     # ------------------------------------------------------------------
     # MC-facing interface
@@ -94,9 +98,67 @@ class PMDevice:
         """
         if not words:
             return 0
-        self.stats.add(f"pm.requests.{kind}")
-        self.stats.add(f"pm.request_bytes.{kind}", 8 * len(words))
-        return self.buffer.write_words(words, write_through=write_through)
+        keys = self._kind_keys.get(kind)
+        if keys is None:
+            keys = self._kind_keys.setdefault(
+                kind, (f"pm.requests.{kind}", f"pm.request_bytes.{kind}")
+            )
+        counters = self._counters
+        counters[keys[0]] += 1
+        counters[keys[1]] += 8 * len(words)
+        buffer = self.buffer
+        if write_through and not buffer._lines:
+            # Fused fast path for the dominant request shape of the
+            # write-through designs: a forced flush against an empty
+            # buffer whose words all land on one buffer line (any
+            # aligned <=64 B request does).  It can neither coalesce
+            # with resident data nor trigger an eviction, so it goes
+            # straight to the media; counter semantics are identical to
+            # OnPMBuffer.write_words (words beyond the first on the
+            # line count as coalesced, the line write as an eviction).
+            mask = buffer._line_mask
+            base = -1
+            for addr in words:
+                line = addr & mask
+                if base < 0:
+                    base = line
+                elif line != base:
+                    break
+            else:
+                counters["onpm.requests"] += 1
+                extra = len(words) - 1
+                if extra:
+                    counters["onpm.coalesced_words"] += extra
+                counters["onpm.line_evictions"] += 1
+                # PMMedia.write_line (the reference implementation of
+                # this loop), inlined: data-comparison-write against
+                # the image, 64 B-sector write accounting and wear.
+                media = self.media
+                image = media._words
+                image_get = image.get
+                changed_sectors = None
+                changed_words = 0
+                for addr, value in words.items():
+                    if image_get(addr, 0) != value:
+                        image[addr] = value
+                        changed_words += 1
+                        sector = addr >> 6
+                        if changed_sectors is None:
+                            changed_sectors = {sector}
+                        else:
+                            changed_sectors.add(sector)
+                if changed_words:
+                    sectors = len(changed_sectors)
+                    counters["media.line_writes"] += 1
+                    counters["media.sector_writes"] += sectors
+                    counters["media.word_writes"] += changed_words
+                    wear = media._sector_wear
+                    for sector in changed_sectors:
+                        wear[sector] = wear.get(sector, 0) + 1
+                    return sectors
+                counters["media.redundant_line_writes"] += 1
+                return 0
+        return buffer.write_words(words, write_through=write_through)
 
     def read_word(self, addr: int) -> int:
         """Read one word, observing data pending in the on-PM buffer."""

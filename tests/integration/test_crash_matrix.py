@@ -110,3 +110,29 @@ class TestRecoveryReports:
             CrashPlan(at_op=1, at_commit_of=(0, 0))
         with pytest.raises(ConfigError):
             CrashPlan(at_op=-1)
+
+
+class TestUnreachableCrashPlans:
+    """A crash plan that can never fire must fail loudly: a sweep that
+    silently completes failure-free would validate nothing."""
+
+    def test_at_op_past_trace_end_raises(self):
+        from repro.common.errors import SimulationError
+
+        trace = make_trace()
+        with pytest.raises(SimulationError, match="never fired"):
+            run_crash("silo", trace, CrashPlan(at_op=10**9))
+
+    def test_at_commit_of_unknown_transaction_raises(self):
+        from repro.common.errors import SimulationError
+
+        trace = make_trace()  # 2 threads x 4 transactions
+        with pytest.raises(SimulationError, match="never fired"):
+            run_crash("silo", trace, CrashPlan(at_commit_of=(0, 99)))
+
+    def test_at_commit_of_unknown_thread_raises(self):
+        from repro.common.errors import SimulationError
+
+        trace = make_trace()
+        with pytest.raises(SimulationError, match="never fired"):
+            run_crash("base", trace, CrashPlan(at_commit_of=(7, 0)))

@@ -126,3 +126,62 @@ class TestRunResult:
         assert result.writes_per_transaction == pytest.approx(
             result.media_writes / result.committed_count
         )
+
+
+class TestPMReadPath:
+    """Demand misses to PM go through the memory controller with their
+    real address and the issuing core's channel (not addr=0/channel=0)."""
+
+    def _spy(self, system):
+        seen = []
+        real = system.mc.submit_read
+
+        def submit_read(now, addr, channel=0):
+            seen.append((addr, channel))
+            return real(now, addr, channel=channel)
+
+        system.mc.submit_read = submit_read
+        return seen
+
+    def test_miss_carries_real_address(self):
+        trace = Trace(
+            [ThreadTrace(0, [Transaction().store(0x5008, 1).load(0x9010)])]
+        )
+        system = System(SystemConfig.table2(1))
+        seen = self._spy(system)
+        TransactionEngine(
+            system, SchemeRegistry.create("base", system), trace
+        ).run()
+        addrs = [a for a, _ in seen]
+        assert 0x5008 in addrs
+        assert 0x9010 in addrs
+        assert 0 not in addrs
+
+    def test_miss_routes_to_issuing_cores_channel(self):
+        trace = Trace(
+            [
+                ThreadTrace(0, [Transaction().store(0x5000, 1)]),
+                ThreadTrace(1, [Transaction().store(0x8000, 2)]),
+            ]
+        )
+        system = System(SystemConfig.table2(2))
+        seen = self._spy(system)
+        TransactionEngine(
+            system, SchemeRegistry.create("base", system), trace
+        ).run()
+        channels = {addr: ch for addr, ch in seen}
+        assert channels[0x5000] == 0
+        assert channels[0x8000] == 1
+
+    def test_hits_do_not_touch_the_controller(self):
+        # Second access to the same line hits in L1: exactly one read
+        # per distinct line reaches the MC.
+        trace = Trace(
+            [ThreadTrace(0, [Transaction().store(0x5000, 1).load(0x5008)])]
+        )
+        system = System(SystemConfig.table2(1))
+        seen = self._spy(system)
+        TransactionEngine(
+            system, SchemeRegistry.create("base", system), trace
+        ).run()
+        assert len(seen) == 1

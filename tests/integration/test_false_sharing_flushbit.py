@@ -1,0 +1,83 @@
+"""Regression: flush-bit marking under false sharing (Section III-D).
+
+The simulator has no cache coherence: two cores that store to
+*different words of the same line* each hold a private, incoherent
+copy of that line.  When one core's copy is evicted from the L3, the
+writeback carries only that copy's dirty words.  The eviction search
+must therefore set flush-bits by *written-back word*, not by line
+address: the other core's word never reached PM, so marking its log
+entry as flushed makes commit skip the in-place update — and a crash
+at that core's commit silently loses the committed value.
+
+This test constructs that exact scenario deterministically and was
+written against the buggy line-granular search (it fails there).
+"""
+
+from repro.common.config import SystemConfig
+from repro.designs.scheme import SchemeRegistry
+from repro.sim.crash import CrashPlan
+from repro.sim.engine import TransactionEngine
+from repro.sim.system import System
+from repro.sim.verify import check_atomic_durability
+from repro.trace.trace import Trace, ThreadTrace, Transaction
+
+#: The falsely shared line and the two cores' words on it.
+LINE = 0x100000
+WORD_CORE0 = LINE
+WORD_CORE1 = LINE + 8
+
+
+def _build_trace(config):
+    """Core 0 dirties its word of LINE, then forces the line through
+    L1 -> L2 -> L3 -> writeback with same-set filler stores.  Core 1
+    dirties *its* word of LINE and pads with PM-missing loads so its
+    commit — the crash point — lands after core 0's eviction."""
+    # Filler lines that conflict with LINE in every level: the stride
+    # keeps the set index identical in L1, L2 and L3 (all power-of-two
+    # set counts, L3's being the largest).
+    max_sets = max(config.l1.num_sets, config.l2.num_sets, config.l3.num_sets)
+    stride = config.l1.line_size * max_sets
+    fillers = config.l1.ways + config.l2.ways + config.l3.ways + 1
+
+    tx0 = Transaction().store(WORD_CORE0, 0x11)
+    for i in range(1, fillers + 1):
+        tx0.store(LINE + i * stride, i)
+
+    tx1 = Transaction().store(WORD_CORE1, 0x22)
+    # Padding loads at distinct, non-conflicting lines (set indices
+    # 1..N, never LINE's set 0): each misses to PM, so core 1's clock
+    # runs far past core 0's completion before its Tx_end is scheduled.
+    for i in range(1, 101):
+        tx1.load(0x40000000 + i * config.l1.line_size)
+
+    return Trace(
+        [ThreadTrace(0, [tx0]), ThreadTrace(1, [tx1])],
+        name="false-sharing",
+    )
+
+
+def test_crash_at_commit_with_falsely_shared_line_is_durable():
+    config = SystemConfig.table2(cores=2)
+    trace = _build_trace(config)
+    system = System(config)
+    engine = TransactionEngine(
+        system,
+        SchemeRegistry.create("silo", system),
+        trace,
+        crash_plan=CrashPlan(at_commit_of=(1, 0)),
+    )
+    result = engine.run()
+
+    assert result.crashed
+    assert (1, 0) in result.committed
+    # The scenario must actually have pushed core 0's copy out of the
+    # L3 (otherwise this test exercises nothing).
+    assert system.stats.get("l3.dirty_evictions", 0) >= 1
+
+    mismatches = check_atomic_durability(system, trace, result.committed)
+    assert mismatches == [], (
+        "committed word lost under false sharing: a line-granular "
+        f"eviction search marked core 1's entry as flushed: {mismatches}"
+    )
+    # The committed value itself, spelled out.
+    assert system.pm.media.read_word(WORD_CORE1) == 0x22

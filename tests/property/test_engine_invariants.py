@@ -1,9 +1,11 @@
 """Property-based timing/accounting invariants of the engine."""
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
 from repro.designs.scheme import SchemeRegistry
 from repro.sim.crash import CrashPlan
 from repro.sim.engine import TransactionEngine
@@ -66,7 +68,10 @@ class TestAccounting:
         scheme=st.sampled_from(ALL_SCHEMES),
         crash=st.integers(0, 10_000),
     )
-    def test_crash_beyond_trace_never_fires(self, p, scheme, crash):
+    def test_crash_beyond_trace_fails_loudly(self, p, scheme, crash):
+        """An at_op past the end of the trace can never fire; silently
+        finishing would make the crash experiment vacuous, so the
+        engine must refuse instead."""
         trace = synthetic_trace(SyntheticTraceConfig(arena_words=64, **p))
         total_ops = sum(
             len(tx.ops) + 2 for th in trace.threads for tx in th.transactions
@@ -78,9 +83,8 @@ class TestAccounting:
             trace,
             crash_plan=CrashPlan(at_op=total_ops + crash),
         )
-        result = engine.run()
-        assert not result.crashed
-        assert result.committed_count == trace.total_transactions
+        with pytest.raises(SimulationError, match="never fired"):
+            engine.run()
 
 
 class TestMonotonicity:

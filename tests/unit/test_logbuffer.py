@@ -118,3 +118,45 @@ class TestEvictionAndDrain:
         assert len(buf) == 0
         buf.offer(entry(0x1000))
         assert len(buf) == 1
+
+
+class TestMarkWordsFlushed:
+    def test_marks_only_written_back_words(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        buf.offer(entry(0x1008))  # same line, different word
+        marked = buf.mark_words_flushed({0x1000: 1})
+        assert marked == 1
+        assert buf.find(0x1000).flush_bit
+        assert not buf.find(0x1008).flush_bit
+
+    def test_line_search_marks_whole_line(self):
+        # The coarse search exists for designs that flush logs at line
+        # granularity; contrast with the word-granular variant above.
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        buf.offer(entry(0x1008))
+        assert buf.mark_line_flushed(0x1000) == 2
+
+    def test_already_marked_entries_not_recounted(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        assert buf.mark_words_flushed([0x1000]) == 1
+        assert buf.mark_words_flushed([0x1000]) == 0
+        assert buf.stats.get("buf.flush_bits_set") == 1
+
+    def test_unmatched_words_mark_nothing(self):
+        buf = make_buffer()
+        buf.offer(entry(0x1000))
+        assert buf.mark_words_flushed([0x2000, 0x2008]) == 0
+        assert not buf.find(0x1000).flush_bit
+
+    def test_non_merging_mode_scans_entries(self):
+        buf = LogBuffer(
+            LogBufferConfig(entries=8), Stats(), name="buf", merging=False
+        )
+        buf.offer(entry(0x1000, old=0, new=1))
+        buf.offer(entry(0x1000, old=1, new=2))  # duplicate word entry
+        buf.offer(entry(0x1008))
+        assert buf.mark_words_flushed([0x1000]) == 2
+        assert not buf.find(0x1008).flush_bit

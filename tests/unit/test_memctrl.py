@@ -108,7 +108,8 @@ class TestReads:
     def test_read_latency(self):
         mc, _, cfg = make_mc()
         completion = mc.submit_read(0, 0x1000)
-        assert completion == cfg.pm_read_cycles
+        # A read occupies the command/data bus before the media access.
+        assert completion == cfg.pm.bus_overhead_cycles + cfg.pm_read_cycles
 
     def test_reads_contend_with_writes(self):
         mc, _, cfg = make_mc(banks=1)
@@ -122,3 +123,36 @@ class TestDrain:
         mc, _, _ = make_mc()
         t = mc.submit_write(0, {0x0: 1}, write_through=True)
         assert mc.drain_completion() >= t.media_done
+
+
+class TestReadTimingModel:
+    def test_reads_serialize_on_channel_bus(self):
+        mc, _, cfg = make_mc()
+        first = mc.submit_read(0, 0x1000)
+        # A second concurrent read waits for the bus, then hits its own
+        # free bank: it completes exactly one bus transfer later.
+        second = mc.submit_read(0, 0x2000)
+        assert second == first + cfg.pm.bus_overhead_cycles
+
+    def test_reads_queue_behind_busy_banks(self):
+        mc, _, cfg = make_mc(banks=1)
+        first = mc.submit_read(0, 0x1000)
+        second = mc.submit_read(0, 0x2000)
+        # One bank: the second read's media access starts only when the
+        # first one finishes.
+        assert second == first + cfg.pm_read_cycles
+
+    def test_read_wpq_backpressure(self):
+        mc, _, cfg = make_mc()
+        for i in range(cfg.mc.write_queue_entries):
+            mc.submit_write(0, {0x40 * i: 1})
+        base = cfg.pm.bus_overhead_cycles + cfg.pm_read_cycles
+        stalled = mc.submit_read(0, 0x100000)
+        assert stalled > base
+        assert mc.stats.get("mc.read_wpq_stall_cycles", 0) > 0
+
+    def test_reads_counted(self):
+        mc, _, _ = make_mc()
+        mc.submit_read(0, 0x1000)
+        mc.submit_read(0, 0x2000)
+        assert mc.stats.get("mc.reads") == 2

@@ -59,8 +59,10 @@ class TestChannels:
     def test_reads_route_by_channel(self):
         mc, cfg = make_mc(2)
         mc.submit_write(0, {0x0: 1}, write_through=True, channel=0)
-        # Channel 1's banks are idle: read completes at base latency.
-        assert mc.submit_read(0, 0x40, channel=1) == cfg.pm_read_cycles
+        # Channel 1's bus and banks are idle: the read completes at base
+        # latency (bus transfer + media access), unaffected by channel 0.
+        base = cfg.pm.bus_overhead_cycles + cfg.pm_read_cycles
+        assert mc.submit_read(0, 0x40, channel=1) == base
 
 
 class TestSystemIntegration:

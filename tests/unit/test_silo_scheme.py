@@ -168,3 +168,128 @@ class TestAblationKnobs:
         for i in range(system.config.log_buffer.entries + 1):
             store(silo, 0x1000 + 8 * i, 0, i + 1)
         assert system.stats.get("silo.overflow_entries") == 4
+
+
+class TestFalseSharing:
+    """Word-granular eviction search (Section III-D).
+
+    Without coherence, a falsely shared line has one incoherent copy
+    per core; a writeback carries only the evicting core's dirty
+    words.  The eviction search must leave the other cores' entries
+    unmarked or their committed values are lost on a crash."""
+
+    @pytest.fixture
+    def env2(self):
+        system = System(SystemConfig.table2(cores=2))
+        return system, SiloScheme(system)
+
+    def test_writeback_marks_only_its_own_words(self, env2):
+        system, silo = env2
+        silo.on_tx_begin(0, 0, 1, now=0)
+        silo.on_tx_begin(1, 1, 1, now=0)
+        store(silo, 0x1000, 0, 5, core=0, tid=0)
+        store(silo, 0x1008, 0, 7, core=1, tid=1)  # same line, other core
+        # Core 0's copy of line 0x1000 is written back carrying only
+        # core 0's word.
+        silo.on_evictions(0, 5, [(0x1000, {0x1000: 5})])
+        assert silo._bufs[0].find(0x1000).flush_bit
+        assert not silo._bufs[1].find(0x1008).flush_bit
+
+    def test_commit_crash_after_false_sharing_recovers_both_words(self, env2):
+        system, silo = env2
+        silo.on_tx_begin(0, 0, 1, now=0)
+        silo.on_tx_begin(1, 1, 1, now=0)
+        store(silo, 0x1000, 0, 5, core=0, tid=0)
+        store(silo, 0x1008, 0, 7, core=1, tid=1)
+        silo.on_evictions(0, 5, [(0x1000, {0x1000: 5})])
+        # Crash during core 1's commit: its redo set must still carry
+        # 0x1008, whose new value only exists in core 1's caches.
+        silo.interrupted_commit(1, 1, 1, now=10)
+        system.pm.drain()
+        report = silo.recover()
+        assert report.replayed == 1
+        assert system.pm.media.read_word(0x1008) == 7
+        # Core 0's word is durable through the eviction writeback.
+        assert system.pm.media.read_word(0x1000) == 5
+
+
+class TestOverflowCrashInteraction:
+    """Satellite of Section III-F/III-G: overflowed undo logs sit next
+    to crash-flushed redo logs of the same committed transaction and
+    recovery must tell them apart."""
+
+    def test_redo_filter_rejects_overflow_undo_and_flushed_redo(self):
+        from repro.core.silo import _silo_redo_filter
+        from repro.hwlog.region import PersistedLog
+
+        def plog(kind, flush_bit):
+            return PersistedLog(
+                tid=0, txid=1, addr=0x1000, old=0, new=1,
+                flush_bit=flush_bit, kind=kind,
+            )
+
+        assert _silo_redo_filter(plog("redo", False))
+        assert not _silo_redo_filter(plog("redo", True))
+        assert not _silo_redo_filter(plog("undo", False))
+        assert not _silo_redo_filter(plog("undo", True))
+
+    def _overflowed_tx(self, env):
+        """21 distinct stores: overflow spills the 14 oldest as undo
+        logs; 7 entries stay resident.  Returns the stored words."""
+        system, silo = env
+        capacity = system.config.log_buffer.entries
+        words = [0x1000 + 8 * i for i in range(capacity + 1)]
+        silo.on_tx_begin(0, 0, 1, now=0)
+        for i, addr in enumerate(words):
+            store(silo, addr, 0, i + 100)
+        assert system.stats.get("silo.overflows") == 1
+        return words
+
+    def test_commit_crash_after_overflow_replays_exactly_flushbit0(self, env):
+        system, silo = env
+        words = self._overflowed_tx(env)
+        batch = system.stats.get("silo.overflow_entries")  # 14 spilled
+        resident = len(words) - batch
+        # One resident entry's line is evicted: flush-bit set, value
+        # durable through the writeback.
+        evicted = words[batch]
+        silo.on_evictions(0, 5, [(evicted & ~63, {evicted: batch + 100})])
+
+        silo.interrupted_commit(0, 0, 1, now=10)
+        logs = system.region.logs_for_thread(0)
+        redo = [l for l in logs if l.kind == "redo"]
+        undo = [l for l in logs if l.kind == "undo"]
+        assert len(undo) == batch and all(l.flush_bit for l in undo)
+        # The redo set is exactly the flush-bit-0 residents.
+        assert sorted(l.addr for l in redo) == words[batch + 1:]
+        assert all(not l.flush_bit for l in redo)
+
+        system.pm.drain()
+        report = silo.recover()
+        assert report.replayed == len(redo)
+        # The committed transaction's overflow undo logs (and the
+        # flush-bit-1 entry) are discarded, not replayed.
+        assert report.discarded == batch
+        assert report.revoked == 0
+        for i, addr in enumerate(words):
+            assert system.pm.media.read_word(addr) == i + 100, hex(addr)
+
+    def test_overflow_skips_inplace_write_for_flushed_entries(self, env):
+        system, silo = env
+        capacity = system.config.log_buffer.entries
+        words = [0x1000 + 8 * i for i in range(capacity)]
+        silo.on_tx_begin(0, 0, 1, now=0)
+        for i, addr in enumerate(words):
+            store(silo, addr, 0, i + 100)
+        # Evict the line of the oldest entry before triggering overflow:
+        # its new data already reached PM, so the overflow spill must
+        # not rewrite it in place.
+        silo.on_evictions(0, 5, [(0x1000, {words[0]: 999})])
+        store(silo, 0x9000, 0, 1)  # 21st entry -> overflow
+        system.pm.drain()
+        # 999 is the (synthetic) writeback value; an in-place rewrite
+        # would have clobbered it with 100.
+        assert system.pm.media.read_word(words[0]) == 999
+        # The spilled undo log still exists for atomicity.
+        undo = [l for l in system.region.logs_for_thread(0) if l.kind == "undo"]
+        assert words[0] in {l.addr for l in undo}

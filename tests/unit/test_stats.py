@@ -72,3 +72,26 @@ class TestStats:
         s = Stats()
         s.add("hits", 3)
         assert "hits" in repr(s)
+
+
+class TestAddMany:
+    def test_add_many_merges_mapping(self):
+        s = Stats()
+        s.add("a", 1)
+        s.add_many({"a": 2, "b": 5})
+        assert s.get("a") == 3
+        assert s.get("b") == 5
+
+    def test_add_many_empty_mapping(self):
+        s = Stats()
+        s.add_many({})
+        assert s.as_dict() == {}
+
+    def test_add_many_equivalent_to_repeated_add(self):
+        a, b = Stats(), Stats()
+        for _ in range(3):
+            a.add("x", 2)
+            a.add("y")
+        for _ in range(3):
+            b.add_many({"x": 2, "y": 1})
+        assert a.as_dict() == b.as_dict()
