@@ -38,6 +38,15 @@ def test_hotpath_throughput(benchmark, bench_tx):
     assert all(c.ops_per_sec > 0 for c in result.cells)
     assert all(c.committed == bench_tx * c.cores for c in result.cells)
 
+    # Best-of-N: every cell carries all its wall-clock samples, the
+    # reported throughput is the best one, and the spread is the
+    # best-to-worst delta (>= 0 by construction).
+    for c in result.cells:
+        assert len(c.samples) == result.repeats
+        assert c.seconds == min(c.samples)
+        assert c.ops_per_sec_spread >= 0.0
+    assert "cache" in result.to_json()
+
     # The simulated-timing shape the perf work must not disturb: the
     # log-write designs order base slowest / silo fastest at 8 cores.
     for workload in bench.DEFAULT_WORKLOADS:

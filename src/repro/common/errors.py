@@ -19,3 +19,8 @@ class TransactionError(ReproError):
 
 class SimulationError(ReproError):
     """Internal simulator invariant violation."""
+
+
+class ExecutionError(ReproError):
+    """One or more cells of an experiment campaign failed; the message
+    carries the failed cells and their worker tracebacks."""

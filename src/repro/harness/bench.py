@@ -7,11 +7,18 @@ workloads.  It is the perf-regression guard for the engine's inner
 loop — run it before and after touching `engine.py`, `memctrl.py`,
 the cache hierarchy or the stats layer.
 
-Results are emitted as ``BENCH_hotpath.json`` so CI can archive the
-trajectory.  Each cell also records the run's ``end_cycle``: the
-simulated timing must be bit-identical across perf-only changes, so a
-changed ``end_cycle`` in this file flags an (intended or accidental)
-model change, not just a speed change.
+Each cell reruns the identical trace ``repeats`` times (default 3,
+``--repeats`` on the CLI) and reports the best wall time as
+``ops_per_sec`` plus the sample spread, so the perf trajectory in
+``BENCH_hotpath.json`` separates real regressions from scheduler
+noise.  Each cell also records the run's ``end_cycle``: the simulated
+timing must be bit-identical across perf-only changes, so a changed
+``end_cycle`` in this file flags an (intended or accidental) model
+change, not just a speed change.
+
+Cells execute through the shared executor, so ``--jobs``/caching
+apply; a cache-served cell replays the wall times recorded when it
+actually ran.
 
 Modes::
 
@@ -23,14 +30,16 @@ from __future__ import annotations
 
 import json
 import platform
-import time
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    raise_on_failures,
+)
 from repro.harness.report import format_table
-from repro.harness.runner import run_single
-from repro.trace.trace import Trace
-from repro.workloads.registry import build_workload
 
 #: The hot-path workloads: large write sets (tpcc) and skewed
 #: read-modify-writes (ycsb) keep every simulator layer busy.
@@ -41,17 +50,14 @@ DEFAULT_TRANSACTIONS = 120
 DEFAULT_REPEATS = 3
 
 
-def _total_ops(trace: Trace) -> int:
-    """Engine-visible operations: every memory op plus the two
-    transaction markers."""
-    return sum(
-        len(tx.ops) + 2 for thread in trace.threads for tx in thread.transactions
-    )
-
-
 @dataclass(frozen=True)
 class HotpathCell:
-    """One (workload, scheme, cores) measurement."""
+    """One (workload, scheme, cores) measurement.
+
+    ``seconds``/``ops_per_sec`` are the best of ``samples``;
+    ``ops_per_sec_spread`` is the best-to-worst throughput delta
+    across the samples (the noise band of this measurement).
+    """
 
     workload: str
     scheme: str
@@ -61,6 +67,8 @@ class HotpathCell:
     ops_per_sec: float
     end_cycle: int
     committed: int
+    samples: Tuple[float, ...] = ()
+    ops_per_sec_spread: float = 0.0
 
 
 @dataclass
@@ -71,6 +79,8 @@ class HotpathBenchResult:
     repeats: int
     smoke: bool
     cells: List[HotpathCell] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def cell(self, workload: str, scheme: str, cores: int) -> HotpathCell:
         for c in self.cells:
@@ -96,6 +106,7 @@ class HotpathBenchResult:
                 c.ops,
                 f"{c.seconds * 1e3:.1f}ms",
                 f"{c.ops_per_sec:,.0f}",
+                f"±{c.ops_per_sec_spread:,.0f}",
                 c.end_cycle,
             ]
             for c in self.cells
@@ -104,7 +115,16 @@ class HotpathBenchResult:
         if self.smoke:
             title += " [smoke]"
         return format_table(
-            ["workload", "scheme", "cores", "ops", "wall", "ops/sec", "end_cycle"],
+            [
+                "workload",
+                "scheme",
+                "cores",
+                "ops",
+                "wall",
+                "ops/sec",
+                "spread",
+                "end_cycle",
+            ],
             rows,
             title=title,
         )
@@ -116,6 +136,7 @@ class HotpathBenchResult:
             "repeats": self.repeats,
             "smoke": self.smoke,
             "python": platform.python_version(),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "cells": [asdict(c) for c in self.cells],
         }
 
@@ -134,36 +155,58 @@ def run(
     repeats: int = DEFAULT_REPEATS,
     smoke: bool = False,
     output: Optional[str] = "BENCH_hotpath.json",
+    executor: Optional[Executor] = None,
 ) -> HotpathBenchResult:
     """Measure ops/sec for every (workload, scheme, cores) cell.
 
     Each cell reruns the identical trace on a fresh system ``repeats``
     times and keeps the fastest wall time (the standard way to strip
-    scheduler noise from a deterministic benchmark).  ``smoke`` shrinks
-    the grid to a <60 s CI budget.
+    scheduler noise from a deterministic benchmark), reporting the
+    best-to-worst spread alongside.  ``smoke`` shrinks the grid to a
+    <60 s CI budget.
     """
     if smoke:
         core_counts = (8,)
         schemes = ("base", "silo")
         transactions = min(transactions, 40)
         repeats = min(repeats, 2)
+    repeats = max(1, repeats)
 
-    result = HotpathBenchResult(
-        transactions=transactions, repeats=repeats, smoke=smoke
-    )
+    cells: List[CellSpec] = []
     for cores in core_counts:
         for workload in workloads:
-            trace = build_workload(
+            wspec = WorkloadSpec.make(
                 workload, threads=cores, transactions=transactions
             )
-            ops = _total_ops(trace)
             for scheme in schemes:
-                best = float("inf")
-                run_result = None
-                for _ in range(max(1, repeats)):
-                    started = time.perf_counter()
-                    run_result = run_single(trace, scheme, cores)
-                    best = min(best, time.perf_counter() - started)
+                cells.append(
+                    CellSpec(
+                        workload=wspec, scheme=scheme, cores=cores, repeats=repeats
+                    )
+                )
+    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    raise_on_failures(outcomes)
+
+    result = HotpathBenchResult(
+        transactions=transactions,
+        repeats=repeats,
+        smoke=smoke,
+        cache_hits=sum(1 for o in outcomes if o.cached),
+        cache_misses=sum(1 for o in outcomes if not o.cached),
+    )
+    at = iter(outcomes)
+    for cores in core_counts:
+        for workload in workloads:
+            for scheme in schemes:
+                outcome = next(at)
+                run_result = outcome.result
+                ops = sum(
+                    len(tx.ops) + 2
+                    for thread in outcome.spec.workload.build().threads
+                    for tx in thread.transactions
+                )
+                best = min(outcome.seconds)
+                worst = max(outcome.seconds)
                 result.cells.append(
                     HotpathCell(
                         workload=workload,
@@ -174,6 +217,10 @@ def run(
                         ops_per_sec=ops / best if best else 0.0,
                         end_cycle=run_result.end_cycle,
                         committed=run_result.committed_count,
+                        samples=tuple(outcome.seconds),
+                        ops_per_sec_spread=(
+                            ops / best - ops / worst if best and worst else 0.0
+                        ),
                     )
                 )
     if output:

@@ -4,13 +4,26 @@ Examples::
 
     silo-repro fig4
     silo-repro fig11 --cores 1 8 --transactions 300
-    silo-repro fig12
-    silo-repro fig13
+    silo-repro fig12 --jobs 8            # fan cells across 8 processes
+    silo-repro fig12                     # re-run: served from .repro-cache/
+    silo-repro fig13 --no-cache
     silo-repro fig14 --transactions 80
-    silo-repro fig15
+    silo-repro fig15 --fresh             # recompute, refresh the cache
     silo-repro table1
     silo-repro table4
-    silo-repro all
+    silo-repro all --jobs 8
+    silo-repro cache stats
+    silo-repro cache clear
+
+Every experiment fans its (workload x scheme x cores x config) cells
+out through :class:`repro.harness.executor.Executor`: ``--jobs N``
+worker processes (default: all CPUs; ``--jobs 1`` is the serial
+in-process path) over the content-addressed result cache in
+``.repro-cache/`` (keyed by cell spec + a source fingerprint, so any
+simulator edit invalidates it automatically).  Results are
+bit-identical at any jobs count and cache state.  A cell that fails
+is reported with its worker traceback, the rest of the campaign
+completes, and the exit status is nonzero.
 """
 
 from __future__ import annotations
@@ -20,6 +33,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.common.errors import ExecutionError
 from repro.harness import (
     bench,
     crashtest,
@@ -34,24 +48,43 @@ from repro.harness import (
     table1,
     table4,
 )
+from repro.harness.executor import Executor
+from repro.harness.resultcache import ResultCache
 
 _EXPERIMENTS = {
-    "bench": lambda args: bench.run(smoke=args.smoke, output=args.bench_output),
-    "crashtest": lambda args: crashtest.run(points_per_pair=args.crash_points),
-    "mcsweep": lambda args: mcsweep.run(transactions=args.transactions),
-    "recovery": lambda args: recovery_cost.run(transactions=args.transactions),
-    "fig4": lambda args: fig4.run(transactions=args.transactions),
-    "fig11": lambda args: fig11.run(
-        core_counts=tuple(args.cores), transactions=args.transactions
+    "bench": lambda args, ex: bench.run(
+        smoke=args.smoke,
+        output=args.bench_output,
+        repeats=args.repeats,
+        executor=ex,
     ),
-    "fig12": lambda args: fig12.run(
-        core_counts=tuple(args.cores), transactions=args.transactions
+    "crashtest": lambda args, ex: crashtest.run(
+        points_per_pair=args.crash_points, executor=ex
     ),
-    "fig13": lambda args: fig13.run(transactions=args.transactions),
-    "fig14": lambda args: fig14.run(transactions=min(args.transactions, 150)),
-    "fig15": lambda args: fig15.run(transactions=args.transactions),
-    "table1": lambda args: table1.run(),
-    "table4": lambda args: table4.run(),
+    "mcsweep": lambda args, ex: mcsweep.run(
+        transactions=args.transactions, executor=ex
+    ),
+    "recovery": lambda args, ex: recovery_cost.run(
+        transactions=args.transactions, executor=ex
+    ),
+    "fig4": lambda args, ex: fig4.run(transactions=args.transactions, executor=ex),
+    "fig11": lambda args, ex: fig11.run(
+        core_counts=tuple(args.cores), transactions=args.transactions, executor=ex
+    ),
+    "fig12": lambda args, ex: fig12.run(
+        core_counts=tuple(args.cores), transactions=args.transactions, executor=ex
+    ),
+    "fig13": lambda args, ex: fig13.run(
+        transactions=args.transactions, executor=ex
+    ),
+    "fig14": lambda args, ex: fig14.run(
+        transactions=min(args.transactions, 150), executor=ex
+    ),
+    "fig15": lambda args, ex: fig15.run(
+        transactions=args.transactions, executor=ex
+    ),
+    "table1": lambda args, ex: table1.run(),
+    "table4": lambda args, ex: table4.run(),
 }
 
 
@@ -63,8 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(_EXPERIMENTS) + ["all", "cache"],
+        help="which table/figure to regenerate, or 'cache' to manage "
+        "the result cache",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        choices=["stats", "clear"],
+        help="cache only: 'stats' (default) or 'clear'",
     )
     parser.add_argument(
         "--transactions",
@@ -87,9 +127,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash points per (scheme, workload) pair for crashtest",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes to fan cells across (default: all CPUs; "
+        "1 = in-process serial execution)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache entirely (no reads, no writes)",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="recompute every cell, overwriting its cache entry",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $SILO_CACHE_DIR or "
+        ".repro-cache)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="bench only: shrink the grid to a <60s CI budget",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=bench.DEFAULT_REPEATS,
+        help="bench only: wall-clock samples per cell; the best is "
+        "reported, the spread recorded (default 3)",
     )
     parser.add_argument(
         "--bench-output",
@@ -100,15 +170,46 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cache_command(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
+    else:
+        print(cache.format_stats())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "cache":
+        return _cache_command(args)
+    if args.action is not None:
+        parser.error("an action is only valid with the 'cache' command")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = Executor(
+        jobs=args.jobs, cache=cache, fresh=args.fresh, progress=True
+    )
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failures = 0
     for name in names:
         started = time.time()
-        result = _EXPERIMENTS[name](args)
+        try:
+            result = _EXPERIMENTS[name](args, executor)
+        except ExecutionError as exc:
+            print(f"[{name} FAILED]\n{exc}", file=sys.stderr)
+            failures += 1
+            continue
         print(result.format_report())
-        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
-    return 0
+        stats = executor.stats
+        print(
+            f"[{name} completed in {time.time() - started:.1f}s; "
+            f"campaign: {stats.cells} cells, {stats.cache_hits} cached, "
+            f"{executor.jobs} jobs]\n"
+        )
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -5,6 +5,12 @@ figure: for each design it injects power failures at randomly chosen
 points of a workload — including exactly-at-commit strikes — recovers,
 and checks the atomic-durability invariant word by word.  This is the
 same oracle the property-based tests use, packaged for large sweeps.
+
+Crash points are drawn from a seeded RNG *before* any cell runs, so
+the campaign is a fixed list of independent cells: the executor fans
+them out across processes (each worker runs engine + recovery +
+oracle and ships back only the verdict) and the sweep's verdicts are
+identical at any ``--jobs`` count.
 """
 
 from __future__ import annotations
@@ -14,14 +20,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.designs.scheme import SchemeRegistry
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    raise_on_failures,
+)
 from repro.harness.report import format_table
 from repro.sim.crash import CrashPlan
-from repro.sim.engine import TransactionEngine
-from repro.sim.system import System
-from repro.sim.verify import check_atomic_durability
 from repro.trace.trace import Trace
-from repro.workloads.registry import build_workload
 
 DEFAULT_SCHEMES: Tuple[str, ...] = (
     "base",
@@ -81,15 +88,19 @@ def run(
     transactions: int = 8,
     seed: int = 0,
     config: Optional[SystemConfig] = None,
+    executor: Optional[Executor] = None,
 ) -> CrashTestResult:
     """Sweep crash points over every (scheme, workload) pair."""
     rng = random.Random(seed)
     result = CrashTestResult()
-    base_config = config if config is not None else SystemConfig.table2(threads)
 
+    cells: List[CellSpec] = []
+    labels: List[Tuple[str, str, str]] = []  # (workload, scheme, point label)
     for workload in workloads:
-        trace = build_workload(workload, threads=threads, transactions=transactions)
-        ops = _total_ops(trace)
+        # The plan draw needs the trace's op count; the build lands in
+        # the executor's memo, so serial runs pay it exactly once.
+        wspec = WorkloadSpec.make(workload, threads=threads, transactions=transactions)
+        ops = _total_ops(wspec.build())
         plans: List[Tuple[str, CrashPlan]] = []
         for _ in range(points_per_pair):
             if rng.random() < 0.25:
@@ -103,26 +114,31 @@ def run(
                 plans.append((f"op {at}", CrashPlan(at_op=at)))
 
         for scheme in schemes:
-            runs, fails = result.per_scheme.get(scheme, (0, 0))
             for label, plan in plans:
-                system = System(base_config)
-                engine = TransactionEngine(
-                    system,
-                    SchemeRegistry.create(scheme, system),
-                    trace,
-                    crash_plan=plan,
-                )
-                run_result = engine.run()
-                mismatches = check_atomic_durability(
-                    system, trace, run_result.committed
-                )
-                result.runs += 1
-                runs += 1
-                if mismatches:
-                    result.failures += 1
-                    fails += 1
-                    result.failure_details.append(
-                        (scheme, workload, label, mismatches)
+                cells.append(
+                    CellSpec(
+                        workload=wspec,
+                        scheme=scheme,
+                        cores=threads,
+                        config=config,
+                        crash_plan=plan,
+                        verify=True,
                     )
-            result.per_scheme[scheme] = (runs, fails)
+                )
+                labels.append((workload, scheme, label))
+
+    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    raise_on_failures(outcomes)
+
+    for (workload, scheme, label), outcome in zip(labels, outcomes):
+        runs, fails = result.per_scheme.get(scheme, (0, 0))
+        result.runs += 1
+        runs += 1
+        if outcome.mismatches:
+            result.failures += 1
+            fails += 1
+            result.failure_details.append(
+                (scheme, workload, label, outcome.mismatches)
+            )
+        result.per_scheme[scheme] = (runs, fails)
     return result

@@ -1,0 +1,396 @@
+"""Parallel experiment execution with content-addressed caching.
+
+Every harness in this repo ultimately runs a Cartesian grid of
+**cells** — fully specified, independent, deterministic simulations
+(workload x scheme x cores x config, optionally a crash plan).  This
+module is the one execution service they all share:
+
+* :class:`CellSpec` pins down one cell completely, including the
+  workload *recipe* (name + builder kwargs) rather than a built trace,
+  so a spec is tiny, hashable and picklable;
+* :class:`Executor` fans a list of cells out across ``jobs`` worker
+  processes (``jobs=1`` is the exact in-process serial path), streams
+  per-cell progress/ETA to stderr, isolates failures (a cell that
+  raises is reported with its traceback while the campaign continues)
+  and consults a :class:`~repro.harness.resultcache.ResultCache` so
+  previously computed cells are served from disk;
+* each worker process memoizes trace construction per
+  ``(workload, threads, transactions, kwargs)``, so a trace is built
+  once and replayed read-only under every scheme — never per cell.
+
+Determinism: cells share no mutable state (each gets a fresh
+:class:`~repro.sim.system.System`; the engine never mutates the trace;
+all workload/crash randomness is seeded ``random.Random``; no
+container iteration depends on interpreter hash salting — sets and
+dict keys on simulated paths are ints/int-tuples, whose hashes are
+unsalted).  A cell's :class:`~repro.sim.results.RunResult` is therefore
+bit-identical whatever the jobs count or cache state, which is what
+makes the cache sound and ``--jobs N`` a pure wall-clock optimization.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ExecutionError
+from repro.designs.scheme import SchemeRegistry
+from repro.harness.resultcache import MISS, ResultCache
+from repro.sim.crash import CrashPlan
+from repro.sim.engine import TransactionEngine
+from repro.sim.system import System
+from repro.sim.verify import check_atomic_durability
+from repro.trace.trace import Trace
+from repro.workloads.registry import build_workload
+
+
+# ----------------------------------------------------------------------
+# Cell specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Recipe for one trace: registry name plus builder arguments.
+
+    ``kwargs`` is a sorted tuple of items so the spec stays hashable
+    and its canonical encoding is order-independent.
+    """
+
+    name: str
+    threads: int
+    transactions: int
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls, name: str, threads: int, transactions: int, **kwargs: Any
+    ) -> "WorkloadSpec":
+        return cls(name, threads, transactions, tuple(sorted(kwargs.items())))
+
+    def build(self) -> Trace:
+        """Build (or fetch the per-process memoized) trace."""
+        trace = _TRACE_MEMO.get(self)
+        if trace is None:
+            trace = build_workload(
+                self.name,
+                threads=self.threads,
+                transactions=self.transactions,
+                **dict(self.kwargs),
+            )
+            _TRACE_MEMO[self] = trace
+        return trace
+
+
+#: Per-process trace memo: one build per (workload, threads,
+#: transactions, kwargs), shared read-only across every scheme/cell
+#: the process executes.  Worker processes persist across cells, so
+#: the memo warms exactly like the serial path's.
+_TRACE_MEMO: Dict[WorkloadSpec, Trace] = {}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One fully-specified experiment cell.
+
+    ``scheme=None`` is a *trace-statistics* cell: no simulation runs,
+    the outcome carries a :class:`TraceStats` (Fig. 4 uses this).
+    ``config=None`` means the Table II configuration at ``cores``.
+    ``verify=True`` additionally runs the atomic-durability oracle on
+    the post-run system and stores its mismatches in the outcome.
+    ``repeats`` reruns the identical cell and records every wall time
+    (the hot-path benchmark keeps the best).
+    """
+
+    workload: WorkloadSpec
+    scheme: Optional[str]
+    cores: int
+    config: Optional[SystemConfig] = None
+    crash_plan: Optional[CrashPlan] = None
+    verify: bool = False
+    repeats: int = 1
+
+    def effective_config(self) -> SystemConfig:
+        return self.config if self.config is not None else SystemConfig.table2(self.cores)
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Lightweight trace metrics for ``scheme=None`` cells."""
+
+    mean_write_size_bytes: float
+    total_transactions: int
+    total_ops: int
+
+
+@dataclass
+class CellOutcome:
+    """What one cell produced.
+
+    Exactly one of ``result`` / ``error`` is set.  ``seconds`` holds
+    the per-repeat wall times measured where the cell actually ran
+    (cache hits replay the recorded times of the original run).
+    """
+
+    spec: CellSpec
+    result: Any = None
+    seconds: Tuple[float, ...] = ()
+    mismatches: Optional[list] = None
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def spec_key(spec: CellSpec) -> str:
+    """Canonical JSON encoding of a cell spec, for content addressing.
+
+    Uses the *effective* configuration so ``config=None`` and an
+    explicit ``SystemConfig.table2(cores)`` address the same entry.
+    """
+    payload = {
+        "workload": {
+            "name": spec.workload.name,
+            "threads": spec.workload.threads,
+            "transactions": spec.workload.transactions,
+            "kwargs": {k: v for k, v in spec.workload.kwargs},
+        },
+        "scheme": spec.scheme,
+        "cores": spec.cores,
+        "config": asdict(spec.effective_config()),
+        "crash_plan": asdict(spec.crash_plan) if spec.crash_plan else None,
+        "verify": spec.verify,
+        "repeats": spec.repeats,
+    }
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+# ----------------------------------------------------------------------
+# Cell execution (runs in workers and on the jobs=1 path alike)
+# ----------------------------------------------------------------------
+def execute_cell(spec: CellSpec) -> CellOutcome:
+    """Run one cell to completion; exceptions propagate to the caller."""
+    trace = spec.workload.build()
+    if spec.scheme is None:
+        stats = TraceStats(
+            mean_write_size_bytes=trace.mean_write_size_bytes(),
+            total_transactions=trace.total_transactions,
+            total_ops=sum(
+                len(tx.ops) + 2
+                for thread in trace.threads
+                for tx in thread.transactions
+            ),
+        )
+        return CellOutcome(spec=spec, result=stats)
+
+    config = spec.effective_config()
+    seconds: List[float] = []
+    result = None
+    system = None
+    for _ in range(max(1, spec.repeats)):
+        system = System(config)
+        scheme = SchemeRegistry.create(spec.scheme, system)
+        engine = TransactionEngine(system, scheme, trace, crash_plan=spec.crash_plan)
+        started = time.perf_counter()
+        result = engine.run()
+        seconds.append(time.perf_counter() - started)
+    mismatches = None
+    if spec.verify:
+        mismatches = check_atomic_durability(system, trace, result.committed)
+    return CellOutcome(
+        spec=spec, result=result, seconds=tuple(seconds), mismatches=mismatches
+    )
+
+
+def _execute_safely(spec: CellSpec) -> CellOutcome:
+    try:
+        return execute_cell(spec)
+    except BaseException:
+        return CellOutcome(spec=spec, error=traceback.format_exc())
+
+
+def _worker(item: Tuple[int, CellSpec]) -> Tuple[int, CellOutcome]:
+    index, spec = item
+    return index, _execute_safely(spec)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignStats:
+    """Cumulative accounting across every ``run()`` of one executor."""
+
+    cells: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    elapsed_seconds: float = 0.0
+
+
+class Executor:
+    """Process-pool execution service for experiment cells.
+
+    ``jobs=None`` uses :func:`os.cpu_count`; ``jobs=1`` runs every
+    cell in the calling process, in order — the exact historical
+    serial path (same trace memo, same per-cell code).  ``cache`` is a
+    :class:`ResultCache` or ``None`` (no reads, no writes); ``fresh``
+    recomputes every cell but still writes the cache.  ``progress``
+    streams ``done/total`` + ETA lines to stderr.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        fresh: bool = False,
+        progress: bool = False,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.cache = cache
+        self.fresh = fresh
+        self.progress = progress
+        self.stats = CampaignStats()
+
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[CellSpec]) -> List[CellOutcome]:
+        """Execute every cell; outcomes are returned in input order."""
+        started = time.monotonic()
+        outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+        pending: List[int] = []
+
+        for index, spec in enumerate(cells):
+            if self.cache is not None and not self.fresh:
+                hit = self.cache.get(spec_key(spec))
+                if hit is not MISS and isinstance(hit, CellOutcome):
+                    hit.cached = True
+                    outcomes[index] = hit
+                    continue
+            pending.append(index)
+
+        hits = len(cells) - len(pending)
+        self.stats.cells += len(cells)
+        self.stats.cache_hits += hits
+        done_live = 0
+
+        def finish(index: int, outcome: CellOutcome) -> None:
+            nonlocal done_live
+            outcomes[index] = outcome
+            done_live += 1
+            self.stats.executed += 1
+            if not outcome.ok:
+                self.stats.failures += 1
+            elif self.cache is not None:
+                self.cache.put(spec_key(outcome.spec), outcome)
+            self._report(hits + done_live, len(cells), hits, started, done_live, len(pending))
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for index in pending:
+                finish(index, _execute_safely(cells[index]))
+        else:
+            self._run_pool(cells, pending, finish)
+
+        self.stats.elapsed_seconds += time.monotonic() - started
+        self._report(
+            len(cells), len(cells), hits, started, done_live, len(pending), final=True
+        )
+        return [o for o in outcomes if o is not None]
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, cells, pending, finish) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_worker, (index, cells[index])): index
+                for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        index, outcome = future.result()
+                    except BaseException:
+                        # The worker process died (not a Python-level
+                        # cell failure): report it against this cell
+                        # and keep draining what other workers finish.
+                        outcome = CellOutcome(
+                            spec=cells[index], error=traceback.format_exc()
+                        )
+                    finish(index, outcome)
+
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        done: int,
+        total: int,
+        hits: int,
+        started: float,
+        done_live: int,
+        total_live: int,
+        final: bool = False,
+    ) -> None:
+        if not self.progress:
+            return
+        now = time.monotonic()
+        if not final and now - getattr(self, "_last_report", 0.0) < 0.5:
+            return
+        if final and getattr(self, "_last_done", None) == (started, done):
+            return
+        self._last_report = now
+        self._last_done = (started, done)
+        elapsed = now - started
+        if done_live and total_live > done_live:
+            eta = elapsed / done_live * (total_live - done_live)
+            eta_text = f" | eta {eta:5.1f}s"
+        else:
+            eta_text = ""
+        failures = self.stats.failures
+        fail_text = f" | {failures} FAILED" if failures else ""
+        print(
+            f"[executor] {done}/{total} cells | {hits} cached | "
+            f"{self.jobs} jobs | {elapsed:5.1f}s{eta_text}{fail_text}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
+def run_cells(
+    cells: Sequence[CellSpec],
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+    fresh: bool = False,
+    progress: bool = False,
+) -> List[CellOutcome]:
+    """One-shot convenience wrapper around :class:`Executor`."""
+    return Executor(jobs=jobs, cache=cache, fresh=fresh, progress=progress).run(cells)
+
+
+def raise_on_failures(outcomes: Sequence[CellOutcome]) -> None:
+    """Raise :class:`ExecutionError` if any cell failed.
+
+    The message names every failed cell and includes the first few
+    tracebacks verbatim, so a campaign failure is actionable without
+    rerunning serially.
+    """
+    failed = [o for o in outcomes if not o.ok]
+    if not failed:
+        return
+    lines = [f"{len(failed)} of {len(outcomes)} cells failed:"]
+    for outcome in failed:
+        spec = outcome.spec
+        lines.append(
+            f"  - {spec.workload.name}/{spec.scheme} @ {spec.cores} core(s)"
+        )
+    for outcome in failed[:3]:
+        lines.append("")
+        lines.append(outcome.error.rstrip())
+    raise ExecutionError("\n".join(lines))

@@ -10,8 +10,9 @@ word-granular in-place updates in the on-PM buffer).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.harness.executor import Executor
 from repro.harness.report import format_grouped_bars, format_normalized
 from repro.harness.runner import (
     DEFAULT_SCHEMES,
@@ -20,7 +21,7 @@ from repro.harness.runner import (
     GridResult,
     add_average,
     normalize_to,
-    run_grid,
+    run_grids,
 )
 
 
@@ -62,10 +63,8 @@ def run(
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     transactions: int = DEFAULT_TRANSACTIONS,
+    executor: Optional[Executor] = None,
 ) -> Fig11Result:
-    """Run the full write-traffic grid."""
-    grids = {
-        cores: run_grid(cores, schemes, workloads, transactions)
-        for cores in core_counts
-    }
+    """Run the full write-traffic grid as one executor campaign."""
+    grids = run_grids(core_counts, schemes, workloads, transactions, executor=executor)
     return Fig11Result(grids=grids)

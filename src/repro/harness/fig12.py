@@ -10,8 +10,9 @@ path has no persist ordering to queue behind.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.harness.executor import Executor
 from repro.harness.report import format_grouped_bars, format_normalized
 from repro.harness.runner import (
     DEFAULT_SCHEMES,
@@ -20,7 +21,7 @@ from repro.harness.runner import (
     GridResult,
     add_average,
     normalize_to,
-    run_grid,
+    run_grids,
 )
 
 
@@ -64,10 +65,8 @@ def run(
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     transactions: int = DEFAULT_TRANSACTIONS,
+    executor: Optional[Executor] = None,
 ) -> Fig12Result:
-    """Run the full throughput grid."""
-    grids = {
-        cores: run_grid(cores, schemes, workloads, transactions)
-        for cores in core_counts
-    }
+    """Run the full throughput grid as one executor campaign."""
+    grids = run_grids(core_counts, schemes, workloads, transactions, executor=executor)
     return Fig12Result(grids=grids)

@@ -15,12 +15,17 @@ sizes the 20-entry log buffer — reached by Hash-like workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    raise_on_failures,
+)
 from repro.harness.report import format_table
-from repro.harness.runner import DEFAULT_TRANSACTIONS, run_single
-from repro.workloads.registry import build_workload
+from repro.harness.runner import DEFAULT_TRANSACTIONS
 
 #: Benchmarks of Fig. 13, with TPCC in its all-five-types variant.
 FIG13_WORKLOADS: Tuple[str, ...] = (
@@ -92,16 +97,30 @@ def run(
     threads: int = 8,
     transactions: int = DEFAULT_TRANSACTIONS,
     workloads: Sequence[str] = FIG13_WORKLOADS,
+    executor: Optional[Executor] = None,
 ) -> Fig13Result:
     """Measure total and remaining log counts for every workload."""
     config = SystemConfig.table2(threads).with_log_buffer(entries=UNBOUNDED_ENTRIES)
-    counts: Dict[str, WorkloadLogCounts] = {}
-    for name in workloads:
-        kwargs = {"mix": "full"} if name == "tpcc" else {}
-        trace = build_workload(
-            name, threads=threads, transactions=transactions, **kwargs
+    cells = [
+        CellSpec(
+            workload=WorkloadSpec.make(
+                name,
+                threads=threads,
+                transactions=transactions,
+                **({"mix": "full"} if name == "tpcc" else {}),
+            ),
+            scheme="silo",
+            cores=threads,
+            config=config,
         )
-        result = run_single(trace, "silo", threads, config)
+        for name in workloads
+    ]
+    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    raise_on_failures(outcomes)
+
+    counts: Dict[str, WorkloadLogCounts] = {}
+    for name, outcome in zip(workloads, outcomes):
+        result = outcome.result
         pairs = result.tx_log_counts or [(0, 0)]
         totals = [t for t, _ in pairs]
         remainings = [r for _, r in pairs]

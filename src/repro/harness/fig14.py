@@ -16,11 +16,15 @@ thanks to locality/merging.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    raise_on_failures,
+)
 from repro.harness.report import format_table
-from repro.harness.runner import run_single
-from repro.workloads.registry import build_workload
 
 FIG14_WORKLOADS: Tuple[str, ...] = (
     "array",
@@ -74,21 +78,31 @@ def run(
     transactions: int = 100,
     workloads: Sequence[str] = FIG14_WORKLOADS,
     multipliers: Sequence[int] = MULTIPLIERS,
+    executor: Optional[Executor] = None,
 ) -> Fig14Result:
     """Run the large-transaction sweep on Silo."""
+    cells = [
+        CellSpec(
+            workload=WorkloadSpec.make(
+                name, threads=threads, transactions=transactions, ops_per_tx=mult
+            ),
+            scheme="silo",
+            cores=threads,
+        )
+        for name in workloads
+        for mult in multipliers
+    ]
+    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    raise_on_failures(outcomes)
+
     throughput: Dict[str, Dict[int, float]] = {}
     traffic: Dict[str, Dict[int, float]] = {}
+    at = iter(outcomes)
     for name in workloads:
         per_tp: Dict[int, float] = {}
         per_wr: Dict[int, float] = {}
         for mult in multipliers:
-            trace = build_workload(
-                name,
-                threads=threads,
-                transactions=transactions,
-                ops_per_tx=mult,
-            )
-            result = run_single(trace, "silo", threads)
+            result = next(at).result
             per_tp[mult] = result.throughput_tx_per_sec * mult  # ops rate
             per_wr[mult] = result.media_writes / max(mult, 1)  # per op
         base_tp, base_wr = per_tp[multipliers[0]], per_wr[multipliers[0]]

@@ -12,12 +12,16 @@ path, so even a 128-cycle buffer costs only a few percent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    raise_on_failures,
+)
 from repro.harness.report import format_table
-from repro.harness.runner import run_single
-from repro.workloads.registry import build_workload
 
 FIG15_WORKLOADS: Tuple[str, ...] = (
     "array",
@@ -64,18 +68,32 @@ def run(
     transactions: int = 150,
     workloads: Sequence[str] = FIG15_WORKLOADS,
     latencies: Sequence[int] = LATENCIES,
+    executor: Optional[Executor] = None,
 ) -> Fig15Result:
     """Sweep the log buffer latency for every workload."""
+    cells = [
+        CellSpec(
+            workload=WorkloadSpec.make(
+                name, threads=threads, transactions=transactions
+            ),
+            scheme="silo",
+            cores=threads,
+            config=SystemConfig.table2(threads).with_log_buffer(
+                access_latency_cycles=latency
+            ),
+        )
+        for name in workloads
+        for latency in latencies
+    ]
+    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    raise_on_failures(outcomes)
+
     throughput: Dict[str, Dict[int, float]] = {}
+    at = iter(outcomes)
     for name in workloads:
-        trace = build_workload(name, threads=threads, transactions=transactions)
         per_lat: Dict[int, float] = {}
         for latency in latencies:
-            config = SystemConfig.table2(threads).with_log_buffer(
-                access_latency_cycles=latency
-            )
-            result = run_single(trace, "silo", threads, config)
-            per_lat[latency] = result.throughput_tx_per_sec
+            per_lat[latency] = next(at).result.throughput_tx_per_sec
         base = per_lat[latencies[0]]
         throughput[name] = {
             lat: (v / base if base else 0.0) for lat, v in per_lat.items()

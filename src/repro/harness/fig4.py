@@ -9,10 +9,16 @@ sets, so a 20-entry on-chip log buffer suffices (Section II-E).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    raise_on_failures,
+)
 from repro.harness.report import format_table
-from repro.workloads.registry import FIG4_WORKLOADS, build_workload
+from repro.workloads.registry import FIG4_WORKLOADS
 
 
 @dataclass
@@ -41,10 +47,27 @@ def run(
     threads: int = 2,
     transactions: int = 300,
     workloads: Sequence[str] = tuple(FIG4_WORKLOADS),
+    executor: Optional[Executor] = None,
 ) -> Fig4Result:
-    """Measure the mean write size of every Fig. 4 workload."""
-    sizes: Dict[str, float] = {}
-    for name in workloads:
-        trace = build_workload(name, threads=threads, transactions=transactions)
-        sizes[name] = trace.mean_write_size_bytes()
+    """Measure the mean write size of every Fig. 4 workload.
+
+    These are ``scheme=None`` trace-statistics cells: no simulation
+    runs, but the eleven trace builds still fan out (and cache).
+    """
+    cells = [
+        CellSpec(
+            workload=WorkloadSpec.make(
+                name, threads=threads, transactions=transactions
+            ),
+            scheme=None,
+            cores=threads,
+        )
+        for name in workloads
+    ]
+    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    raise_on_failures(outcomes)
+    sizes: Dict[str, float] = {
+        name: outcome.result.mean_write_size_bytes
+        for name, outcome in zip(workloads, outcomes)
+    }
     return Fig4Result(write_sizes=sizes)

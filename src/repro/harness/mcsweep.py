@@ -12,12 +12,16 @@ invert the ordering).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    raise_on_failures,
+)
 from repro.harness.report import format_table
-from repro.harness.runner import run_single
-from repro.workloads.registry import build_workload
 
 SWEEP_CHANNELS: Tuple[int, ...] = (1, 2, 4)
 
@@ -50,15 +54,29 @@ def run(
     transactions: int = 120,
     workloads: Sequence[str] = ("hash", "queue", "tpcc"),
     channels: Sequence[int] = SWEEP_CHANNELS,
+    executor: Optional[Executor] = None,
 ) -> MCSweepResult:
-    speedup: Dict[str, Dict[int, float]] = {}
+    cells: List[CellSpec] = []
     for name in workloads:
-        trace = build_workload(name, threads=threads, transactions=transactions)
-        per_channel: Dict[int, float] = {}
+        wspec = WorkloadSpec.make(name, threads=threads, transactions=transactions)
         for n in channels:
             config = replace(SystemConfig.table2(threads), memory_channels=n)
-            silo = run_single(trace, "silo", threads, config)
-            base = run_single(trace, "base", threads, config)
+            for scheme in ("silo", "base"):
+                cells.append(
+                    CellSpec(
+                        workload=wspec, scheme=scheme, cores=threads, config=config
+                    )
+                )
+    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    raise_on_failures(outcomes)
+
+    speedup: Dict[str, Dict[int, float]] = {}
+    at = iter(outcomes)
+    for name in workloads:
+        per_channel: Dict[int, float] = {}
+        for n in channels:
+            silo = next(at).result
+            base = next(at).result
             per_channel[n] = (
                 silo.throughput_tx_per_sec / base.throughput_tx_per_sec
                 if base.throughput_tx_per_sec

@@ -18,13 +18,14 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.designs.scheme import SchemeRegistry
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    raise_on_failures,
+)
 from repro.harness.report import format_table
 from repro.sim.crash import CrashPlan
-from repro.sim.engine import TransactionEngine
-from repro.sim.system import System
-from repro.sim.verify import check_atomic_durability
-from repro.workloads.registry import build_workload
 
 DEFAULT_SCHEMES = ("base", "fwb", "morlog", "lad", "silo")
 
@@ -89,24 +90,32 @@ def run(
     crash_fraction: float = 0.6,
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     config: Optional[SystemConfig] = None,
+    executor: Optional[Executor] = None,
 ) -> RecoveryCostResult:
     """Crash every design at the same trace point and compare recovery."""
-    trace = build_workload(workload, threads=threads, transactions=transactions)
+    wspec = WorkloadSpec.make(workload, threads=threads, transactions=transactions)
+    trace = wspec.build()
     total_ops = sum(
         len(tx.ops) + 2 for thread in trace.threads for tx in thread.transactions
     )
     crash_at = int(total_ops * crash_fraction)
-    rows: List[RecoveryCostRow] = []
-    for scheme in schemes:
-        system = System(config if config is not None else SystemConfig.table2(threads))
-        engine = TransactionEngine(
-            system,
-            SchemeRegistry.create(scheme, system),
-            trace,
+    cells = [
+        CellSpec(
+            workload=wspec,
+            scheme=scheme,
+            cores=threads,
+            config=config,
             crash_plan=CrashPlan(at_op=crash_at),
+            verify=True,
         )
-        result = engine.run()
-        report = result.recovery
+        for scheme in schemes
+    ]
+    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    raise_on_failures(outcomes)
+
+    rows: List[RecoveryCostRow] = []
+    for scheme, outcome in zip(schemes, outcomes):
+        report = outcome.result.recovery
         rows.append(
             RecoveryCostRow(
                 scheme=scheme,
@@ -115,9 +124,7 @@ def run(
                 revoked=report.revoked,
                 discarded=report.discarded,
                 estimated_us=report.estimated_ns / 1000.0,
-                consistent=not check_atomic_durability(
-                    system, trace, result.committed
-                ),
+                consistent=not outcome.mismatches,
             )
         )
     return RecoveryCostResult(workload=workload, crash_at=crash_at, rows=rows)

@@ -1,0 +1,190 @@
+"""Content-addressed on-disk cache for experiment cell results.
+
+Every simulation cell in this repo is a pure function of its fully
+specified inputs (workload spec, scheme, core count, configuration,
+crash plan) *and* of the simulator source itself.  The cache therefore
+keys each stored outcome by
+
+* a canonical JSON encoding of the cell spec (computed by the caller,
+  see :func:`repro.harness.executor.spec_key`), and
+* a **source fingerprint**: one SHA-256 over the contents of every
+  ``.py`` file of the installed ``repro`` package.
+
+Any edit to the simulator — a timing constant, a scheme, the engine —
+changes the fingerprint and silently invalidates every entry, so a
+cache hit is always safe to trust bit-for-bit.  Entries live under a
+plain directory (default ``.repro-cache/`` in the working directory)
+as pickled payloads fanned out over 256 prefix shards; ``silo-repro
+cache stats`` / ``silo-repro cache clear`` manage it from the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Default cache directory, overridable via ``$SILO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump to orphan every existing entry after an incompatible layout change.
+_FORMAT_VERSION = 1
+
+#: Sentinel distinguishing "miss" from a legitimately-``None`` value.
+MISS = object()
+
+_FINGERPRINT_MEMO: Dict[str, str] = {}
+
+
+def source_fingerprint(package_root: Optional[str] = None) -> str:
+    """SHA-256 over the source of the ``repro`` package.
+
+    Hashes file *contents* (not mtimes), so rebuilding an identical
+    tree keeps the fingerprint and any semantic edit changes it.  The
+    result is memoized per process — the tree is ~160 small files.
+    """
+    if package_root is None:
+        import repro
+
+        package_root = str(Path(repro.__file__).parent)
+    root = str(Path(package_root))
+    memo = _FINGERPRINT_MEMO.get(root)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    base = Path(root)
+    for path in sorted(base.rglob("*.py"), key=lambda p: str(p.relative_to(base))):
+        digest.update(str(path.relative_to(base)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    value = digest.hexdigest()
+    _FINGERPRINT_MEMO[root] = value
+    return value
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("SILO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """Pickle-backed object store addressed by (key, fingerprint).
+
+    ``get``/``put`` take an opaque canonical key string; the digest
+    folds in the source fingerprint and the on-disk format version, so
+    callers never need to reason about invalidation.  A corrupt or
+    truncated entry (e.g. a killed writer) reads as a miss, never as
+    an error.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root if root is not None else default_cache_dir())
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else source_fingerprint()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def digest(self, key: str) -> str:
+        h = hashlib.sha256()
+        h.update(f"v{_FORMAT_VERSION}\0".encode())
+        h.update(self.fingerprint.encode())
+        h.update(b"\0")
+        h.update(key.encode())
+        return h.hexdigest()
+
+    def _path(self, digest: str) -> Path:
+        return self.root / "objects" / digest[:2] / f"{digest}.pkl"
+
+    # ------------------------------------------------------------------
+    # Store / load
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """Return the stored value for ``key`` or :data:`MISS`."""
+        path = self._path(self.digest(key))
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` (atomic rename, last wins)."""
+        path = self._path(self.digest(key))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Management
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Entry count and footprint of the directory, plus this
+        process's hit/miss counters."""
+        entries = 0
+        total_bytes = 0
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for path in objects.rglob("*.pkl"):
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "fingerprint": self.fingerprint[:16],
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        for path in objects.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        for shard in sorted(objects.glob("*"), reverse=True):
+            try:
+                shard.rmdir()
+            except OSError:
+                continue
+        return removed
+
+    def format_stats(self) -> str:
+        s = self.stats()
+        return (
+            f"cache {s['root']}: {s['entries']} entries, "
+            f"{s['bytes'] / 1024:.1f} KiB, fingerprint {s['fingerprint']} "
+            f"(this process: {s['hits']} hits / {s['misses']} misses)"
+        )

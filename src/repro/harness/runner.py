@@ -1,4 +1,12 @@
-"""Shared experiment plumbing: run (scheme x workload x cores) grids."""
+"""Shared experiment plumbing: run (scheme x workload x cores) grids.
+
+All grid runners fan their cells out through
+:class:`repro.harness.executor.Executor`; pass ``executor=`` to run in
+parallel and/or against the on-disk result cache.  The default is the
+serial in-process path with no caching, which is bit-identical to the
+historical behaviour (one trace built per workload, replayed under
+every scheme).
+"""
 
 from __future__ import annotations
 
@@ -7,11 +15,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
 from repro.designs.scheme import SchemeRegistry
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    raise_on_failures,
+)
 from repro.sim.engine import TransactionEngine
 from repro.sim.results import RunResult
 from repro.sim.system import System
 from repro.trace.trace import Trace
-from repro.workloads.registry import build_workload
 
 #: The evaluated designs, in the paper's plotting order.
 DEFAULT_SCHEMES: Tuple[str, ...] = ("base", "fwb", "morlog", "lad", "silo")
@@ -67,23 +80,56 @@ def run_grid(
     workloads: Sequence[str] = DEFAULT_WORKLOADS,
     transactions: int = DEFAULT_TRANSACTIONS,
     config: Optional[SystemConfig] = None,
+    executor: Optional[Executor] = None,
     **workload_kwargs,
 ) -> GridResult:
     """Run every (workload, scheme) pair at one core count.
 
-    One trace is built per workload and replayed under each scheme so
-    all designs see identical operation streams.
+    One trace is built per (workload, cores, transactions) and
+    replayed read-only under each scheme so all designs see identical
+    operation streams (the executor's per-process trace memo).
     """
-    grid = GridResult(cores=cores)
-    for workload in workloads:
-        trace = build_workload(
-            workload, threads=cores, transactions=transactions, **workload_kwargs
-        )
-        per_scheme: Dict[str, RunResult] = {}
-        for scheme in schemes:
-            per_scheme[scheme] = run_single(trace, scheme, cores, config)
-        grid.results[workload] = per_scheme
-    return grid
+    return run_grids(
+        (cores,), schemes, workloads, transactions, config, executor, **workload_kwargs
+    )[cores]
+
+
+def run_grids(
+    core_counts: Sequence[int],
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    transactions: int = DEFAULT_TRANSACTIONS,
+    config: Optional[SystemConfig] = None,
+    executor: Optional[Executor] = None,
+    **workload_kwargs,
+) -> Dict[int, GridResult]:
+    """Run the full (cores x workload x scheme) campaign in one fan-out.
+
+    Submitting every core count's grid as a single cell list keeps all
+    workers busy across the whole campaign instead of barriering at
+    each core count (fig11/fig12 run 4 x 35 cells this way).
+    """
+    cells: List[CellSpec] = []
+    for cores in core_counts:
+        for workload in workloads:
+            spec = WorkloadSpec.make(
+                workload, threads=cores, transactions=transactions, **workload_kwargs
+            )
+            for scheme in schemes:
+                cells.append(
+                    CellSpec(workload=spec, scheme=scheme, cores=cores, config=config)
+                )
+    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    raise_on_failures(outcomes)
+
+    grids: Dict[int, GridResult] = {}
+    at = iter(outcomes)
+    for cores in core_counts:
+        grid = GridResult(cores=cores)
+        for workload in workloads:
+            grid.results[workload] = {scheme: next(at).result for scheme in schemes}
+        grids[cores] = grid
+    return grids
 
 
 def normalize_to(

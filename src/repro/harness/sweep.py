@@ -2,7 +2,9 @@
 
 A small driver for design-space exploration beyond the fixed figures:
 give it axes (workloads, schemes, core counts, config overrides) and it
-runs the Cartesian product, returning records ready for
+runs the Cartesian product — through the shared
+:class:`~repro.harness.executor.Executor`, so ``executor=`` buys
+parallelism and result caching — returning records ready for
 :mod:`repro.analysis.export`.
 
 Example::
@@ -20,14 +22,18 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields as dataclass_fields, is_dataclass, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
 from repro.analysis.export import result_to_dict
-from repro.harness.runner import run_single
-from repro.workloads.registry import build_workload
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    raise_on_failures,
+)
 
 
 @dataclass(frozen=True)
@@ -49,17 +55,43 @@ class SweepSpec:
 
 
 def apply_overrides(
-    config: SystemConfig, overrides: Mapping[str, Mapping[str, object]]
+    config: SystemConfig,
+    overrides: Mapping[str, Mapping[str, object]],
+    variant: Optional[str] = None,
 ) -> SystemConfig:
-    """Apply ``{section: {field: value}}`` overrides to a config."""
+    """Apply ``{section: {field: value}}`` overrides to a config.
+
+    Every rejection names the offending field path — and, when
+    ``variant`` is given, the sweep variant label — so a bad override
+    buried in a large sweep spec is directly attributable.
+    """
+    where = f"variant {variant!r}: " if variant is not None else ""
     for section, fields in overrides.items():
         if not hasattr(config, section):
-            raise ConfigError(f"unknown config section {section!r}")
+            raise ConfigError(f"{where}unknown config section {section!r}")
         current = getattr(config, section)
         if isinstance(fields, Mapping):
-            config = replace(config, **{section: replace(current, **fields)})
+            if is_dataclass(current):
+                known = {f.name for f in dataclass_fields(current)}
+                for name in fields:
+                    if name not in known:
+                        raise ConfigError(
+                            f"{where}unknown config field {section}.{name}"
+                        )
+            try:
+                config = replace(config, **{section: replace(current, **fields)})
+            except (ConfigError, TypeError, ValueError) as exc:
+                path = section + "." + ",".join(fields)
+                raise ConfigError(
+                    f"{where}invalid override at {path}: {exc}"
+                ) from exc
         else:
-            config = replace(config, **{section: fields})
+            try:
+                config = replace(config, **{section: fields})
+            except (ConfigError, TypeError, ValueError) as exc:
+                raise ConfigError(
+                    f"{where}invalid override at {section}: {exc}"
+                ) from exc
     return config
 
 
@@ -67,26 +99,52 @@ def run_sweep(
     spec: SweepSpec,
     transactions: int = 100,
     workload_kwargs: Optional[Dict[str, object]] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Dict[str, object]]:
     """Run the Cartesian product and return flat result records."""
-    records: List[Dict[str, object]] = []
     variants: List[Tuple[str, Mapping[str, Mapping[str, object]]]] = [
         ("table2", {})
     ] + list(spec.config_overrides.items())
 
+    # Validate and materialize every variant's configuration per core
+    # count up front, so a bad override fails before any cell runs.
+    configs: Dict[Tuple[str, int], SystemConfig] = {
+        (variant, cores): apply_overrides(
+            SystemConfig.table2(cores), overrides, variant=variant
+        )
+        for variant, overrides in variants
+        for cores in spec.core_counts
+    }
+
+    cells: List[CellSpec] = []
     for cores in spec.core_counts:
         for workload in spec.workloads:
-            trace = build_workload(
+            wspec = WorkloadSpec.make(
                 workload,
                 threads=cores,
                 transactions=transactions,
                 **(workload_kwargs or {}),
             )
-            for variant, overrides in variants:
-                config = apply_overrides(SystemConfig.table2(cores), overrides)
+            for variant, _ in variants:
                 for scheme in spec.schemes:
-                    result = run_single(trace, scheme, cores, config)
-                    record = result_to_dict(result)
+                    cells.append(
+                        CellSpec(
+                            workload=wspec,
+                            scheme=scheme,
+                            cores=cores,
+                            config=configs[(variant, cores)],
+                        )
+                    )
+    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    raise_on_failures(outcomes)
+
+    records: List[Dict[str, object]] = []
+    at = iter(outcomes)
+    for cores in spec.core_counts:
+        for workload in spec.workloads:
+            for variant, _ in variants:
+                for _scheme in spec.schemes:
+                    record = result_to_dict(next(at).result)
                     record["workload"] = workload
                     record["variant"] = variant
                     records.append(record)

@@ -3,6 +3,13 @@
 import pytest
 
 from repro.common.config import SystemConfig
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the result cache at a per-test directory so tests that
+    exercise cache-enabled paths (the CLI) never write into the repo."""
+    monkeypatch.setenv("SILO_CACHE_DIR", str(tmp_path / "repro-cache"))
 from repro.common.stats import Stats
 from repro.designs.scheme import SchemeRegistry
 from repro.mem.pm import PMDevice, RegionLayout

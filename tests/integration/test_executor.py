@@ -1,0 +1,220 @@
+"""The parallel execution layer: equivalence, isolation, caching.
+
+The load-bearing guarantee is that a cell's result is a pure function
+of its spec — so ``jobs=4`` must reproduce ``jobs=1`` bit-for-bit, a
+cache hit must reproduce a live run bit-for-bit, and one failing cell
+must not take the campaign down with it.
+"""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ExecutionError
+from repro.harness.executor import (
+    CellSpec,
+    Executor,
+    TraceStats,
+    WorkloadSpec,
+    execute_cell,
+    raise_on_failures,
+    run_cells,
+    spec_key,
+)
+from repro.harness.resultcache import ResultCache
+from repro.harness.runner import run_grid
+from repro.sim.crash import CrashPlan
+
+
+def small_cells():
+    """A tiny but heterogeneous campaign: two workloads x two schemes."""
+    return [
+        CellSpec(
+            workload=WorkloadSpec.make("hash", threads=2, transactions=10),
+            scheme=scheme,
+            cores=2,
+        )
+        for scheme in ("base", "silo")
+    ] + [
+        CellSpec(
+            workload=WorkloadSpec.make("queue", threads=2, transactions=10),
+            scheme=scheme,
+            cores=2,
+        )
+        for scheme in ("base", "silo")
+    ]
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        cells = small_cells()
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=4)
+        assert len(serial) == len(parallel) == len(cells)
+        for s, p in zip(serial, parallel):
+            assert s.ok and p.ok
+            assert s.result.end_cycle == p.result.end_cycle
+            assert s.result.committed == p.result.committed
+            assert s.result.stats.as_dict() == p.result.stats.as_dict()
+
+    def test_grid_identical_under_parallel_executor(self):
+        kwargs = dict(
+            cores=2, schemes=("base", "silo"), workloads=("hash",), transactions=10
+        )
+        serial = run_grid(**kwargs)
+        parallel = run_grid(executor=Executor(jobs=3), **kwargs)
+        for scheme in ("base", "silo"):
+            a = serial.results["hash"][scheme]
+            b = parallel.results["hash"][scheme]
+            assert a.end_cycle == b.end_cycle
+            assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_outcomes_preserve_input_order(self):
+        cells = small_cells()
+        outcomes = run_cells(cells, jobs=4)
+        assert [o.spec for o in outcomes] == cells
+
+
+class TestCellKinds:
+    def test_trace_stats_cell(self):
+        spec = CellSpec(
+            workload=WorkloadSpec.make("hash", threads=2, transactions=10),
+            scheme=None,
+            cores=2,
+        )
+        outcome = execute_cell(spec)
+        assert isinstance(outcome.result, TraceStats)
+        assert outcome.result.mean_write_size_bytes > 0
+        assert outcome.result.total_transactions == 20
+
+    def test_verify_cell_carries_oracle_verdict(self):
+        spec = CellSpec(
+            workload=WorkloadSpec.make("hash", threads=2, transactions=8),
+            scheme="silo",
+            cores=2,
+            crash_plan=CrashPlan(at_op=30),
+            verify=True,
+        )
+        outcome = execute_cell(spec)
+        assert outcome.ok
+        assert outcome.result.crashed
+        assert outcome.mismatches == []
+
+    def test_repeats_record_every_sample(self):
+        spec = CellSpec(
+            workload=WorkloadSpec.make("hash", threads=1, transactions=5),
+            scheme="silo",
+            cores=1,
+            repeats=3,
+        )
+        outcome = execute_cell(spec)
+        assert len(outcome.seconds) == 3
+        assert all(s > 0 for s in outcome.seconds)
+
+
+class TestFailureIsolation:
+    def failing_cell(self):
+        # A crash plan past the end of the trace raises SimulationError.
+        return CellSpec(
+            workload=WorkloadSpec.make("hash", threads=2, transactions=8),
+            scheme="silo",
+            cores=2,
+            crash_plan=CrashPlan(at_op=10**9),
+        )
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_campaign_survives_failing_cell(self, jobs):
+        cells = small_cells() + [self.failing_cell()]
+        outcomes = run_cells(cells, jobs=jobs)
+        assert [o.ok for o in outcomes] == [True] * 4 + [False]
+        assert "SimulationError" in outcomes[-1].error
+        # The good cells still carry full results.
+        assert all(o.result.end_cycle > 0 for o in outcomes[:4])
+
+    def test_raise_on_failures_names_the_cell(self):
+        outcomes = run_cells(small_cells() + [self.failing_cell()], jobs=1)
+        with pytest.raises(ExecutionError) as excinfo:
+            raise_on_failures(outcomes)
+        message = str(excinfo.value)
+        assert "1 of 5 cells failed" in message
+        assert "hash/silo" in message
+        assert "SimulationError" in message
+
+
+class TestCaching:
+    def cache(self, tmp_path, fingerprint="fp-a"):
+        return ResultCache(str(tmp_path / "cache"), fingerprint=fingerprint)
+
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        cells = small_cells()
+        cache = self.cache(tmp_path)
+        cold = run_cells(cells, jobs=1, cache=cache)
+        warm = run_cells(cells, jobs=1, cache=cache)
+        assert all(not o.cached for o in cold)
+        assert all(o.cached for o in warm)
+        for a, b in zip(cold, warm):
+            assert a.result.end_cycle == b.result.end_cycle
+            assert a.result.stats.as_dict() == b.result.stats.as_dict()
+
+    def test_cache_hit_identical_under_parallel_miss(self, tmp_path):
+        """Cells computed at jobs=4 serve hits to a jobs=1 rerun."""
+        cells = small_cells()
+        cache = self.cache(tmp_path)
+        cold = run_cells(cells, jobs=4, cache=cache)
+        warm = run_cells(cells, jobs=1, cache=cache)
+        assert all(o.cached for o in warm)
+        for a, b in zip(cold, warm):
+            assert a.result.end_cycle == b.result.end_cycle
+
+    def test_spec_change_misses(self, tmp_path):
+        cache = self.cache(tmp_path)
+        base = small_cells()[0]
+        run_cells([base], jobs=1, cache=cache)
+        changed = CellSpec(
+            workload=WorkloadSpec.make("hash", threads=2, transactions=11),
+            scheme=base.scheme,
+            cores=base.cores,
+        )
+        outcome = run_cells([changed], jobs=1, cache=cache)[0]
+        assert not outcome.cached
+
+    def test_source_fingerprint_change_misses(self, tmp_path):
+        cells = [small_cells()[0]]
+        run_cells(cells, jobs=1, cache=self.cache(tmp_path, "fp-a"))
+        outcome = run_cells(cells, jobs=1, cache=self.cache(tmp_path, "fp-b"))[0]
+        assert not outcome.cached
+
+    def test_config_none_and_table2_share_an_entry(self, tmp_path):
+        wspec = WorkloadSpec.make("hash", threads=2, transactions=10)
+        implicit = CellSpec(workload=wspec, scheme="silo", cores=2)
+        explicit = CellSpec(
+            workload=wspec, scheme="silo", cores=2, config=SystemConfig.table2(2)
+        )
+        assert spec_key(implicit) == spec_key(explicit)
+        cache = self.cache(tmp_path)
+        run_cells([implicit], jobs=1, cache=cache)
+        assert run_cells([explicit], jobs=1, cache=cache)[0].cached
+
+    def test_fresh_recomputes_but_rewrites(self, tmp_path):
+        cells = [small_cells()[0]]
+        cache = self.cache(tmp_path)
+        run_cells(cells, jobs=1, cache=cache)
+        fresh = run_cells(cells, jobs=1, cache=cache, fresh=True)[0]
+        assert not fresh.cached
+        assert run_cells(cells, jobs=1, cache=cache)[0].cached
+
+    def test_failed_cells_are_not_cached(self, tmp_path):
+        cache = self.cache(tmp_path)
+        bad = [TestFailureIsolation().failing_cell()]
+        run_cells(bad, jobs=1, cache=cache)
+        outcome = run_cells(bad, jobs=1, cache=cache)[0]
+        assert not outcome.cached and not outcome.ok
+
+    def test_executor_stats_account_hits(self, tmp_path):
+        cache = self.cache(tmp_path)
+        executor = Executor(jobs=1, cache=cache)
+        executor.run(small_cells())
+        executor.run(small_cells())
+        assert executor.stats.cells == 8
+        assert executor.stats.cache_hits == 4
+        assert executor.stats.executed == 4
+        assert executor.stats.failures == 0

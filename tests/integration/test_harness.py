@@ -115,3 +115,33 @@ class TestCLI:
     def test_cli_rejects_unknown(self):
         with pytest.raises(SystemExit):
             cli_main(["nope"])
+
+    def test_cli_cache_stats(self, capsys):
+        assert cli_main(["cache"]) == 0
+        assert "cache" in capsys.readouterr().out
+
+    def test_cli_cache_clear(self, capsys):
+        # Populate via a cached experiment run, then clear.
+        assert cli_main(["fig4", "--transactions", "10", "--jobs", "1"]) == 0
+        assert cli_main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+
+    def test_cli_second_run_hits_cache(self, capsys):
+        assert cli_main(["fig4", "--transactions", "10", "--jobs", "1"]) == 0
+        first = capsys.readouterr().out
+        assert "0 cached" in first
+        assert cli_main(["fig4", "--transactions", "10", "--jobs", "1"]) == 0
+        assert "11 cached" in capsys.readouterr().out
+
+    def test_cli_rejects_action_without_cache(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig4", "clear"])
+
+    def test_cli_parallel_jobs(self, capsys):
+        assert (
+            cli_main(
+                ["fig4", "--transactions", "10", "--jobs", "2", "--no-cache"]
+            )
+            == 0
+        )
+        assert "write size" in capsys.readouterr().out

@@ -23,6 +23,32 @@ class TestApplyOverrides:
         with pytest.raises(ConfigError):
             apply_overrides(SystemConfig.table2(), {"nope": {"x": 1}})
 
+    def test_unknown_field_names_the_path(self):
+        with pytest.raises(ConfigError, match=r"log_buffer\.entrees"):
+            apply_overrides(
+                SystemConfig.table2(), {"log_buffer": {"entrees": 40}}
+            )
+
+    def test_variant_label_in_error(self):
+        with pytest.raises(ConfigError, match=r"variant 'buggy'"):
+            apply_overrides(
+                SystemConfig.table2(),
+                {"log_buffer": {"entrees": 40}},
+                variant="buggy",
+            )
+
+    def test_invalid_value_names_variant_and_path(self):
+        # entries=0 passes field validation but LogBufferConfig rejects it.
+        with pytest.raises(ConfigError) as excinfo:
+            apply_overrides(
+                SystemConfig.table2(),
+                {"log_buffer": {"entries": 0}},
+                variant="nobuf",
+            )
+        message = str(excinfo.value)
+        assert "variant 'nobuf'" in message
+        assert "log_buffer.entries" in message
+
     def test_pm_latency_override(self):
         cfg = apply_overrides(SystemConfig.table2(), {"pm": {"write_ns": 75.0}})
         assert cfg.pm_write_cycles == 150
@@ -67,3 +93,25 @@ class TestRunSweep:
             spec, transactions=8, workload_kwargs={"ops_per_tx": 3}
         )
         assert records[0]["committed"] == 8
+
+    def test_bad_variant_fails_before_any_cell_runs(self):
+        spec = SweepSpec(
+            workloads=("hash",),
+            schemes=("silo",),
+            config_overrides={"broken": {"log_buffer": {"entrees": 40}}},
+        )
+        with pytest.raises(ConfigError, match=r"variant 'broken'.*log_buffer\.entrees"):
+            run_sweep(spec, transactions=8)
+
+    def test_parallel_sweep_matches_serial(self):
+        from repro.harness.executor import Executor
+
+        spec = SweepSpec(
+            workloads=("hash",),
+            schemes=("base", "silo"),
+            core_counts=(1, 2),
+            config_overrides={"bigbuf": {"log_buffer": {"entries": 40}}},
+        )
+        serial = run_sweep(spec, transactions=8)
+        parallel = run_sweep(spec, transactions=8, executor=Executor(jobs=4))
+        assert serial == parallel

@@ -1,0 +1,100 @@
+"""Unit tests for the content-addressed result cache."""
+
+from repro.harness.resultcache import (
+    _FINGERPRINT_MEMO,
+    MISS,
+    ResultCache,
+    source_fingerprint,
+)
+
+
+def make_cache(tmp_path, fingerprint="fp"):
+    return ResultCache(str(tmp_path / "c"), fingerprint=fingerprint)
+
+
+class TestStoreLoad:
+    def test_round_trip(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("key-1", {"answer": 42})
+        assert cache.get("key-1") == {"answer": 42}
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        assert make_cache(tmp_path).get("absent") is MISS
+
+    def test_value_none_is_not_a_miss(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("k", None)
+        assert cache.get("k") is None
+
+    def test_last_put_wins(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.get("k") == 2
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("k", [1, 2, 3])
+        path = cache._path(cache.digest("k"))
+        path.write_bytes(b"not a pickle")
+        assert cache.get("k") is MISS
+
+
+class TestAddressing:
+    def test_digest_is_stable(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert cache.digest("k") == cache.digest("k")
+
+    def test_digest_depends_on_key_and_fingerprint(self, tmp_path):
+        a = make_cache(tmp_path, "fp-a")
+        b = make_cache(tmp_path, "fp-b")
+        assert a.digest("k") != a.digest("other")
+        assert a.digest("k") != b.digest("k")
+
+    def test_different_fingerprints_do_not_share_entries(self, tmp_path):
+        a = ResultCache(str(tmp_path / "c"), fingerprint="fp-a")
+        a.put("k", "va")
+        b = ResultCache(str(tmp_path / "c"), fingerprint="fp-b")
+        assert b.get("k") is MISS
+
+
+class TestSourceFingerprint:
+    def test_tracks_file_contents(self, tmp_path):
+        tree = tmp_path / "pkg"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        first = source_fingerprint(str(tree))
+        # Memoized: identical on re-query.
+        assert source_fingerprint(str(tree)) == first
+        (tree / "a.py").write_text("x = 2\n")
+        _FINGERPRINT_MEMO.pop(str(tree), None)
+        assert source_fingerprint(str(tree)) != first
+
+    def test_real_package_fingerprint_is_memoized(self):
+        assert source_fingerprint() == source_fingerprint()
+        assert len(source_fingerprint()) == 64
+
+
+class TestManagement:
+    def test_stats_count_entries_and_bytes(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.get("absent")
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert "entries" in cache.format_stats() or "cache" in cache.format_stats()
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+        assert cache.get("a") is MISS
+
+    def test_clear_on_empty_cache(self, tmp_path):
+        assert make_cache(tmp_path).clear() == 0
