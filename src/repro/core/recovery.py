@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.hwlog.entry import entry_checksum
 from repro.hwlog.region import LogRegion, PersistedLog
 from repro.mem.pm import PMDevice
 
@@ -47,7 +48,14 @@ _APPLY_WRITE_NS = 150.0
 
 @dataclass
 class RecoveryReport:
-    """What recovery did, for tests and the worked examples."""
+    """What recovery did, for tests and the worked examples.
+
+    The corruption-accounting fields stay at their zero defaults on a
+    clean crash, so pre-fault-injection consumers see exactly the old
+    report.  They are the oracle's ground truth for the "no silent
+    corruption" check: recovery must reject — and thereby report —
+    every damaged entry it scans, never blindly replay it.
+    """
 
     replayed: int = 0
     revoked: int = 0
@@ -55,6 +63,39 @@ class RecoveryReport:
     scanned: int = 0
     committed_txs: List[Tuple[int, int]] = field(default_factory=list)
     uncommitted_txs: List[Tuple[int, int]] = field(default_factory=list)
+    #: Which design produced this report (empty for merged/aggregate).
+    scheme: str = ""
+    #: Entries rejected because the slot is a strict prefix — the tear
+    #: left the trailing (checksum-bearing) words unwritten.
+    rejected_torn: int = 0
+    #: Entries rejected because the WPQ entry never reached media.
+    rejected_dropped: int = 0
+    #: Entries rejected because the recomputed checksum disagrees with
+    #: the stored one (media bit error in a payload word).
+    rejected_checksum: int = 0
+    #: Commit tuples rejected by the complement-word check; their
+    #: transactions were demoted to uncommitted.
+    rejected_tuples: int = 0
+    #: Words readable out of torn entries (the salvageable prefix) —
+    #: never applied, but reported for diagnostics.
+    words_salvaged: int = 0
+    #: Data-region cells the post-recovery media scrub found still
+    #: poisoned (uncorrectable media error, not overwritten during
+    #: replay/revoke).
+    media_poisoned: int = 0
+    #: Poisoned cells healed because recovery's writes re-programmed
+    #: them.
+    poison_healed: int = 0
+    #: The still-poisoned word addresses, for operator triage.
+    poisoned_addrs: List[int] = field(default_factory=list)
+
+    @property
+    def rejected_total(self) -> int:
+        return (
+            self.rejected_torn
+            + self.rejected_dropped
+            + self.rejected_checksum
+        )
 
     @property
     def estimated_ns(self) -> float:
@@ -71,6 +112,14 @@ class RecoveryReport:
         self.scanned += other.scanned
         self.committed_txs.extend(other.committed_txs)
         self.uncommitted_txs.extend(other.uncommitted_txs)
+        self.rejected_torn += other.rejected_torn
+        self.rejected_dropped += other.rejected_dropped
+        self.rejected_checksum += other.rejected_checksum
+        self.rejected_tuples += other.rejected_tuples
+        self.words_salvaged += other.words_salvaged
+        self.media_poisoned += other.media_poisoned
+        self.poison_healed += other.poison_healed
+        self.poisoned_addrs.extend(other.poisoned_addrs)
 
 
 def _group_by_tx(
@@ -88,28 +137,72 @@ def _group_by_tx(
     return [(key, groups[key]) for key in order]
 
 
+def _entry_state(entry: PersistedLog) -> str:
+    """Classify one scanned entry: ``"ok"`` | ``"torn"`` | ``"dropped"``
+    | ``"checksum"``.
+
+    Device-level slot damage (torn prefix, lost WPQ entry) is checked
+    first — a torn slot is always detectable because the checksum word
+    is serialized last.  An intact slot is then validated against its
+    stored checksum; ``checksum is None`` marks a hand-built record
+    with no stored checksum, treated as unchecked (legacy behaviour).
+    """
+    integrity = entry.integrity
+    if integrity != "ok":
+        return "torn" if integrity == "torn" else "dropped"
+    stored = entry.checksum
+    if stored is not None and stored != entry_checksum(
+        entry.tid, entry.txid, entry.addr, entry.old, entry.new
+    ):
+        return "checksum"
+    return "ok"
+
+
 def wal_recover(
     region: LogRegion,
     pm: PMDevice,
     redo_filter: Optional[RedoFilter] = None,
     undo_filter: Optional[UndoFilter] = None,
     truncate: bool = True,
+    scheme: str = "",
 ) -> RecoveryReport:
     """Run the shared recovery walk and rebuild the PM data region.
 
     Recovery writes go through the PM device tagged ``recovery`` so
     experiments can separate them from runtime traffic.
+
+    Every scanned entry is validated before use (``_entry_state``):
+    torn, dropped and checksum-mismatched entries are skipped and
+    *reported* — never replayed or revoked — and a post-walk media
+    scrub surfaces any data-region cell still carrying an
+    uncorrectable error.  On a clean crash every entry validates and
+    the walk is bit-identical to the pre-hardening recovery.
     """
     redo_ok = redo_filter if redo_filter is not None else _default_redo
     undo_ok = undo_filter if undo_filter is not None else _default_undo
-    report = RecoveryReport()
+    report = RecoveryReport(scheme=scheme)
+    report.rejected_tuples = len(region.corrupt_tuples())
 
     for tid in region.all_threads():
-        report.scanned += len(region.logs_for_thread(tid))
-        for (log_tid, txid), entries in _group_by_tx(region.logs_for_thread(tid)):
+        logs = region.logs_for_thread(tid)
+        report.scanned += len(logs)
+        for (log_tid, txid), entries in _group_by_tx(logs):
+            usable: List[PersistedLog] = []
+            for entry in entries:
+                state = _entry_state(entry)
+                if state == "ok":
+                    usable.append(entry)
+                elif state == "torn":
+                    report.rejected_torn += 1
+                    if entry.present_words:
+                        report.words_salvaged += entry.present_words
+                elif state == "dropped":
+                    report.rejected_dropped += 1
+                else:
+                    report.rejected_checksum += 1
             if region.is_committed(log_tid, txid):
                 report.committed_txs.append((log_tid, txid))
-                for entry in entries:  # replay in append order
+                for entry in usable:  # replay in append order
                     if redo_ok(entry):
                         pm.write_request({entry.addr: entry.new}, kind="recovery")
                         report.replayed += 1
@@ -117,7 +210,7 @@ def wal_recover(
                         report.discarded += 1
             else:
                 report.uncommitted_txs.append((log_tid, txid))
-                for entry in reversed(entries):  # revoke newest-first
+                for entry in reversed(usable):  # revoke newest-first
                     if undo_ok(entry):
                         pm.write_request({entry.addr: entry.old}, kind="recovery")
                         report.revoked += 1
@@ -125,6 +218,12 @@ def wal_recover(
                         report.discarded += 1
 
     pm.drain()
+    # Media scrub: after every recovery write has reached the cells,
+    # any address still poisoned is an uncorrectable error the log
+    # could not repair — report it rather than serving corrupt data.
+    report.poisoned_addrs = pm.media.poisoned_addrs()
+    report.media_poisoned = len(report.poisoned_addrs)
+    report.poison_healed = pm.media.poison_healed
     if truncate:
         region.truncate_all()
     return report

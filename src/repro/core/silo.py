@@ -381,6 +381,7 @@ class SiloScheme(LoggingScheme):
             self.pm,
             redo_filter=_silo_redo_filter,
             undo_filter=_silo_undo_filter,
+            scheme=self.name,
         )
 
     def finalize(self, now: int) -> int:

@@ -84,4 +84,4 @@ class BaseScheme(LoggingScheme):
         return True
 
     def recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm)
+        return wal_recover(self.region, self.pm, scheme=self.name)

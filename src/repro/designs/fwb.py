@@ -148,7 +148,7 @@ class FWBScheme(LoggingScheme):
         return True
 
     def recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm)
+        return wal_recover(self.region, self.pm, scheme=self.name)
 
     def finalize(self, now: int) -> int:
         """Flush remaining dirty data so write accounting is complete,

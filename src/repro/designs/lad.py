@@ -167,4 +167,4 @@ class LADScheme(LoggingScheme):
     def recover(self) -> RecoveryReport:
         # Only the slow-mode undo logs of uncommitted transactions can
         # require work: revoke them.
-        return wal_recover(self.region, self.pm)
+        return wal_recover(self.region, self.pm, scheme=self.name)

@@ -180,7 +180,7 @@ class MorLogScheme(LoggingScheme):
         return True
 
     def recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm)
+        return wal_recover(self.region, self.pm, scheme=self.name)
 
     def finalize(self, now: int) -> int:
         for core in range(self.config.cores):

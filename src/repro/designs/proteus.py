@@ -157,4 +157,4 @@ class ProteusScheme(LoggingScheme):
     def recover(self) -> RecoveryReport:
         # Committed transactions persisted their data at commit; only
         # uncommitted partial updates need revoking.
-        return wal_recover(self.region, self.pm)
+        return wal_recover(self.region, self.pm, scheme=self.name)

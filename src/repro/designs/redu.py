@@ -157,4 +157,4 @@ class ReDUScheme(LoggingScheme):
         return True
 
     def recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm)
+        return wal_recover(self.region, self.pm, scheme=self.name)

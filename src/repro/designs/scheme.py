@@ -21,6 +21,7 @@ from repro.common.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.hierarchy import AccessResult
+    from repro.core.recovery import RecoveryReport
     from repro.sim.system import System
 
 #: ``[(line_base, {word_addr: value}), ...]`` leaving the cache hierarchy.
@@ -98,8 +99,21 @@ class LoggingScheme(ABC):
         self.on_tx_end(core, tid, txid, now)
         return True
 
-    def recover(self) -> None:
-        """Rebuild a consistent PM data region from the log region."""
+    def recover(self) -> "RecoveryReport":
+        """Rebuild a consistent PM data region from the log region.
+
+        Every design must return a :class:`RecoveryReport` — the crash
+        harnesses and the fault-aware oracle read its corruption
+        accounting.  The default runs the shared corruption-aware WAL
+        walk with the standard redo/undo predicates; designs with
+        non-standard log semantics override this with their own
+        predicates.
+        """
+        # Imported lazily: repro.core imports the design modules, so a
+        # top-level import here would be circular.
+        from repro.core.recovery import wal_recover
+
+        return wal_recover(self.region, self.pm, scheme=self.name)
 
     def finalize(self, now: int) -> int:
         """End of the workload: flush any remaining buffered state so

@@ -101,4 +101,4 @@ class SoftwareLogScheme(LoggingScheme):
         return True
 
     def recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm)
+        return wal_recover(self.region, self.pm, scheme=self.name)

@@ -129,4 +129,4 @@ class WrAPScheme(LoggingScheme):
         return True
 
     def recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm)
+        return wal_recover(self.region, self.pm, scheme=self.name)

@@ -1,0 +1,25 @@
+"""Seeded, deterministic device-level fault injection.
+
+The clean crash model (``repro.sim.crash``) assumes the ADR domain
+drains perfectly: every accepted write reaches media intact.  Real PM
+fails uglier — multi-word log entries tear at the 8-byte
+persist-atomicity boundary, WPQ entries are lost outright, and media
+cells take uncorrectable bit errors.  This package injects exactly
+those faults at a crash point, records what it did in a
+:class:`~repro.faults.inject.FaultLedger`, and provides the
+fault-aware atomic-durability oracle that checks recovery either
+tolerated or *explicitly reported* every injected fault — silent
+corruption is the one unforgivable outcome.
+"""
+
+from repro.faults.inject import FaultLedger, inject_faults
+from repro.faults.oracle import FaultVerdict, check_fault_aware_durability
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "FaultLedger",
+    "FaultPlan",
+    "FaultVerdict",
+    "check_fault_aware_durability",
+    "inject_faults",
+]

@@ -1,0 +1,157 @@
+"""The fault injector: applies a :class:`FaultPlan` at the crash point.
+
+Runs at the very end of the engine's crash sequence — after the
+scheme's battery-backed flushes and the ADR drain, before recovery —
+because that is when the device's view of "what made it to media" is
+decided.  Three fault populations:
+
+* **in-flight log records and commit tuples** (anything the crash
+  handlers pushed through the WPQ/log-buffer pipeline, plus the
+  trailing WPQ-capacity window of pre-crash records belonging to
+  transactions with no persisted commit tuple): torn at word
+  granularity or dropped outright;
+* **at-rest log records**: media bit errors flipping one payload bit
+  (the entry's stored checksum no longer matches);
+* **data-region media words**: media bit errors poisoning the cell
+  (device ECC detects-but-cannot-correct).
+
+Faults are applied *disjointly* — one record takes at most one fault —
+so the oracle can demand exact per-kind accounting from recovery.
+
+Everything the injector does is recorded in a :class:`FaultLedger`;
+the fault-aware oracle uses it to separate "mismatch explained by an
+injected, *reported* fault" from a genuine recovery bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Set, Tuple
+
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.system import System
+
+#: Words per serialized log slot, by record kind.  The checksum word is
+#: serialized last, so a torn entry (any strict prefix of the slot) is
+#: always missing it — tears are detectable by construction.
+_SLOT_WORDS = {"undo": 3, "redo": 3, "undo_redo": 4}
+
+
+@dataclass
+class FaultLedger:
+    """Exactly what the injector did, for the oracle and reports."""
+
+    plan: FaultPlan
+    #: ``(tid, txid, index)`` locators of records torn mid-drain.
+    torn_entries: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Locators of records whose WPQ entry was lost outright.
+    dropped_entries: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Locators of at-rest records that took a media bit error.
+    log_bitflips: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: ``(tid, txid)`` commit tuples torn or dropped mid-drain.
+    corrupt_tuples: List[Tuple[int, int]] = field(default_factory=list)
+    #: Data-region word addresses poisoned by a media bit error.
+    data_bitflips: List[int] = field(default_factory=list)
+    #: Transactions (``(tid, txid)``) that lost log protection to any
+    #: injected fault: their durability/atomicity can no longer be
+    #: guaranteed, only *detected*.  The oracle accepts data-region
+    #: mismatches on these transactions' footprints — recovery reported
+    #: the damage — and rejects all others.
+    compromised_txs: Set[Tuple[int, int]] = field(default_factory=set)
+
+    @property
+    def total_injected(self) -> int:
+        return (
+            len(self.torn_entries)
+            + len(self.dropped_entries)
+            + len(self.log_bitflips)
+            + len(self.corrupt_tuples)
+            + len(self.data_bitflips)
+        )
+
+
+def inject_faults(system: "System", plan: FaultPlan) -> FaultLedger:
+    """Apply ``plan`` to ``system``'s PM state at the crash point.
+
+    Deterministic: one ``random.Random(plan.seed)`` stream drives every
+    decision, and all candidate populations are enumerated in sorted
+    order, so the same (run, plan) pair always injects the same faults.
+    """
+    ledger = FaultLedger(plan=plan)
+    if plan.is_noop:
+        return ledger
+    rng = random.Random(plan.seed)
+    region = system.region
+    media = system.pm.media
+    layout = system.pm.layout
+    faulted: Set[Tuple[int, int, int]] = set()
+
+    # -- tear / drop the in-flight window --------------------------------
+    cut = plan.tear_prob + plan.drop_prob
+    if cut > 0.0:
+        window = system.mc.wpq_capacity
+        for loc in region.inflight_record_locators(window):
+            r = rng.random()
+            if r >= cut:
+                continue
+            tid, txid, idx = loc
+            rec = region.get_record(tid, txid, idx)
+            if r < plan.tear_prob:
+                slot = _SLOT_WORDS.get(rec.kind, 4)
+                present = rng.randrange(1, slot)
+                region.replace_record(
+                    tid,
+                    txid,
+                    idx,
+                    rec._replace(integrity="torn", present_words=present),
+                )
+                ledger.torn_entries.append(loc)
+            else:
+                region.replace_record(
+                    tid, txid, idx, rec._replace(integrity="dropped")
+                )
+                ledger.dropped_entries.append(loc)
+            faulted.add(loc)
+            ledger.compromised_txs.add((tid, txid))
+        if plan.fault_tuples:
+            for tid, txid in region.inflight_commit_tuples():
+                r = rng.random()
+                if r >= cut:
+                    continue
+                reason = "torn" if r < plan.tear_prob else "dropped"
+                region.corrupt_commit_tuple(tid, txid, reason)
+                ledger.corrupt_tuples.append((tid, txid))
+                ledger.compromised_txs.add((tid, txid))
+
+    # -- media bit errors in at-rest log records -------------------------
+    if plan.log_bitflips:
+        candidates = [
+            loc for loc in region.all_record_locators() if loc not in faulted
+        ]
+        picks = rng.sample(candidates, min(plan.log_bitflips, len(candidates)))
+        for loc in sorted(picks):
+            tid, txid, idx = loc
+            rec = region.get_record(tid, txid, idx)
+            bit = rng.randrange(64)
+            if rng.random() < 0.5:
+                rec = rec._replace(old=rec.old ^ (1 << bit))
+            else:
+                rec = rec._replace(new=rec.new ^ (1 << bit))
+            # The stored checksum is untouched: recovery's recompute
+            # over the corrupted payload words is what must catch this.
+            region.replace_record(tid, txid, idx, rec)
+            ledger.log_bitflips.append(loc)
+            ledger.compromised_txs.add((tid, txid))
+
+    # -- media bit errors in data-region words ---------------------------
+    if plan.data_bitflips:
+        words = [a for a in media.word_addresses() if layout.in_data_region(a)]
+        picks = rng.sample(words, min(plan.data_bitflips, len(words)))
+        for addr in sorted(picks):
+            media.inject_bitflip(addr, rng.randrange(64))
+            ledger.data_bitflips.append(addr)
+
+    return ledger

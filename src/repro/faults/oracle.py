@@ -1,0 +1,148 @@
+"""The fault-aware atomic-durability oracle.
+
+The clean oracle (``repro.sim.verify``) demands the recovered data
+region match the committed transactions exactly.  Under injected
+faults that is no longer achievable — a committed transaction whose
+only redo copy was torn mid-drain cannot be replayed — so the
+contract weakens in a precisely-bounded way:
+
+1. **Bounded damage**: every data-region mismatch must be explained by
+   an injected fault — it lies on a poisoned media word, or belongs to
+   a transaction whose log protection was damaged (torn / dropped /
+   bit-flipped record, corrupted commit tuple).  Mismatches outside
+   that blast radius are recovery bugs, exactly as in the clean oracle.
+2. **No silent corruption**: every injected fault must be *reported*
+   by recovery.  Per fault kind, the count recovery rejected (or the
+   media scrub surfaced) must equal the count the ledger injected —
+   faults are applied disjointly, so the accounting is exact.
+
+A cell passes only when both hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.results import RunResult
+    from repro.sim.system import System
+    from repro.trace.trace import Trace
+
+_TXID_WRAP = 1 << 16
+
+
+@dataclass
+class FaultVerdict:
+    """One cell's verdict under the fault-aware oracle."""
+
+    #: Every raw data-region mismatch ``(addr, actual, expected)``.
+    mismatches: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Mismatches *not* explained by any injected-and-reported fault —
+    #: genuine atomic-durability violations.
+    unattributed: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Fault kinds recovery under-reported: injected damage that was
+    #: silently absorbed.  The worst possible outcome.
+    silent: List[str] = field(default_factory=list)
+    #: Injected fault counts by kind (from the ledger).
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: Reported fault counts by kind (from the recovery report).
+    reported: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unattributed and not self.silent
+
+    def describe(self) -> str:
+        if self.ok:
+            return "ok"
+        parts = []
+        if self.unattributed:
+            addr, got, want = self.unattributed[0]
+            parts.append(
+                f"{len(self.unattributed)} unattributed mismatch(es), "
+                f"first at {addr:#x}: got {got:#x}, want {want:#x}"
+            )
+        for kind in self.silent:
+            parts.append(
+                f"silent corruption: {kind} injected "
+                f"{self.injected.get(kind, 0)}, reported "
+                f"{self.reported.get(kind, 0)}"
+            )
+        return "; ".join(parts)
+
+
+def _compromised_addrs(
+    trace: "Trace", compromised: Set[Tuple[int, int]]
+) -> Set[int]:
+    """Data words written by transactions that lost log protection.
+
+    The ledger names transactions by ``(tid, txid)``; the trace names
+    them by position, and the engine maps position to txid as
+    ``(tx_index + 1) % 2**16``.
+    """
+    addrs: Set[int] = set()
+    if not compromised:
+        return addrs
+    for thread in trace.threads:
+        for index, tx in enumerate(thread.transactions):
+            if (thread.tid, (index + 1) % _TXID_WRAP) in compromised:
+                addrs.update(tx.final_values().keys())
+    return addrs
+
+
+def check_fault_aware_durability(
+    system: "System", trace: "Trace", result: "RunResult"
+) -> FaultVerdict:
+    """Judge one crashed-and-recovered run against the fault model."""
+    from repro.sim.verify import check_atomic_durability
+
+    verdict = FaultVerdict()
+    verdict.mismatches = check_atomic_durability(
+        system, trace, result.committed
+    )
+    ledger = result.faults
+    report = result.recovery
+    if ledger is None or ledger.plan.is_noop:
+        # No faults injected: this *is* the clean oracle.
+        verdict.unattributed = list(verdict.mismatches)
+        return verdict
+
+    verdict.injected = {
+        "torn": len(ledger.torn_entries),
+        "dropped": len(ledger.dropped_entries),
+        "log_bitflip": len(ledger.log_bitflips),
+        "commit_tuple": len(ledger.corrupt_tuples),
+        "data_bitflip": len(ledger.data_bitflips),
+    }
+    if report is None:
+        # Recovery never ran: everything injected went unreported.
+        verdict.reported = {kind: 0 for kind in verdict.injected}
+        verdict.silent = [
+            kind for kind, n in verdict.injected.items() if n > 0
+        ]
+        verdict.unattributed = list(verdict.mismatches)
+        return verdict
+
+    # A poisoned cell is reported either by the post-recovery media
+    # scrub (still poisoned) or implicitly healed when recovery's own
+    # replay/revoke writes re-programmed the cell with correct data.
+    verdict.reported = {
+        "torn": report.rejected_torn,
+        "dropped": report.rejected_dropped,
+        "log_bitflip": report.rejected_checksum,
+        "commit_tuple": report.rejected_tuples,
+        "data_bitflip": report.media_poisoned + report.poison_healed,
+    }
+    verdict.silent = sorted(
+        kind
+        for kind, n in verdict.injected.items()
+        if verdict.reported.get(kind, 0) < n
+    )
+
+    allowed = _compromised_addrs(trace, ledger.compromised_txs)
+    allowed.update(ledger.data_bitflips)
+    verdict.unattributed = [
+        m for m in verdict.mismatches if m[0] not in allowed
+    ]
+    return verdict

@@ -1,0 +1,77 @@
+"""Fault plans: the declarative description of what breaks at a crash.
+
+A :class:`FaultPlan` composes with a :class:`~repro.sim.crash.CrashPlan`
+(faults strike *at* the crash point; a plan without a crash plan is a
+configuration error).  All randomness is drawn from one
+``random.Random(seed)`` stream, so a ``(crash plan, fault plan)`` pair
+replays bit-identically — which is what lets faultsweep cells be
+cached, parallelized and replayed in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What the device does to in-flight and at-rest state at a crash.
+
+    * ``tear_prob`` / ``drop_prob`` — per-entry probabilities that a
+      log record (or commit tuple) still inside the volatile WPQ /
+      log-buffer pipeline is torn at word granularity or lost outright
+      instead of draining atomically.
+    * ``log_bitflips`` — media bit errors in log-region words (flips a
+      payload bit of an at-rest log record; the stored checksum no
+      longer matches).
+    * ``data_bitflips`` — media bit errors in data-region words (the
+      cell is poisoned: device ECC detects but cannot correct it).
+    """
+
+    seed: int = 0
+    tear_prob: float = 0.0
+    drop_prob: float = 0.0
+    log_bitflips: int = 0
+    data_bitflips: int = 0
+    #: Whether in-flight commit tuples participate in tear/drop.  The
+    #: complement-word tuple encoding makes any damage detectable, so
+    #: a faulted tuple demotes its transaction to uncommitted.
+    fault_tuples: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tear_prob <= 1.0:
+            raise ConfigError(f"tear_prob {self.tear_prob} outside [0, 1]")
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ConfigError(f"drop_prob {self.drop_prob} outside [0, 1]")
+        if self.tear_prob + self.drop_prob > 1.0:
+            raise ConfigError(
+                "tear_prob + drop_prob exceed 1.0 — a record cannot be "
+                "both torn and dropped"
+            )
+        if self.log_bitflips < 0 or self.data_bitflips < 0:
+            raise ConfigError("bit-flip counts must be non-negative")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing (a clean ADR drain)."""
+        return (
+            self.tear_prob == 0.0
+            and self.drop_prob == 0.0
+            and self.log_bitflips == 0
+            and self.data_bitflips == 0
+        )
+
+    # ------------------------------------------------------------------
+    # Canonical serialization (cache keys, repro commands)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A canonical, JSON-stable dict: the exact value that enters
+        the content-addressed result-cache key."""
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(**data)

@@ -10,6 +10,7 @@ from repro.harness.runner import GridResult, normalize_to, run_grid
 from repro.harness import (
     bench,
     crashtest,
+    faultsweep,
     fig4,
     fig11,
     fig12,
@@ -18,6 +19,7 @@ from repro.harness import (
     fig15,
     mcsweep,
     recovery_cost,
+    replay,
     table1,
     table4,
 )
@@ -28,6 +30,7 @@ __all__ = [
     "run_grid",
     "bench",
     "crashtest",
+    "faultsweep",
     "fig4",
     "fig11",
     "fig12",
@@ -36,6 +39,7 @@ __all__ = [
     "fig15",
     "mcsweep",
     "recovery_cost",
+    "replay",
     "table1",
     "table4",
 ]

@@ -37,6 +37,7 @@ from repro.common.errors import ExecutionError
 from repro.harness import (
     bench,
     crashtest,
+    faultsweep,
     fig4,
     fig11,
     fig12,
@@ -45,6 +46,7 @@ from repro.harness import (
     fig15,
     mcsweep,
     recovery_cost,
+    replay,
     table1,
     table4,
 )
@@ -59,7 +61,14 @@ _EXPERIMENTS = {
         executor=ex,
     ),
     "crashtest": lambda args, ex: crashtest.run(
-        points_per_pair=args.crash_points, executor=ex
+        points_per_pair=args.crash_points, seed=args.seed, executor=ex
+    ),
+    "faultsweep": lambda args, ex: faultsweep.run(
+        points_per_pair=args.crash_points,
+        seed=args.seed,
+        executor=ex,
+        output=args.fault_output,
+        smoke=args.smoke,
     ),
     "mcsweep": lambda args, ex: mcsweep.run(
         transactions=args.transactions, executor=ex
@@ -96,9 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "cache"],
-        help="which table/figure to regenerate, or 'cache' to manage "
-        "the result cache",
+        choices=sorted(_EXPERIMENTS) + ["all", "cache", "replay"],
+        help="which table/figure to regenerate, 'cache' to manage the "
+        "result cache, or 'replay' to re-run one failed cell from its "
+        "--spec JSON",
     )
     parser.add_argument(
         "action",
@@ -124,7 +134,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash-points",
         type=int,
         default=20,
-        help="crash points per (scheme, workload) pair for crashtest",
+        help="crash points per (scheme, workload) pair for "
+        "crashtest/faultsweep",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed for the randomized crashtest/faultsweep draws "
+        "(default 0)",
+    )
+    parser.add_argument(
+        "--fault-output",
+        default="FAULTSWEEP.json",
+        help="faultsweep only: where to write the campaign report "
+        "(default: FAULTSWEEP.json)",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help="replay only: the cell-spec JSON printed by a failing "
+        "crashtest/faultsweep cell",
     )
     parser.add_argument(
         "--jobs",
@@ -187,6 +217,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_command(args)
     if args.action is not None:
         parser.error("an action is only valid with the 'cache' command")
+    if args.experiment == "replay":
+        if not args.spec:
+            parser.error("replay needs --spec '<cell json>'")
+        result = replay.run(args.spec)
+        print(result.format_report())
+        return 0 if result.passed else 1
+    if args.spec is not None:
+        parser.error("--spec is only valid with the 'replay' command")
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     executor = Executor(
@@ -203,6 +241,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             failures += 1
             continue
         print(result.format_report())
+        if getattr(result, "passed", True) is False:
+            # Validation sweeps (crashtest/faultsweep) fail the run on
+            # oracle violations, not only on raised cells.
+            print(f"[{name} FAILED: oracle violations]", file=sys.stderr)
+            failures += 1
         stats = executor.stats
         print(
             f"[{name} completed in {time.time() - started:.1f}s; "

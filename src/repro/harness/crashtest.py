@@ -25,6 +25,7 @@ from repro.harness.executor import (
     Executor,
     WorkloadSpec,
     raise_on_failures,
+    repro_command,
 )
 from repro.harness.report import format_table
 from repro.sim.crash import CrashPlan
@@ -50,6 +51,9 @@ class CrashTestResult:
     failures: int = 0
     #: ``(scheme, workload, crash_point, first mismatches)`` per failure.
     failure_details: List[Tuple[str, str, str, list]] = field(default_factory=list)
+    #: One copy-pasteable replay command per failure, same order: a
+    #: failing randomized cell is re-runnable in isolation (--jobs 1).
+    failure_commands: List[str] = field(default_factory=list)
     per_scheme: Dict[str, Tuple[int, int]] = field(default_factory=dict)
 
     @property
@@ -68,8 +72,13 @@ class CrashTestResult:
         )
         if self.failure_details:
             lines = [table, "", "first failures:"]
-            for scheme, workload, point, mism in self.failure_details[:5]:
+            commands = self.failure_commands + [None] * len(self.failure_details)
+            for (scheme, workload, point, mism), command in list(
+                zip(self.failure_details, commands)
+            )[:5]:
                 lines.append(f"  {scheme}/{workload} @ {point}: {mism[:2]}")
+                if command:
+                    lines.append(f"    replay: {command}")
             return "\n".join(lines)
         return table
 
@@ -140,5 +149,7 @@ def run(
             result.failure_details.append(
                 (scheme, workload, label, outcome.mismatches)
             )
+            if outcome.spec.config is None:
+                result.failure_commands.append(repro_command(outcome.spec))
         result.per_scheme[scheme] = (runs, fails)
     return result

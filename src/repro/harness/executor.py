@@ -40,8 +40,10 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.common.errors import ExecutionError
+from repro.common.errors import ConfigError, ExecutionError
 from repro.designs.scheme import SchemeRegistry
+from repro.faults.oracle import FaultVerdict, check_fault_aware_durability
+from repro.faults.plan import FaultPlan
 from repro.harness.resultcache import MISS, ResultCache
 from repro.sim.crash import CrashPlan
 from repro.sim.engine import TransactionEngine
@@ -102,7 +104,10 @@ class CellSpec:
     the outcome carries a :class:`TraceStats` (Fig. 4 uses this).
     ``config=None`` means the Table II configuration at ``cores``.
     ``verify=True`` additionally runs the atomic-durability oracle on
-    the post-run system and stores its mismatches in the outcome.
+    the post-run system and stores its mismatches in the outcome —
+    the *fault-aware* oracle when the cell carries a ``fault_plan``
+    (its unattributed mismatches and silent corruptions are the
+    failures), the exact clean oracle otherwise.
     ``repeats`` reruns the identical cell and records every wall time
     (the hot-path benchmark keeps the best).
     """
@@ -112,6 +117,7 @@ class CellSpec:
     cores: int
     config: Optional[SystemConfig] = None
     crash_plan: Optional[CrashPlan] = None
+    fault_plan: Optional[FaultPlan] = None
     verify: bool = False
     repeats: int = 1
 
@@ -140,7 +146,12 @@ class CellOutcome:
     spec: CellSpec
     result: Any = None
     seconds: Tuple[float, ...] = ()
+    #: Oracle failures: raw mismatches for clean verify cells, the
+    #: *unattributed* mismatches for fault cells (damage an injected
+    #: and reported fault explains is not a failure).
     mismatches: Optional[list] = None
+    #: Full fault-aware oracle verdict, for cells with a fault plan.
+    fault_verdict: Optional[FaultVerdict] = None
     error: Optional[str] = None
     cached: bool = False
 
@@ -166,6 +177,9 @@ def spec_key(spec: CellSpec) -> str:
         "cores": spec.cores,
         "config": asdict(spec.effective_config()),
         "crash_plan": asdict(spec.crash_plan) if spec.crash_plan else None,
+        "fault_plan": (
+            spec.fault_plan.to_json_dict() if spec.fault_plan else None
+        ),
         "verify": spec.verify,
         "repeats": spec.repeats,
     }
@@ -197,15 +211,30 @@ def execute_cell(spec: CellSpec) -> CellOutcome:
     for _ in range(max(1, spec.repeats)):
         system = System(config)
         scheme = SchemeRegistry.create(spec.scheme, system)
-        engine = TransactionEngine(system, scheme, trace, crash_plan=spec.crash_plan)
+        engine = TransactionEngine(
+            system,
+            scheme,
+            trace,
+            crash_plan=spec.crash_plan,
+            fault_plan=spec.fault_plan,
+        )
         started = time.perf_counter()
         result = engine.run()
         seconds.append(time.perf_counter() - started)
     mismatches = None
+    fault_verdict = None
     if spec.verify:
-        mismatches = check_atomic_durability(system, trace, result.committed)
+        if spec.fault_plan is not None:
+            fault_verdict = check_fault_aware_durability(system, trace, result)
+            mismatches = list(fault_verdict.unattributed)
+        else:
+            mismatches = check_atomic_durability(system, trace, result.committed)
     return CellOutcome(
-        spec=spec, result=result, seconds=tuple(seconds), mismatches=mismatches
+        spec=spec,
+        result=result,
+        seconds=tuple(seconds),
+        mismatches=mismatches,
+        fault_verdict=fault_verdict,
     )
 
 
@@ -394,3 +423,82 @@ def raise_on_failures(outcomes: Sequence[CellOutcome]) -> None:
         lines.append("")
         lines.append(outcome.error.rstrip())
     raise ExecutionError("\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# Cell-spec serialization and one-line repro commands
+# ----------------------------------------------------------------------
+def cell_spec_to_json(spec: CellSpec) -> str:
+    """Serialize one cell to a compact JSON string that
+    :func:`cell_spec_from_json` reconstructs exactly.
+
+    Only cells with the default (Table II) configuration are
+    serializable — the crash harnesses only ever emit those, and it
+    keeps the repro command a single self-contained line.
+    """
+    if spec.config is not None:
+        raise ConfigError(
+            "only default-config cells serialize to a repro command"
+        )
+    payload = {
+        "workload": {
+            "name": spec.workload.name,
+            "threads": spec.workload.threads,
+            "transactions": spec.workload.transactions,
+            "kwargs": {k: v for k, v in spec.workload.kwargs},
+        },
+        "scheme": spec.scheme,
+        "cores": spec.cores,
+        "crash_plan": asdict(spec.crash_plan) if spec.crash_plan else None,
+        "fault_plan": (
+            spec.fault_plan.to_json_dict() if spec.fault_plan else None
+        ),
+        "verify": spec.verify,
+        "repeats": spec.repeats,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cell_spec_from_json(text: str) -> CellSpec:
+    """Rebuild the cell a repro command names."""
+    data = json.loads(text)
+    w = data["workload"]
+    crash = data.get("crash_plan")
+    fault = data.get("fault_plan")
+    return CellSpec(
+        workload=WorkloadSpec.make(
+            w["name"], w["threads"], w["transactions"], **w.get("kwargs", {})
+        ),
+        scheme=data["scheme"],
+        cores=data["cores"],
+        crash_plan=(
+            CrashPlan(
+                at_op=crash.get("at_op"),
+                at_commit_of=(
+                    tuple(crash["at_commit_of"])
+                    if crash.get("at_commit_of") is not None
+                    else None
+                ),
+            )
+            if crash
+            else None
+        ),
+        fault_plan=FaultPlan.from_json_dict(fault) if fault else None,
+        verify=data.get("verify", False),
+        repeats=data.get("repeats", 1),
+    )
+
+
+def repro_command(spec: CellSpec) -> str:
+    """The copy-pasteable command replaying one cell in isolation.
+
+    Printed whenever a randomized crashtest/faultsweep cell fails, so
+    the failure is debuggable without re-running the whole campaign:
+    the command re-executes exactly that (workload, scheme, crash
+    point, fault plan) with ``--jobs 1`` and prints the verdict.
+    """
+    encoded = cell_spec_to_json(spec).replace("'", "'\\''")
+    return (
+        "PYTHONPATH=src python -m repro.harness replay "
+        f"--jobs 1 --spec '{encoded}'"
+    )

@@ -19,6 +19,30 @@ from repro.common.constants import (
 )
 
 
+def entry_checksum(tid: int, txid: int, addr: int, old: int, new: int) -> int:
+    """Per-entry integrity checksum over the Fig. 6 fields.
+
+    Computed by the log generator when the entry is created and stored
+    in the entry's serialized slot; recovery recomputes it from the
+    scanned ID tuple + payload words and rejects any entry whose stored
+    checksum disagrees (media bit error) or whose slot is incomplete
+    (torn write at the 8-byte persist-atomicity boundary).
+
+    The mix is exactly the word payload the log region serializes for
+    the entry, so stamping it costs nothing on the append path.
+    """
+    return (
+        (
+            (tid << 56)
+            ^ (txid << 40)
+            ^ addr
+            ^ ((old & WORD_MASK) * 0x9E3779B97F4A7C15)
+            ^ ((new & WORD_MASK) * 0xC2B2AE3D27D4EB4F)
+        )
+        | 1
+    ) & WORD_MASK
+
+
 class LogEntry:
     """A mutable undo+redo log entry living in a core's log buffer."""
 

@@ -30,7 +30,7 @@ from typing import (
 
 from repro.common.constants import WORD_MASK, WORD_SIZE
 from repro.common.stats import Stats
-from repro.hwlog.entry import LogEntry
+from repro.hwlog.entry import LogEntry, entry_checksum
 from repro.mem.pm import RegionLayout
 
 
@@ -41,6 +41,11 @@ class PersistedLog(NamedTuple):
     record is created per persisted entry on the simulator's hottest
     path, and tuple construction avoids the ``object.__setattr__``
     per-field cost of frozen-dataclass ``__init__``.
+
+    The trailing fields carry the device-level integrity state the
+    fault injector manipulates and recovery validates; they default to
+    the pristine values so pre-existing construction sites (and the
+    clean-crash path) are unchanged.
     """
 
     tid: int
@@ -52,6 +57,22 @@ class PersistedLog(NamedTuple):
     #: ``"undo"``, ``"redo"`` or ``"undo_redo"`` — which data words were
     #: actually written to the region.
     kind: str
+    #: Integrity checksum stamped by the log generator at serialization
+    #: time (:func:`~repro.hwlog.entry.entry_checksum` over the ID tuple
+    #: + payload words).  ``None`` marks a hand-built/legacy record that
+    #: recovery treats as unchecked.
+    checksum: Optional[int] = None
+    #: Region-global append sequence number; orders records against the
+    #: crash point so the injector can identify the in-flight window.
+    seq: int = 0
+    #: ``"ok"`` | ``"torn"`` | ``"dropped"`` — device-level slot state
+    #: after fault injection.  Recovery must never replay a non-"ok"
+    #: record.
+    integrity: str = "ok"
+    #: For torn entries: how many of the slot's words made it to media
+    #: before power failed (the checksum word is last, so a torn entry
+    #: is always detectable).
+    present_words: Optional[int] = None
 
     def id_tuple(self) -> Tuple[int, int]:
         return (self.tid, self.txid)
@@ -91,6 +112,20 @@ class LogRegion:
         #: append order because a thread's transactions are serial.
         self._records: Dict[int, Dict[int, List[PersistedLog]]] = {}
         self._commit_tuples: Set[Tuple[int, int]] = set()
+        #: Commit tuples whose media slot was torn or dropped by fault
+        #: injection: ``(tid, txid) -> reason``.  The complement-word
+        #: encoding of :meth:`persist_commit_tuple` makes a damaged
+        #: tuple always detectable, so recovery demotes the transaction
+        #: to uncommitted and reports it here instead of replaying.
+        self._corrupt_tuples: Dict[Tuple[int, int], str] = {}
+        #: Region-global append sequence.  Stamped on every persisted
+        #: record and commit tuple; pure bookkeeping (no timing effect).
+        self._seq: int = 0
+        self._tuple_seq: Dict[Tuple[int, int], int] = {}
+        #: Sequence number at the moment the crash drain began; records
+        #: stamped at or after it were in the volatile WPQ/log-buffer
+        #: pipeline when power failed.  ``None`` until a crash happens.
+        self._crash_seq: Optional[int] = None
         #: Precomputed per-kind counter names (persist_entries runs
         #: once per store for the log-writing designs).
         self._kind_keys: Dict[str, str] = {
@@ -195,8 +230,12 @@ class LogRegion:
         bucket = by_tx.get(txid)
         if bucket is None:
             bucket = by_tx[txid] = []
+        seq = self._seq
+        self._seq = seq + 1
         bucket.append(
-            PersistedLog(tid, txid, addr, old, new, False, "undo_redo")
+            PersistedLog(
+                tid, txid, addr, old, new, False, "undo_redo", payload & m, seq
+            )
         )
         counters = self.stats.counters
         counters["region.requests"] += 1
@@ -228,6 +267,7 @@ class LogRegion:
             ^ (entry.old * 0x9E3779B97F4A7C15)
             ^ (entry.new * 0xC2B2AE3D27D4EB4F)
         ) | 1
+        checksum = payload & WORD_MASK
         start = addr & ~(WORD_SIZE - 1)
         if size == 32 and start == addr:
             m = WORD_MASK
@@ -251,6 +291,8 @@ class LogRegion:
         bucket = by_tx.get(entry.txid)
         if bucket is None:
             bucket = by_tx[entry.txid] = []
+        seq = self._seq
+        self._seq = seq + 1
         bucket.append(
             PersistedLog(
                 entry.tid,
@@ -260,6 +302,8 @@ class LogRegion:
                 entry.new,
                 entry.flush_bit,
                 kind,
+                checksum,
+                seq,
             )
         )
         return words
@@ -309,6 +353,7 @@ class LogRegion:
                 ^ (e_old * 0x9E3779B97F4A7C15)
                 ^ (e_new * 0xC2B2AE3D27D4EB4F)
             ) | 1
+            checksum = payload & m
             word = addr & -8  # word-align (WORD_SIZE == 8)
             end = addr + size
             while word < end:
@@ -316,9 +361,19 @@ class LogRegion:
                 payload += 1
                 word += 8
             cursor += size
+            seq = self._seq
+            self._seq = seq + 1
             append(
                 PersistedLog(
-                    e_tid, e_txid, e_addr, e_old, e_new, entry.flush_bit, kind
+                    e_tid,
+                    e_txid,
+                    e_addr,
+                    e_old,
+                    e_new,
+                    entry.flush_bit,
+                    kind,
+                    checksum,
+                    seq,
                 )
             )
         self._cursor[tid] = cursor
@@ -344,6 +399,8 @@ class LogRegion:
         """Record a committed-transaction ID tuple; returns the word
         write for the memory controller."""
         self._commit_tuples.add((tid, txid))
+        self._tuple_seq[(tid, txid)] = self._seq
+        self._seq += 1
         base, area = self.layout.thread_log_area(tid)
         cursor = self._cursor.get(tid, 0)
         if cursor % 64:  # the tuple is flushed as its own line write
@@ -353,6 +410,83 @@ class LogRegion:
         word = addr & ~(WORD_SIZE - 1)
         payload = ((tid << 16) | txid | (1 << 63)) & WORD_MASK
         return {word: payload, word + WORD_SIZE: payload ^ WORD_MASK}
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (repro.faults)
+    # ------------------------------------------------------------------
+    def begin_crash_drain(self) -> None:
+        """Mark the crash point: everything the crash handlers persist
+        from here on rides the volatile WPQ/log-buffer drain and is
+        therefore exposed to tear/drop faults."""
+        self._crash_seq = self._seq
+
+    def all_record_locators(self) -> List[Tuple[int, int, int]]:
+        """``(tid, txid, index)`` for every live record, append order —
+        the bit-flip fault population (any word resident on media can
+        take a media error, however long ago it was written)."""
+        return [
+            (tid, txid, idx)
+            for tid in sorted(self._records)
+            for txid, bucket in self._records[tid].items()
+            for idx in range(len(bucket))
+        ]
+
+    def inflight_record_locators(self, window: int) -> List[Tuple[int, int, int]]:
+        """Locators of records exposed to tear/drop faults at the crash.
+
+        Two populations: records persisted at or after
+        :meth:`begin_crash_drain` (they were still in the WPQ/log-buffer
+        pipeline when power failed), and the trailing ``window`` pre-crash
+        records — ``window`` is the WPQ capacity — of transactions with
+        no persisted commit tuple (a committed transaction's log writes
+        were fenced before its commit tuple, so they are on media).
+        """
+        if self._crash_seq is None:
+            return []
+        crash_seq = self._crash_seq
+        drained: List[Tuple[int, int, int, int]] = []
+        tail: List[Tuple[int, int, int, int]] = []
+        committed = self._commit_tuples
+        for tid in sorted(self._records):
+            for txid, bucket in self._records[tid].items():
+                for idx, rec in enumerate(bucket):
+                    if rec.seq >= crash_seq:
+                        drained.append((rec.seq, tid, txid, idx))
+                    elif (tid, txid) not in committed:
+                        tail.append((rec.seq, tid, txid, idx))
+        tail.sort()
+        exposed = drained + (tail[-window:] if window > 0 else [])
+        exposed.sort()
+        return [(tid, txid, idx) for _, tid, txid, idx in exposed]
+
+    def inflight_commit_tuples(self) -> List[Tuple[int, int]]:
+        """Commit tuples still in the WPQ/log-buffer pipeline at the
+        crash (persisted during the crash drain)."""
+        if self._crash_seq is None:
+            return []
+        crash_seq = self._crash_seq
+        return sorted(
+            key for key, seq in self._tuple_seq.items() if seq >= crash_seq
+        )
+
+    def get_record(self, tid: int, txid: int, idx: int) -> PersistedLog:
+        return self._records[tid][txid][idx]
+
+    def replace_record(
+        self, tid: int, txid: int, idx: int, record: PersistedLog
+    ) -> None:
+        """Swap in a mutated record (the injector's write primitive)."""
+        self._records[tid][txid][idx] = record
+
+    def corrupt_commit_tuple(self, tid: int, txid: int, reason: str) -> None:
+        """Damage a commit tuple's media slot: the complement-word check
+        fails, so the transaction is no longer recognised as committed
+        and the corruption is reported via :meth:`corrupt_tuples`."""
+        self._commit_tuples.discard((tid, txid))
+        self._corrupt_tuples[(tid, txid)] = reason
+
+    def corrupt_tuples(self) -> Dict[Tuple[int, int], str]:
+        return dict(self._corrupt_tuples)
 
     # ------------------------------------------------------------------
     # Recovery-side accessors
@@ -392,6 +526,8 @@ class LogRegion:
     def truncate_all(self) -> None:
         self._records.clear()
         self._commit_tuples.clear()
+        self._corrupt_tuples.clear()
+        self._tuple_seq.clear()
 
     def total_persisted(self) -> int:
         return sum(

@@ -226,3 +226,10 @@ class MemoryController:
 
     def occupancy(self, now: int, channel: int = 0) -> int:
         return self._wpq[channel % self.channels].occupancy(now)
+
+    @property
+    def wpq_capacity(self) -> int:
+        """Entries one channel's write-pending queue can hold — the
+        upper bound on writes still volatile inside the ADR domain at a
+        power failure (the fault injector's tear/drop window)."""
+        return self._wpq_capacity

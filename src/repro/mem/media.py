@@ -10,7 +10,7 @@ overwrites of unchanged words never reach the physical cells.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.common.constants import ONPM_LINE_SIZE, WORD_SIZE
 from repro.common.stats import Stats
@@ -28,6 +28,13 @@ class PMMedia:
         self._sector_wear: Dict[int, int] = {}
         #: The live counter mapping, hoisted once (stable for life).
         self._counters = self.stats.counters
+        #: Word addresses carrying an uncorrectable media bit error
+        #: (the device's ECC *detects* the error on read — modelled as
+        #: a poison set — but cannot correct it).  Empty on the clean
+        #: path; every consumer guards on truthiness so the hot write
+        #: path pays one falsy check at most.
+        self._poisoned: Set[int] = set()
+        self._poison_healed: int = 0
 
     # ------------------------------------------------------------------
     # Reads
@@ -50,6 +57,18 @@ class PMMedia:
         costs one media write.  A fully redundant batch costs nothing
         (data-comparison-write).  Returns the number of sectors written.
         """
+        if self._poisoned:
+            poisoned = self._poisoned
+            for addr in words:
+                if addr in poisoned:
+                    # Overwriting a poisoned cell re-programs it: the
+                    # error is healed and the new data is authoritative.
+                    # Dropping the corrupt value first keeps the
+                    # data-comparison-write below from comparing against
+                    # garbage and skipping the re-program.
+                    poisoned.discard(addr)
+                    self._words.pop(addr, None)
+                    self._poison_healed += 1
         image = self._words
         image_get = image.get
         changed_sectors = set()
@@ -80,6 +99,38 @@ class PMMedia:
     def wear_profile(self) -> Dict[int, int]:
         """Writes per 64-byte sector: ``{sector_addr: writes}``."""
         return {sector << 6: count for sector, count in self._sector_wear.items()}
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def inject_bitflip(self, addr: int, bit: int) -> int:
+        """Flip one bit of the persisted word at ``addr`` and mark the
+        cell poisoned (the device ECC will flag the word as an
+        uncorrectable error on the next read).  Returns the corrupted
+        value now on media."""
+        if not 0 <= bit < 64:
+            raise ValueError(f"bit index {bit} outside a 64-bit word")
+        value = self._words.get(addr, 0) ^ (1 << bit)
+        self._words[addr] = value
+        self._poisoned.add(addr)
+        self._counters["media.bitflips_injected"] += 1
+        return value
+
+    def poisoned_addrs(self) -> List[int]:
+        """Word addresses whose cells still hold an unhealed media
+        error (deterministic order for reporting)."""
+        return sorted(self._poisoned)
+
+    @property
+    def poison_healed(self) -> int:
+        """Poisoned cells re-programmed (and thereby healed) by later
+        writes."""
+        return self._poison_healed
+
+    def word_addresses(self) -> List[int]:
+        """Every word address holding a non-zero value, sorted — the
+        population the fault injector draws media bit-flips from."""
+        return sorted(a for a, v in self._words.items() if v != 0)
 
     # ------------------------------------------------------------------
     # Inspection

@@ -134,6 +134,13 @@ class PMDevice:
                 # this loop), inlined: data-comparison-write against
                 # the image, 64 B-sector write accounting and wear.
                 media = self.media
+                if media._poisoned:
+                    poisoned = media._poisoned
+                    for addr in words:
+                        if addr in poisoned:
+                            poisoned.discard(addr)
+                            media._words.pop(addr, None)
+                            media._poison_healed += 1
                 image = media._words
                 image_get = image.get
                 changed_sectors = None

@@ -89,16 +89,24 @@ class TransactionEngine:
         scheme: LoggingScheme,
         trace: Trace,
         crash_plan: Optional[CrashPlan] = None,
+        fault_plan=None,
     ) -> None:
         if len(trace.threads) > system.config.cores:
             raise ConfigError(
                 f"trace has {len(trace.threads)} threads but the system "
                 f"only has {system.config.cores} cores"
             )
+        if fault_plan is not None and crash_plan is None:
+            raise ConfigError(
+                "a fault plan needs a crash plan: faults are injected "
+                "at the crash point"
+            )
         self.system = system
         self.scheme = scheme
         self.trace = trace
         self.crash_plan = crash_plan
+        self.fault_plan = fault_plan
+        self.fault_ledger = None
         self._cores = [
             _CoreState(thread.tid, ops)
             for thread, ops in zip(trace.threads, _flatten(trace))
@@ -201,6 +209,7 @@ class TransactionEngine:
             total_transactions=self.trace.total_transactions,
             crashed=crashed,
             recovery=recovery,
+            faults=self.fault_ledger,
             tx_log_counts=list(getattr(self.scheme, "tx_log_counts", [])),
         )
         return result
@@ -294,6 +303,10 @@ class TransactionEngine:
         now = max(c.time for c in self._cores)
         doomed_op = victim.ops[victim.pc] if not victim.done else None
 
+        # Everything persisted from here on rides the crash drain —
+        # the fault injector's tear/drop window starts now.
+        self.system.region.begin_crash_drain()
+
         if type(doomed_op) is TxEnd:
             # The crash strikes during this core's commit.
             counts = self.scheme.interrupted_commit(
@@ -313,6 +326,12 @@ class TransactionEngine:
         # ADR drains the WPQ and the on-PM buffer; caches are lost.
         self.system.pm.drain()
         self.system.hierarchy.drop_all()
+        if self.fault_plan is not None:
+            # Imported lazily: the crash path is cold, and repro.faults
+            # pulls in oracle machinery the clean path never needs.
+            from repro.faults.inject import inject_faults
+
+            self.fault_ledger = inject_faults(self.system, self.fault_plan)
 
 
 def run_trace(
@@ -320,6 +339,7 @@ def run_trace(
     scheme: str = "silo",
     config=None,
     crash_plan: Optional[CrashPlan] = None,
+    fault_plan=None,
     system_factory: Optional[Callable[[], System]] = None,
 ) -> RunResult:
     """Convenience entry point: build a system, run a trace, return the
@@ -330,5 +350,7 @@ def run_trace(
     else:
         system = System(config)
     scheme_obj = SchemeRegistry.create(scheme, system)
-    engine = TransactionEngine(system, scheme_obj, trace, crash_plan=crash_plan)
+    engine = TransactionEngine(
+        system, scheme_obj, trace, crash_plan=crash_plan, fault_plan=fault_plan
+    )
     return engine.run()

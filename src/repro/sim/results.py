@@ -8,6 +8,7 @@ from typing import List, Optional, Set, Tuple
 from repro.common.config import SystemConfig
 from repro.common.stats import Stats
 from repro.core.recovery import RecoveryReport
+from repro.faults.inject import FaultLedger
 
 
 @dataclass
@@ -25,6 +26,8 @@ class RunResult:
     total_transactions: int = 0
     crashed: bool = False
     recovery: Optional[RecoveryReport] = None
+    #: The fault injector's ledger, when the run carried a fault plan.
+    faults: Optional[FaultLedger] = None
     #: Per-transaction (total, remaining) on-chip log counts (Silo).
     tx_log_counts: List[Tuple[int, int]] = field(default_factory=list)
 

@@ -10,11 +10,14 @@ import pytest
 
 from repro.common.config import SystemConfig
 from repro.common.errors import ExecutionError
+from repro.faults.plan import FaultPlan
 from repro.harness.executor import (
     CellSpec,
     Executor,
     TraceStats,
     WorkloadSpec,
+    cell_spec_from_json,
+    cell_spec_to_json,
     execute_cell,
     raise_on_failures,
     run_cells,
@@ -218,3 +221,67 @@ class TestCaching:
         assert executor.stats.cache_hits == 4
         assert executor.stats.executed == 4
         assert executor.stats.failures == 0
+
+
+class TestFaultPlanCells:
+    """Fault plans are part of a cell's identity: they must key the
+    cache, survive JSON round-trips, and replay exactly."""
+
+    def fault_cell(self, plan):
+        return CellSpec(
+            workload=WorkloadSpec.make("hash", threads=2, transactions=8),
+            scheme="silo",
+            cores=2,
+            crash_plan=CrashPlan(at_op=30),
+            fault_plan=plan,
+            verify=True,
+        )
+
+    def test_fault_plan_in_spec_key(self):
+        clean = self.fault_cell(None)
+        faulted = self.fault_cell(FaultPlan(seed=1, tear_prob=0.5))
+        reseeded = self.fault_cell(FaultPlan(seed=2, tear_prob=0.5))
+        keys = {spec_key(clean), spec_key(faulted), spec_key(reseeded)}
+        assert len(keys) == 3
+
+    def test_fault_plan_change_misses_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), fingerprint="fp-a")
+        a = self.fault_cell(FaultPlan(seed=1, tear_prob=0.5))
+        run_cells([a], jobs=1, cache=cache)
+        assert run_cells([a], jobs=1, cache=cache)[0].cached
+        b = self.fault_cell(FaultPlan(seed=2, tear_prob=0.5))
+        assert not run_cells([b], jobs=1, cache=cache)[0].cached
+
+    def test_fault_cell_parallel_matches_serial(self):
+        cells = [
+            self.fault_cell(FaultPlan(seed=s, tear_prob=0.5, log_bitflips=1))
+            for s in range(4)
+        ]
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=4)
+        for s, p in zip(serial, parallel):
+            assert s.ok and p.ok
+            assert s.fault_verdict is not None
+            assert s.fault_verdict.injected == p.fault_verdict.injected
+            assert s.fault_verdict.reported == p.fault_verdict.reported
+            assert s.fault_verdict.ok and p.fault_verdict.ok
+
+    def test_spec_json_round_trip(self):
+        spec = self.fault_cell(
+            FaultPlan(seed=7, tear_prob=0.25, drop_prob=0.25, data_bitflips=2)
+        )
+        rebuilt = cell_spec_from_json(cell_spec_to_json(spec))
+        assert rebuilt == spec
+        assert spec_key(rebuilt) == spec_key(spec)
+
+    def test_spec_json_round_trip_at_commit_of(self):
+        spec = CellSpec(
+            workload=WorkloadSpec.make("btree", threads=2, transactions=8),
+            scheme="base",
+            cores=2,
+            crash_plan=CrashPlan(at_commit_of=(1, 3)),
+            verify=True,
+        )
+        rebuilt = cell_spec_from_json(cell_spec_to_json(spec))
+        assert rebuilt == spec
+        assert spec_key(rebuilt) == spec_key(spec)

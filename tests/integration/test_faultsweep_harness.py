@@ -1,0 +1,107 @@
+"""Tests for the fault-injection campaign harness."""
+
+import json
+
+from repro.harness import faultsweep, replay
+from repro.harness.executor import Executor
+
+
+class TestFaultSweep:
+    def test_smoke_campaign_passes_for_all_designs(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        result = faultsweep.run(seed=1, smoke=True, output=str(out))
+        assert result.passed
+        assert result.silent == 0
+        assert result.violations == 0
+        assert result.runs == 6 * len(faultsweep.DEFAULT_SCHEMES)
+        # Non-clean presets ran: damage was actually injected, and every
+        # injected fault was reported — the exact-accounting invariant.
+        assert sum(result.injected.values()) > 0
+        assert result.injected == result.reported
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        assert payload["silent"] == 0
+        assert payload["violations"] == 0
+
+    def test_parallel_matches_serial(self):
+        kwargs = dict(seed=3, smoke=True, schemes=("base", "silo"))
+        serial = faultsweep.run(**kwargs)
+        parallel = faultsweep.run(executor=Executor(jobs=4), **kwargs)
+        assert serial.runs == parallel.runs
+        assert serial.injected == parallel.injected
+        assert serial.reported == parallel.reported
+        assert serial.per_scheme == parallel.per_scheme
+
+    def test_report_lists_verdicts(self):
+        result = faultsweep.run(
+            workloads=("hash",),
+            schemes=("silo",),
+            points_per_pair=6,
+            transactions=4,
+            seed=2,
+        )
+        report = result.format_report()
+        assert "PASS" in report
+        assert "faults injected" in report
+        assert "faults reported" in report
+
+    def test_deterministic_for_seed(self):
+        kwargs = dict(
+            workloads=("hash",), schemes=("silo",), points_per_pair=6,
+            transactions=4, seed=7,
+        )
+        a = faultsweep.run(**kwargs)
+        b = faultsweep.run(**kwargs)
+        assert a.runs == b.runs
+        assert a.injected == b.injected
+        assert a.reported == b.reported
+
+
+class TestReplay:
+    def test_replay_reproduces_a_faulted_cell(self):
+        from repro.faults.plan import FaultPlan
+        from repro.harness.executor import (
+            CellSpec,
+            WorkloadSpec,
+            cell_spec_to_json,
+        )
+        from repro.sim.crash import CrashPlan
+
+        spec = CellSpec(
+            workload=WorkloadSpec.make("hash", threads=2, transactions=4),
+            scheme="silo",
+            cores=2,
+            crash_plan=CrashPlan(at_op=25),
+            fault_plan=FaultPlan(seed=9, tear_prob=0.7, log_bitflips=1),
+            verify=True,
+        )
+        replayed = replay.run(cell_spec_to_json(spec))
+        assert replayed.passed
+        report = replayed.format_report()
+        assert "verdict: PASS" in report
+        assert "injected" in report
+
+
+class TestCLIIntegration:
+    def test_cli_faultsweep_smoke(self, capsys, tmp_path, monkeypatch):
+        from repro.harness.cli import main
+
+        out = tmp_path / "FAULTSWEEP.json"
+        assert (
+            main(
+                [
+                    "faultsweep",
+                    "--smoke",
+                    "--jobs",
+                    "1",
+                    "--no-cache",
+                    "--fault-output",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert "Fault-injection sweep" in stdout
+        assert "FAIL" not in stdout
+        assert out.exists()

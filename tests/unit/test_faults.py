@@ -1,0 +1,287 @@
+"""Unit tests for the fault-injection primitives and the hardened,
+corruption-aware recovery walk.
+
+Hand-built log entries exercise each detection path in isolation:
+entry checksums (stamped at log-generation time, recomputed at scan),
+torn-slot rejection, dropped-entry rejection, commit-tuple complement
+failure, and the data-region poison scrub.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.stats import Stats
+from repro.core.recovery import _entry_state, wal_recover
+from repro.faults.inject import FaultLedger, inject_faults
+from repro.faults.plan import FaultPlan
+from repro.hwlog.entry import LogEntry, entry_checksum
+from repro.hwlog.region import LogRegion, PersistedLog
+from repro.mem.pm import PMDevice, RegionLayout
+
+
+def make_env():
+    stats = Stats()
+    layout = RegionLayout(threads=2)
+    pm = PMDevice(layout=layout, stats=stats)
+    region = LogRegion(layout, stats)
+    return pm, region
+
+
+def persist(region, tid, txid, triples, kind="undo_redo", flush_bit=False):
+    entries = [
+        LogEntry(tid, txid, addr, old, new, flush_bit=flush_bit)
+        for addr, old, new in triples
+    ]
+    region.persist_entries(tid, entries, kind, per_request=1, request_span=64)
+
+
+class TestEntryChecksum:
+    def test_stamped_on_every_serialization_path(self):
+        pm, region = make_env()
+        # _serialize_one path.
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        # persist_word_log fast path.
+        region.persist_word_log(0, 2, 0x2000, 3, 4)
+        # batched _serialize path.
+        entries = [LogEntry(1, 1, 0x3000 + 8 * i, i, i + 1) for i in range(4)]
+        region.persist_entries(1, entries, "undo", per_request=2, request_span=64)
+        for tid in region.all_threads():
+            for rec in region.logs_for_thread(tid):
+                assert rec.checksum == entry_checksum(
+                    rec.tid, rec.txid, rec.addr, rec.old, rec.new
+                )
+                assert _entry_state(rec) == "ok"
+
+    def test_checksum_catches_any_payload_bit_flip(self):
+        rec = PersistedLog(
+            tid=0,
+            txid=1,
+            addr=0x1000,
+            old=5,
+            new=6,
+            flush_bit=False,
+            kind="undo_redo",
+            checksum=entry_checksum(0, 1, 0x1000, 5, 6),
+        )
+        assert _entry_state(rec) == "ok"
+        for bit in (0, 13, 63):
+            assert _entry_state(rec._replace(old=rec.old ^ (1 << bit))) == "checksum"
+            assert _entry_state(rec._replace(new=rec.new ^ (1 << bit))) == "checksum"
+
+    def test_legacy_record_without_checksum_is_unchecked(self):
+        rec = PersistedLog(
+            tid=0, txid=1, addr=0x1000, old=5, new=6,
+            flush_bit=False, kind="undo_redo",
+        )
+        assert rec.checksum is None
+        assert _entry_state(rec) == "ok"
+
+    def test_torn_and_dropped_outrank_checksum(self):
+        rec = PersistedLog(
+            tid=0, txid=1, addr=0x1000, old=5, new=6,
+            flush_bit=False, kind="undo_redo",
+            checksum=entry_checksum(0, 1, 0x1000, 5, 6),
+        )
+        assert _entry_state(rec._replace(integrity="torn", present_words=2)) == "torn"
+        assert _entry_state(rec._replace(integrity="dropped")) == "dropped"
+
+
+class TestCorruptionAwareRecovery:
+    def test_torn_redo_entry_is_skipped_and_reported(self):
+        pm, region = make_env()
+        pm.media.load_image({0x1000: 1, 0x1008: 3})
+        persist(region, 0, 1, [(0x1000, 1, 2), (0x1008, 3, 4)])
+        region.persist_commit_tuple(0, 1)
+        rec = region.get_record(0, 1, 0)
+        region.replace_record(
+            0, 1, 0, rec._replace(integrity="torn", present_words=2)
+        )
+        report = wal_recover(region, pm, scheme="base")
+        assert report.scheme == "base"
+        assert report.rejected_torn == 1
+        assert report.words_salvaged == 2
+        assert report.replayed == 1
+        # The torn entry's word was never blindly replayed...
+        assert pm.media.read_word(0x1000) == 1
+        # ...while the intact entry's redo was.
+        assert pm.media.read_word(0x1008) == 4
+
+    def test_dropped_undo_entry_is_skipped_and_reported(self):
+        pm, region = make_env()
+        pm.media.load_image({0x1000: 1})
+        pm.write_request({0x1000: 2})  # uncommitted update hit PM
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        rec = region.get_record(0, 1, 0)
+        region.replace_record(0, 1, 0, rec._replace(integrity="dropped"))
+        report = wal_recover(region, pm)
+        assert report.rejected_dropped == 1
+        assert report.revoked == 0
+        # The undo copy was lost: the leak stays, but it is *reported*.
+        assert pm.media.read_word(0x1000) == 2
+
+    def test_checksum_mismatch_is_never_replayed(self):
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        region.persist_commit_tuple(0, 1)
+        rec = region.get_record(0, 1, 0)
+        region.replace_record(0, 1, 0, rec._replace(new=rec.new ^ (1 << 17)))
+        report = wal_recover(region, pm)
+        assert report.rejected_checksum == 1
+        assert report.replayed == 0
+        # Neither the corrupt nor the original value was written.
+        assert pm.media.read_word(0x1000) == 0
+
+    def test_corrupt_commit_tuple_demotes_to_uncommitted(self):
+        pm, region = make_env()
+        pm.media.load_image({0x1000: 1})
+        pm.write_request({0x1000: 2})
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        region.persist_commit_tuple(0, 1)
+        region.corrupt_commit_tuple(0, 1, "torn")
+        report = wal_recover(region, pm)
+        assert report.rejected_tuples == 1
+        assert (0, 1) in report.uncommitted_txs
+        # Demoted transaction is revoked with its (intact) undo data.
+        assert report.revoked == 1
+        assert pm.media.read_word(0x1000) == 1
+
+    def test_clean_recovery_reports_zero_corruption(self):
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        region.persist_commit_tuple(0, 1)
+        report = wal_recover(region, pm)
+        assert report.rejected_total == 0
+        assert report.rejected_tuples == 0
+        assert report.words_salvaged == 0
+        assert report.media_poisoned == 0
+        assert report.poison_healed == 0
+
+
+class TestMediaPoison:
+    def test_bitflip_corrupts_and_scrub_reports(self):
+        pm, region = make_env()
+        pm.media.load_image({0x1000: 0b100})
+        assert pm.media.inject_bitflip(0x1000, 0) == 0b101
+        assert pm.media.poisoned_addrs() == [0x1000]
+        report = wal_recover(region, pm)
+        assert report.media_poisoned == 1
+        assert report.poisoned_addrs == [0x1000]
+
+    def test_write_heals_poison(self):
+        pm, region = make_env()
+        pm.media.load_image({0x1000: 7})
+        pm.media.inject_bitflip(0x1000, 3)
+        pm.media.write_line({0x1000: 7})
+        assert pm.media.poisoned_addrs() == []
+        assert pm.media.poison_healed == 1
+        assert pm.media.read_word(0x1000) == 7
+
+    def test_write_through_fast_path_heals_poison(self):
+        pm, region = make_env()
+        pm.media.load_image({0x1000: 7})
+        pm.media.inject_bitflip(0x1000, 3)
+        pm.write_request({0x1000: 7}, write_through=True)
+        assert pm.media.poisoned_addrs() == []
+        assert pm.media.read_word(0x1000) == 7
+
+    def test_bit_index_validated(self):
+        pm, _ = make_env()
+        with pytest.raises(ValueError):
+            pm.media.inject_bitflip(0x1000, 64)
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(tear_prob=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(tear_prob=0.6, drop_prob=0.6)
+        with pytest.raises(ConfigError):
+            FaultPlan(log_bitflips=-1)
+
+    def test_noop_detection(self):
+        assert FaultPlan().is_noop
+        assert not FaultPlan(tear_prob=0.1).is_noop
+        assert not FaultPlan(data_bitflips=1).is_noop
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=7, tear_prob=0.25, drop_prob=0.5, log_bitflips=2,
+            data_bitflips=3, fault_tuples=False,
+        )
+        assert FaultPlan.from_json_dict(plan.to_json_dict()) == plan
+
+
+class _FakeMC:
+    wpq_capacity = 4
+
+
+class _FakeSystem:
+    def __init__(self, pm, region):
+        self.pm = pm
+        self.region = region
+        self.mc = _FakeMC()
+
+
+class TestInjector:
+    def test_noop_plan_injects_nothing(self):
+        pm, region = make_env()
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        ledger = inject_faults(_FakeSystem(pm, region), FaultPlan())
+        assert ledger.total_injected == 0
+        assert isinstance(ledger, FaultLedger)
+
+    def test_deterministic_for_one_seed(self):
+        def build():
+            pm, region = make_env()
+            pm.media.load_image({0x100 + 8 * i: i + 1 for i in range(16)})
+            persist(region, 0, 1, [(0x100 + 8 * i, i, i + 9) for i in range(6)])
+            region.begin_crash_drain()
+            persist(region, 0, 2, [(0x200 + 8 * i, 0, i + 1) for i in range(4)])
+            region.persist_commit_tuple(0, 2)
+            return _FakeSystem(pm, region)
+
+        plan = FaultPlan(
+            seed=5, tear_prob=0.4, drop_prob=0.3, log_bitflips=2, data_bitflips=2
+        )
+        a = inject_faults(build(), plan)
+        b = inject_faults(build(), plan)
+        assert a.torn_entries == b.torn_entries
+        assert a.dropped_entries == b.dropped_entries
+        assert a.log_bitflips == b.log_bitflips
+        assert a.corrupt_tuples == b.corrupt_tuples
+        assert a.data_bitflips == b.data_bitflips
+
+    def test_faults_are_disjoint_per_record(self):
+        pm, region = make_env()
+        pm.media.load_image({0x100 + 8 * i: i + 1 for i in range(16)})
+        region.begin_crash_drain()
+        persist(region, 0, 1, [(0x100 + 8 * i, 0, i + 1) for i in range(10)])
+        plan = FaultPlan(seed=3, tear_prob=0.5, drop_prob=0.4, log_bitflips=5)
+        ledger = inject_faults(_FakeSystem(pm, region), plan)
+        locs = (
+            ledger.torn_entries + ledger.dropped_entries + ledger.log_bitflips
+        )
+        assert len(locs) == len(set(locs))
+
+    def test_only_inflight_records_tear(self):
+        pm, region = make_env()
+        # Committed long before the crash: log writes were fenced.
+        persist(region, 0, 1, [(0x1000 + 8 * i, 0, i) for i in range(5)])
+        region.persist_commit_tuple(0, 1)
+        region.begin_crash_drain()
+        plan = FaultPlan(seed=1, tear_prob=1.0)
+        ledger = inject_faults(_FakeSystem(pm, region), plan)
+        assert ledger.torn_entries == []
+        assert ledger.corrupt_tuples == []
+
+    def test_crash_drain_records_are_exposed(self):
+        pm, region = make_env()
+        region.begin_crash_drain()
+        persist(region, 0, 1, [(0x1000, 1, 2)])
+        region.persist_commit_tuple(0, 1)
+        plan = FaultPlan(seed=1, tear_prob=1.0)
+        ledger = inject_faults(_FakeSystem(pm, region), plan)
+        assert ledger.torn_entries == [(0, 1, 0)]
+        assert ledger.corrupt_tuples == [(0, 1)]
+        assert (0, 1) in ledger.compromised_txs
