@@ -1,0 +1,193 @@
+"""Gate a fresh hot-path benchmark record against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_baseline.py BASELINE.json NEW.json
+
+Two classes of check, with different portability:
+
+* **Determinism (always enforced).**  For every cell present in both
+  records with the same transaction count, ``end_cycle`` and
+  ``committed`` must match exactly.  The simulator is deterministic,
+  so any difference is a model change — which must arrive as an
+  intentional baseline update, never silently.
+
+* **Throughput (qualified).**  The *aggregate* ops/sec across the
+  shared cells (total ops over total best-of-repeat wall time) may not
+  regress by more than ``SILO_BENCH_TOLERANCE`` (default 0.03 = 3%)
+  relative to the baseline.  The gate is on the aggregate, not per
+  cell: individual cells under a parallel executor see 5-10% scheduler
+  noise run-to-run while the aggregate is far steadier.  The gate
+  enforces only when the comparison is meaningful:
+
+  - the ``machine`` fingerprints match (wall clocks are only
+    comparable on the hardware that produced the baseline),
+  - the executor ``jobs`` settings match (parallel workers contend
+    for cores, shifting every wall time), and
+  - both records are *quiet*: each record's own noise band — the
+    median per-cell ``ops_per_sec_spread / ops_per_sec`` across its
+    repeat samples — is within the tolerance.  A measurement whose
+    repeats disagree by more than the tolerance (throttled CI runner,
+    loaded laptop) cannot support a verdict at that tolerance, so the
+    gate reports the ratio and downgrades instead of flagging noise
+    as a regression.
+
+  When any condition fails the check downgrades to the determinism
+  class with a notice explaining which one.
+
+Exit status 0 = pass, 1 = failure (with a per-cell explanation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _cells(record: dict) -> Dict[Tuple[str, str, int], dict]:
+    return {
+        (c["workload"], c["scheme"], c["cores"]): c for c in record["cells"]
+    }
+
+
+def _aggregate_ops_per_sec(
+    cells: Dict[Tuple[str, str, int], dict], keys: List[Tuple[str, str, int]]
+) -> float:
+    total_ops = sum(cells[k]["ops"] for k in keys)
+    total_seconds = sum(cells[k]["seconds"] for k in keys)
+    return total_ops / total_seconds if total_seconds else 0.0
+
+
+def _noise_band(
+    cells: Dict[Tuple[str, str, int], dict], keys: List[Tuple[str, str, int]]
+) -> float:
+    """Median per-cell relative repeat spread: how much this record's
+    own samples disagreed with each other."""
+    rels = sorted(
+        cells[k].get("ops_per_sec_spread", 0.0) / cells[k]["ops_per_sec"]
+        for k in keys
+        if cells[k].get("ops_per_sec")
+    )
+    if not rels:
+        return 0.0
+    mid = len(rels) // 2
+    if len(rels) % 2:
+        return rels[mid]
+    return (rels[mid - 1] + rels[mid]) / 2.0
+
+
+def check(baseline: dict, fresh: dict, tolerance: float) -> List[str]:
+    """Return a list of failure messages (empty = pass)."""
+    failures: List[str] = []
+    base_cells = _cells(baseline)
+    new_cells = _cells(fresh)
+
+    comparable = baseline.get("transactions") == fresh.get("transactions")
+    if not comparable:
+        failures.append(
+            f"records are not comparable: baseline ran "
+            f"{baseline.get('transactions')} transactions/thread, fresh ran "
+            f"{fresh.get('transactions')} — regenerate the baseline with "
+            f"the same grid"
+        )
+        return failures
+
+    shared = sorted(set(base_cells) & set(new_cells))
+    if not shared:
+        failures.append("no cells in common between baseline and fresh record")
+        return failures
+
+    same_machine = bool(baseline.get("machine")) and (
+        baseline.get("machine") == fresh.get("machine")
+    )
+    same_jobs = baseline.get("jobs") is not None and (
+        baseline.get("jobs") == fresh.get("jobs")
+    )
+    if not same_machine:
+        print(
+            f"[check_bench_baseline] machine fingerprints differ "
+            f"({baseline.get('machine')!r} vs {fresh.get('machine')!r}): "
+            f"enforcing determinism only, skipping the ops/sec gate"
+        )
+    elif not same_jobs:
+        print(
+            f"[check_bench_baseline] executor jobs differ "
+            f"({baseline.get('jobs')!r} vs {fresh.get('jobs')!r}): "
+            f"wall times measured under different parallel contention "
+            f"are not comparable, skipping the ops/sec gate"
+        )
+
+    for key in shared:
+        workload, scheme, cores = key
+        b, n = base_cells[key], new_cells[key]
+        label = f"{workload}/{scheme}@{cores}"
+        if b["end_cycle"] != n["end_cycle"]:
+            failures.append(
+                f"{label}: end_cycle changed {b['end_cycle']} -> "
+                f"{n['end_cycle']} (simulated timing is deterministic; "
+                f"a model change needs an explicit baseline update)"
+            )
+        if b["committed"] != n["committed"]:
+            failures.append(
+                f"{label}: committed changed {b['committed']} -> "
+                f"{n['committed']}"
+            )
+
+    if same_machine and same_jobs:
+        base_rate = _aggregate_ops_per_sec(base_cells, shared)
+        new_rate = _aggregate_ops_per_sec(new_cells, shared)
+        noise = max(
+            _noise_band(base_cells, shared), _noise_band(new_cells, shared)
+        )
+        if base_rate > 0:
+            ratio = new_rate / base_rate
+            if noise > tolerance:
+                print(
+                    f"[check_bench_baseline] measurement noise band "
+                    f"{noise:.1%} exceeds tolerance {tolerance:.0%} "
+                    f"(repeat samples disagree; throttled or loaded "
+                    f"machine): aggregate ops/sec {base_rate:,.0f} -> "
+                    f"{new_rate:,.0f} ({ratio - 1.0:+.1%}) reported but "
+                    f"not gated"
+                )
+            elif ratio < 1.0 - tolerance:
+                failures.append(
+                    f"aggregate ops/sec regressed {1.0 - ratio:.1%} "
+                    f"({base_rate:,.0f} -> {new_rate:,.0f} over "
+                    f"{len(shared)} cells; tolerance {tolerance:.0%}, "
+                    f"noise band {noise:.1%})"
+                )
+            else:
+                print(
+                    f"[check_bench_baseline] aggregate ops/sec "
+                    f"{base_rate:,.0f} -> {new_rate:,.0f} "
+                    f"({ratio - 1.0:+.1%}, tolerance -{tolerance:.0%}, "
+                    f"noise band {noise:.1%})"
+                )
+    print(
+        f"[check_bench_baseline] {len(shared)} cells compared, "
+        f"{len(failures)} failure(s)"
+    )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 1
+    tolerance = float(os.environ.get("SILO_BENCH_TOLERANCE", "0.03"))
+    failures = check(_load(argv[1]), _load(argv[2]), tolerance)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

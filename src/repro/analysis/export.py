@@ -10,6 +10,11 @@ from typing import Dict, List, Mapping, TextIO, Union
 from repro.sim.results import RunResult
 
 
+def _json_safe(value: float):
+    """NaN (undefined ratio) serializes as JSON null, not bare ``NaN``."""
+    return None if value != value else value
+
+
 def result_to_dict(result: RunResult) -> Dict[str, object]:
     """Flatten one run into a JSON-compatible record."""
     return {
@@ -23,7 +28,7 @@ def result_to_dict(result: RunResult) -> Dict[str, object]:
         "runtime_seconds": result.runtime_seconds,
         "throughput_tx_per_sec": result.throughput_tx_per_sec,
         "media_writes": result.media_writes,
-        "writes_per_transaction": result.writes_per_transaction,
+        "writes_per_transaction": _json_safe(result.writes_per_transaction),
         "crashed": result.crashed,
         "traffic": result.traffic_breakdown(),
         "stats": {k: v for k, v in result.stats.items()},

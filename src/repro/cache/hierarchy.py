@@ -47,9 +47,15 @@ class AccessResult:
 class CacheHierarchy:
     """L1D + L2 per core, shared L3; write-allocate, write-back."""
 
-    def __init__(self, config: SystemConfig, stats: Optional[Stats] = None) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        stats: Optional[Stats] = None,
+        obs=None,
+    ) -> None:
         self.config = config
         self.stats = stats if stats is not None else Stats()
+        self._obs = obs
         self._l1 = [
             SetAssocCache(config.l1, f"l1.core{c}", self.stats)
             for c in range(config.cores)
@@ -127,7 +133,11 @@ class CacheHierarchy:
     def _demote_to_l3(self, line: CacheLine, result: AccessResult) -> None:
         victim = self._l3.insert(line)
         if victim is not None and victim.dirty:
-            result.writebacks.append((victim.base, victim.clean()))
+            words = victim.clean()
+            obs = self._obs
+            if obs is not None:
+                obs.cache_writeback(len(words))
+            result.writebacks.append((victim.base, words))
 
     # ------------------------------------------------------------------
     # Design-driven flushes
@@ -170,4 +180,4 @@ class CacheHierarchy:
 
     def drop_all(self) -> None:
         """Discard every cached line (a crash: caches are volatile)."""
-        self.__init__(self.config, self.stats)
+        self.__init__(self.config, self.stats, obs=self._obs)

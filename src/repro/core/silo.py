@@ -85,6 +85,8 @@ class SiloScheme(LoggingScheme):
                 self.stats,
                 name=f"logbuf.core{c}",
                 merging=merging,
+                obs=self.obs,
+                core=c,
             )
             for c in range(cores)
         ]
@@ -151,6 +153,7 @@ class SiloScheme(LoggingScheme):
             return stall
         entries = buf._entries
         existing = entries.get(addr)
+        obs = self.obs
         if existing is not None:
             if existing.tid != gen._tid or existing.txid != gen._txid:
                 raise SimulationError(
@@ -159,6 +162,8 @@ class SiloScheme(LoggingScheme):
                 )
             existing.new = new & WORD_MASK  # merge_new()
             counters[buf._k_merged] += 1
+            if obs is not None:
+                obs.logbuf_offer(core, "merged", len(entries))
             return 0
         stall = 0
         if len(entries) >= self._buf_capacity:
@@ -168,6 +173,8 @@ class SiloScheme(LoggingScheme):
         occupancy = len(entries)
         if occupancy > counters.get(buf._k_peak, 0):
             counters[buf._k_peak] = occupancy
+        if obs is not None:
+            obs.logbuf_offer(core, "appended", occupancy)
         # The CPU store completes without waiting for the log entry to
         # reach the buffer (Section III-B): no critical-path cost.
         return stall
@@ -227,6 +234,18 @@ class SiloScheme(LoggingScheme):
         if back > self._controller_free[core]:
             self._controller_free[core] = back
         counters["silo.inplace_words"] += len(new_data)
+        obs = self.obs
+        if obs is not None and new_data:
+            if obs.trace is not None:
+                obs.trace.emit(
+                    start,
+                    "silo.inplace_flush",
+                    core,
+                    dur=free - start,
+                    args={"words": len(new_data), "discarded": discarded},
+                )
+            if obs.metrics is not None:
+                obs.metrics.record("silo.inplace_words", len(new_data))
 
         # The overflowed undo logs of this transaction are now useless.
         if (tid, txid) in self._overflowed:
@@ -282,6 +301,9 @@ class SiloScheme(LoggingScheme):
         counters = self.stats.counters
         counters["silo.overflows"] += 1
         counters["silo.overflow_entries"] += len(batch)
+        obs = self.obs
+        if obs is not None:
+            obs.logbuf_overflow(core, now, len(batch), free - now)
         return stall
 
     # ------------------------------------------------------------------
@@ -347,6 +369,14 @@ class SiloScheme(LoggingScheme):
                     now, words, kind="log", write_through=True, channel=core
                 )
             self.stats.add("silo.crash_undo_flushed", len(entries))
+            obs = self.obs
+            if obs is not None and obs.trace is not None:
+                obs.trace.emit(
+                    now,
+                    "crash.undo_flush",
+                    core,
+                    args={"entries": len(entries)},
+                )
 
     def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
         """Crash at commit: Tx_end retired, so durability must hold.
@@ -373,6 +403,11 @@ class SiloScheme(LoggingScheme):
             now, tuple_words, kind="log", write_through=True, channel=core
         )
         self.stats.add("silo.crash_redo_flushed", len(redo))
+        obs = self.obs
+        if obs is not None and obs.trace is not None:
+            obs.trace.emit(
+                now, "crash.redo_flush", core, args={"entries": len(redo)}
+            )
         return True
 
     def recover(self) -> RecoveryReport:

@@ -91,6 +91,15 @@ class FWBScheme(LoggingScheme):
             budget -= flushed
             if budget <= 0:
                 break
+        obs = self.obs
+        if obs is not None and obs.trace is not None:
+            obs.trace.emit(
+                now,
+                "fwb.force_writeback",
+                core,
+                dur=stall,
+                args={"lines": FWB_LINES_PER_EPOCH - budget},
+            )
         if all(not lines for lines in self._dirty_lines):
             # Everything written so far is persistent: the committed
             # transactions' logs are no longer needed (log truncation).

@@ -116,6 +116,18 @@ class LADScheme(LoggingScheme):
                 combined = dict(merged or {})
                 combined.update(words or {})
                 captured_words.append(combined)
+        obs = self.obs
+        if obs is not None and captured_words:
+            if obs.trace is not None:
+                obs.trace.emit(
+                    now,
+                    "lad.prepare",
+                    core,
+                    dur=stall,
+                    args={"lines": len(captured_words)},
+                )
+            if obs.metrics is not None:
+                obs.metrics.record("lad.prepare_lines", len(captured_words))
         # Commit: a message marks the lines committed; they drain to
         # the PM data region in the background.
         stall += self.config.commit_handshake_cycles

@@ -46,7 +46,13 @@ class MorLogScheme(LoggingScheme):
             access_latency_cycles=self.config.log_buffer.access_latency_cycles,
         )
         self._bufs = [
-            LogBuffer(buf_cfg, self.stats, name=f"morlog.core{c}")
+            LogBuffer(
+                buf_cfg,
+                self.stats,
+                name=f"morlog.core{c}",
+                obs=self.obs,
+                core=c,
+            )
             for c in range(cores)
         ]
         #: Lines whose logs are still on chip (not yet persisted).
@@ -123,6 +129,15 @@ class MorLogScheme(LoggingScheme):
             if done > ready_get(line, 0):
                 log_ready[line] = done
             discard(line)
+        obs = self.obs
+        if obs is not None and obs.trace is not None:
+            obs.trace.emit(
+                now,
+                "morlog.log_flush",
+                core,
+                dur=done - now,
+                args={"entries": len(entries)},
+            )
         return stall, done
 
     def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:

@@ -41,7 +41,14 @@ class ProteusScheme(LoggingScheme):
         self._line_mask = ~(self.config.l1.line_size - 1)
         queue_cfg = LogBufferConfig(entries=PENDING_ENTRIES)
         self._pending = [
-            LogBuffer(queue_cfg, self.stats, name=f"proteus.core{c}", merging=False)
+            LogBuffer(
+                queue_cfg,
+                self.stats,
+                name=f"proteus.core{c}",
+                merging=False,
+                obs=self.obs,
+                core=c,
+            )
             for c in range(cores)
         ]
         #: Lines written by the open transaction, per core.

@@ -44,7 +44,13 @@ class ReDUScheme(LoggingScheme):
             access_latency_cycles=DRAM_ACCESS_CYCLES,
         )
         self._staging = [
-            LogBuffer(staging_cfg, self.stats, name=f"redu.core{c}")
+            LogBuffer(
+                staging_cfg,
+                self.stats,
+                name=f"redu.core{c}",
+                obs=self.obs,
+                core=c,
+            )
             for c in range(cores)
         ]
         #: DRAM buffer of modified lines per open transaction:

@@ -42,6 +42,9 @@ class LoggingScheme(ABC):
         self.pm = system.pm
         self.hierarchy = system.hierarchy
         self.region = system.region
+        #: The run's observability holder, or ``None`` (the default);
+        #: design hooks guard every use with one ``is not None`` check.
+        self.obs = getattr(system, "obs", None)
 
     # ------------------------------------------------------------------
     # Transaction lifecycle hooks (return extra stall cycles)

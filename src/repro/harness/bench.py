@@ -29,17 +29,20 @@ Modes::
 from __future__ import annotations
 
 import json
+import os
 import platform
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.executor import (
     CellSpec,
     Executor,
     WorkloadSpec,
+    aggregate_outcome_metrics,
     raise_on_failures,
 )
 from repro.harness.report import format_table
+from repro.obs import ObsConfig
 
 #: The hot-path workloads: large write sets (tpcc) and skewed
 #: read-modify-writes (ycsb) keep every simulator layer busy.
@@ -48,6 +51,34 @@ DEFAULT_SCHEMES: Tuple[str, ...] = ("base", "fwb", "morlog", "lad", "silo")
 DEFAULT_CORES: Tuple[int, ...] = (1, 8)
 DEFAULT_TRANSACTIONS = 120
 DEFAULT_REPEATS = 3
+
+
+def machine_fingerprint() -> str:
+    """A coarse identity of the machine a benchmark ran on.
+
+    Wall-clock throughput is only comparable between runs on the same
+    hardware; the CI baseline checker gates the ops/sec tolerance on
+    this fingerprint matching and falls back to exactness-only checks
+    (end_cycle, committed) across machines.
+    """
+    return "|".join(
+        (
+            platform.system(),
+            platform.machine(),
+            platform.python_implementation(),
+            str(os.cpu_count() or 0),
+        )
+    )
+
+
+def _phase_rows(phases: Dict[str, int]) -> List[List[object]]:
+    total = sum(phases.values()) or 1
+    rows: List[List[object]] = [
+        [name, cycles, f"{100.0 * cycles / total:5.1f}%"]
+        for name, cycles in sorted(phases.items(), key=lambda kv: -kv[1])
+    ]
+    rows.append(["total", sum(phases.values()), "100.0%"])
+    return rows
 
 
 @dataclass(frozen=True)
@@ -81,6 +112,14 @@ class HotpathBenchResult:
     cells: List[HotpathCell] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    machine: str = field(default_factory=machine_fingerprint)
+    #: Executor parallelism the cells ran under.  Parallel workers
+    #: contend for cores, so wall-clock numbers are only comparable
+    #: between runs at the same ``jobs`` setting.
+    jobs: int = 1
+    #: Aggregated per-phase cycle attribution (``--profile`` only):
+    #: ``{phase: simulated cycles}`` summed across the profiled cells.
+    phases: Optional[Dict[str, int]] = None
 
     def cell(self, workload: str, scheme: str, cores: int) -> HotpathCell:
         for c in self.cells:
@@ -114,7 +153,7 @@ class HotpathBenchResult:
         title = "Simulator hot-path throughput (trace ops per wall-clock second)"
         if self.smoke:
             title += " [smoke]"
-        return format_table(
+        text = format_table(
             [
                 "workload",
                 "scheme",
@@ -128,17 +167,31 @@ class HotpathBenchResult:
             rows,
             title=title,
         )
+        if self.phases:
+            profile = format_table(
+                ["phase", "cycles", "share"],
+                _phase_rows(self.phases),
+                title="Per-phase simulated-cycle attribution "
+                "(aggregated across profiled cells)",
+            )
+            text = f"{text}\n\n{profile}"
+        return text
 
     def to_json(self) -> dict:
-        return {
+        record = {
             "benchmark": "hotpath",
             "transactions": self.transactions,
             "repeats": self.repeats,
             "smoke": self.smoke,
             "python": platform.python_version(),
+            "machine": self.machine,
+            "jobs": self.jobs,
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "cells": [asdict(c) for c in self.cells],
         }
+        if self.phases is not None:
+            record["phases"] = dict(sorted(self.phases.items()))
+        return record
 
     def write_json(self, path: str) -> str:
         with open(path, "w") as fh:
@@ -156,6 +209,7 @@ def run(
     smoke: bool = False,
     output: Optional[str] = "BENCH_hotpath.json",
     executor: Optional[Executor] = None,
+    profile: bool = False,
 ) -> HotpathBenchResult:
     """Measure ops/sec for every (workload, scheme, cores) cell.
 
@@ -164,6 +218,12 @@ def run(
     scheduler noise from a deterministic benchmark), reporting the
     best-to-worst spread alongside.  ``smoke`` shrinks the grid to a
     <60 s CI budget.
+
+    ``profile`` enables the obs metrics registry on every cell and
+    reports aggregated per-phase simulated-cycle attribution.  The
+    instrumented path is slightly slower, so profiled ops/sec numbers
+    are not comparable with the plain baseline — use ``--profile`` to
+    see *where* cycles go, not to gate regressions.
     """
     if smoke:
         core_counts = (8,)
@@ -172,6 +232,7 @@ def run(
         repeats = min(repeats, 2)
     repeats = max(1, repeats)
 
+    obs = ObsConfig(metrics=True) if profile else None
     cells: List[CellSpec] = []
     for cores in core_counts:
         for workload in workloads:
@@ -181,10 +242,15 @@ def run(
             for scheme in schemes:
                 cells.append(
                     CellSpec(
-                        workload=wspec, scheme=scheme, cores=cores, repeats=repeats
+                        workload=wspec,
+                        scheme=scheme,
+                        cores=cores,
+                        repeats=repeats,
+                        obs=obs,
                     )
                 )
-    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
+    exe = executor if executor is not None else Executor(jobs=1)
+    outcomes = exe.run(cells)
     raise_on_failures(outcomes)
 
     result = HotpathBenchResult(
@@ -193,7 +259,15 @@ def run(
         smoke=smoke,
         cache_hits=sum(1 for o in outcomes if o.cached),
         cache_misses=sum(1 for o in outcomes if not o.cached),
+        jobs=exe.jobs,
     )
+    if profile:
+        aggregated = aggregate_outcome_metrics(outcomes)
+        result.phases = (
+            {k: int(v) for k, v in aggregated.phases.items()}
+            if aggregated is not None
+            else {}
+        )
     at = iter(outcomes)
     for cores in core_counts:
         for workload in workloads:

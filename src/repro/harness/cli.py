@@ -49,6 +49,7 @@ from repro.harness import (
     replay,
     table1,
     table4,
+    tracecmd,
 )
 from repro.harness.executor import Executor
 from repro.harness.resultcache import ResultCache
@@ -59,6 +60,7 @@ _EXPERIMENTS = {
         output=args.bench_output,
         repeats=args.repeats,
         executor=ex,
+        profile=args.profile,
     ),
     "crashtest": lambda args, ex: crashtest.run(
         points_per_pair=args.crash_points, seed=args.seed, executor=ex
@@ -69,6 +71,7 @@ _EXPERIMENTS = {
         executor=ex,
         output=args.fault_output,
         smoke=args.smoke,
+        trace_output=args.fault_trace_output,
     ),
     "mcsweep": lambda args, ex: mcsweep.run(
         transactions=args.transactions, executor=ex
@@ -94,6 +97,13 @@ _EXPERIMENTS = {
     ),
     "table1": lambda args, ex: table1.run(),
     "table4": lambda args, ex: table4.run(),
+    "trace": lambda args, ex: tracecmd.run(
+        scheme=args.scheme,
+        workload=args.workload,
+        transactions=min(args.transactions, 100),
+        output=args.trace_out,
+        executor=ex,
+    ),
 }
 
 
@@ -151,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: FAULTSWEEP.json)",
     )
     parser.add_argument(
+        "--trace-output",
+        dest="fault_trace_output",
+        default=None,
+        help="faultsweep only: also write a Chrome/Perfetto trace of "
+        "one representative faulted cell (crash + recovery events)",
+    )
+    parser.add_argument(
         "--spec",
         default=None,
         help="replay only: the cell-spec JSON printed by a failing "
@@ -196,6 +213,31 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_hotpath.json",
         help="bench only: where to write the JSON record "
         "(default: BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="bench only: enable the obs metrics registry and report "
+        "per-phase simulated-cycle attribution (profiled ops/sec is "
+        "not comparable with the plain baseline)",
+    )
+    parser.add_argument(
+        "--scheme",
+        default="silo",
+        help="trace only: design to trace, or 'all' for every "
+        "registered design (default: silo)",
+    )
+    parser.add_argument(
+        "--workload",
+        default=tracecmd.DEFAULT_WORKLOAD,
+        help="trace only: workload to trace (default: "
+        f"{tracecmd.DEFAULT_WORKLOAD})",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default="TRACE.json",
+        help="trace only: output file; with --scheme all the scheme "
+        "name is appended per file (default: TRACE.json)",
     )
     return parser
 

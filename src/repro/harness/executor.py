@@ -45,6 +45,7 @@ from repro.designs.scheme import SchemeRegistry
 from repro.faults.oracle import FaultVerdict, check_fault_aware_durability
 from repro.faults.plan import FaultPlan
 from repro.harness.resultcache import MISS, ResultCache
+from repro.obs import ObsConfig
 from repro.sim.crash import CrashPlan
 from repro.sim.engine import TransactionEngine
 from repro.sim.system import System
@@ -110,6 +111,9 @@ class CellSpec:
     failures), the exact clean oracle otherwise.
     ``repeats`` reruns the identical cell and records every wall time
     (the hot-path benchmark keeps the best).
+    ``obs`` enables the observability layer for the cell; it is part
+    of the content address (an obs-enabled outcome carries events and
+    metrics a plain one does not, so they must not share a cache slot).
     """
 
     workload: WorkloadSpec
@@ -120,6 +124,7 @@ class CellSpec:
     fault_plan: Optional[FaultPlan] = None
     verify: bool = False
     repeats: int = 1
+    obs: Optional[ObsConfig] = None
 
     def effective_config(self) -> SystemConfig:
         return self.config if self.config is not None else SystemConfig.table2(self.cores)
@@ -182,6 +187,7 @@ def spec_key(spec: CellSpec) -> str:
         ),
         "verify": spec.verify,
         "repeats": spec.repeats,
+        "obs": spec.obs.to_json_dict() if spec.obs is not None else None,
     }
     return json.dumps(payload, sort_keys=True, default=repr)
 
@@ -209,7 +215,7 @@ def execute_cell(spec: CellSpec) -> CellOutcome:
     result = None
     system = None
     for _ in range(max(1, spec.repeats)):
-        system = System(config)
+        system = System(config, obs=spec.obs)
         scheme = SchemeRegistry.create(spec.scheme, system)
         engine = TransactionEngine(
             system,
@@ -403,6 +409,20 @@ def run_cells(
     return Executor(jobs=jobs, cache=cache, fresh=fresh, progress=progress).run(cells)
 
 
+def aggregate_outcome_metrics(outcomes: Sequence[CellOutcome]):
+    """Merge the obs metrics of every successful outcome in a campaign.
+
+    Returns one :class:`~repro.obs.MetricsRegistry` (histograms merged
+    key-wise, phase cycles summed) or ``None`` when no outcome carried
+    metrics — cells run without ``obs`` contribute nothing.
+    """
+    from repro.obs import aggregate_metrics
+
+    return aggregate_metrics(
+        getattr(o.result, "metrics", None) for o in outcomes if o.ok
+    )
+
+
 def raise_on_failures(outcomes: Sequence[CellOutcome]) -> None:
     """Raise :class:`ExecutionError` if any cell failed.
 
@@ -455,6 +475,7 @@ def cell_spec_to_json(spec: CellSpec) -> str:
         ),
         "verify": spec.verify,
         "repeats": spec.repeats,
+        "obs": spec.obs.to_json_dict() if spec.obs is not None else None,
     }
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -486,6 +507,7 @@ def cell_spec_from_json(text: str) -> CellSpec:
         fault_plan=FaultPlan.from_json_dict(fault) if fault else None,
         verify=data.get("verify", False),
         repeats=data.get("repeats", 1),
+        obs=ObsConfig.from_json_dict(data.get("obs")),
     )
 
 

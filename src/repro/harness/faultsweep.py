@@ -34,10 +34,14 @@ from repro.harness.executor import (
     CellSpec,
     Executor,
     WorkloadSpec,
+    aggregate_outcome_metrics,
+    execute_cell,
     raise_on_failures,
     repro_command,
 )
 from repro.harness.report import format_table
+from repro.obs import ObsConfig
+from repro.obs.export import write_chrome_trace
 from repro.sim.crash import CrashPlan
 
 #: Fault presets rotated across crash points.  ``clean`` keeps a
@@ -72,6 +76,12 @@ class FaultSweepResult:
     )
     #: One copy-pasteable replay command per failure, same order.
     failure_commands: List[str] = field(default_factory=list)
+    #: Aggregated obs metrics of the whole campaign (JSON form of a
+    #: :class:`~repro.obs.MetricsRegistry`): WPQ occupancy and stall
+    #: histograms, per-phase cycle attribution, summed over every cell.
+    metrics: Optional[Dict[str, object]] = None
+    #: Where the representative Chrome trace artifact landed, if asked.
+    trace_path: Optional[str] = None
 
     @property
     def passed(self) -> bool:
@@ -103,6 +113,8 @@ class FaultSweepResult:
             f"faults reported: {sum(self.reported.values())} "
             f"({json.dumps(self.reported, sort_keys=True)})",
         ]
+        if self.trace_path:
+            lines.append(f"trace artifact: {self.trace_path}")
         if self.failure_details:
             lines += ["", "failures:"]
             for (scheme, workload, point, preset, what), cmd in zip(
@@ -114,6 +126,7 @@ class FaultSweepResult:
 
     def to_json_dict(self) -> Dict[str, object]:
         return {
+            "metrics": self.metrics,
             "runs": self.runs,
             "tolerated": self.tolerated,
             "violations": self.violations,
@@ -151,10 +164,17 @@ def run(
     executor: Optional[Executor] = None,
     output: Optional[str] = None,
     smoke: bool = False,
+    trace_output: Optional[str] = None,
 ) -> FaultSweepResult:
     """Sweep (crash point x fault preset) cells over every
     (scheme, workload) pair; optionally write the campaign report to
-    ``output`` as JSON."""
+    ``output`` as JSON.
+
+    Every cell runs with the obs metrics registry enabled, and the
+    campaign report aggregates the histograms/phase cycles across all
+    cells.  ``trace_output`` additionally re-runs the campaign's first
+    faulted cell with event tracing on and writes its Chrome trace
+    (crash + recovery events included) as a loadable artifact."""
     if smoke:
         workloads = ("hash",)
         points_per_pair = min(points_per_pair, 6)
@@ -198,6 +218,7 @@ def run(
                         crash_plan=crash,
                         fault_plan=fault,
                         verify=True,
+                        obs=ObsConfig(metrics=True),
                     )
                 )
                 labels.append((workload, scheme, label, preset_name))
@@ -243,8 +264,41 @@ def run(
             result.tolerated += 1
         result.per_scheme[scheme] = (runs, violations, silent)
 
+    aggregated = aggregate_outcome_metrics(outcomes)
+    if aggregated is not None:
+        result.metrics = aggregated.to_json_dict()
+
+    if trace_output:
+        result.trace_path = _write_trace_artifact(cells, trace_output)
+
     if output:
         with open(output, "w") as handle:
             json.dump(result.to_json_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
     return result
+
+
+def _write_trace_artifact(cells: Sequence[CellSpec], path: str) -> Optional[str]:
+    """Re-run the first faulted cell with event tracing and export it.
+
+    One representative trace per campaign is enough for a CI artifact;
+    the replay command reproduces any *specific* cell on demand.  Runs
+    in-process (the cells are tiny) with an obs-enabled spec, so it
+    never collides with the campaign's cached outcomes.
+    """
+    chosen = next((c for c in cells if c.fault_plan is not None), None)
+    if chosen is None:
+        chosen = next(iter(cells), None)
+    if chosen is None:
+        return None
+    spec = CellSpec(
+        workload=chosen.workload,
+        scheme=chosen.scheme,
+        cores=chosen.cores,
+        crash_plan=chosen.crash_plan,
+        fault_plan=chosen.fault_plan,
+        obs=ObsConfig(events=True, metrics=True),
+    )
+    outcome = execute_cell(spec)
+    write_chrome_trace(outcome.result, path)
+    return path

@@ -28,6 +28,8 @@ def format_table(
 
 def _fmt(value: object) -> str:
     if isinstance(value, float):
+        if value != value:  # NaN: an undefined ratio, not a number
+            return "n/a"
         if value == 0:
             return "0"
         if abs(value) >= 1000:

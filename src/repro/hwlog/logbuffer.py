@@ -44,10 +44,14 @@ class LogBuffer:
         stats: Optional[Stats] = None,
         name: str = "logbuf",
         merging: bool = True,
+        obs=None,
+        core: int = -1,
     ) -> None:
         self.config = config if config is not None else LogBufferConfig()
         self.stats = stats if stats is not None else Stats()
         self.name = name
+        self._obs = obs
+        self._core = core
         #: Log merging (Fig. 7); disable only for ablations.
         self.merging = merging
         #: FIFO order preserved; keyed by word address because merging
@@ -78,6 +82,9 @@ class LogBuffer:
                     )
                 existing.merge_new(entry.new)
                 counters[self._k_merged] += 1
+                obs = self._obs
+                if obs is not None:
+                    obs.logbuf_offer(self._core, "merged", len(self._entries))
                 return AppendResult.MERGED
             key: object = entry.addr
         else:
@@ -91,6 +98,9 @@ class LogBuffer:
         # Stats.max(), inlined (occupancy is always >= 1 here).
         if occupancy + 1 > counters.get(self._k_peak, 0):
             counters[self._k_peak] = occupancy + 1
+        obs = self._obs
+        if obs is not None:
+            obs.logbuf_offer(self._core, "appended", occupancy + 1)
         return AppendResult.APPENDED
 
     # ------------------------------------------------------------------

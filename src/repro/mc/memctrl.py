@@ -77,18 +77,30 @@ class MemoryController:
         pm: PMDevice,
         stats: Optional[Stats] = None,
         channels: int = 1,
+        obs=None,
     ) -> None:
         """``channels`` models multiple memory controllers: each MC has
         its own bus, write-pending queue and bank pool, and each serves
         the whole memory (Section III-D).  A thread's requests all go
         to the MC chosen by the issuer, so a transaction's logs and
-        in-place updates always meet at the same controller."""
+        in-place updates always meet at the same controller.
+
+        A run has exactly one stats registry: passing a ``stats``
+        distinct from ``pm.stats`` rebinds the device (and its media /
+        on-PM buffer) onto it, so ``mc.*`` and ``media.*`` counters can
+        never split across two registries.
+        """
         if channels <= 0:
             raise ConfigError("need at least one memory channel")
         self.config = config
         self.pm = pm
-        self.stats = stats if stats is not None else pm.stats
+        if stats is None:
+            stats = pm.stats
+        else:
+            pm.rebind_stats(stats)
+        self.stats = stats
         self.channels = channels
+        self._obs = obs
         #: Per-channel min-heaps of bank-free cycles (all-zero lists are
         #: valid heaps; only ``heapreplace`` mutates them afterwards).
         self._bank_free = [
@@ -112,7 +124,12 @@ class MemoryController:
         #: are spaced by the request service time.
         self._channel_free = [0] * channels
         #: Precomputed per-kind counter names (hot path: no f-strings).
+        #: Kind names are normalized at this boundary — dots become
+        #: underscores — so ``mc.writes.<kind>`` keys always split back
+        #: into exactly (``mc``, ``writes``, kind).
         self._kind_keys: Dict[str, str] = {}
+        #: Raw kind -> normalized kind (used off the hot path).
+        self._kind_norm: Dict[str, str] = {}
         #: The live counter mapping, hoisted once (stable for life).
         self._counters = self.stats.counters
         #: Bound fast-path entry into the PM device.
@@ -139,7 +156,9 @@ class MemoryController:
         counters["mc.writes"] += 1
         key = self._kind_keys.get(kind)
         if key is None:
-            key = self._kind_keys.setdefault(kind, "mc.writes." + kind)
+            safe = kind.replace(".", "_")
+            key = self._kind_keys.setdefault(kind, "mc.writes." + safe)
+            self._kind_norm.setdefault(kind, safe)
         counters[key] += 1
         c = channel % self.channels
 
@@ -174,6 +193,19 @@ class MemoryController:
         stall = admit_at - now
         if stall:
             counters["mc.wpq_stall_cycles"] += stall
+        obs = self._obs
+        if obs is not None:
+            obs.mc_write(
+                self._kind_norm[kind],
+                c,
+                now,
+                stall,
+                persisted,
+                media_done,
+                len(words),
+                len(wpq_heap),
+                write_through,
+            )
         # An explicit forced flush is only "persisted" once the media
         # write completes (the persist latency the conventional designs
         # wait for); a posted write is durable at WPQ admission (ADR).
@@ -199,7 +231,12 @@ class MemoryController:
         c = channel % self.channels
         # A full WPQ blocks the shared request channel for reads too:
         # the command cannot be accepted until a write slot drains.
-        ready = self._wpq[c].admit(now)
+        # The query is read-only: a demand read observes the write
+        # queue but holds no slot in it, so it must not prune the
+        # completion heap (admits are non-monotone — a mutating prune
+        # here would retire entries an earlier-time write admit still
+        # has to count, skewing write-occupancy accounting).
+        ready = self._wpq[c].earliest_admission(now)
         if ready > now:
             counters["mc.read_wpq_stall_cycles"] += ready - now
         channel_free = self._channel_free
@@ -212,6 +249,9 @@ class MemoryController:
         begin = issued if issued > free else free
         completion = begin + self._read_service
         heapreplace(banks, completion)
+        obs = self._obs
+        if obs is not None:
+            obs.mc_read(c, now, ready - now, completion)
         return completion
 
     # ------------------------------------------------------------------

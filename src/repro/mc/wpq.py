@@ -9,7 +9,7 @@ DIMM, which back-pressures the issuing core.
 from __future__ import annotations
 
 import heapq
-from typing import List
+from typing import List, Optional
 
 from repro.common.errors import ConfigError
 
@@ -47,6 +47,32 @@ class BoundedQueueModel:
     def record(self, completion: int) -> None:
         """Register the completion time of an admitted entry."""
         heapq.heappush(self._completions, completion)
+
+    def earliest_admission(self, now: int) -> int:
+        """Read-only variant of :meth:`admit` for observers that must
+        not perturb the queue (the demand-read path).
+
+        Returns exactly what :meth:`admit` would — ``now`` if an entry
+        slot is free once everything drained by ``now`` is discounted,
+        else the earliest completion still in flight — but *without*
+        pruning the heap.  Because admits are non-monotone (see
+        :meth:`admit`), a mutating prune from a later-time read would
+        retire entries that an earlier-time write admit should still
+        count, corrupting write-occupancy accounting.
+        """
+        heap = self._completions
+        in_flight = 0
+        earliest: Optional[int] = None
+        for completion in heap:
+            if completion > now:
+                in_flight += 1
+                if earliest is None or completion < earliest:
+                    earliest = completion
+        if in_flight < self.capacity:
+            return now
+        # Queue full: the next slot opens at the earliest in-flight
+        # completion (earliest is never None here).
+        return earliest
 
     def occupancy(self, now: int) -> int:
         heap = self._completions

@@ -31,6 +31,7 @@ class OnPMBuffer:
         lines: int = 64,
         line_size: int = ONPM_LINE_SIZE,
         stats: Optional[Stats] = None,
+        obs=None,
     ) -> None:
         self._media = media
         self._capacity = lines
@@ -38,6 +39,7 @@ class OnPMBuffer:
         self._line_mask = ~(line_size - 1)
         self._lines: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
         self.stats = stats if stats is not None else media.stats
+        self._obs = obs
 
     # ------------------------------------------------------------------
     # Write path
@@ -84,8 +86,11 @@ class OnPMBuffer:
                 counters["onpm.coalesced_words"] += coalesced
             sectors = 0
             media_write = self._media.write_line
+            obs = self._obs
             for pending in groups.values():
                 counters["onpm.line_evictions"] += 1
+                if obs is not None:
+                    obs.onpm_evict(len(pending))
                 sectors += media_write(pending)
             return sectors
         capacity = self._capacity
@@ -135,6 +140,9 @@ class OnPMBuffer:
 
     def _write_to_media(self, base: int, pending: Dict[int, int]) -> int:
         self.stats.counters["onpm.line_evictions"] += 1
+        obs = self._obs
+        if obs is not None:
+            obs.onpm_evict(len(pending))
         return self._media.write_line(pending)
 
     # ------------------------------------------------------------------

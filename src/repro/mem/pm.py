@@ -64,21 +64,43 @@ class PMDevice:
         config: Optional[PMConfig] = None,
         layout: Optional[RegionLayout] = None,
         stats: Optional[Stats] = None,
+        obs=None,
     ) -> None:
         self.config = config if config is not None else PMConfig()
         self.stats = stats if stats is not None else Stats()
         self.layout = layout if layout is not None else RegionLayout()
+        self._obs = obs
         self.media = PMMedia(self.stats)
         self.buffer = OnPMBuffer(
             self.media,
             lines=self.config.onpm_buffer_lines,
             line_size=self.config.onpm_line_size,
             stats=self.stats,
+            obs=obs,
         )
         #: Precomputed per-kind counter names (hot path: no f-strings).
+        #: Kind names are normalized here exactly as at the MC boundary
+        #: (dots become underscores) so the two families stay parallel.
         self._kind_keys: Dict[str, Tuple[str, str]] = {}
         #: The live counter mapping, hoisted once (stable for life).
         self._counters = self.stats.counters
+
+    def rebind_stats(self, stats: Stats) -> None:
+        """Move this device (media and on-PM buffer included) onto
+        ``stats``, folding any counters already accumulated into it.
+
+        The memory controller calls this when it is constructed with a
+        registry distinct from the device's, so one run can never split
+        ``mc.*`` and ``media.*`` counters across two registries.
+        """
+        if stats is self.stats:
+            return
+        stats.merge(self.stats)
+        self.stats = stats
+        self._counters = stats.counters
+        self.media.stats = stats
+        self.media._counters = stats.counters
+        self.buffer.stats = stats
 
     # ------------------------------------------------------------------
     # MC-facing interface
@@ -100,8 +122,9 @@ class PMDevice:
             return 0
         keys = self._kind_keys.get(kind)
         if keys is None:
+            safe = kind.replace(".", "_")
             keys = self._kind_keys.setdefault(
-                kind, (f"pm.requests.{kind}", f"pm.request_bytes.{kind}")
+                kind, (f"pm.requests.{safe}", f"pm.request_bytes.{safe}")
             )
         counters = self._counters
         counters[keys[0]] += 1
@@ -130,6 +153,9 @@ class PMDevice:
                 if extra:
                     counters["onpm.coalesced_words"] += extra
                 counters["onpm.line_evictions"] += 1
+                obs = self._obs
+                if obs is not None:
+                    obs.onpm_evict(len(words))
                 # PMMedia.write_line (the reference implementation of
                 # this loop), inlined: data-comparison-write against
                 # the image, 64 B-sector write accounting and wear.

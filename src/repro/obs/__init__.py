@@ -1,0 +1,199 @@
+"""``repro.obs`` — the structured observability layer.
+
+One :class:`Observability` instance is created per run (by
+:class:`~repro.sim.system.System`) when an
+:class:`~repro.obs.config.ObsConfig` enables a channel, and ``None``
+otherwise.  Components hold the instance (or ``None``) and guard every
+instrumentation site with a single ``if obs is not None`` — the whole
+cost of the disabled path.  The instrumentation itself never touches
+timing state, so enabling observability cannot change ``end_cycle`` or
+any counter (the property tests pin this for every design).
+
+The holder exposes one hook method per instrumentation site; each hook
+internally dispatches to the event stream and/or the metrics registry
+depending on what the config enabled.  Components that have no notion
+of the current cycle (the on-PM buffer, the log buffer) read the
+ambient :attr:`Observability.cycle`, which the engine refreshes at the
+start of every operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.config import ObsConfig
+from repro.obs.events import EventTrace, TraceEvent
+from repro.obs.metrics import Histogram, MetricsRegistry, aggregate_metrics
+
+__all__ = [
+    "ObsConfig",
+    "Observability",
+    "EventTrace",
+    "TraceEvent",
+    "Histogram",
+    "MetricsRegistry",
+    "aggregate_metrics",
+]
+
+#: Engine op class name -> per-phase attribution key.
+_PHASE_KEYS = {
+    "Store": "op.store",
+    "Load": "op.load",
+    "TxBegin": "op.tx_begin",
+    "TxEnd": "op.tx_end",
+}
+
+
+class Observability:
+    """Per-run holder of the event stream and the metrics registry."""
+
+    __slots__ = ("config", "trace", "metrics", "cycle", "_tx_begin", "_write_names")
+
+    def __init__(self, config: ObsConfig) -> None:
+        self.config = config
+        self.trace: Optional[EventTrace] = (
+            EventTrace(config.max_events) if config.events else None
+        )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if config.metrics else None
+        )
+        #: Ambient cycle stamp for components without timing knowledge,
+        #: refreshed by the engine at the start of every operation.
+        self.cycle = 0
+        self._tx_begin: Dict[int, int] = {}
+        #: Memoized ``mc.write.<kind>`` event names (no per-event
+        #: string concatenation).
+        self._write_names: Dict[str, str] = {}
+
+    @classmethod
+    def create(cls, config: Optional[ObsConfig]) -> Optional["Observability"]:
+        """``None`` when nothing is enabled, so components keep the
+        one-attribute-check disabled path."""
+        if config is None or not config.enabled:
+            return None
+        return cls(config)
+
+    # ------------------------------------------------------------------
+    # Memory controller
+    # ------------------------------------------------------------------
+    def mc_write(
+        self,
+        kind: str,
+        channel: int,
+        now: int,
+        stall: int,
+        persisted: int,
+        media_done: int,
+        n_words: int,
+        occupancy: int,
+        write_through: bool,
+    ) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.record("wpq.occupancy", occupancy)
+            metrics.record("mc.write_latency", persisted - now)
+            if stall:
+                metrics.record("wpq.stall_cycles", stall)
+        trace = self.trace
+        if trace is not None:
+            name = self._write_names.get(kind)
+            if name is None:
+                name = self._write_names.setdefault(kind, "mc.write." + kind)
+            trace.emit(
+                now,
+                name,
+                channel,
+                dur=persisted - now,
+                args={"words": n_words, "wpq": occupancy},
+            )
+            if stall:
+                trace.emit(now, "wpq.stall", channel, dur=stall)
+            if write_through:
+                trace.emit(now, "barrier.persist", channel, dur=media_done - now)
+
+    def mc_read(self, channel: int, now: int, stall: int, completion: int) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.record("mc.read_latency", completion - now)
+            if stall:
+                metrics.record("wpq.read_stall_cycles", stall)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(now, "mc.read", channel, dur=completion - now)
+            if stall:
+                trace.emit(now, "wpq.read_stall", channel, dur=stall)
+
+    # ------------------------------------------------------------------
+    # PM device / on-PM buffer (no local clock: ambient cycle stamp)
+    # ------------------------------------------------------------------
+    def onpm_evict(self, n_words: int) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.record("onpm.evict_words", n_words)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.cycle, "onpm.evict", -1, args={"words": n_words})
+
+    def cache_writeback(self, n_words: int) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.record("cache.writeback_words", n_words)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(self.cycle, "cache.l3_writeback", -1, args={"words": n_words})
+
+    # ------------------------------------------------------------------
+    # Log buffer
+    # ------------------------------------------------------------------
+    def logbuf_offer(self, core: int, outcome: str, occupancy: int) -> None:
+        """``outcome`` is ``"appended"`` / ``"merged"`` (the ``FULL``
+        outcome surfaces as an overflow event instead)."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.record("logbuf.occupancy", occupancy)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(
+                self.cycle,
+                "logbuf.merged" if outcome == "merged" else "logbuf.appended",
+                core,
+            )
+
+    def logbuf_overflow(self, core: int, now: int, entries: int, dur: int) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.record("logbuf.overflow_entries", entries)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(
+                now, "logbuf.overflow", core, dur=dur, args={"entries": entries}
+            )
+
+    # ------------------------------------------------------------------
+    # Engine: per-op attribution, transaction spans
+    # ------------------------------------------------------------------
+    def op_done(self, op_name: str, core: int, start: int, cost: int) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.phases[_PHASE_KEYS.get(op_name, op_name)] += cost
+        trace = self.trace
+        if trace is not None:
+            if op_name == "TxBegin":
+                self._tx_begin[core] = start
+            elif op_name == "TxEnd":
+                begin = self._tx_begin.pop(core, start)
+                trace.emit(begin, "tx", core, dur=start + cost - begin)
+                trace.emit(start, "tx.commit", core, dur=cost)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery phases
+    # ------------------------------------------------------------------
+    def crash(self, now: int) -> None:
+        trace = self.trace
+        if trace is not None:
+            trace.emit(now, "crash.power_failure", -1)
+
+    def recovery_done(self, now: int, scheme: str) -> None:
+        trace = self.trace
+        if trace is not None:
+            trace.emit(now, "crash.recovery", -1, args={"scheme": scheme})

@@ -1,0 +1,57 @@
+"""Observability configuration.
+
+One frozen :class:`ObsConfig` selects which observability channels a
+run records.  It travels with the cell spec through the executor (and
+therefore into the result-cache key), so an observed run and an
+unobserved run of the same cell never share a cache entry.
+
+The default configuration disables everything: components then hold
+``obs = None`` and the hot paths pay exactly one ``is not None`` check
+per instrumentation site, keeping ``end_cycle`` and every counter
+bit-identical to an uninstrumented build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Default cap on recorded events: a runaway trace must not exhaust
+#: memory; overflow is counted, never silently discarded.
+DEFAULT_MAX_EVENTS = 200_000
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Which observability channels to record for one run.
+
+    ``events`` records the cycle-stamped structured event stream (the
+    Chrome-trace source); ``metrics`` records histograms and per-phase
+    cycle attribution.  ``max_events`` bounds the event list; events
+    beyond the cap are counted as dropped.
+    """
+
+    events: bool = False
+    metrics: bool = False
+    max_events: int = DEFAULT_MAX_EVENTS
+
+    @property
+    def enabled(self) -> bool:
+        return self.events or self.metrics
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "metrics": self.metrics,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Optional[Dict[str, object]]) -> Optional["ObsConfig"]:
+        if data is None:
+            return None
+        return cls(
+            events=bool(data.get("events", False)),
+            metrics=bool(data.get("metrics", False)),
+            max_events=int(data.get("max_events", DEFAULT_MAX_EVENTS)),
+        )

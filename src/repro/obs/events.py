@@ -1,0 +1,68 @@
+"""The cycle-stamped structured event stream.
+
+Events are the raw material of the Chrome-trace exporter and of any
+future event-level validation (the "concrete evidence from the machine
+under test" that persistency debugging needs).  Each event carries:
+
+* ``cycle`` — simulated cycle at which it begins;
+* ``name`` — dotted taxonomy name (``mc.write.log``, ``wpq.stall``,
+  ``logbuf.overflow``, ``crash.power_failure`` …; see MODEL.md §9);
+* ``core`` — issuing core/channel, or ``-1`` for device-side events
+  with no issuing core (e.g. on-PM buffer evictions);
+* ``dur`` — span length in cycles (0 = instant event);
+* ``args`` — optional small payload dict (word counts, occupancies).
+
+A :class:`TraceEvent` is a ``NamedTuple``: events are recorded on hot
+paths when tracing is on, and tuple construction is markedly cheaper
+than a dataclass.  The stream is bounded by ``max_events``; overflow
+increments :attr:`EventTrace.dropped` instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+
+class TraceEvent(NamedTuple):
+    """One structured, cycle-stamped event."""
+
+    cycle: int
+    name: str
+    core: int
+    dur: int = 0
+    args: Optional[dict] = None
+
+
+class EventTrace:
+    """Bounded, append-only event stream for one run."""
+
+    __slots__ = ("events", "limit", "dropped")
+
+    def __init__(self, limit: int) -> None:
+        self.events: List[TraceEvent] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def emit(
+        self,
+        cycle: int,
+        name: str,
+        core: int,
+        dur: int = 0,
+        args: Optional[dict] = None,
+    ) -> None:
+        events = self.events
+        if len(events) < self.limit:
+            events.append(TraceEvent(cycle, name, core, dur, args))
+        else:
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts_by_name(self) -> dict:
+        """``{event name: occurrences}`` over the recorded stream."""
+        counts: dict = {}
+        for event in self.events:
+            counts[event.name] = counts.get(event.name, 0) + 1
+        return counts

@@ -1,0 +1,131 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) and text
+summaries.
+
+The Chrome trace-event format (the JSON ``traceEvents`` array) is what
+``chrome://tracing`` and https://ui.perfetto.dev load directly, so one
+``silo-repro trace`` run produces a file a browser can open.  Mapping:
+
+* one *process* per run (pid 0), named ``<scheme>/<workload>``;
+* one *thread* per core/channel (tid = core), plus tid ``999`` for
+  device-side events with no issuing core (on-PM buffer evictions);
+* simulated cycles convert to microseconds via the configured core
+  frequency (``ts = cycle / (freq_ghz * 1000)``), so trace timelines
+  read in real time units;
+* events with a duration export as complete spans (``ph: "X"``),
+  instant events as ``ph: "i"`` with thread scope.
+
+Events are sorted by timestamp on export, which is also what makes the
+golden-file test's monotonicity assertion meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.events import TraceEvent
+
+#: Synthetic Chrome tid for device-side events (``core == -1``).
+DEVICE_TID = 999
+
+
+def chrome_trace_dict(
+    events: Sequence[TraceEvent],
+    freq_ghz: float,
+    process_name: str = "silo-repro",
+    dropped: int = 0,
+) -> Dict[str, object]:
+    """Build the Chrome trace-event JSON object for one event stream."""
+    scale = 1.0 / (freq_ghz * 1000.0)  # cycles -> microseconds
+    trace_events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    tids = set()
+    body: List[Dict[str, object]] = []
+    for event in sorted(events, key=lambda e: (e.cycle, e.name, e.core)):
+        tid = DEVICE_TID if event.core < 0 else event.core
+        tids.add(tid)
+        record: Dict[str, object] = {
+            "name": event.name,
+            "cat": event.name.split(".", 1)[0],
+            "ts": event.cycle * scale,
+            "pid": 0,
+            "tid": tid,
+        }
+        if event.dur > 0:
+            record["ph"] = "X"
+            record["dur"] = event.dur * scale
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        if event.args:
+            record["args"] = dict(event.args)
+        body.append(record)
+    for tid in sorted(tids):
+        name = "device" if tid == DEVICE_TID else f"core {tid}"
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    trace_events.extend(body)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "silo-repro",
+            "freq_ghz": freq_ghz,
+            "events": len(body),
+            "events_dropped": dropped,
+        },
+    }
+
+
+def result_trace_dict(result) -> Dict[str, object]:
+    """Chrome trace JSON for one :class:`~repro.sim.results.RunResult`
+    that was produced with event tracing enabled."""
+    if result.events is None:
+        raise ValueError(
+            "run recorded no events: enable ObsConfig(events=True)"
+        )
+    return chrome_trace_dict(
+        result.events,
+        freq_ghz=result.config.freq_ghz,
+        process_name=f"{result.scheme}/{result.trace_name}",
+        dropped=result.events_dropped,
+    )
+
+
+def write_chrome_trace(result, path: str) -> str:
+    """Write one run's Chrome trace JSON to ``path``; returns it."""
+    with open(path, "w") as handle:
+        json.dump(result_trace_dict(result), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_phase_profile(metrics, title: str = "per-phase cycle attribution") -> str:
+    """Text summary of a registry's per-phase cycle attribution."""
+    # Imported here: repro.harness.report imports nothing from obs, so
+    # the dependency points one way only.
+    from repro.harness.report import format_table
+
+    total = sum(metrics.phases.values())
+    rows = []
+    for phase, cycles in sorted(
+        metrics.phases.items(), key=lambda item: -item[1]
+    ):
+        share = 100.0 * cycles / total if total else 0.0
+        rows.append([phase, cycles, f"{share:5.1f}%"])
+    rows.append(["total", total, "100.0%" if total else "0.0%"])
+    return format_table(["phase", "cycles", "share"], rows, title=title)

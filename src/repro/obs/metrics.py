@@ -1,0 +1,155 @@
+"""Histograms and per-phase cycle attribution.
+
+The flat :class:`~repro.common.stats.Stats` counters answer "how
+many"; this registry answers "how were they distributed" (WPQ
+occupancy, stall latencies) and "where did the cycles go" (per-phase
+attribution of every core's advance).  Like ``Stats`` it is threaded
+through a run as one shared instance, surfaces in
+:class:`~repro.sim.results.RunResult`, and merges across cells so
+executor campaigns can roll whole grids up into one report.
+
+Histograms use power-of-two buckets (bucket ``k`` holds values ``v``
+with ``bit_length(v) == k``, i.e. ``2**(k-1) <= v < 2**k``, with
+bucket 0 holding zeros): recording is one ``int.bit_length`` call and
+one dict increment, cheap enough for per-request sites, and merging is
+key-wise addition so aggregation across thousands of cells is exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Optional
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of non-negative ints."""
+
+    __slots__ = ("count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.vmin: Optional[int] = None
+        self.vmax: Optional[int] = None
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        bucket = value.bit_length()
+        buckets = self.buckets
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.vmin is not None and (self.vmin is None or other.vmin < self.vmin):
+            self.vmin = other.vmin
+        if other.vmax is not None and (self.vmax is None or other.vmax > self.vmax):
+            self.vmax = other.vmax
+        buckets = self.buckets
+        for bucket, count in other.buckets.items():
+            buckets[bucket] = buckets.get(bucket, 0) + count
+
+    @staticmethod
+    def bucket_bounds(bucket: int) -> str:
+        """Human-readable value range of one bucket."""
+        if bucket == 0:
+            return "0"
+        lo = 1 << (bucket - 1)
+        hi = (1 << bucket) - 1
+        return str(lo) if lo == hi else f"{lo}-{hi}"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "Histogram":
+        hist = cls()
+        hist.count = int(data["count"])
+        hist.total = int(data["sum"])
+        hist.vmin = None if data["min"] is None else int(data["min"])
+        hist.vmax = None if data["max"] is None else int(data["max"])
+        hist.buckets = {int(k): int(v) for k, v in data["buckets"].items()}
+        return hist
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, sum={self.total}, "
+            f"min={self.vmin}, max={self.vmax})"
+        )
+
+
+class MetricsRegistry:
+    """Named histograms plus per-phase cycle attribution for one run."""
+
+    __slots__ = ("histograms", "phases")
+
+    def __init__(self) -> None:
+        self.histograms: Dict[str, Histogram] = {}
+        #: ``{phase name: cycles attributed}``; phases are the engine's
+        #: op classes (``op.store``…) plus crash/recovery phases.
+        self.phases: Counter = Counter()
+
+    def hist(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    def record(self, name: str, value: int) -> None:
+        self.hist(name).record(value)
+
+    def phase_add(self, name: str, cycles: int) -> None:
+        self.phases[name] += cycles
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        for name, hist in other.histograms.items():
+            self.hist(name).merge(hist)
+        self.phases.update(other.phases)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "histograms": {
+                name: hist.to_json_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+            "phases": dict(sorted(self.phases.items())),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "MetricsRegistry":
+        registry = cls()
+        for name, hist in data.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_json_dict(hist)
+        registry.phases.update(data.get("phases", {}))
+        return registry
+
+
+def aggregate_metrics(
+    registries: Iterable[Optional[MetricsRegistry]],
+) -> Optional[MetricsRegistry]:
+    """Merge per-run registries into one campaign roll-up (skipping
+    runs that carried no metrics); ``None`` if nothing was recorded."""
+    merged: Optional[MetricsRegistry] = None
+    for registry in registries:
+        if registry is None:
+            continue
+        if merged is None:
+            merged = MetricsRegistry()
+        merged.merge(registry)
+    return merged

@@ -117,6 +117,7 @@ class TransactionEngine:
         self._global_op = 0
         # Hot-loop caches: every _step resolves these, so one attribute
         # hop instead of two or three.
+        self._obs = system.obs
         self._stats = system.stats
         self._hierarchy = system.hierarchy
         self._mc = system.mc
@@ -157,9 +158,12 @@ class TransactionEngine:
         ]
         heapify(heap)
 
+        # The observed step wraps (never alters) the plain step, so the
+        # disabled path's inner loop is byte-for-byte the historical
+        # one — observability cannot perturb timing.
+        step = self._step if self._obs is None else self._step_observed
         if self.crash_plan is None:
             # Fast path: no per-op crash check on the inner loop.
-            step = self._step
             executed = 0
             while heap:
                 _, idx = heappop(heap)
@@ -177,7 +181,7 @@ class TransactionEngine:
                     crashed = True
                     self._crash(idx, core)
                     break
-                self._step(idx, core)
+                step(idx, core)
                 self._global_op += 1
                 if core.pc < core.n_ops:
                     heappush(heap, (core.time, idx))
@@ -190,9 +194,12 @@ class TransactionEngine:
                 )
 
         recovery = None
+        obs = self._obs
         if crashed:
             recovery = self.scheme.recover()
             end = max(c.time for c in self._cores)
+            if obs is not None:
+                obs.recovery_done(end, self.scheme.name)
         else:
             end = max(c.time for c in self._cores)
             end = max(end, self.scheme.finalize(end))
@@ -212,6 +219,12 @@ class TransactionEngine:
             faults=self.fault_ledger,
             tx_log_counts=list(getattr(self.scheme, "tx_log_counts", [])),
         )
+        if obs is not None:
+            result.metrics = obs.metrics
+            trace = obs.trace
+            if trace is not None:
+                result.events = trace.events
+                result.events_dropped = trace.dropped
         return result
 
     def _should_crash(self, core: _CoreState) -> bool:
@@ -288,6 +301,19 @@ class TransactionEngine:
 
         core.time = now + cost
 
+    def _step_observed(self, core_idx: int, core: _CoreState) -> None:
+        """One operation with observability hooks around the plain
+        :meth:`_step`: refresh the ambient cycle stamp, then attribute
+        the core's advance to the op's phase (and, at transaction
+        boundaries, emit tx/commit spans).  Timing state is read, never
+        written, so the schedule is untouched."""
+        obs = self._obs
+        op_name = type(core.ops[core.pc]).__name__
+        start = core.time
+        obs.cycle = start
+        self._step(core_idx, core)
+        obs.op_done(op_name, core_idx, start, core.time - start)
+
     def _read_contention(self, addr: int, now: int, core_idx: int = 0) -> int:
         """Demand misses to PM queue at the memory controller; the read
         carries the miss's real line address so the MC can account and
@@ -302,6 +328,10 @@ class TransactionEngine:
     def _crash(self, victim_idx: int, victim: _CoreState) -> None:
         now = max(c.time for c in self._cores)
         doomed_op = victim.ops[victim.pc] if not victim.done else None
+        obs = self._obs
+        if obs is not None:
+            obs.cycle = now
+            obs.crash(now)
 
         # Everything persisted from here on rides the crash drain —
         # the fault injector's tear/drop window starts now.
@@ -341,14 +371,16 @@ def run_trace(
     crash_plan: Optional[CrashPlan] = None,
     fault_plan=None,
     system_factory: Optional[Callable[[], System]] = None,
+    obs=None,
 ) -> RunResult:
     """Convenience entry point: build a system, run a trace, return the
     result.  ``scheme`` is a registry name (``base``, ``fwb``,
-    ``morlog``, ``lad``, ``silo``)."""
+    ``morlog``, ``lad``, ``silo``); ``obs`` an optional
+    :class:`~repro.obs.ObsConfig` enabling the observability layer."""
     if system_factory is not None:
         system = system_factory()
     else:
-        system = System(config)
+        system = System(config, obs=obs)
     scheme_obj = SchemeRegistry.create(scheme, system)
     engine = TransactionEngine(
         system, scheme_obj, trace, crash_plan=crash_plan, fault_plan=fault_plan

@@ -9,6 +9,8 @@ from repro.common.config import SystemConfig
 from repro.common.stats import Stats
 from repro.core.recovery import RecoveryReport
 from repro.faults.inject import FaultLedger
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -30,6 +32,11 @@ class RunResult:
     faults: Optional[FaultLedger] = None
     #: Per-transaction (total, remaining) on-chip log counts (Silo).
     tx_log_counts: List[Tuple[int, int]] = field(default_factory=list)
+    #: Observability channels, populated only when the run enabled
+    #: them (``None`` otherwise — the default, bit-identical path).
+    metrics: Optional[MetricsRegistry] = None
+    events: Optional[List[TraceEvent]] = None
+    events_dropped: int = 0
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -56,16 +63,31 @@ class RunResult:
 
     @property
     def writes_per_transaction(self) -> float:
+        """Media writes per committed transaction.
+
+        With zero commits the ratio is undefined: crash/fault runs can
+        have media traffic but nothing committed, and reporting ``0.0``
+        there silently masks that traffic.  Such runs yield ``NaN``
+        (consumers render it as ``n/a``); only a run with no commits
+        *and* no media writes is a true zero.
+        """
         if not self.committed_count:
-            return 0.0
+            return float("nan") if self.media_writes else 0.0
         return self.media_writes / self.committed_count
 
     def traffic_breakdown(self) -> dict:
-        """MC write requests by source kind."""
+        """MC write requests by source kind.
+
+        Kind names are normalized (no dots) at the ``submit_write``
+        boundary, so stripping the ``mc.writes.`` prefix always
+        recovers exactly the per-kind name.
+        """
+        prefix = "mc.writes."
+        start = len(prefix)
         return {
-            key.split(".", 2)[-1]: int(value)
+            key[start:]: int(value)
             for key, value in self.stats.items()
-            if key.startswith("mc.writes.")
+            if key.startswith(prefix)
         }
 
     def __repr__(self) -> str:

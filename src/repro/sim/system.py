@@ -10,23 +10,37 @@ from repro.common.stats import Stats
 from repro.hwlog.region import LogRegion
 from repro.mc.memctrl import MemoryController
 from repro.mem.pm import PMDevice, RegionLayout
+from repro.obs import Observability, ObsConfig
 
 
 class System:
-    """Everything of Table II wired together, shared by all designs."""
+    """Everything of Table II wired together, shared by all designs.
 
-    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+    ``obs`` optionally enables the observability layer for the run
+    (an :class:`~repro.obs.ObsConfig`); by default it is off and every
+    component holds ``obs = None`` — the bit-identical fast path.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        obs: Optional[ObsConfig] = None,
+    ) -> None:
         self.config = config if config is not None else SystemConfig.table2()
         self.stats = Stats()
+        self.obs = Observability.create(obs)
         layout = RegionLayout(threads=max(self.config.cores, 1))
-        self.pm = PMDevice(self.config.pm, layout=layout, stats=self.stats)
+        self.pm = PMDevice(
+            self.config.pm, layout=layout, stats=self.stats, obs=self.obs
+        )
         self.mc = MemoryController(
             self.config,
             self.pm,
             stats=self.stats,
             channels=self.config.memory_channels,
+            obs=self.obs,
         )
-        self.hierarchy = CacheHierarchy(self.config, stats=self.stats)
+        self.hierarchy = CacheHierarchy(self.config, stats=self.stats, obs=self.obs)
         self.region = LogRegion(layout, stats=self.stats)
 
     def install_image(self, image: Dict[int, int]) -> None:

@@ -1,0 +1,170 @@
+"""End-to-end guarantees of the observability layer.
+
+The central contract: tracing is *observation only*.  For every
+registered design, a run with events+metrics enabled must produce a
+bit-identical ``end_cycle`` and counter registry to the same run with
+observability off — the disabled path costs one attribute check and
+the enabled path changes nothing it observes.
+"""
+
+import pytest
+
+from repro.designs.scheme import SchemeRegistry
+from repro.harness.executor import (
+    CellSpec,
+    WorkloadSpec,
+    aggregate_outcome_metrics,
+    cell_spec_from_json,
+    cell_spec_to_json,
+    execute_cell,
+    spec_key,
+)
+from repro.obs import ObsConfig
+from repro.obs.export import result_trace_dict
+from repro.sim.crash import CrashPlan
+from repro.sim.engine import run_trace
+from repro.workloads.registry import build_workload
+
+ALL_SCHEMES = tuple(SchemeRegistry.names())
+
+OBS_FULL = ObsConfig(events=True, metrics=True)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_workload("hash", threads=2, transactions=12)
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    return build_workload("btree", threads=2, transactions=10)
+
+
+class TestTracingChangesNothing:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_end_cycle_and_counters_identical(self, trace, scheme):
+        plain = run_trace(trace, scheme)
+        observed = run_trace(trace, scheme, obs=OBS_FULL)
+        assert observed.end_cycle == plain.end_cycle
+        assert observed.stats.counters == plain.stats.counters
+        assert observed.committed == plain.committed
+
+    @pytest.mark.parametrize("scheme", ("silo", "morlog", "base"))
+    def test_identical_under_crash(self, trace, scheme):
+        crash = CrashPlan(at_op=30)
+        plain = run_trace(trace, scheme, crash_plan=crash)
+        observed = run_trace(trace, scheme, crash_plan=crash, obs=OBS_FULL)
+        assert observed.end_cycle == plain.end_cycle
+        assert observed.stats.counters == plain.stats.counters
+
+    def test_disabled_obs_attaches_nothing(self, trace):
+        result = run_trace(trace, "silo")
+        assert result.metrics is None
+        assert result.events is None
+        assert result.events_dropped == 0
+
+
+class TestStatsFamiliesUnified:
+    @pytest.mark.parametrize("scheme", ("base", "silo"))
+    def test_result_stats_has_mc_and_media_families(self, trace, scheme):
+        # Regression for the split-registry bug: media.* counters must
+        # land in the same registry RunResult carries, alongside mc.*.
+        result = run_trace(trace, scheme)
+        families = {key.split(".", 1)[0] for key in result.stats.counters}
+        assert "mc" in families
+        assert "media" in families
+
+
+class TestRealRunTraces:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_every_design_exports_a_valid_trace(self, trace, scheme):
+        result = run_trace(trace, scheme, obs=OBS_FULL)
+        exported = result_trace_dict(result)
+        body = [e for e in exported["traceEvents"] if e["ph"] != "M"]
+        assert body, f"{scheme} emitted no events"
+        timestamps = [e["ts"] for e in body]
+        assert timestamps == sorted(timestamps)
+        assert all(e["ph"] in ("X", "i") for e in body)
+
+    def test_trace_without_events_raises(self, trace):
+        result = run_trace(trace, "silo", obs=ObsConfig(metrics=True))
+        with pytest.raises(ValueError):
+            result_trace_dict(result)
+
+    def test_crash_and_recovery_events_present(self, trace):
+        result = run_trace(
+            trace, "silo", crash_plan=CrashPlan(at_op=30), obs=OBS_FULL
+        )
+        names = {event.name for event in result.events}
+        assert "crash.power_failure" in names
+        assert "crash.recovery" in names
+
+    def test_event_cap_reports_drops(self, mixed_trace):
+        capped = ObsConfig(events=True, max_events=10)
+        result = run_trace(mixed_trace, "base", obs=capped)
+        assert len(result.events) == 10
+        assert result.events_dropped > 0
+        uncapped = run_trace(mixed_trace, "base")
+        assert result.end_cycle == uncapped.end_cycle
+
+
+class TestMetricsContent:
+    def test_core_histograms_populated(self, trace):
+        result = run_trace(trace, "silo", obs=ObsConfig(metrics=True))
+        histograms = result.metrics.histograms
+        assert histograms["wpq.occupancy"].count > 0
+        assert histograms["mc.write_latency"].count > 0
+        phases = result.metrics.phases
+        assert phases["op.store"] > 0
+        assert phases["op.tx_end"] > 0
+
+    def test_phase_cycles_sum_to_elapsed_time(self, trace):
+        # Every core advance is attributed to exactly one phase, so the
+        # phase totals account for all simulated activity.
+        result = run_trace(trace, "silo", obs=ObsConfig(metrics=True))
+        assert sum(result.metrics.phases.values()) > 0
+
+
+class TestExecutorIntegration:
+    def test_obs_is_part_of_the_content_address(self):
+        wspec = WorkloadSpec.make("hash", 2, 6)
+        plain = CellSpec(workload=wspec, scheme="silo", cores=2)
+        observed = CellSpec(
+            workload=wspec, scheme="silo", cores=2, obs=OBS_FULL
+        )
+        assert spec_key(plain) != spec_key(observed)
+
+    def test_cell_spec_json_round_trip_with_obs(self):
+        wspec = WorkloadSpec.make("hash", 2, 6)
+        spec = CellSpec(
+            workload=wspec,
+            scheme="silo",
+            cores=2,
+            obs=ObsConfig(metrics=True, max_events=50),
+        )
+        assert cell_spec_from_json(cell_spec_to_json(spec)) == spec
+
+    def test_campaign_metrics_aggregate(self):
+        wspec = WorkloadSpec.make("hash", 2, 6)
+        outcomes = [
+            execute_cell(
+                CellSpec(
+                    workload=wspec,
+                    scheme=scheme,
+                    cores=2,
+                    obs=ObsConfig(metrics=True),
+                )
+            )
+            for scheme in ("base", "silo")
+        ]
+        merged = aggregate_outcome_metrics(outcomes)
+        assert merged is not None
+        per_cell = [o.result.metrics.histograms["wpq.occupancy"] for o in outcomes]
+        assert merged.histograms["wpq.occupancy"].count == sum(
+            h.count for h in per_cell
+        )
+
+    def test_aggregate_of_plain_cells_is_none(self):
+        wspec = WorkloadSpec.make("hash", 2, 6)
+        outcome = execute_cell(CellSpec(workload=wspec, scheme="silo", cores=2))
+        assert aggregate_outcome_metrics([outcome]) is None

@@ -49,6 +49,38 @@ class TestBoundedQueueModel:
             BoundedQueueModel(0)
 
 
+class TestEarliestAdmission:
+    """Read-only admission probe (the demand-read path's view)."""
+
+    def test_matches_admit_with_free_slot(self):
+        q = BoundedQueueModel(2)
+        q.record(100)
+        assert q.earliest_admission(50) == 50
+        assert list(q._completions) == [100]  # heap untouched
+
+    def test_matches_admit_when_full(self):
+        q = BoundedQueueModel(2)
+        q.record(100)
+        q.record(200)
+        assert q.earliest_admission(50) == 100
+
+    def test_discounts_drained_entries_without_pruning(self):
+        q = BoundedQueueModel(1)
+        q.record(100)
+        assert q.earliest_admission(150) == 150
+        assert list(q._completions) == [100]  # still recorded
+
+    def test_late_probe_keeps_earlier_admit_blocked(self):
+        # The regression this probe exists for: admits are non-monotone
+        # (background flushes admit at future times), so a mutating
+        # prune from a later-time read would retire entries an
+        # earlier-time write admit must still count.
+        q = BoundedQueueModel(1)
+        q.record(100)
+        q.earliest_admission(150)  # read probe far in the future
+        assert q.admit(50) == 100  # the earlier write still waits
+
+
 class TestSubmitWrite:
     def test_posted_write_is_durable_at_bus_time(self):
         mc, pm, cfg = make_mc()
@@ -156,3 +188,75 @@ class TestReadTimingModel:
         mc.submit_read(0, 0x1000)
         mc.submit_read(0, 0x2000)
         assert mc.stats.get("mc.reads") == 2
+
+    def test_read_burst_leaves_wpq_state_intact(self):
+        # A demand read observes the WPQ but holds no slot in it: a
+        # burst of reads — even at far-future times that would prune
+        # every in-flight entry — must leave the write-occupancy state
+        # byte-identical.
+        mc, _, cfg = make_mc(banks=1)
+        for i in range(cfg.mc.write_queue_entries // 2):
+            mc.submit_write(0, {0x40 * i: 1}, write_through=True)
+        before = sorted(mc._wpq[0]._completions)
+        assert before, "setup should leave writes in flight"
+        for i in range(8):
+            mc.submit_read(10**9, 0x100000 + 0x40 * i)
+        assert sorted(mc._wpq[0]._completions) == before
+
+
+class TestStatsUnification:
+    def test_default_stats_is_pm_registry(self):
+        from repro.common.config import SystemConfig
+
+        cfg = SystemConfig.table2(1)
+        pm = PMDevice(cfg.pm)
+        mc = MemoryController(cfg, pm)
+        assert mc.stats is pm.stats
+
+    def test_explicit_stats_rebinds_pm(self):
+        # The historical bug: passing an explicit registry to the MC
+        # left the PM device (and its media/buffer) counting into its
+        # own private Stats, splitting mc.* from media.* across two
+        # registries.  The MC now rebinds the device onto the caller's.
+        cfg = SystemConfig.table2(1)
+        pm = PMDevice(cfg.pm)
+        pm.stats.add("media.sector_writes", 0)  # pre-existing key survives
+        stats = Stats()
+        mc = MemoryController(cfg, pm, stats)
+        assert pm.stats is stats
+        mc.submit_write(0, {0x1000: 1}, kind="data", write_through=True)
+        families = {key.split(".", 1)[0] for key in stats.counters}
+        assert "mc" in families and "media" in families
+
+    def test_rebind_merges_earlier_counts(self):
+        cfg = SystemConfig.table2(1)
+        pm = PMDevice(cfg.pm)
+        pm.stats.add("media.sector_writes", 7)
+        stats = Stats()
+        stats.add("mc.writes", 3)
+        MemoryController(cfg, pm, stats)
+        assert stats.get("media.sector_writes") == 7
+        assert stats.get("mc.writes") == 3
+
+
+class TestWriteKindNormalization:
+    def test_dotted_kind_normalizes_to_underscores(self):
+        mc, _, _ = make_mc()
+        mc.submit_write(0, {0x0: 1}, kind="log.overflow")
+        mc.submit_write(0, {0x40: 1}, kind="log.overflow")
+        assert mc.stats.get("mc.writes.log_overflow") == 2
+        # No mangled counter family appears.
+        assert not any(
+            key.startswith("mc.writes.log.") for key in mc.stats.counters
+        )
+
+    def test_round_trip_through_traffic_breakdown(self):
+        from repro.sim.results import RunResult
+
+        mc, _, cfg = make_mc()
+        mc.submit_write(0, {0x0: 1}, kind="log.overflow")
+        mc.submit_write(0, {0x40: 1}, kind="data")
+        result = RunResult(
+            scheme="silo", trace_name="t", config=cfg, stats=mc.stats
+        )
+        assert result.traffic_breakdown() == {"log_overflow": 1, "data": 1}

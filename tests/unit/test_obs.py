@@ -1,0 +1,160 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import math
+
+from repro.obs import (
+    EventTrace,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    ObsConfig,
+    TraceEvent,
+    aggregate_metrics,
+)
+
+
+class TestObsConfig:
+    def test_disabled_by_default(self):
+        config = ObsConfig()
+        assert not config.enabled
+
+    def test_enabled_by_either_flag(self):
+        assert ObsConfig(events=True).enabled
+        assert ObsConfig(metrics=True).enabled
+
+    def test_json_round_trip(self):
+        config = ObsConfig(events=True, metrics=True, max_events=123)
+        assert ObsConfig.from_json_dict(config.to_json_dict()) == config
+
+    def test_from_json_none(self):
+        assert ObsConfig.from_json_dict(None) is None
+
+
+class TestObservabilityCreate:
+    def test_none_config_is_none(self):
+        assert Observability.create(None) is None
+
+    def test_disabled_config_is_none(self):
+        assert Observability.create(ObsConfig()) is None
+
+    def test_events_only(self):
+        obs = Observability.create(ObsConfig(events=True))
+        assert obs is not None
+        assert obs.trace is not None
+        assert obs.metrics is None
+
+    def test_metrics_only(self):
+        obs = Observability.create(ObsConfig(metrics=True))
+        assert obs is not None
+        assert obs.trace is None
+        assert obs.metrics is not None
+
+
+class TestEventTrace:
+    def test_emit_and_counts(self):
+        trace = EventTrace(limit=10)
+        trace.emit(5, "wpq.stall", 0, dur=3)
+        trace.emit(7, "wpq.stall", 1)
+        trace.emit(9, "barrier.persist", 0)
+        assert trace.counts_by_name() == {"wpq.stall": 2, "barrier.persist": 1}
+
+    def test_limit_drops_excess(self):
+        trace = EventTrace(limit=2)
+        for cycle in range(5):
+            trace.emit(cycle, "x", 0)
+        assert len(trace.events) == 2
+        assert trace.dropped == 3
+
+    def test_event_fields(self):
+        trace = EventTrace(limit=4)
+        trace.emit(11, "mc.write.log", 2, dur=7, args={"words": 8})
+        event = trace.events[0]
+        assert event == TraceEvent(11, "mc.write.log", 2, 7, {"words": 8})
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        hist = Histogram()
+        for value in (0, 1, 2, 3, 4, 1000):
+            hist.record(value)
+        # 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1000 -> 10
+        assert hist.buckets == {0: 1, 1: 1, 2: 2, 3: 1, 10: 1}
+        assert hist.count == 6
+        assert hist.vmin == 0 and hist.vmax == 1000
+
+    def test_mean(self):
+        hist = Histogram()
+        assert math.isnan(hist.mean)
+        hist.record(4)
+        hist.record(8)
+        assert hist.mean == 6.0
+
+    def test_merge_is_exact(self):
+        a, b, c = Histogram(), Histogram(), Histogram()
+        for value in (1, 5, 9):
+            a.record(value)
+            c.record(value)
+        for value in (0, 5, 70):
+            b.record(value)
+            c.record(value)
+        a.merge(b)
+        assert a.buckets == c.buckets
+        assert (a.count, a.total, a.vmin, a.vmax) == (
+            c.count,
+            c.total,
+            c.vmin,
+            c.vmax,
+        )
+
+    def test_json_round_trip(self):
+        hist = Histogram()
+        for value in (0, 3, 3, 64):
+            hist.record(value)
+        restored = Histogram.from_json_dict(hist.to_json_dict())
+        assert restored.buckets == hist.buckets
+        assert restored.count == hist.count
+        assert restored.total == hist.total
+
+    def test_bucket_bounds(self):
+        assert Histogram.bucket_bounds(0) == "0"
+        assert Histogram.bucket_bounds(1) == "1"
+        assert Histogram.bucket_bounds(3) == "4-7"
+
+
+class TestMetricsRegistry:
+    def test_record_and_phases(self):
+        registry = MetricsRegistry()
+        registry.record("wpq.occupancy", 3)
+        registry.record("wpq.occupancy", 5)
+        registry.phase_add("op.store", 120)
+        assert registry.histograms["wpq.occupancy"].count == 2
+        assert registry.phases["op.store"] == 120
+
+    def test_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.record("x", 1)
+        a.phase_add("op.store", 10)
+        b.record("x", 2)
+        b.record("y", 3)
+        b.phase_add("op.store", 5)
+        a.merge(b)
+        assert a.histograms["x"].count == 2
+        assert a.histograms["y"].count == 1
+        assert a.phases["op.store"] == 15
+
+    def test_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.record("wpq.occupancy", 9)
+        registry.phase_add("op.tx_end", 77)
+        restored = MetricsRegistry.from_json_dict(registry.to_json_dict())
+        assert restored.histograms["wpq.occupancy"].count == 1
+        assert restored.phases["op.tx_end"] == 77
+
+    def test_aggregate_skips_none(self):
+        a = MetricsRegistry()
+        a.record("x", 1)
+        merged = aggregate_metrics([None, a, None])
+        assert merged is not None
+        assert merged.histograms["x"].count == 1
+        assert aggregate_metrics([None, None]) is None
+        assert aggregate_metrics([]) is None

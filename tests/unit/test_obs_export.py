@@ -1,0 +1,88 @@
+"""Chrome trace exporter: golden file and schema invariants."""
+
+import json
+import os
+
+from repro.obs.events import TraceEvent
+from repro.obs.export import DEVICE_TID, chrome_trace_dict, format_phase_profile
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "data", "chrome_trace_golden.json"
+)
+
+
+def golden_events():
+    """A small deterministic event stream covering every export shape:
+    spans, instants, device-side events and out-of-order input."""
+    return [
+        TraceEvent(100, "mc.write.log", 0, 40, {"words": 8, "wpq": 3}),
+        TraceEvent(20, "op.store", 1, 12, None),
+        TraceEvent(20, "barrier.persist", 0, 64, None),
+        TraceEvent(150, "onpm.evict", -1, 0, {"words": 16}),
+        TraceEvent(150, "wpq.stall", 1, 30, None),
+        TraceEvent(200, "crash.power_failure", -1, 0, None),
+    ]
+
+
+def test_golden_file():
+    """The exporter's byte-exact output is pinned: any schema change
+    must arrive as an intentional golden-file update."""
+    produced = chrome_trace_dict(
+        golden_events(), freq_ghz=2.0, process_name="golden/test", dropped=1
+    )
+    produced_text = json.dumps(produced, indent=1, sort_keys=True) + "\n"
+    with open(GOLDEN_PATH) as handle:
+        golden_text = handle.read()
+    assert produced_text == golden_text
+
+
+def test_schema_and_monotonic_timestamps():
+    trace = chrome_trace_dict(golden_events(), freq_ghz=2.0)
+    events = trace["traceEvents"]
+    body = [e for e in events if e["ph"] != "M"]
+    assert len(body) == len(golden_events())
+    timestamps = [e["ts"] for e in body]
+    assert timestamps == sorted(timestamps)
+    for event in events:
+        assert event["ph"] in ("M", "X", "i")
+        assert event["pid"] == 0
+        if event["ph"] == "X":
+            assert event["dur"] > 0
+        if event["ph"] == "i":
+            assert event["s"] == "t"
+    metadata = [e for e in events if e["ph"] == "M"]
+    names = {e["name"] for e in metadata}
+    assert names == {"process_name", "thread_name"}
+
+
+def test_device_events_get_synthetic_tid():
+    trace = chrome_trace_dict(golden_events(), freq_ghz=2.0)
+    device = [
+        e
+        for e in trace["traceEvents"]
+        if e["ph"] != "M" and e["name"].startswith(("onpm.", "crash."))
+    ]
+    assert device and all(e["tid"] == DEVICE_TID for e in device)
+
+
+def test_cycle_to_microsecond_scaling():
+    trace = chrome_trace_dict(
+        [TraceEvent(2000, "op.store", 0, 0, None)], freq_ghz=2.0
+    )
+    body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+    assert body[0]["ts"] == 1.0  # 2000 cycles at 2 GHz = 1 us
+
+
+def test_other_data_counts_dropped():
+    trace = chrome_trace_dict(golden_events(), freq_ghz=2.0, dropped=7)
+    assert trace["otherData"]["events_dropped"] == 7
+    assert trace["otherData"]["events"] == len(golden_events())
+
+
+def test_format_phase_profile():
+    registry = MetricsRegistry()
+    registry.phase_add("op.store", 300)
+    registry.phase_add("op.load", 100)
+    text = format_phase_profile(registry, title="profile")
+    assert "op.store" in text and "75.0%" in text and "total" in text

@@ -1,5 +1,7 @@
 """Unit tests for RunResult's derived metrics."""
 
+import math
+
 import pytest
 
 from repro.common.config import SystemConfig
@@ -42,8 +44,17 @@ class TestDerivedMetrics:
         result = make_result(stats=stats, committed={(0, 0), (0, 1)})
         assert result.writes_per_transaction == 20.0
 
-    def test_writes_per_transaction_no_commits(self):
+    def test_writes_per_transaction_no_commits_no_writes(self):
+        # Nothing happened at all: zero is the honest answer.
         assert make_result().writes_per_transaction == 0.0
+
+    def test_writes_per_transaction_no_commits_with_writes(self):
+        # Media writes without a single commit (e.g. a crash before the
+        # first tx_end): the per-transaction ratio is undefined, not 0.
+        stats = Stats()
+        stats.add("media.sector_writes", 40)
+        value = make_result(stats=stats).writes_per_transaction
+        assert math.isnan(value)
 
     def test_traffic_breakdown_strips_prefix(self):
         stats = Stats()
@@ -52,6 +63,16 @@ class TestDerivedMetrics:
         stats.add("mc.writes", 8)
         breakdown = make_result(stats=stats).traffic_breakdown()
         assert breakdown == {"log": 3, "data": 5}
+
+    def test_traffic_breakdown_keeps_dotted_kind_names(self):
+        # A dotted write kind ("log.overflow") is normalized to
+        # underscores at the submit boundary; the breakdown must return
+        # the full remainder after the "mc.writes." prefix either way.
+        stats = Stats()
+        stats.add("mc.writes.log_overflow", 3)
+        stats.add("mc.writes.data", 5)
+        breakdown = make_result(stats=stats).traffic_breakdown()
+        assert breakdown == {"log_overflow": 3, "data": 5}
 
     def test_committed_count(self):
         result = make_result(committed={(0, 0), (1, 0)})
