@@ -1,0 +1,108 @@
+"""Gate EXPERIMENTS.md's registry table against the live registry.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_experiments_doc.py [EXPERIMENTS.md]
+
+EXPERIMENTS.md carries a "paper artefact -> experiment" mapping table
+between ``experiment-registry-table:begin/end`` markers.  This check
+fails when the two drift in either direction:
+
+* an experiment registered in :data:`repro.harness.experiments.REGISTRY`
+  is missing from the table (or listed out of catalog order), or
+* the table lists a name that is not registered, or
+* a row's paper artefact / description no longer matches the spec's
+  ``figure`` / ``description``.
+
+Exit status 0 = in sync, 1 = drift (with a per-row explanation),
+2 = the document or its markers cannot be parsed.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+BEGIN = "<!-- experiment-registry-table:begin -->"
+END = "<!-- experiment-registry-table:end -->"
+ROW = re.compile(r"^\|\s*(?P<figure>[^|]+?)\s*\|\s*`(?P<name>[^`]+)`\s*\|\s*(?P<description>[^|]+?)\s*\|$")
+
+
+def parse_table(text: str) -> List[Tuple[str, str, str]]:
+    """(figure, name, description) rows between the drift markers."""
+    try:
+        begin = text.index(BEGIN)
+        end = text.index(END)
+    except ValueError:
+        raise SystemExit(
+            f"error: EXPERIMENTS.md is missing the {BEGIN} / {END} markers"
+        )
+    rows: List[Tuple[str, str, str]] = []
+    for line in text[begin:end].splitlines():
+        match = ROW.match(line.strip())
+        if match:
+            rows.append(
+                (match["figure"], match["name"], match["description"])
+            )
+    if not rows:
+        raise SystemExit("error: no experiment rows found between the markers")
+    return rows
+
+
+def main(argv: List[str]) -> int:
+    doc = Path(argv[0]) if argv else Path(__file__).parent.parent / "EXPERIMENTS.md"
+    from repro.harness.experiments import load_all
+
+    registry = load_all()
+    rows = parse_table(doc.read_text())
+    problems: List[str] = []
+
+    documented = [name for _, name, _ in rows]
+    registered = registry.names()
+    for name in registered:
+        if name not in documented:
+            problems.append(
+                f"registered experiment {name!r} has no row in {doc.name}"
+            )
+    for name in documented:
+        if name not in registry:
+            problems.append(
+                f"{doc.name} lists {name!r}, which is not registered"
+            )
+    if not problems and documented != registered:
+        problems.append(
+            f"{doc.name} rows are out of catalog order: "
+            f"{documented} != {registered}"
+        )
+    for figure, name, description in rows:
+        if name not in registry:
+            continue
+        spec = registry.get(name)
+        if figure != spec.figure:
+            problems.append(
+                f"{name!r}: artefact column says {figure!r}, "
+                f"spec.figure is {spec.figure!r}"
+            )
+        if description != spec.description:
+            problems.append(
+                f"{name!r}: description column drifted from the spec:\n"
+                f"    doc : {description}\n"
+                f"    spec: {spec.description}"
+            )
+
+    if problems:
+        print(f"experiment registry / {doc.name} drift:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"{doc.name} registry table in sync: "
+        f"{len(registered)} experiments documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,15 +1,19 @@
 """Experiment drivers regenerating every table and figure of the paper.
 
-Each module exposes ``run(...) -> <Result dataclass>`` returning the
-raw numbers plus a ``format_report`` helper that prints the same rows
-or series the paper reports.  The CLI (``silo-repro``) and the
-``benchmarks/`` suite are thin wrappers around these.
+Every study is an :class:`~repro.harness.experiments.ExperimentSpec`
+registered in :data:`~repro.harness.experiments.REGISTRY` and run by the
+generic campaign engine (``silo-repro exp list|run``).  Each module
+still exposes its historical ``run(...) -> <Result dataclass>`` API
+returning the raw numbers plus a ``format_report`` helper that prints
+the same rows or series the paper reports.  The CLI (``silo-repro``)
+and the ``benchmarks/`` suite are thin wrappers around these.
 """
 
 from repro.harness.runner import GridResult, normalize_to, run_grid
 from repro.harness import (
     bench,
     crashtest,
+    experiments,
     faultsweep,
     fig4,
     fig11,
@@ -30,6 +34,7 @@ __all__ = [
     "run_grid",
     "bench",
     "crashtest",
+    "experiments",
     "faultsweep",
     "fig4",
     "fig11",

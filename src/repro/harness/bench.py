@@ -41,6 +41,7 @@ from repro.harness.executor import (
     aggregate_outcome_metrics,
     raise_on_failures,
 )
+from repro.harness.experiments.presentation import format_phase_table
 from repro.harness.report import format_table
 from repro.obs import ObsConfig
 
@@ -69,16 +70,6 @@ def machine_fingerprint() -> str:
             str(os.cpu_count() or 0),
         )
     )
-
-
-def _phase_rows(phases: Dict[str, int]) -> List[List[object]]:
-    total = sum(phases.values()) or 1
-    rows: List[List[object]] = [
-        [name, cycles, f"{100.0 * cycles / total:5.1f}%"]
-        for name, cycles in sorted(phases.items(), key=lambda kv: -kv[1])
-    ]
-    rows.append(["total", sum(phases.values()), "100.0%"])
-    return rows
 
 
 @dataclass(frozen=True)
@@ -170,7 +161,7 @@ class HotpathBenchResult:
         if self.phases:
             profile = format_table(
                 ["phase", "cycles", "share"],
-                _phase_rows(self.phases),
+                format_phase_table(self.phases),
                 title="Per-phase simulated-cycle attribution "
                 "(aggregated across profiled cells)",
             )

@@ -2,18 +2,25 @@
 
 Examples::
 
+    silo-repro exp list                  # the declarative registry
+    silo-repro exp run fig11             # paper-sized campaign
+    silo-repro exp run fig12 --smoke     # CI-sized campaign
+    silo-repro exp run --all --smoke --jobs 2
+    silo-repro exp run fig14 --set transactions=80 --json
     silo-repro fig4
     silo-repro fig11 --cores 1 8 --transactions 300
     silo-repro fig12 --jobs 8            # fan cells across 8 processes
     silo-repro fig12                     # re-run: served from .repro-cache/
     silo-repro fig13 --no-cache
-    silo-repro fig14 --transactions 80
     silo-repro fig15 --fresh             # recompute, refresh the cache
-    silo-repro table1
-    silo-repro table4
     silo-repro all --jobs 8
     silo-repro cache stats
     silo-repro cache clear
+
+Exit codes are uniform across all subcommands: 0 on success, 1 when
+an experiment fails (a raised cell or an oracle violation), 2 on a
+usage or configuration error (unknown experiment, bad ``--set`` key,
+malformed flags).
 
 Every experiment fans its (workload x scheme x cores x config) cells
 out through :class:`repro.harness.executor.Executor`: ``--jobs N``
@@ -29,11 +36,14 @@ completes, and the exit status is nonzero.
 from __future__ import annotations
 
 import argparse
+import ast
+import json
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.common.errors import ExecutionError
+from repro import __version__
+from repro.common.errors import ConfigError, ExecutionError
 from repro.harness import (
     bench,
     crashtest,
@@ -52,7 +62,13 @@ from repro.harness import (
     tracecmd,
 )
 from repro.harness.executor import Executor
+from repro.harness.experiments import load_all, render, run_campaign
 from repro.harness.resultcache import ResultCache
+
+#: Uniform exit codes for every subcommand (legacy, exp, cache, replay).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
 
 _EXPERIMENTS = {
     "bench": lambda args, ex: bench.run(
@@ -112,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="silo-repro",
         description="Regenerate the tables and figures of the Silo paper "
         "(HPCA 2023) on the trace-driven simulator.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
         "experiment",
@@ -242,6 +261,209 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_exp_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="silo-repro exp",
+        description="Declarative experiment registry: list the registered "
+        "studies or run them through the generic campaign engine.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"silo-repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list the registered experiments")
+    p_list.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing (name/figure/description/params)",
+    )
+
+    p_run = sub.add_parser("run", help="run one or more experiments")
+    p_run.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="registered experiment name(s); see 'silo-repro exp list'",
+    )
+    p_run.add_argument(
+        "--all", action="store_true", help="run every registered experiment"
+    )
+    fmt = p_run.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--json",
+        dest="fmt",
+        action="store_const",
+        const="json",
+        help="render results as JSON instead of the text report",
+    )
+    fmt.add_argument(
+        "--csv",
+        dest="fmt",
+        action="store_const",
+        const="csv",
+        help="render results as CSV instead of the text report",
+    )
+    fmt.add_argument(
+        "--chart",
+        dest="fmt",
+        action="store_const",
+        const="chart",
+        help="render results as ASCII bar charts",
+    )
+    p_run.set_defaults(fmt="report")
+    p_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use the spec's smoke parameters (small, CI-sized campaign)",
+    )
+    p_run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a spec parameter; VALUE is parsed as a Python "
+        "literal when possible, else kept as a string.  May repeat.  An "
+        "unknown KEY is a usage error for a named run; with --all it is "
+        "applied only to the specs that declare it",
+    )
+    p_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes to fan cells across (default: all CPUs; "
+        "1 = in-process serial execution)",
+    )
+    p_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache entirely (no reads, no writes)",
+    )
+    p_run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="recompute every cell, overwriting its cache entry",
+    )
+    p_run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $SILO_CACHE_DIR or "
+        ".repro-cache)",
+    )
+    return parser
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, object]:
+    overrides: Dict[str, object] = {}
+    for text in pairs:
+        key, eq, raw = text.partition("=")
+        if not eq or not key:
+            raise ConfigError(f"--set expects KEY=VALUE, got {text!r}")
+        try:
+            overrides[key] = ast.literal_eval(raw)
+        except (SyntaxError, ValueError):
+            overrides[key] = raw
+    return overrides
+
+
+def _exp_list(args) -> int:
+    registry = load_all()
+    if args.json:
+        payload = [
+            {
+                "name": spec.name,
+                "figure": spec.figure,
+                "description": spec.description,
+                "params": {k: repr(v) for k, v in spec.params.items()},
+            }
+            for spec in registry.specs()
+        ]
+        print(json.dumps(payload, indent=2))
+        return EXIT_OK
+    specs = registry.specs()
+    name_w = max(len(s.name) for s in specs)
+    fig_w = max(len(s.figure) for s in specs)
+    for spec in specs:
+        print(f"{spec.name:<{name_w}}  {spec.figure:<{fig_w}}  {spec.description}")
+    return EXIT_OK
+
+
+def _exp_run(args) -> int:
+    registry = load_all()
+    if args.all and args.names:
+        raise ConfigError("give experiment names or --all, not both")
+    if not args.all and not args.names:
+        raise ConfigError(
+            "nothing to run: give experiment names or --all "
+            "(see 'silo-repro exp list')"
+        )
+    overrides = _parse_overrides(args.overrides)
+    # Resolve every name before running anything: an unknown experiment
+    # is a usage error, not a partial campaign.
+    specs = (
+        registry.specs()
+        if args.all
+        else [registry.get(name) for name in args.names]
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = Executor(
+        jobs=args.jobs, cache=cache, fresh=args.fresh, progress=args.fmt == "report"
+    )
+    failures = 0
+    json_docs: Dict[str, object] = {}
+    for spec in specs:
+        applicable = (
+            {k: v for k, v in overrides.items() if k in spec.params}
+            if args.all
+            else overrides
+        )
+        started = time.time()
+        try:
+            result, campaign = run_campaign(
+                spec, executor=executor, smoke=args.smoke, **applicable
+            )
+        except ExecutionError as exc:
+            print(f"[{spec.name} FAILED]\n{exc}", file=sys.stderr)
+            failures += 1
+            continue
+        if args.fmt == "json":
+            json_docs[spec.name] = {
+                "manifest": campaign.manifest(),
+                "tables": result.to_json_payload(),
+            }
+            continue
+        print(render(result, args.fmt))
+        if args.fmt == "report":
+            stats = executor.stats
+            print(
+                f"[{spec.name} completed in {time.time() - started:.1f}s; "
+                f"campaign: {stats.cells} cells, {stats.cache_hits} cached, "
+                f"{executor.jobs} jobs]\n"
+            )
+    if args.fmt == "json" and json_docs:
+        if len(json_docs) == 1 and not args.all:
+            (payload,) = json_docs.values()
+            print(json.dumps(payload, indent=2))
+        else:
+            print(json.dumps(json_docs, indent=2))
+    return EXIT_FAILURE if failures else EXIT_OK
+
+
+def _exp_main(argv: List[str]) -> int:
+    args = build_exp_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _exp_list(args)
+        return _exp_run(args)
+    except ConfigError as exc:
+        print(f"silo-repro exp: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ExecutionError as exc:
+        print(f"silo-repro exp: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+
+
 def _cache_command(args) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
@@ -253,6 +475,9 @@ def _cache_command(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["exp"]:
+        return _exp_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "cache":
@@ -262,9 +487,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "replay":
         if not args.spec:
             parser.error("replay needs --spec '<cell json>'")
-        result = replay.run(args.spec)
+        try:
+            result = replay.run(args.spec)
+        except ConfigError as exc:
+            print(f"silo-repro: error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
         print(result.format_report())
-        return 0 if result.passed else 1
+        return EXIT_OK if result.passed else EXIT_FAILURE
     if args.spec is not None:
         parser.error("--spec is only valid with the 'replay' command")
 
@@ -282,6 +511,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[{name} FAILED]\n{exc}", file=sys.stderr)
             failures += 1
             continue
+        except ConfigError as exc:
+            print(f"silo-repro: error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
         print(result.format_report())
         if getattr(result, "passed", True) is False:
             # Validation sweeps (crashtest/faultsweep) fail the run on
@@ -294,7 +526,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"campaign: {stats.cells} cells, {stats.cache_hits} cached, "
             f"{executor.jobs} jobs]\n"
         )
-    return 1 if failures else 0
+    return EXIT_FAILURE if failures else EXIT_OK
 
 
 if __name__ == "__main__":

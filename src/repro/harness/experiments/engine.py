@@ -1,0 +1,105 @@
+"""The generic campaign engine.
+
+One code path lowers any :class:`~repro.harness.experiments.spec
+.ExperimentSpec` to executor cells, fans them through the shared
+:class:`~repro.harness.executor.Executor` (content-addressed cache,
+``--jobs`` parallelism, per-worker trace memo and failure isolation
+all preserved) and assembles the study's result object.  The ten
+registered studies differ only in their declarations — none carries
+grid-construction or fan-out code of its own anymore.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.harness.executor import (
+    CellOutcome,
+    CellSpec,
+    Executor,
+    raise_on_failures,
+)
+from repro.harness.experiments.spec import Axis, Campaign, ExperimentSpec, Point
+from repro.obs import ObsConfig
+
+
+def lower(
+    spec: ExperimentSpec, params: Dict[str, Any]
+) -> Tuple[Tuple[Axis, ...], List[Point], List[Optional[CellSpec]]]:
+    """Expand a spec into its axis points and their cells.
+
+    The Cartesian product runs in axis order, so the cell order (and
+    with it every assemble function's insertion order) is exactly the
+    nested-loop order the hand-rolled harnesses used.
+    """
+    axes = tuple(spec.axes(params))
+    names = [axis.name for axis in axes]
+    if len(set(names)) != len(names):
+        raise ConfigError(
+            f"experiment {spec.name!r} declares duplicate axis names: {names}"
+        )
+    points = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(axis.values for axis in axes))
+    ]
+    cells = [spec.cell(params, point) for point in points]
+    return axes, points, cells
+
+
+def run_campaign(
+    spec: ExperimentSpec,
+    executor: Optional[Executor] = None,
+    smoke: bool = False,
+    obs: Optional[ObsConfig] = None,
+    **overrides: Any,
+) -> Tuple[Any, Campaign]:
+    """Run one experiment end to end; returns (result, campaign).
+
+    ``obs`` attaches an observability config to every simulated cell
+    (per-experiment metric roll-ups via :meth:`Campaign.metrics`);
+    it joins the cells' content addresses, so profiled campaigns never
+    share cache slots with plain ones.
+    """
+    params = spec.merged_params(smoke=smoke, overrides=overrides)
+    axes, points, cells = lower(spec, params)
+    simulated = [index for index, cell in enumerate(cells) if cell is not None]
+    to_run = [cells[index] for index in simulated]
+    if obs is not None:
+        to_run = [replace(cell, obs=obs) for cell in to_run]
+    run_outcomes = (executor if executor is not None else Executor(jobs=1)).run(to_run)
+    raise_on_failures(run_outcomes)
+    outcomes: List[Optional[CellOutcome]] = [None] * len(points)
+    for index, outcome in zip(simulated, run_outcomes):
+        outcomes[index] = outcome
+    campaign = Campaign(
+        spec=spec, params=params, axes=axes, points=points, outcomes=outcomes
+    )
+    return spec.assemble(params, campaign), campaign
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    executor: Optional[Executor] = None,
+    smoke: bool = False,
+    **overrides: Any,
+) -> Any:
+    """Run one experiment and return only its result object (the
+    historical ``<module>.run()`` contract)."""
+    return run_campaign(spec, executor=executor, smoke=smoke, **overrides)[0]
+
+
+def grids_from_campaign(campaign: Campaign) -> Dict[int, "Any"]:
+    """Reassemble ``{cores: GridResult}`` from a (cores, workload,
+    scheme) campaign — the fig11/fig12 shape."""
+    from repro.harness.runner import GridResult
+
+    grids: Dict[int, GridResult] = {}
+    for point, outcome in campaign.cells():
+        grid = grids.setdefault(point["cores"], GridResult(cores=point["cores"]))
+        grid.results.setdefault(point["workload"], {})[point["scheme"]] = (
+            outcome.result
+        )
+    return grids

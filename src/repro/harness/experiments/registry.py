@@ -1,0 +1,84 @@
+"""The experiment registry: every study of the evaluation, by name.
+
+Specs register themselves when their module imports (each harness
+module declares its spec and calls ``REGISTRY.register``);
+:func:`load_all` imports the full catalog so CLI/CI consumers see all
+of them without knowing the module list.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Iterator, List
+
+from repro.common.errors import ConfigError
+from repro.harness.experiments.spec import ExperimentSpec
+
+#: The catalog modules, in the paper's presentation order — also the
+#: order ``silo-repro exp list`` displays.
+CATALOG_MODULES = (
+    "fig4",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "table1",
+    "table4",
+    "mcsweep",
+    "recovery_cost",
+)
+
+
+class ExperimentRegistry:
+    """Name -> :class:`ExperimentSpec` mapping with catalog ordering."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        existing = self._specs.get(spec.name)
+        if existing is not None and existing is not spec:
+            raise ConfigError(
+                f"experiment {spec.name!r} is already registered"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ExperimentSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown experiment {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered names, catalog order first, then extras."""
+        ordered = [n for n in CATALOG_MODULES if n in self._specs]
+        ordered += [n for n in self._specs if n not in CATALOG_MODULES]
+        return ordered
+
+    def specs(self) -> List[ExperimentSpec]:
+        return [self._specs[name] for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+#: The process-wide registry every catalog module registers into.
+REGISTRY = ExperimentRegistry()
+
+
+def load_all() -> ExperimentRegistry:
+    """Import the whole catalog (idempotent) and return the registry."""
+    for module in CATALOG_MODULES:
+        importlib.import_module(f"repro.harness.{module}")
+    return REGISTRY

@@ -9,55 +9,64 @@ path has no persist ordering to queue behind.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.harness.executor import Executor
-from repro.harness.report import format_grouped_bars, format_normalized
+from repro.harness.executor import CellSpec, Executor, WorkloadSpec
+from repro.harness.experiments import (
+    REGISTRY,
+    Axis,
+    ExperimentSpec,
+    NormalizedGridsResult,
+    grids_from_campaign,
+    run_experiment,
+)
 from repro.harness.runner import (
     DEFAULT_SCHEMES,
     DEFAULT_TRANSACTIONS,
     DEFAULT_WORKLOADS,
-    GridResult,
-    add_average,
-    normalize_to,
-    run_grids,
 )
 
 
-@dataclass
-class Fig12Result:
+class Fig12Result(NormalizedGridsResult):
     """Normalized throughput per core count."""
 
-    grids: Dict[int, GridResult]
+    metric = "throughput_tx_per_sec"
+    report_title = "Fig. 12 — normalized transaction throughput"
+    chart_title = "fig12 — average normalized throughput"
 
-    def normalized(self, cores: int) -> Dict[str, Dict[str, float]]:
-        return add_average(
-            normalize_to(self.grids[cores], "throughput_tx_per_sec")
-        )
 
-    def format_report(self) -> str:
-        parts: List[str] = []
-        for cores in sorted(self.grids):
-            parts.append(
-                format_normalized(
-                    self.normalized(cores),
-                    schemes=list(self.grids[cores].schemes()),
-                    title=f"Fig. 12 — normalized transaction throughput ({cores} core(s))",
-                )
-            )
-        return "\n\n".join(parts)
-
-    def format_chart(self) -> str:
-        """ASCII grouped bars of the cross-workload averages, one group
-        per core count (the shape of the paper's figure)."""
-        groups = {
-            f"{cores} core(s)": self.normalized(cores)["average"]
-            for cores in sorted(self.grids)
-        }
-        return format_grouped_bars(
-            groups, title="fig12 — average normalized throughput"
-        )
+SPEC = REGISTRY.register(
+    ExperimentSpec(
+        name="fig12",
+        figure="Fig. 12",
+        description="Transaction throughput, normalized to Base",
+        params=dict(
+            core_counts=(1, 2, 4, 8),
+            schemes=DEFAULT_SCHEMES,
+            workloads=DEFAULT_WORKLOADS,
+            transactions=DEFAULT_TRANSACTIONS,
+        ),
+        smoke_params=dict(
+            core_counts=(1,),
+            schemes=("base", "silo"),
+            workloads=("hash",),
+            transactions=15,
+        ),
+        axes=lambda p: (
+            Axis("cores", p["core_counts"]),
+            Axis("workload", p["workloads"]),
+            Axis("scheme", p["schemes"]),
+        ),
+        cell=lambda p, pt: CellSpec(
+            workload=WorkloadSpec.make(
+                pt["workload"], threads=pt["cores"], transactions=p["transactions"]
+            ),
+            scheme=pt["scheme"],
+            cores=pt["cores"],
+        ),
+        assemble=lambda p, c: Fig12Result(grids=grids_from_campaign(c)),
+    )
+)
 
 
 def run(
@@ -68,5 +77,11 @@ def run(
     executor: Optional[Executor] = None,
 ) -> Fig12Result:
     """Run the full throughput grid as one executor campaign."""
-    grids = run_grids(core_counts, schemes, workloads, transactions, executor=executor)
-    return Fig12Result(grids=grids)
+    return run_experiment(
+        SPEC,
+        executor=executor,
+        core_counts=tuple(core_counts),
+        schemes=tuple(schemes),
+        workloads=tuple(workloads),
+        transactions=transactions,
+    )

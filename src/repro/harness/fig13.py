@@ -18,13 +18,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.harness.executor import (
-    CellSpec,
-    Executor,
-    WorkloadSpec,
-    raise_on_failures,
+from repro.harness.executor import CellSpec, Executor, WorkloadSpec
+from repro.harness.experiments import (
+    REGISTRY,
+    Axis,
+    ExperimentSpec,
+    TableData,
+    TabularResult,
+    run_experiment,
 )
-from repro.harness.report import format_table
 from repro.harness.runner import DEFAULT_TRANSACTIONS
 
 #: Benchmarks of Fig. 13, with TPCC in its all-five-types variant.
@@ -58,8 +60,19 @@ class WorkloadLogCounts:
         return 1.0 - self.mean_remaining / self.mean_total
 
 
+def _log_counts(result) -> WorkloadLogCounts:
+    pairs = result.tx_log_counts or [(0, 0)]
+    totals = [t for t, _ in pairs]
+    remainings = [r for _, r in pairs]
+    return WorkloadLogCounts(
+        mean_total=sum(totals) / len(totals),
+        mean_remaining=sum(remainings) / len(remainings),
+        max_remaining=max(remainings),
+    )
+
+
 @dataclass
-class Fig13Result:
+class Fig13Result(TabularResult):
     counts: Dict[str, WorkloadLogCounts]
 
     @property
@@ -70,7 +83,7 @@ class Fig13Result:
     def overall_max_remaining(self) -> int:
         return max(c.max_remaining for c in self.counts.values())
 
-    def format_report(self) -> str:
+    def tables(self) -> List[TableData]:
         rows: List[List[object]] = []
         for name, c in self.counts.items():
             rows.append(
@@ -86,11 +99,44 @@ class Fig13Result:
                 self.average_reduction,
             ]
         )
-        return format_table(
-            ["workload", "total/tx", "remaining/tx", "max remaining", "reduction"],
-            rows,
-            title="Fig. 13 — on-chip log entries per transaction (Silo)",
-        )
+        return [
+            TableData.make(
+                ["workload", "total/tx", "remaining/tx", "max remaining", "reduction"],
+                rows,
+                title="Fig. 13 — on-chip log entries per transaction (Silo)",
+            )
+        ]
+
+
+SPEC = REGISTRY.register(
+    ExperimentSpec(
+        name="fig13",
+        figure="Fig. 13",
+        description="Total vs remaining on-chip log entries (Silo, "
+        "unbounded buffer)",
+        params=dict(
+            threads=8, transactions=DEFAULT_TRANSACTIONS, workloads=FIG13_WORKLOADS
+        ),
+        smoke_params=dict(threads=1, transactions=10, workloads=("array", "hash")),
+        axes=lambda p: (Axis("workload", p["workloads"]),),
+        cell=lambda p, pt: CellSpec(
+            workload=WorkloadSpec.make(
+                pt["workload"],
+                threads=p["threads"],
+                transactions=p["transactions"],
+                **({"mix": "full"} if pt["workload"] == "tpcc" else {}),
+            ),
+            scheme="silo",
+            cores=p["threads"],
+            config=SystemConfig.table2(p["threads"]).with_log_buffer(
+                entries=UNBOUNDED_ENTRIES
+            ),
+        ),
+        assemble=lambda p, c: Fig13Result(
+            counts={pt["workload"]: _log_counts(o.result) for pt, o in c.cells()}
+        ),
+    )
+)
 
 
 def run(
@@ -100,33 +146,10 @@ def run(
     executor: Optional[Executor] = None,
 ) -> Fig13Result:
     """Measure total and remaining log counts for every workload."""
-    config = SystemConfig.table2(threads).with_log_buffer(entries=UNBOUNDED_ENTRIES)
-    cells = [
-        CellSpec(
-            workload=WorkloadSpec.make(
-                name,
-                threads=threads,
-                transactions=transactions,
-                **({"mix": "full"} if name == "tpcc" else {}),
-            ),
-            scheme="silo",
-            cores=threads,
-            config=config,
-        )
-        for name in workloads
-    ]
-    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
-    raise_on_failures(outcomes)
-
-    counts: Dict[str, WorkloadLogCounts] = {}
-    for name, outcome in zip(workloads, outcomes):
-        result = outcome.result
-        pairs = result.tx_log_counts or [(0, 0)]
-        totals = [t for t, _ in pairs]
-        remainings = [r for _, r in pairs]
-        counts[name] = WorkloadLogCounts(
-            mean_total=sum(totals) / len(totals),
-            mean_remaining=sum(remainings) / len(remainings),
-            max_remaining=max(remainings),
-        )
-    return Fig13Result(counts=counts)
+    return run_experiment(
+        SPEC,
+        executor=executor,
+        threads=threads,
+        transactions=transactions,
+        workloads=tuple(workloads),
+    )

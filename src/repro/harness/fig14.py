@@ -18,13 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.harness.executor import (
-    CellSpec,
-    Executor,
-    WorkloadSpec,
-    raise_on_failures,
+from repro.harness.executor import CellSpec, Executor, WorkloadSpec
+from repro.harness.experiments import (
+    REGISTRY,
+    Axis,
+    ExperimentSpec,
+    TableData,
+    TabularResult,
+    normalize_series,
+    run_experiment,
 )
-from repro.harness.report import format_table
 
 FIG14_WORKLOADS: Tuple[str, ...] = (
     "array",
@@ -40,7 +43,7 @@ MULTIPLIERS: Tuple[int, ...] = (1, 2, 4, 8, 16)
 
 
 @dataclass
-class Fig14Result:
+class Fig14Result(TabularResult):
     """``throughput[workload][multiplier]`` etc., normalized to 1x."""
 
     throughput: Dict[str, Dict[int, float]]
@@ -50,8 +53,8 @@ class Fig14Result:
     def average(self, table: Dict[str, Dict[int, float]], mult: int) -> float:
         return sum(row[mult] for row in table.values()) / len(table)
 
-    def format_report(self) -> str:
-        parts: List[str] = []
+    def tables(self) -> List[TableData]:
+        out: List[TableData] = []
         for title, table in (
             ("Fig. 14a — normalized transaction throughput", self.throughput),
             ("Fig. 14b — normalized PM write traffic", self.write_traffic),
@@ -63,14 +66,68 @@ class Fig14Result:
             rows.append(
                 ["Average"] + [self.average(table, m) for m in self.multipliers]
             )
-            parts.append(
-                format_table(
+            out.append(
+                TableData.make(
                     ["workload"] + [f"{m}x" for m in self.multipliers],
                     rows,
                     title=title,
                 )
             )
-        return "\n\n".join(parts)
+        return out
+
+
+def _assemble(p, c) -> Fig14Result:
+    throughput: Dict[str, Dict[int, float]] = {}
+    traffic: Dict[str, Dict[int, float]] = {}
+    for name in p["workloads"]:
+        results = {
+            m: c.run_result(workload=name, multiplier=m) for m in p["multipliers"]
+        }
+        throughput[name] = normalize_series(
+            # ops rate: tx/sec scaled by the ops batched into each tx
+            {m: r.throughput_tx_per_sec * m for m, r in results.items()}
+        )
+        traffic[name] = normalize_series(
+            {m: r.media_writes / max(m, 1) for m, r in results.items()}  # per op
+        )
+    return Fig14Result(
+        throughput=throughput,
+        write_traffic=traffic,
+        multipliers=tuple(p["multipliers"]),
+    )
+
+
+SPEC = REGISTRY.register(
+    ExperimentSpec(
+        name="fig14",
+        figure="Fig. 14",
+        description="Silo under large transactions (1x-16x write sets)",
+        params=dict(
+            threads=8,
+            transactions=100,
+            workloads=FIG14_WORKLOADS,
+            multipliers=MULTIPLIERS,
+        ),
+        smoke_params=dict(
+            threads=1, transactions=10, workloads=("hash",), multipliers=(1, 2)
+        ),
+        axes=lambda p: (
+            Axis("workload", p["workloads"]),
+            Axis("multiplier", p["multipliers"]),
+        ),
+        cell=lambda p, pt: CellSpec(
+            workload=WorkloadSpec.make(
+                pt["workload"],
+                threads=p["threads"],
+                transactions=p["transactions"],
+                ops_per_tx=pt["multiplier"],
+            ),
+            scheme="silo",
+            cores=p["threads"],
+        ),
+        assemble=_assemble,
+    )
+)
 
 
 def run(
@@ -81,39 +138,11 @@ def run(
     executor: Optional[Executor] = None,
 ) -> Fig14Result:
     """Run the large-transaction sweep on Silo."""
-    cells = [
-        CellSpec(
-            workload=WorkloadSpec.make(
-                name, threads=threads, transactions=transactions, ops_per_tx=mult
-            ),
-            scheme="silo",
-            cores=threads,
-        )
-        for name in workloads
-        for mult in multipliers
-    ]
-    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
-    raise_on_failures(outcomes)
-
-    throughput: Dict[str, Dict[int, float]] = {}
-    traffic: Dict[str, Dict[int, float]] = {}
-    at = iter(outcomes)
-    for name in workloads:
-        per_tp: Dict[int, float] = {}
-        per_wr: Dict[int, float] = {}
-        for mult in multipliers:
-            result = next(at).result
-            per_tp[mult] = result.throughput_tx_per_sec * mult  # ops rate
-            per_wr[mult] = result.media_writes / max(mult, 1)  # per op
-        base_tp, base_wr = per_tp[multipliers[0]], per_wr[multipliers[0]]
-        throughput[name] = {
-            m: (v / base_tp if base_tp else 0.0) for m, v in per_tp.items()
-        }
-        traffic[name] = {
-            m: (v / base_wr if base_wr else 0.0) for m, v in per_wr.items()
-        }
-    return Fig14Result(
-        throughput=throughput,
-        write_traffic=traffic,
+    return run_experiment(
+        SPEC,
+        executor=executor,
+        threads=threads,
+        transactions=transactions,
+        workloads=tuple(workloads),
         multipliers=tuple(multipliers),
     )

@@ -15,13 +15,16 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.harness.executor import (
-    CellSpec,
-    Executor,
-    WorkloadSpec,
-    raise_on_failures,
+from repro.harness.executor import CellSpec, Executor, WorkloadSpec
+from repro.harness.experiments import (
+    REGISTRY,
+    Axis,
+    ExperimentSpec,
+    TableData,
+    TabularResult,
+    normalize_series,
+    run_experiment,
 )
-from repro.harness.report import format_table
 
 FIG15_WORKLOADS: Tuple[str, ...] = (
     "array",
@@ -37,7 +40,7 @@ LATENCIES: Tuple[int, ...] = tuple(range(8, 129, 24))
 
 
 @dataclass
-class Fig15Result:
+class Fig15Result(TabularResult):
     """``throughput[workload][latency]`` normalized to the first
     latency point."""
 
@@ -51,16 +54,64 @@ class Fig15Result:
             worst = max(worst, 1.0 - min(row.values()))
         return worst
 
-    def format_report(self) -> str:
+    def tables(self) -> List[TableData]:
         rows: List[List[object]] = [
             [name] + [row[lat] for lat in self.latencies]
             for name, row in self.throughput.items()
         ]
-        return format_table(
-            ["workload"] + [f"{lat}cy" for lat in self.latencies],
-            rows,
-            title="Fig. 15 — normalized throughput vs log buffer latency (Silo)",
-        )
+        return [
+            TableData.make(
+                ["workload"] + [f"{lat}cy" for lat in self.latencies],
+                rows,
+                title="Fig. 15 — normalized throughput vs log buffer latency (Silo)",
+            )
+        ]
+
+
+SPEC = REGISTRY.register(
+    ExperimentSpec(
+        name="fig15",
+        figure="Fig. 15",
+        description="Throughput vs log buffer access latency (Silo)",
+        params=dict(
+            threads=8,
+            transactions=150,
+            workloads=FIG15_WORKLOADS,
+            latencies=LATENCIES,
+        ),
+        smoke_params=dict(
+            threads=1, transactions=10, workloads=("hash",), latencies=(8, 64)
+        ),
+        axes=lambda p: (
+            Axis("workload", p["workloads"]),
+            Axis("latency", p["latencies"]),
+        ),
+        cell=lambda p, pt: CellSpec(
+            workload=WorkloadSpec.make(
+                pt["workload"], threads=p["threads"], transactions=p["transactions"]
+            ),
+            scheme="silo",
+            cores=p["threads"],
+            config=SystemConfig.table2(p["threads"]).with_log_buffer(
+                access_latency_cycles=pt["latency"]
+            ),
+        ),
+        assemble=lambda p, c: Fig15Result(
+            throughput={
+                name: normalize_series(
+                    {
+                        lat: c.run_result(
+                            workload=name, latency=lat
+                        ).throughput_tx_per_sec
+                        for lat in p["latencies"]
+                    }
+                )
+                for name in p["workloads"]
+            },
+            latencies=tuple(p["latencies"]),
+        ),
+    )
+)
 
 
 def run(
@@ -71,31 +122,11 @@ def run(
     executor: Optional[Executor] = None,
 ) -> Fig15Result:
     """Sweep the log buffer latency for every workload."""
-    cells = [
-        CellSpec(
-            workload=WorkloadSpec.make(
-                name, threads=threads, transactions=transactions
-            ),
-            scheme="silo",
-            cores=threads,
-            config=SystemConfig.table2(threads).with_log_buffer(
-                access_latency_cycles=latency
-            ),
-        )
-        for name in workloads
-        for latency in latencies
-    ]
-    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
-    raise_on_failures(outcomes)
-
-    throughput: Dict[str, Dict[int, float]] = {}
-    at = iter(outcomes)
-    for name in workloads:
-        per_lat: Dict[int, float] = {}
-        for latency in latencies:
-            per_lat[latency] = next(at).result.throughput_tx_per_sec
-        base = per_lat[latencies[0]]
-        throughput[name] = {
-            lat: (v / base if base else 0.0) for lat, v in per_lat.items()
-        }
-    return Fig15Result(throughput=throughput, latencies=tuple(latencies))
+    return run_experiment(
+        SPEC,
+        executor=executor,
+        threads=threads,
+        transactions=transactions,
+        workloads=tuple(workloads),
+        latencies=tuple(latencies),
+    )

@@ -11,36 +11,75 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.harness.executor import (
-    CellSpec,
-    Executor,
-    WorkloadSpec,
-    raise_on_failures,
+from repro.common.errors import ConfigError
+from repro.harness.executor import CellSpec, Executor, WorkloadSpec
+from repro.harness.experiments import (
+    REGISTRY,
+    Axis,
+    ExperimentSpec,
+    TableData,
+    TabularResult,
+    run_experiment,
 )
-from repro.harness.report import format_table
 from repro.workloads.registry import FIG4_WORKLOADS
 
 
 @dataclass
-class Fig4Result:
+class Fig4Result(TabularResult):
     """Mean write bytes per transaction, per workload."""
 
     write_sizes: Dict[str, float]
 
     @property
     def average(self) -> float:
+        if not self.write_sizes:
+            raise ConfigError(
+                "fig4 ran with an empty workload list; there is no "
+                "average write size to report"
+            )
         return sum(self.write_sizes.values()) / len(self.write_sizes)
 
-    def format_report(self) -> str:
+    def tables(self) -> List[TableData]:
         rows: List[List[object]] = [
             [name, size] for name, size in self.write_sizes.items()
         ]
         rows.append(["Average", self.average])
-        return format_table(
-            ["workload", "write size (B) per transaction"],
-            rows,
-            title="Fig. 4 — write size per transaction",
-        )
+        return [
+            TableData.make(
+                ["workload", "write size (B) per transaction"],
+                rows,
+                title="Fig. 4 — write size per transaction",
+            )
+        ]
+
+
+SPEC = REGISTRY.register(
+    ExperimentSpec(
+        name="fig4",
+        figure="Fig. 4",
+        description="Mean write size (bytes) per transaction, all workloads",
+        params=dict(
+            threads=2, transactions=300, workloads=tuple(FIG4_WORKLOADS)
+        ),
+        smoke_params=dict(threads=1, transactions=10, workloads=("hash", "bank")),
+        axes=lambda p: (Axis("workload", p["workloads"]),),
+        # scheme=None cells: no simulation runs, but the trace builds
+        # still fan out (and cache).
+        cell=lambda p, pt: CellSpec(
+            workload=WorkloadSpec.make(
+                pt["workload"], threads=p["threads"], transactions=p["transactions"]
+            ),
+            scheme=None,
+            cores=p["threads"],
+        ),
+        assemble=lambda p, c: Fig4Result(
+            write_sizes={
+                pt["workload"]: o.result.mean_write_size_bytes
+                for pt, o in c.cells()
+            }
+        ),
+    )
+)
 
 
 def run(
@@ -49,25 +88,11 @@ def run(
     workloads: Sequence[str] = tuple(FIG4_WORKLOADS),
     executor: Optional[Executor] = None,
 ) -> Fig4Result:
-    """Measure the mean write size of every Fig. 4 workload.
-
-    These are ``scheme=None`` trace-statistics cells: no simulation
-    runs, but the eleven trace builds still fan out (and cache).
-    """
-    cells = [
-        CellSpec(
-            workload=WorkloadSpec.make(
-                name, threads=threads, transactions=transactions
-            ),
-            scheme=None,
-            cores=threads,
-        )
-        for name in workloads
-    ]
-    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
-    raise_on_failures(outcomes)
-    sizes: Dict[str, float] = {
-        name: outcome.result.mean_write_size_bytes
-        for name, outcome in zip(workloads, outcomes)
-    }
-    return Fig4Result(write_sizes=sizes)
+    """Measure the mean write size of every Fig. 4 workload."""
+    return run_experiment(
+        SPEC,
+        executor=executor,
+        threads=threads,
+        transactions=transactions,
+        workloads=tuple(workloads),
+    )

@@ -15,19 +15,21 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig
-from repro.harness.executor import (
-    CellSpec,
-    Executor,
-    WorkloadSpec,
-    raise_on_failures,
+from repro.harness.executor import CellSpec, Executor, WorkloadSpec
+from repro.harness.experiments import (
+    REGISTRY,
+    Axis,
+    ExperimentSpec,
+    TableData,
+    TabularResult,
+    run_experiment,
 )
-from repro.harness.report import format_table
 
 SWEEP_CHANNELS: Tuple[int, ...] = (1, 2, 4)
 
 
 @dataclass
-class MCSweepResult:
+class MCSweepResult(TabularResult):
     """``speedup[workload][channels]`` = Silo throughput / Base
     throughput at that MC count."""
 
@@ -37,16 +39,66 @@ class MCSweepResult:
     def min_advantage(self) -> float:
         return min(min(row.values()) for row in self.speedup.values())
 
-    def format_report(self) -> str:
+    def tables(self) -> List[TableData]:
         rows: List[List[object]] = [
             [name] + [row[c] for c in self.channels]
             for name, row in self.speedup.items()
         ]
-        return format_table(
-            ["workload"] + [f"{c} MC(s)" for c in self.channels],
-            rows,
-            title="MC sweep — Silo speedup over Base vs number of MCs",
-        )
+        return [
+            TableData.make(
+                ["workload"] + [f"{c} MC(s)" for c in self.channels],
+                rows,
+                title="MC sweep — Silo speedup over Base vs number of MCs",
+            )
+        ]
+
+
+def _speedup(c, workload: str, channels: int) -> float:
+    silo = c.run_result(workload=workload, channels=channels, scheme="silo")
+    base = c.run_result(workload=workload, channels=channels, scheme="base")
+    if not base.throughput_tx_per_sec:
+        return 0.0
+    return silo.throughput_tx_per_sec / base.throughput_tx_per_sec
+
+
+SPEC = REGISTRY.register(
+    ExperimentSpec(
+        name="mcsweep",
+        figure="extension",
+        description="Silo speedup over Base across 1/2/4 memory controllers",
+        params=dict(
+            threads=8,
+            transactions=120,
+            workloads=("hash", "queue", "tpcc"),
+            channels=SWEEP_CHANNELS,
+        ),
+        smoke_params=dict(
+            threads=2, transactions=15, workloads=("hash",), channels=(1, 2)
+        ),
+        axes=lambda p: (
+            Axis("workload", p["workloads"]),
+            Axis("channels", p["channels"]),
+            Axis("scheme", ("silo", "base")),
+        ),
+        cell=lambda p, pt: CellSpec(
+            workload=WorkloadSpec.make(
+                pt["workload"], threads=p["threads"], transactions=p["transactions"]
+            ),
+            scheme=pt["scheme"],
+            cores=p["threads"],
+            config=replace(
+                SystemConfig.table2(p["threads"]), memory_channels=pt["channels"]
+            ),
+        ),
+        assemble=lambda p, c: MCSweepResult(
+            speedup={
+                name: {n: _speedup(c, name, n) for n in p["channels"]}
+                for name in p["workloads"]
+            },
+            channels=tuple(p["channels"]),
+        ),
+    )
+)
 
 
 def run(
@@ -56,31 +108,11 @@ def run(
     channels: Sequence[int] = SWEEP_CHANNELS,
     executor: Optional[Executor] = None,
 ) -> MCSweepResult:
-    cells: List[CellSpec] = []
-    for name in workloads:
-        wspec = WorkloadSpec.make(name, threads=threads, transactions=transactions)
-        for n in channels:
-            config = replace(SystemConfig.table2(threads), memory_channels=n)
-            for scheme in ("silo", "base"):
-                cells.append(
-                    CellSpec(
-                        workload=wspec, scheme=scheme, cores=threads, config=config
-                    )
-                )
-    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
-    raise_on_failures(outcomes)
-
-    speedup: Dict[str, Dict[int, float]] = {}
-    at = iter(outcomes)
-    for name in workloads:
-        per_channel: Dict[int, float] = {}
-        for n in channels:
-            silo = next(at).result
-            base = next(at).result
-            per_channel[n] = (
-                silo.throughput_tx_per_sec / base.throughput_tx_per_sec
-                if base.throughput_tx_per_sec
-                else 0.0
-            )
-        speedup[name] = per_channel
-    return MCSweepResult(speedup=speedup, channels=tuple(channels))
+    return run_experiment(
+        SPEC,
+        executor=executor,
+        threads=threads,
+        transactions=transactions,
+        workloads=tuple(workloads),
+        channels=tuple(channels),
+    )

@@ -18,13 +18,15 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.harness.executor import (
-    CellSpec,
-    Executor,
-    WorkloadSpec,
-    raise_on_failures,
+from repro.harness.executor import CellSpec, Executor, WorkloadSpec
+from repro.harness.experiments import (
+    REGISTRY,
+    Axis,
+    ExperimentSpec,
+    TableData,
+    TabularResult,
+    run_experiment,
 )
-from repro.harness.report import format_table
 from repro.sim.crash import CrashPlan
 
 DEFAULT_SCHEMES = ("base", "fwb", "morlog", "lad", "silo")
@@ -42,7 +44,7 @@ class RecoveryCostRow:
 
 
 @dataclass
-class RecoveryCostResult:
+class RecoveryCostResult(TabularResult):
     workload: str
     crash_at: int
     rows: List[RecoveryCostRow]
@@ -53,7 +55,7 @@ class RecoveryCostResult:
                 return row
         raise KeyError(scheme)
 
-    def format_report(self) -> str:
+    def tables(self) -> List[TableData]:
         table = [
             [
                 row.scheme,
@@ -66,21 +68,85 @@ class RecoveryCostResult:
             ]
             for row in self.rows
         ]
-        return format_table(
-            [
-                "scheme",
-                "logs scanned",
-                "replayed",
-                "revoked",
-                "discarded",
-                "est. recovery (us)",
-                "consistent",
-            ],
-            table,
-            title=(
-                f"Recovery cost — {self.workload}, crash at op {self.crash_at}"
-            ),
-        )
+        return [
+            TableData.make(
+                [
+                    "scheme",
+                    "logs scanned",
+                    "replayed",
+                    "revoked",
+                    "discarded",
+                    "est. recovery (us)",
+                    "consistent",
+                ],
+                table,
+                title=(
+                    f"Recovery cost — {self.workload}, crash at op {self.crash_at}"
+                ),
+            )
+        ]
+
+
+def _workload_spec(p) -> WorkloadSpec:
+    return WorkloadSpec.make(
+        p["workload"], threads=p["threads"], transactions=p["transactions"]
+    )
+
+
+def _crash_at(p) -> int:
+    # The trace build is memoized per process, so recomputing the
+    # crash point for every scheme's cell costs one build total.
+    trace = _workload_spec(p).build()
+    total_ops = sum(
+        len(tx.ops) + 2 for thread in trace.threads for tx in thread.transactions
+    )
+    return int(total_ops * p["crash_fraction"])
+
+
+def _row(point, outcome) -> RecoveryCostRow:
+    report = outcome.result.recovery
+    return RecoveryCostRow(
+        scheme=point["scheme"],
+        scanned=report.scanned,
+        replayed=report.replayed,
+        revoked=report.revoked,
+        discarded=report.discarded,
+        estimated_us=report.estimated_ns / 1000.0,
+        consistent=not outcome.mismatches,
+    )
+
+
+SPEC = REGISTRY.register(
+    ExperimentSpec(
+        name="recovery_cost",
+        figure="extension",
+        description="Crash every design at the same point; compare "
+        "recovery scan/replay volume",
+        params=dict(
+            workload="hash",
+            threads=2,
+            transactions=60,
+            crash_fraction=0.6,
+            schemes=DEFAULT_SCHEMES,
+            config=None,
+        ),
+        smoke_params=dict(transactions=30),
+        axes=lambda p: (Axis("scheme", p["schemes"]),),
+        cell=lambda p, pt: CellSpec(
+            workload=_workload_spec(p),
+            scheme=pt["scheme"],
+            cores=p["threads"],
+            config=p["config"],
+            crash_plan=CrashPlan(at_op=_crash_at(p)),
+            verify=True,
+        ),
+        assemble=lambda p, c: RecoveryCostResult(
+            workload=p["workload"],
+            crash_at=_crash_at(p),
+            rows=[_row(pt, o) for pt, o in c.cells()],
+        ),
+    )
+)
 
 
 def run(
@@ -93,38 +159,13 @@ def run(
     executor: Optional[Executor] = None,
 ) -> RecoveryCostResult:
     """Crash every design at the same trace point and compare recovery."""
-    wspec = WorkloadSpec.make(workload, threads=threads, transactions=transactions)
-    trace = wspec.build()
-    total_ops = sum(
-        len(tx.ops) + 2 for thread in trace.threads for tx in thread.transactions
+    return run_experiment(
+        SPEC,
+        executor=executor,
+        workload=workload,
+        threads=threads,
+        transactions=transactions,
+        crash_fraction=crash_fraction,
+        schemes=tuple(schemes),
+        config=config,
     )
-    crash_at = int(total_ops * crash_fraction)
-    cells = [
-        CellSpec(
-            workload=wspec,
-            scheme=scheme,
-            cores=threads,
-            config=config,
-            crash_plan=CrashPlan(at_op=crash_at),
-            verify=True,
-        )
-        for scheme in schemes
-    ]
-    outcomes = (executor if executor is not None else Executor(jobs=1)).run(cells)
-    raise_on_failures(outcomes)
-
-    rows: List[RecoveryCostRow] = []
-    for scheme, outcome in zip(schemes, outcomes):
-        report = outcome.result.recovery
-        rows.append(
-            RecoveryCostRow(
-                scheme=scheme,
-                scanned=report.scanned,
-                replayed=report.replayed,
-                revoked=report.revoked,
-                discarded=report.discarded,
-                estimated_us=report.estimated_ns / 1000.0,
-                consistent=not outcome.mismatches,
-            )
-        )
-    return RecoveryCostResult(workload=workload, crash_at=crash_at, rows=rows)

@@ -72,12 +72,25 @@ def format_bars(
     if not values:
         return "\n".join(lines + ["(no data)"])
     label_width = max(len(str(k)) for k in values)
-    peak = max(values.values()) or 1.0
+    peak = _peak(values.values())
     for label, value in values.items():
-        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
-        lines.append(f"{str(label).ljust(label_width)} |{bar.ljust(width)}| "
-                     f"{_fmt(value)}{unit}")
+        lines.append(
+            f"{str(label).ljust(label_width)} |{_bar(value, peak, width)}| "
+            f"{_fmt(value)}{unit}"
+        )
     return "\n".join(lines)
+
+
+def _peak(values) -> float:
+    """Bar scale: the largest finite value (NaN cells carry no bar)."""
+    finite = [v for v in values if v == v]
+    return (max(finite) if finite else 1.0) or 1.0
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    if value != value:  # NaN: no bar; the value column reads n/a
+        return "".ljust(width)
+    return ("#" * max(1 if value > 0 else 0, round(width * value / peak))).ljust(width)
 
 
 def format_grouped_bars(
@@ -90,15 +103,12 @@ def format_grouped_bars(
     lines: List[str] = []
     if title:
         lines.append(title)
-    peak = max(
-        (v for row in groups.values() for v in row.values()), default=1.0
-    ) or 1.0
+    peak = _peak(v for row in groups.values() for v in row.values())
     for group, row in groups.items():
         lines.append(f"{group}:")
-        label_width = max(len(str(k)) for k in row)
+        label_width = max((len(str(k)) for k in row), default=0)
         for label, value in row.items():
-            bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
             lines.append(
-                f"  {str(label).ljust(label_width)} |{bar.ljust(width)}| {_fmt(value)}"
+                f"  {str(label).ljust(label_width)} |{_bar(value, peak, width)}| {_fmt(value)}"
             )
     return "\n".join(lines)

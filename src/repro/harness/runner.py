@@ -21,6 +21,10 @@ from repro.harness.executor import (
     WorkloadSpec,
     raise_on_failures,
 )
+# The canonical normalization helpers live in the shared presentation
+# layer; this import keeps the historical public path working
+# (``from repro.harness.runner import normalize_to, add_average``).
+from repro.harness.experiments.presentation import add_average, normalize_to  # noqa: F401
 from repro.sim.engine import TransactionEngine
 from repro.sim.results import RunResult
 from repro.sim.system import System
@@ -130,31 +134,3 @@ def run_grids(
             grid.results[workload] = {scheme: next(at).result for scheme in schemes}
         grids[cores] = grid
     return grids
-
-
-def normalize_to(
-    grid: GridResult, metric: str, baseline: str = "base"
-) -> Dict[str, Dict[str, float]]:
-    """``{workload: {scheme: metric / metric(baseline)}}``."""
-    out: Dict[str, Dict[str, float]] = {}
-    for workload, per_scheme in grid.results.items():
-        base_value = float(getattr(per_scheme[baseline], metric))
-        out[workload] = {
-            scheme: (float(getattr(result, metric)) / base_value if base_value else 0.0)
-            for scheme, result in per_scheme.items()
-        }
-    return out
-
-
-def add_average(normalized: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
-    """Append the cross-workload arithmetic mean (the paper's
-    "Average" group) to a normalized table."""
-    if not normalized:
-        return normalized
-    schemes = next(iter(normalized.values())).keys()
-    out = dict(normalized)
-    out["average"] = {
-        scheme: sum(row[scheme] for row in normalized.values()) / len(normalized)
-        for scheme in schemes
-    }
-    return out

@@ -3,23 +3,47 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from repro.core.battery import hardware_overhead
-from repro.harness.report import format_table
+from repro.harness.experiments import (
+    REGISTRY,
+    ExperimentSpec,
+    TableData,
+    TabularResult,
+    run_experiment,
+)
 
 
 @dataclass
-class Table1Result:
+class Table1Result(TabularResult):
     rows: Dict[str, str]
 
-    def format_report(self) -> str:
-        return format_table(
-            ["component", "type and size"],
-            [[k, v] for k, v in self.rows.items()],
-            title="Table I — hardware overhead of Silo",
-        )
+    def tables(self) -> List[TableData]:
+        return [
+            TableData.make(
+                ["component", "type and size"],
+                [[k, v] for k, v in self.rows.items()],
+                title="Table I — hardware overhead of Silo",
+            )
+        ]
+
+
+SPEC = REGISTRY.register(
+    ExperimentSpec(
+        name="table1",
+        figure="Table I",
+        description="Hardware overhead of Silo (analytic)",
+        params=dict(cores=8),
+        # Analytic: no axes, no cells — assemble computes directly.
+        axes=lambda p: (),
+        cell=lambda p, pt: None,
+        assemble=lambda p, c: Table1Result(
+            rows=hardware_overhead(cores=p["cores"])
+        ),
+    )
+)
 
 
 def run(cores: int = 8) -> Table1Result:
-    return Table1Result(rows=hardware_overhead(cores=cores))
+    return run_experiment(SPEC, cores=cores)

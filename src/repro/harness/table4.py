@@ -12,14 +12,20 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.battery import BatteryRequirement, table4
-from repro.harness.report import format_table
+from repro.harness.experiments import (
+    REGISTRY,
+    ExperimentSpec,
+    TableData,
+    TabularResult,
+    run_experiment,
+)
 
 
 @dataclass
-class Table4Result:
+class Table4Result(TabularResult):
     rows: Dict[str, BatteryRequirement]
 
-    def format_report(self) -> str:
+    def tables(self) -> List[TableData]:
         table: List[List[object]] = []
         for name, req in self.rows.items():
             table.append(
@@ -33,20 +39,35 @@ class Table4Result:
                     req.li_area_mm2,
                 ]
             )
-        return format_table(
-            [
-                "system",
-                "flush size (KB)",
-                "flush energy (uJ)",
-                "Cap (mm^3)",
-                "Cap (mm^2)",
-                "Li (mm^3)",
-                "Li (mm^2)",
-            ],
-            table,
-            title="Table IV — battery requirements (8 cores)",
-        )
+        return [
+            TableData.make(
+                [
+                    "system",
+                    "flush size (KB)",
+                    "flush energy (uJ)",
+                    "Cap (mm^3)",
+                    "Cap (mm^2)",
+                    "Li (mm^3)",
+                    "Li (mm^2)",
+                ],
+                table,
+                title="Table IV — battery requirements (8 cores)",
+            )
+        ]
+
+
+SPEC = REGISTRY.register(
+    ExperimentSpec(
+        name="table4",
+        figure="Table IV",
+        description="Battery requirements of eADR/BBB/Silo (analytic)",
+        params=dict(cores=8),
+        axes=lambda p: (),
+        cell=lambda p, pt: None,
+        assemble=lambda p, c: Table4Result(rows=table4(cores=p["cores"])),
+    )
+)
 
 
 def run(cores: int = 8) -> Table4Result:
-    return Table4Result(rows=table4(cores=cores))
+    return run_experiment(SPEC, cores=cores)
