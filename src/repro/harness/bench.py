@@ -91,6 +91,9 @@ class HotpathCell:
     committed: int
     samples: Tuple[float, ...] = ()
     ops_per_sec_spread: float = 0.0
+    #: Fraction of ops the columnar engine ran through fused kernels
+    #: (``None`` for the exact engine, which has no fast path).
+    fast_fraction: Optional[float] = None
 
 
 @dataclass
@@ -100,6 +103,8 @@ class HotpathBenchResult:
     transactions: int
     repeats: int
     smoke: bool
+    #: Execution engine the cells ran under (``exact`` or ``columnar``).
+    engine: str = "exact"
     cells: List[HotpathCell] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
@@ -171,6 +176,7 @@ class HotpathBenchResult:
     def to_json(self) -> dict:
         record = {
             "benchmark": "hotpath",
+            "engine": self.engine,
             "transactions": self.transactions,
             "repeats": self.repeats,
             "smoke": self.smoke,
@@ -201,6 +207,7 @@ def run(
     output: Optional[str] = "BENCH_hotpath.json",
     executor: Optional[Executor] = None,
     profile: bool = False,
+    engine: str = "exact",
 ) -> HotpathBenchResult:
     """Measure ops/sec for every (workload, scheme, cores) cell.
 
@@ -238,6 +245,7 @@ def run(
                         cores=cores,
                         repeats=repeats,
                         obs=obs,
+                        engine=engine,
                     )
                 )
     exe = executor if executor is not None else Executor(jobs=1)
@@ -248,6 +256,7 @@ def run(
         transactions=transactions,
         repeats=repeats,
         smoke=smoke,
+        engine=engine,
         cache_hits=sum(1 for o in outcomes if o.cached),
         cache_misses=sum(1 for o in outcomes if not o.cached),
         jobs=exe.jobs,
@@ -272,6 +281,7 @@ def run(
                 )
                 best = min(outcome.seconds)
                 worst = max(outcome.seconds)
+                estats = outcome.engine_stats
                 result.cells.append(
                     HotpathCell(
                         workload=workload,
@@ -286,8 +296,201 @@ def run(
                         ops_per_sec_spread=(
                             ops / best - ops / worst if best and worst else 0.0
                         ),
+                        fast_fraction=(
+                            estats["fast_fraction"] if estats else None
+                        ),
                     )
                 )
     if output:
         result.write_json(output)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Engine comparison: exact vs columnar on the same grid
+# ----------------------------------------------------------------------
+@dataclass
+class EngineCompareCell:
+    """One (workload, scheme, cores) cell measured under both engines."""
+
+    workload: str
+    scheme: str
+    cores: int
+    ops: int
+    exact_ops_per_sec: float
+    columnar_ops_per_sec: float
+    speedup: float
+    fast_fraction: float
+    end_cycle: int
+    identical: bool
+
+
+@dataclass
+class EngineBenchResult:
+    """Exact-vs-columnar comparison over the hot-path grid.
+
+    ``identical`` summarizes the bit-identity tripwire: every cell's
+    ``end_cycle``/``committed`` must match between engines (the
+    executor cache keys engines separately, so both runs are real).
+    ``full_fallback_cells`` counts cells the columnar engine ran
+    entirely through the exact path (``fast_fraction == 0``) — the
+    silent-fallback gate fails the benchmark when more than half the
+    grid does.
+    """
+
+    transactions: int
+    repeats: int
+    smoke: bool
+    cells: List[EngineCompareCell] = field(default_factory=list)
+    machine: str = field(default_factory=machine_fingerprint)
+    jobs: int = 1
+
+    @property
+    def identical(self) -> bool:
+        return all(c.identical for c in self.cells)
+
+    @property
+    def full_fallback_cells(self) -> int:
+        return sum(1 for c in self.cells if c.fast_fraction == 0.0)
+
+    @property
+    def aggregate_speedup(self) -> float:
+        """Total-ops-over-total-time ratio across the whole grid."""
+        exact = sum(c.ops / c.exact_ops_per_sec for c in self.cells if c.exact_ops_per_sec)
+        col = sum(c.ops / c.columnar_ops_per_sec for c in self.cells if c.columnar_ops_per_sec)
+        return exact / col if col else 0.0
+
+    def format_report(self) -> str:
+        rows = [
+            [
+                c.workload,
+                c.scheme,
+                c.cores,
+                f"{c.exact_ops_per_sec:,.0f}",
+                f"{c.columnar_ops_per_sec:,.0f}",
+                f"{c.speedup:.2f}x",
+                f"{c.fast_fraction:.3f}",
+                "ok" if c.identical else "MISMATCH",
+            ]
+            for c in self.cells
+        ]
+        title = "Engine comparison (exact vs columnar, best-of-N ops/sec)"
+        if self.smoke:
+            title += " [smoke]"
+        text = format_table(
+            [
+                "workload",
+                "scheme",
+                "cores",
+                "exact ops/s",
+                "columnar ops/s",
+                "speedup",
+                "fast_frac",
+                "bit-identical",
+            ],
+            rows,
+            title=title,
+        )
+        return (
+            f"{text}\n\naggregate speedup: {self.aggregate_speedup:.2f}x | "
+            f"full fallbacks: {self.full_fallback_cells}/{len(self.cells)}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": "engine",
+            "transactions": self.transactions,
+            "repeats": self.repeats,
+            "smoke": self.smoke,
+            "python": platform.python_version(),
+            "machine": self.machine,
+            "jobs": self.jobs,
+            "identical": self.identical,
+            "aggregate_speedup": self.aggregate_speedup,
+            "full_fallback_cells": self.full_fallback_cells,
+            "cells": [asdict(c) for c in self.cells],
+        }
+
+    def write_json(self, path: str) -> str:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def run_engine_comparison(
+    core_counts: Sequence[int] = DEFAULT_CORES,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    transactions: int = DEFAULT_TRANSACTIONS,
+    repeats: int = DEFAULT_REPEATS,
+    smoke: bool = False,
+    output: Optional[str] = "BENCH_engine.json",
+    executor: Optional[Executor] = None,
+) -> EngineBenchResult:
+    """Run the hot-path grid under both engines and compare.
+
+    Raises :class:`~repro.common.errors.ExecutionError` when any cell's
+    simulated results diverge between engines, or when the columnar
+    engine silently fell back to the exact path on more than half the
+    grid — both are regressions the CI bench job must catch, not
+    record.
+    """
+    from repro.common.errors import ExecutionError
+
+    common = dict(
+        core_counts=core_counts,
+        workloads=workloads,
+        schemes=schemes,
+        transactions=transactions,
+        repeats=repeats,
+        smoke=smoke,
+        output=None,
+        executor=executor,
+    )
+    exact = run(engine="exact", **common)
+    columnar = run(engine="columnar", **common)
+
+    result = EngineBenchResult(
+        transactions=exact.transactions,
+        repeats=exact.repeats,
+        smoke=exact.smoke,
+        jobs=exact.jobs,
+    )
+    for e, c in zip(exact.cells, columnar.cells):
+        identical = (
+            e.end_cycle == c.end_cycle and e.committed == c.committed
+        )
+        result.cells.append(
+            EngineCompareCell(
+                workload=e.workload,
+                scheme=e.scheme,
+                cores=e.cores,
+                ops=e.ops,
+                exact_ops_per_sec=e.ops_per_sec,
+                columnar_ops_per_sec=c.ops_per_sec,
+                speedup=(
+                    c.ops_per_sec / e.ops_per_sec if e.ops_per_sec else 0.0
+                ),
+                fast_fraction=c.fast_fraction or 0.0,
+                end_cycle=e.end_cycle,
+                identical=identical,
+            )
+        )
+    if output:
+        result.write_json(output)
+    if not result.identical:
+        bad = [
+            f"{c.workload}/{c.scheme}/{c.cores}"
+            for c in result.cells
+            if not c.identical
+        ]
+        raise ExecutionError(
+            "columnar engine diverged from exact on: " + ", ".join(bad)
+        )
+    if result.full_fallback_cells * 2 > len(result.cells):
+        raise ExecutionError(
+            f"columnar engine silently fell back to exact on "
+            f"{result.full_fallback_cells}/{len(result.cells)} cells"
+        )
     return result

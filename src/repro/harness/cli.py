@@ -71,12 +71,22 @@ EXIT_FAILURE = 1
 EXIT_USAGE = 2
 
 _EXPERIMENTS = {
-    "bench": lambda args, ex: bench.run(
-        smoke=args.smoke,
-        output=args.bench_output,
-        repeats=args.repeats,
-        executor=ex,
-        profile=args.profile,
+    "bench": lambda args, ex: (
+        bench.run_engine_comparison(
+            smoke=args.smoke,
+            output=args.engine_output,
+            repeats=args.repeats,
+            executor=ex,
+        )
+        if args.engine == "both"
+        else bench.run(
+            smoke=args.smoke,
+            output=args.bench_output,
+            repeats=args.repeats,
+            executor=ex,
+            profile=args.profile,
+            engine=args.engine,
+        )
     ),
     "crashtest": lambda args, ex: crashtest.run(
         points_per_pair=args.crash_points, seed=args.seed, executor=ex
@@ -234,6 +244,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: BENCH_hotpath.json)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("exact", "columnar", "both"),
+        default="exact",
+        help="bench only: execution engine to measure; 'both' runs the "
+        "grid under each engine, checks bit-identity, and writes the "
+        "speedup record (see --engine-output)",
+    )
+    parser.add_argument(
+        "--engine-output",
+        default="BENCH_engine.json",
+        help="bench only: where --engine both writes the comparison "
+        "record (default: BENCH_engine.json)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="bench only: enable the obs metrics registry and report "
@@ -316,6 +340,13 @@ def build_exp_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="use the spec's smoke parameters (small, CI-sized campaign)",
+    )
+    p_run.add_argument(
+        "--engine",
+        choices=("exact", "columnar"),
+        default="exact",
+        help="execution engine for every simulated cell (default: "
+        "exact; columnar is the bit-identical batched engine)",
     )
     p_run.add_argument(
         "--set",
@@ -421,7 +452,11 @@ def _exp_run(args) -> int:
         started = time.time()
         try:
             result, campaign = run_campaign(
-                spec, executor=executor, smoke=args.smoke, **applicable
+                spec,
+                executor=executor,
+                smoke=args.smoke,
+                engine=args.engine,
+                **applicable,
             )
         except ExecutionError as exc:
             print(f"[{spec.name} FAILED]\n{exc}", file=sys.stderr)

@@ -1,0 +1,165 @@
+"""Exact-vs-columnar equivalence gate over the experiment catalog.
+
+The columnar engine is only admissible because it is *bit-identical*:
+every campaign must produce the same simulated results under either
+engine.  This module runs the full experiment registry (smoke
+parameters by default) under both engines and compares three layers:
+
+* **Manifests** — the campaign manifests must be byte-equal after
+  normalization.  A manifest records each cell's content address and
+  cache status; the engine is deliberately part of the address (so
+  both engines really execute) and cache status depends on run order,
+  so the comparison strips exactly those two fields — ``engine``
+  inside each cell spec and the per-cell ``cached`` flag — and then
+  requires byte equality of the canonical JSON encoding.
+* **Result payloads** — each experiment's assembled figure/table
+  payload (``to_json_payload()``), compared byte-for-byte with no
+  normalization at all.
+* **Cell results** — per-cell ``end_cycle``, committed set and the
+  full stats counter mapping, compared value-for-value.
+
+It also accounts the columnar engine's fused coverage: a cell whose
+``fast_fraction`` is zero ran entirely through the exact path, and a
+catalog where more than half the simulated cells silently fall back
+fails the gate (the fast engine would be decorative).
+
+CI entry point::
+
+    PYTHONPATH=src python -m repro.harness.equivalence
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.harness.executor import Executor
+from repro.harness.experiments import load_all, run_campaign
+
+
+def normalized_manifest(manifest: Dict[str, Any]) -> str:
+    """Canonical JSON of a campaign manifest with the two
+    engine-dependent fields removed (see module docstring)."""
+    clean = json.loads(json.dumps(manifest, sort_keys=True))
+    for cell in clean.get("cells", []):
+        cell.pop("cached", None)
+        spec = cell.get("spec")
+        if isinstance(spec, dict):
+            spec.pop("engine", None)
+    return json.dumps(clean, sort_keys=True)
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of one exact-vs-columnar catalog comparison."""
+
+    smoke: bool
+    experiments: List[str] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+    simulated_cells: int = 0
+    full_fallback_cells: int = 0
+    delegated_cells: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.excessive_fallback
+
+    @property
+    def excessive_fallback(self) -> bool:
+        return self.full_fallback_cells * 2 > max(1, self.simulated_cells)
+
+    def format_report(self) -> str:
+        lines = [
+            f"engine equivalence over {len(self.experiments)} experiments "
+            f"({'smoke' if self.smoke else 'full'} catalog): "
+            f"{self.simulated_cells} simulated cells, "
+            f"{self.full_fallback_cells} full fallbacks, "
+            f"{self.delegated_cells} delegated",
+        ]
+        if self.excessive_fallback:
+            lines.append(
+                "FAIL: columnar engine silently fell back on more than "
+                "half the catalog"
+            )
+        for m in self.mismatches:
+            lines.append(f"MISMATCH: {m}")
+        if self.ok:
+            lines.append("OK: manifests, payloads and cell results match")
+        return "\n".join(lines)
+
+
+def check_engine_equivalence(
+    smoke: bool = True,
+    jobs: int = 1,
+    names: Optional[List[str]] = None,
+) -> EquivalenceReport:
+    """Run the experiment catalog under both engines and compare.
+
+    Uses cacheless executors: a cache hit would compare an engine
+    against a stored copy of itself and prove nothing.
+    """
+    registry = load_all()
+    specs = (
+        registry.specs()
+        if names is None
+        else [registry.get(name) for name in names]
+    )
+    report = EquivalenceReport(smoke=smoke)
+    for spec in specs:
+        report.experiments.append(spec.name)
+        result_exact, campaign_exact = run_campaign(
+            spec, executor=Executor(jobs=jobs), smoke=smoke, engine="exact"
+        )
+        result_col, campaign_col = run_campaign(
+            spec, executor=Executor(jobs=jobs), smoke=smoke, engine="columnar"
+        )
+
+        if normalized_manifest(campaign_exact.manifest()) != normalized_manifest(
+            campaign_col.manifest()
+        ):
+            report.mismatches.append(f"{spec.name}: manifest differs")
+        payload_exact = json.dumps(
+            result_exact.to_json_payload(), sort_keys=True, default=repr
+        )
+        payload_col = json.dumps(
+            result_col.to_json_payload(), sort_keys=True, default=repr
+        )
+        if payload_exact != payload_col:
+            report.mismatches.append(f"{spec.name}: result payload differs")
+
+        for (point, oe), (_, oc) in zip(
+            campaign_exact.cells(), campaign_col.cells()
+        ):
+            re_, rc = oe.result, oc.result
+            report.simulated_cells += 1
+            stats = oc.engine_stats or {}
+            if stats.get("delegated"):
+                report.delegated_cells += 1
+            elif stats.get("fast_fraction", 0.0) == 0.0:
+                report.full_fallback_cells += 1
+            if not hasattr(re_, "end_cycle"):
+                continue  # trace-statistics cells carry no run result
+            where = f"{spec.name} {point}"
+            if re_.end_cycle != rc.end_cycle:
+                report.mismatches.append(
+                    f"{where}: end_cycle {re_.end_cycle} != {rc.end_cycle}"
+                )
+            if re_.committed != rc.committed:
+                report.mismatches.append(f"{where}: committed differs")
+            if dict(re_.stats.counters) != dict(rc.stats.counters):
+                report.mismatches.append(f"{where}: stats counters differ")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    smoke = "--full" not in args
+    report = check_engine_equivalence(smoke=smoke)
+    print(report.format_report())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

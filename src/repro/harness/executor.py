@@ -46,6 +46,7 @@ from repro.faults.oracle import FaultVerdict, check_fault_aware_durability
 from repro.faults.plan import FaultPlan
 from repro.harness.resultcache import MISS, ResultCache
 from repro.obs import ObsConfig
+from repro.sim.columnar import ColumnarEngine
 from repro.sim.crash import CrashPlan
 from repro.sim.engine import TransactionEngine
 from repro.sim.system import System
@@ -114,6 +115,12 @@ class CellSpec:
     ``obs`` enables the observability layer for the cell; it is part
     of the content address (an obs-enabled outcome carries events and
     metrics a plain one does not, so they must not share a cache slot).
+    ``engine`` selects the execution engine (``exact`` or the
+    bit-identical batched ``columnar``); it is part of the content
+    address too — not because the results may differ (they must not),
+    but because a columnar outcome carries engine diagnostics and the
+    cache must be able to answer "has this cell run under engine X"
+    when the equivalence gate compares engines.
     """
 
     workload: WorkloadSpec
@@ -125,6 +132,7 @@ class CellSpec:
     verify: bool = False
     repeats: int = 1
     obs: Optional[ObsConfig] = None
+    engine: str = "exact"
 
     def effective_config(self) -> SystemConfig:
         return self.config if self.config is not None else SystemConfig.table2(self.cores)
@@ -159,6 +167,9 @@ class CellOutcome:
     fault_verdict: Optional[FaultVerdict] = None
     error: Optional[str] = None
     cached: bool = False
+    #: Engine diagnostics (``ColumnarEngine.engine_stats()``) for
+    #: non-exact engines: fused/exact op counts and delegation reason.
+    engine_stats: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -189,6 +200,10 @@ def spec_key(spec: CellSpec) -> str:
         "repeats": spec.repeats,
         "obs": spec.obs.to_json_dict() if spec.obs is not None else None,
     }
+    if spec.engine != "exact":
+        # Emitted only for non-default engines so every pre-existing
+        # cache entry (and golden manifest) keeps its address.
+        payload["engine"] = spec.engine
     return json.dumps(payload, sort_keys=True, default=repr)
 
 
@@ -211,13 +226,22 @@ def execute_cell(spec: CellSpec) -> CellOutcome:
         return CellOutcome(spec=spec, result=stats)
 
     config = spec.effective_config()
+    if spec.engine == "exact":
+        engine_cls = TransactionEngine
+    elif spec.engine == "columnar":
+        engine_cls = ColumnarEngine
+    else:
+        raise ConfigError(
+            f"unknown engine {spec.engine!r} (exact or columnar)"
+        )
     seconds: List[float] = []
     result = None
     system = None
+    engine = None
     for _ in range(max(1, spec.repeats)):
         system = System(config, obs=spec.obs)
         scheme = SchemeRegistry.create(spec.scheme, system)
-        engine = TransactionEngine(
+        engine = engine_cls(
             system,
             scheme,
             trace,
@@ -227,6 +251,9 @@ def execute_cell(spec: CellSpec) -> CellOutcome:
         started = time.perf_counter()
         result = engine.run()
         seconds.append(time.perf_counter() - started)
+    engine_stats = (
+        engine.engine_stats() if hasattr(engine, "engine_stats") else None
+    )
     mismatches = None
     fault_verdict = None
     if spec.verify:
@@ -241,6 +268,7 @@ def execute_cell(spec: CellSpec) -> CellOutcome:
         seconds=tuple(seconds),
         mismatches=mismatches,
         fault_verdict=fault_verdict,
+        engine_stats=engine_stats,
     )
 
 

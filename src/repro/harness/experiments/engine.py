@@ -54,6 +54,7 @@ def run_campaign(
     executor: Optional[Executor] = None,
     smoke: bool = False,
     obs: Optional[ObsConfig] = None,
+    engine: str = "exact",
     **overrides: Any,
 ) -> Tuple[Any, Campaign]:
     """Run one experiment end to end; returns (result, campaign).
@@ -62,6 +63,11 @@ def run_campaign(
     (per-experiment metric roll-ups via :meth:`Campaign.metrics`);
     it joins the cells' content addresses, so profiled campaigns never
     share cache slots with plain ones.
+
+    ``engine`` selects the execution engine for every simulated cell
+    (``exact`` or the bit-identical batched ``columnar``); like
+    ``obs`` it joins the content address, so the equivalence gate can
+    run the same catalog under both engines without cache collisions.
     """
     params = spec.merged_params(smoke=smoke, overrides=overrides)
     axes, points, cells = lower(spec, params)
@@ -69,6 +75,8 @@ def run_campaign(
     to_run = [cells[index] for index in simulated]
     if obs is not None:
         to_run = [replace(cell, obs=obs) for cell in to_run]
+    if engine != "exact":
+        to_run = [replace(cell, engine=engine) for cell in to_run]
     run_outcomes = (executor if executor is not None else Executor(jobs=1)).run(to_run)
     raise_on_failures(run_outcomes)
     outcomes: List[Optional[CellOutcome]] = [None] * len(points)

@@ -61,6 +61,10 @@ class BoundedQueueModel:
         count, corrupting write-occupancy accounting.
         """
         heap = self._completions
+        if len(heap) < self.capacity:
+            # In-flight entries are a subset of the heap, so a
+            # not-full heap means a free slot without counting.
+            return now
         in_flight = 0
         earliest: Optional[int] = None
         for completion in heap:
@@ -75,7 +79,9 @@ class BoundedQueueModel:
         return earliest
 
     def occupancy(self, now: int) -> int:
-        heap = self._completions
-        while heap and heap[0] <= now:
-            heapq.heappop(heap)
-        return len(heap)
+        """Entries still in flight at ``now``, without mutating the
+        queue.  Like :meth:`earliest_admission`, a query must not prune
+        the completion heap: admits are non-monotone, so a prune from a
+        later-time observer would retire entries an earlier-time
+        :meth:`admit` still has to count, changing admission stalls."""
+        return sum(1 for completion in self._completions if completion > now)

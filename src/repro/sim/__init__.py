@@ -4,6 +4,7 @@ from repro.sim.system import System
 from repro.sim.crash import CrashPlan
 from repro.sim.results import RunResult
 from repro.sim.engine import TransactionEngine, run_trace
+from repro.sim.columnar import ColumnarEngine
 from repro.sim.restart import continuation_trace, resume_trace
 from repro.sim.verify import check_atomic_durability, expected_image
 
@@ -12,6 +13,7 @@ __all__ = [
     "CrashPlan",
     "RunResult",
     "TransactionEngine",
+    "ColumnarEngine",
     "run_trace",
     "continuation_trace",
     "resume_trace",

@@ -1,0 +1,1905 @@
+"""The batched columnar epoch engine (bit-identical fast path).
+
+:class:`ColumnarEngine` runs the same trace/scheme/system as
+:class:`~repro.sim.engine.TransactionEngine` but replaces the
+one-op-per-heap-pop scheduler with *epoch batching*: it decodes each
+core's op stream into flat columns (op kind / address / value) once,
+then advances a whole run of one core's operations in a single fused
+kernel call, yielding only when the core's clock crosses the next
+core's scheduled time.
+
+Epoch rule.  The exact engine's schedule is a min-heap of
+``(core_time, core_index)`` with ties toward the lowest index.  After
+core ``i`` executes one op at time ``t`` and advances to ``now``, the
+exact engine re-runs core ``i`` next if and only if
+
+    ``now < limit_t  or  (now == limit_t and i < limit_i)``
+
+where ``(limit_t, limit_i)`` is the heap minimum among the *other*
+cores — which cannot change while core ``i`` runs, because only the
+running core's clock moves.  The columnar engine therefore executes
+core ``i``'s ops back-to-back while that predicate holds and pushes
+the core back into the heap when it fails.  The resulting global op
+order is *identical* to the exact engine's, so every timestamped
+side effect (WPQ admission, bank scheduling, on-PM buffer LRU, cache
+evictions, scheme state) is reproduced bit-for-bit.
+
+Fused kernels.  Per core, a scheme-specialized stepper executes the
+Store/Load/TxBegin/TxEnd hot paths with the per-op call tree of the
+exact engine flattened into straight-line code over hoisted locals:
+the L1-hit probe, the MC write path (WPQ prune/admit, channel bus,
+bank heap), the on-PM buffer fast paths and the media's
+data-comparison-write run inline against the *live* simulator state.
+Counter increments are accumulated in closure integers and flushed
+once at the end of the run; every flush is value-guarded so the final
+counter key set matches the exact engine's exactly (a
+``collections.Counter`` creates a key even for ``+= 0``).
+
+Exact-engine fallback.  Three levels:
+
+* **Run delegation** — a crash plan, fault plan, enabled observability
+  layer or poisoned media delegates the entire run to the wrapped
+  exact engine (``delegated_reason`` records why).  Crash/fault
+  windows and observability hooks are timing-sensitive rare paths
+  that batching must not touch.
+* **Core fallback** — a core whose scheme is not one of the five
+  fused designs (base, fwb, silo, morlog, lad), whose silo ablation
+  flags are non-default, or whose thread id has no valid log area
+  runs entirely through ``TransactionEngine._step`` (same global
+  order, same results, no speedup).
+* **Op fallback** — a fused stepper returns the op to
+  ``TransactionEngine._step`` unconsumed when it cannot prove the
+  fast path identical (op outside a transaction, address outside the
+  48-bit log-entry field, a write-through request whose on-PM buffer
+  line is already resident and must coalesce, unknown op kinds).
+  Paths where the exact engine would raise are also routed here so
+  the exception (and its message) comes from the exact code.
+
+Determinism argument.  The fused kernels mutate the same objects the
+exact engine would (media image, on-PM buffer, WPQ/bank heaps, cache
+hierarchy, region cursors/sequence, scheme state) in the same global
+op order with the same arithmetic; accumulated counters commute with
+live increments because counter addition is associative.  The only
+state intentionally skipped is the region's structured recovery
+*records* for fused designs — they are observable only through crash
+and recovery paths, which always delegate to the exact engine — with
+the thread's (empty) record bucket recreated at flush time to match
+the exact engine's post-truncation end state.
+"""
+
+from __future__ import annotations
+
+import gc
+from heapq import heapify, heappop, heappush, heapreplace
+from typing import Optional
+from weakref import WeakKeyDictionary
+
+from repro.common.constants import ONPM_LINE_SIZE, OVERFLOW_BATCH_ENTRIES, WORD_MASK
+from repro.common.errors import AddressError
+from repro.core.silo import _CONTROLLER_QUEUE_CYCLES, SiloScheme
+from repro.designs.base import BaseScheme
+from repro.designs.fwb import FWB_INTERVAL_CYCLES, FWBScheme
+from repro.designs.lad import CAPTURE_LINES, PREPARE_CYCLES_PER_LINE, LADScheme
+from repro.designs.morlog import MORPH_BUFFER_ENTRIES, MorLogScheme
+from repro.hwlog.entry import LogEntry
+from repro.sim.engine import TransactionEngine
+from repro.trace.ops import Load, Store, TxBegin, TxEnd
+
+#: Payload-mix constants of :meth:`LogRegion.persist_word_log`.
+_K1 = 0x9E3779B97F4A7C15
+_K2 = 0xC2B2AE3D27D4EB4F
+#: Largest address fitting the log entry's 48-bit field.
+_A48 = (1 << 48) - 1
+_M = WORD_MASK
+
+# Stepper statuses.
+_DONE = 0  #: the core has no ops left
+_YIELD = 1  #: the core's clock crossed the epoch horizon
+_EXACT = 2  #: current op NOT consumed; run it through the exact engine
+
+_INF = float("inf")
+
+
+# Static op kinds.  The trace analysis folds the transaction state
+# machine and the old-value analysis into the kind column:
+#   0 TxBegin             5 Store, address outside the 48-bit field
+#   1 TxEnd               6 nested TxBegin (in_tx already set)
+#   2 Store, static old   7 unmatched TxEnd (in_tx clear)
+#   3 Load                8 exact-engine op (store outside tx /
+#   4 Store, dynamic old     unknown op kind; the exact engine raises)
+
+
+class _CorePre:
+    """Per-core static columns."""
+
+    __slots__ = ("kinds", "addrs", "vals", "olds", "log")
+
+    def __init__(self, kinds, addrs, vals, olds):
+        self.kinds = kinds
+        self.addrs = addrs
+        self.vals = vals
+        self.olds = olds
+        #: Lazily attached WAL layout: ``(lbase, larea, _LogPre|None)``
+        #: — keyed by the area so a trace reused under a different
+        #: memory layout recomputes (None = precondition failed).
+        self.log = None
+
+
+class _LogPre:
+    """Static WAL log layout for one core (base/fwb only)."""
+
+    __slots__ = ("la", "pre2", "cur_te", "end_cur", "media", "wear",
+                 "n_static", "nz_static")
+
+    def __init__(self, la, pre2, cur_te, end_cur, media, wear, n_static, nz):
+        self.la = la  #: log address per store pc
+        self.pre2 = pre2  #: payload missing only ``old*K1``, per dynamic pc
+        self.cur_te = cur_te  #: cursor before the commit tuple, per TxEnd pc
+        self.end_cur = end_cur  #: cursor after the whole trace
+        self.media = media  #: {word addr: value} of all static entries
+        self.wear = wear  #: {sector: writes} of all static entries
+        self.n_static = n_static  #: static entry count (= media line writes)
+        self.nz_static = nz  #: changed-word count of static entries
+
+
+class _TracePre:
+    """Whole-trace static analysis (memoized on the trace object)."""
+
+    __slots__ = ("cores", "amin", "amax", "imin", "imax")
+
+    def __init__(self, cores, amin, amax, imin, imax):
+        self.cores = cores
+        self.amin = amin  #: smallest trace address (stores and loads)
+        self.amax = amax
+        self.imin = imin  #: smallest initial-image word address
+        self.imax = imax
+
+
+_PRE_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def _analyze(trace, cores):
+    """Columnarize every core's op stream, fold transaction legality
+    into the kind column, and resolve static old values through a
+    global single-writer analysis.
+
+    An address is *single-writer* when every store to it across the
+    whole trace comes from one core: that core's overwritten values
+    are then a pure function of the trace (its own previous store,
+    else the initial image) because the exact engine's shadow map and
+    media agree with the static chain at every interleaving.  Stores
+    to multi-writer or out-of-48-bit-range addresses keep the live
+    shadow map (the range limit keeps silo/lad's resumable exact-path
+    stores — which the analysis cannot see — off every static chain).
+    """
+    decoded = []
+    writers = {}
+    amin = amax = None
+    for idx, core in enumerate(cores):
+        ops = core.ops
+        n = len(ops)
+        kinds = bytearray(n)
+        addrs = [0] * n
+        vals = [0] * n
+        for i, op in enumerate(ops):
+            t = type(op)
+            if t is Store:
+                a = op.addr
+                kinds[i] = 2
+                addrs[i] = a
+                vals[i] = op.value
+                w = writers.get(a)
+                if w is None:
+                    writers[a] = idx
+                elif w != idx:
+                    writers[a] = -2
+                if amin is None or a < amin:
+                    amin = a
+                if amax is None or a > amax:
+                    amax = a
+            elif t is Load:
+                a = op.addr
+                kinds[i] = 3
+                addrs[i] = a
+                if amin is None or a < amin:
+                    amin = a
+                if amax is None or a > amax:
+                    amax = a
+            elif t is TxBegin:
+                kinds[i] = 0
+            elif t is TxEnd:
+                kinds[i] = 1
+            else:
+                kinds[i] = 8
+        decoded.append((kinds, addrs, vals))
+
+    image = trace.initial_image
+    image_get = image.get
+    imin = min(image) if image else None
+    imax = max(image) if image else None
+
+    pres = []
+    for idx, (kinds, addrs, vals) in enumerate(decoded):
+        n = len(kinds)
+        olds = [0] * n
+        last = {}
+        in_tx = False
+        for i in range(n):
+            k = kinds[i]
+            if k == 2:
+                a = addrs[i]
+                if not in_tx:
+                    # The exact engine raises SimulationError before
+                    # touching any state; later ops are unreachable.
+                    kinds[i] = 8
+                    continue
+                if 0 <= a <= _A48 and writers[a] == idx:
+                    old = last.get(a)
+                    if old is None:
+                        old = image_get(a, 0)
+                    olds[i] = old
+                else:
+                    kinds[i] = 4 if 0 <= a <= _A48 else 5
+                last[a] = vals[i]
+            elif k == 0:
+                if in_tx:
+                    kinds[i] = 6
+                in_tx = True
+            elif k == 1:
+                if not in_tx:
+                    kinds[i] = 7
+                in_tx = False
+        pres.append(_CorePre(bytes(kinds), addrs, vals, olds))
+    return _TracePre(pres, amin, amax, imin, imax)
+
+
+def _trace_pre(trace, cores):
+    try:
+        pre = _PRE_MEMO.get(trace)
+    except TypeError:
+        return _analyze(trace, cores)
+    if pre is None or len(pre.cores) != len(cores):
+        pre = _analyze(trace, cores)
+        try:
+            _PRE_MEMO[trace] = pre
+        except TypeError:
+            pass
+    return pre
+
+
+def _log_pass(pre, cpre, tid, lbase, larea):
+    """Static WAL log layout for one base/fwb core, or ``None`` when
+    the *virgin log area* precondition fails.
+
+    Precondition (conservative):
+
+    * the thread's log cursor never wraps the area, and
+    * no initial-image word lies inside the log area, and
+    * every trace address stays a full on-PM-buffer line (256 bytes)
+      away from the log area.
+
+    The caller additionally requires the thread's cursor to start at
+    zero (a reused system with leftover log-area media words always
+    has a non-zero cursor, because nothing ever resets it).  Under
+    the precondition every static log entry writes its words to
+    virgin, exclusively-owned media (a word "changes" iff non-zero,
+    and the first payload word is odd so the sector write is never
+    redundant), no log line can ever be resident in the on-PM buffer
+    (posted data lines are trace lines), and nothing reads a log word
+    during the run (crash/recovery paths delegate) — so the entries'
+    media words, wear and DCW outcome are pure trace functions,
+    applied in bulk at flush time.
+    """
+    area_end = lbase + larea
+    if pre.amin is not None and not (
+        pre.amax + ONPM_LINE_SIZE <= lbase or pre.amin >= area_end + ONPM_LINE_SIZE
+    ):
+        return None
+    if pre.imin is not None and not (pre.imax < lbase or pre.imin >= area_end):
+        return None
+
+    kinds = cpre.kinds
+    addrs = cpre.addrs
+    vals = cpre.vals
+    olds = cpre.olds
+    n = len(kinds)
+    la_col = [0] * n
+    pre2_col = [0] * n
+    cur_te = [0] * n
+    media = {}
+    wear = {}
+    n_static = 0
+    nz = 0
+    cur = 0
+    txid = 0
+    tx_index = 0
+    for pc in range(n):
+        k = kinds[pc]
+        if k == 2 or k == 4 or k == 5:
+            rem = cur & 63
+            if rem:
+                cur += 64 - rem
+            la = lbase + cur
+            la_col[pc] = la
+            a = addrs[pc]
+            if k == 2:
+                p = (
+                    (tid << 56)
+                    ^ (txid << 40)
+                    ^ a
+                    ^ ((olds[pc] & _M) * _K1)
+                    ^ ((vals[pc] & _M) * _K2)
+                ) | 1
+                w = p & _M
+                if w:
+                    media[la] = w
+                    nz += 1
+                w = (p + 1) & _M
+                if w:
+                    media[la + 8] = w
+                    nz += 1
+                w = (p + 2) & _M
+                if w:
+                    media[la + 16] = w
+                    nz += 1
+                w = (p + 3) & _M
+                if w:
+                    media[la + 24] = w
+                    nz += 1
+                n_static += 1
+                sec = la >> 6
+                wear[sec] = wear.get(sec, 0) + 1
+            else:
+                pre2_col[pc] = (
+                    (tid << 56) ^ (txid << 40) ^ a ^ ((vals[pc] & _M) * _K2)
+                )
+            cur += 26
+        elif k == 0 or k == 6:
+            tx_index += 1
+            txid = (tx_index % 65535) + 1
+        elif k == 1 or k == 7:
+            cur_te[pc] = cur
+            rem = cur & 63
+            if rem:
+                cur += 64 - rem
+            cur += 16  # the two-word commit tuple
+        # kind 8 raises inside the exact engine, so ops after it are
+        # unreachable and their (absent) log effects don't matter.
+    if cur > larea:
+        return None  # the cursor would wrap: log addresses get reused
+    return _LogPre(la_col, pre2_col, cur_te, cur, media, wear, n_static, nz)
+
+
+def _make_generic_stepper(exact, idx, core):
+    """Fallback stepper: every op goes through the exact engine."""
+    n_ops = core.n_ops
+
+    def step(limit_t, limit_i):
+        return _DONE if core.pc >= n_ops else _EXACT
+
+    def flush():
+        return None
+
+    return step, flush
+
+
+def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
+    """Fused stepper for the per-store WAL designs (base, fwb) with a
+    fully static log layout.
+
+    Requires the virgin-log-area precondition (see :func:`_log_pass`)
+    plus a zero starting cursor; otherwise returns ``None`` and the
+    core falls back to the generic stepper (rare, correct, slow).
+    Under it the per-store hot path is pure timing arithmetic: the
+    static entries' media words/wear/counters are applied in bulk at
+    flush time, and the log submit does not even need the entry's
+    address (one four-word request to one virgin sector, always).
+
+    Base additionally fuses the per-store data write-back: every base
+    store cleans its cacheline immediately, loads never dirty lines
+    and L3/L2 copies are therefore always clean, so the exact
+    engine's ``writeback_line`` merge is statically the singleton
+    ``{addr: value}`` of the store itself and the probe loop (plain
+    ``get``, no LRU side effects) can be skipped.
+
+    No fused op here ever falls back mid-core: kind-8 ops raise
+    inside the exact engine before touching engine state, so the
+    stepper's deferred cursor/sequence bookkeeping (synced before
+    every bound ``persist_commit_tuple`` call and at every epoch
+    boundary) never interleaves with exact-path log writes.
+    """
+    scheme = exact.scheme
+    system = exact.system
+    tid = core.tid
+    region = system.region
+    try:
+        lbase, larea = region.layout.thread_log_area(tid)
+    except AddressError:
+        return None
+    if region._cursor.get(tid, 0) != 0:
+        return None
+    cached = cpre.log
+    if cached is not None and cached[0] == lbase and cached[1] == larea:
+        lp = cached[2]
+    else:
+        lp = _log_pass(pre, cpre, tid, lbase, larea)
+        cpre.log = (lbase, larea, lp)
+    if lp is None:
+        return None
+
+    kinds = cpre.kinds
+    addrs = cpre.addrs
+    vals = cpre.vals
+    la_col = lp.la
+    pre2_col = lp.pre2
+    cur_te = lp.cur_te
+    n_ops = core.n_ops
+
+    # ---------------------------------------------------------- hoists
+    mc = system.mc
+    chan = idx % mc.channels
+    wpq_heap = mc._wpq_heaps[chan]
+    wpq_cap = mc._wpq_capacity
+    chfree = mc._channel_free
+    banks = mc._bank_free[chan]
+    BUS = mc._bus_overhead
+    BEAT = mc._bus_beat
+    WSERV = mc._write_service
+    BUS1 = BUS + BEAT  # data singleton
+    BUS2 = BUS + 2 * BEAT  # commit tuple
+    BUS4 = BUS + 4 * BEAT  # log entry
+
+    pm = system.pm
+    onpm = pm.buffer
+    onpm_lines = onpm._lines
+    onpm_cap = onpm._capacity
+    evict_lru = onpm._evict_lru
+    media_words = pm.media._words
+    media_get = media_words.get
+    wear = pm.media._sector_wear
+    wear_get = wear.get
+
+    hier = system.hierarchy
+    l1 = hier._l1[idx]
+    l1_sets = l1._sets
+    l1_shift = l1._line_shift
+    l1_nsets = l1._num_sets
+    k_l1_hits = l1._k_hits
+    LAT_L1 = hier._lat_l1
+    line_mask = hier._line_mask
+    hier_store = exact._hier_store
+    hier_load = exact._hier_load
+    read_contention = exact._read_contention
+    on_evictions = exact._scheme_on_evictions
+
+    rcur = region._cursor
+    records = region._records
+    persist_commit_tuple = region.persist_commit_tuple
+
+    counters = system.stats.counters
+    current = exact._current
+    current_get = current.get
+    committed_add = exact._committed.add
+    OPOV = exact._op_overhead
+    M = WORD_MASK
+
+    tld = scheme._tx_log_done
+    if is_fwb:
+        log_ready = scheme._log_ready
+        lr_get = log_ready.get
+        fwb_dirty_add = scheme._dirty_lines[idx].add
+        owner = scheme._owner
+        mfwb = scheme._maybe_force_writeback
+        await_truncate_append = scheme._await_truncate.append
+
+    # ------------------------------------------------- accumulators
+    a_l1_hits = 0
+    a_wpq_stall = 0
+    a_med_lines = 0  # dynamic entries + commit tuples (static in bulk)
+    a_med_words = 0
+    a_med_redund = 0
+    a_committed = 0
+    ns = 0  # fused log entries (static + dynamic)
+    n_te = 0  # fused commit tuples
+
+    def step(limit_t, limit_i):
+        nonlocal a_l1_hits, a_wpq_stall
+        nonlocal a_med_lines, a_med_words, a_med_redund
+        nonlocal a_committed, ns, n_te
+        pc = core.pc
+        now = core.time
+        in_tx = core.in_tx
+        txid = core.txid
+        tx_index = core.tx_index
+        tldv = tld[idx]
+        pend = 0  # region._seq increments deferred within this epoch
+        lim = limit_t if idx < limit_i else limit_t - 1
+        try:
+            while True:
+                if pc >= n_ops:
+                    return _DONE
+                if now > lim:
+                    return _YIELD
+                k = kinds[pc]
+                cost = OPOV
+                if k == 2 or k == 4 or k == 5:  # ------------- Store
+                    a = addrs[pc]
+                    v = vals[pc]
+                    base = a & line_mask
+                    bucket = l1_sets[(base >> l1_shift) % l1_nsets]
+                    line = bucket.get(base)
+                    if line is not None:
+                        bucket.move_to_end(base)
+                        a_l1_hits += 1
+                        cost += LAT_L1
+                        dw = line.dirty_words
+                        dw[a] = v
+                    else:
+                        access = hier_store(idx, a, v)
+                        cost += access.latency
+                        if access.hit_level == "pm":
+                            cost += read_contention(a, now, idx)
+                        wbs = access.writebacks
+                        if wbs:
+                            cost += on_evictions(idx, now, wbs)
+                        dw = bucket[base].dirty_words
+                    if k == 2:
+                        # Static entry: media words/wear precomputed
+                        # (bulk-applied at flush).
+                        pass
+                    else:
+                        old = current_get(a)
+                        if old is None:
+                            old = media_get(a, 0)
+                        la = la_col[pc]
+                        p = (pre2_col[pc] ^ ((old & M) * _K1)) | 1
+                        # Virgin sector: a word changes iff non-zero,
+                        # and the first payload word is odd.
+                        media_words[la] = p & M
+                        changed = 1
+                        w = (p + 1) & M
+                        if w:
+                            media_words[la + 8] = w
+                            changed += 1
+                        w = (p + 2) & M
+                        if w:
+                            media_words[la + 16] = w
+                            changed += 1
+                        w = (p + 3) & M
+                        if w:
+                            media_words[la + 24] = w
+                            changed += 1
+                        a_med_lines += 1
+                        a_med_words += changed
+                        sec = la >> 6
+                        wear[sec] = wear_get(sec, 0) + 1
+                        current[a] = v
+                    pend += 1
+                    ns += 1
+                    # Log submit: one 4-word request, one sector (plus
+                    # capacity-victim sectors when the on-PM buffer is
+                    # full — fwb's posted data lines; base never fills
+                    # it).  The log line itself is never resident.
+                    extra = 0
+                    if onpm_lines and len(onpm_lines) >= onpm_cap:
+                        extra = evict_lru()
+                    while wpq_heap and wpq_heap[0] <= now:
+                        heappop(wpq_heap)
+                    if len(wpq_heap) < wpq_cap:
+                        adm = now
+                    else:
+                        adm = wpq_heap[0]
+                        a_wpq_stall += adm - now
+                        cost += adm - now
+                    busy = chfree[chan]
+                    start = adm if adm > busy else busy
+                    persisted = start + BUS4
+                    chfree[chan] = persisted
+                    log_done = persisted
+                    for _ in range(extra + 1):
+                        free = banks[0]
+                        begin = persisted if persisted > free else free
+                        log_done = begin + WSERV
+                        heapreplace(banks, log_done)
+                    heappush(wpq_heap, log_done)
+                    if is_fwb:
+                        if log_done > lr_get(base, 0):
+                            log_ready[base] = log_done
+                        if log_done > tldv:
+                            tldv = log_done
+                        fwb_dirty_add(base)
+                        owner[base] = idx
+                        if now - scheme._last_fwb >= FWB_INTERVAL_CYCLES:
+                            # mfwb flushes lines and truncates records;
+                            # it reads neither the seq nor the cursor,
+                            # so the deferred sync can wait.
+                            cost += mfwb(idx, now)
+                    else:
+                        # base: immediate write-through of the line's
+                        # dirty words — statically {a: v}.
+                        dw.clear()
+                        if media_get(a, 0) != v:
+                            media_words[a] = v
+                            a_med_lines += 1
+                            a_med_words += 1
+                            sec = a >> 6
+                            wear[sec] = wear_get(sec, 0) + 1
+                            dsec = 1
+                        else:
+                            a_med_redund += 1
+                            dsec = 0
+                        extra = 0
+                        if onpm_lines and len(onpm_lines) >= onpm_cap:
+                            extra = evict_lru()
+                        dsec += extra
+                        while wpq_heap and wpq_heap[0] <= now:
+                            heappop(wpq_heap)
+                        if len(wpq_heap) < wpq_cap:
+                            adm = now
+                        else:
+                            adm = wpq_heap[0]
+                            a_wpq_stall += adm - now
+                            cost += adm - now
+                        busy = chfree[chan]
+                        start = adm if adm > busy else busy
+                        persisted = start + BUS1
+                        chfree[chan] = persisted
+                        media_done = persisted
+                        if dsec:
+                            for _ in range(dsec):
+                                free = banks[0]
+                                begin = (
+                                    persisted if persisted > free else free
+                                )
+                                media_done = begin + WSERV
+                                heapreplace(banks, media_done)
+                        heappush(wpq_heap, media_done)
+                        if log_done > tldv:
+                            tldv = log_done
+                elif k == 3:  # ------------------------------- Load
+                    a = addrs[pc]
+                    base = a & line_mask
+                    bucket = l1_sets[(base >> l1_shift) % l1_nsets]
+                    line = bucket.get(base)
+                    if line is not None:
+                        bucket.move_to_end(base)
+                        a_l1_hits += 1
+                        cost += LAT_L1
+                    else:
+                        access = hier_load(idx, a)
+                        cost += access.latency
+                        if access.hit_level == "pm":
+                            cost += read_contention(a, now, idx)
+                        wbs = access.writebacks
+                        if wbs:
+                            cost += on_evictions(idx, now, wbs)
+                elif k == 0 or k == 6:  # ------------------- TxBegin
+                    tx_index += 1
+                    txid = (tx_index % 65535) + 1
+                    in_tx = True
+                elif k == 1 or k == 7:  # --------------------- TxEnd
+                    stall = tldv - now
+                    if stall < 0:
+                        stall = 0
+                    # Sync the deferred log state: the bound tuple
+                    # call reads the global seq and this tid's cursor.
+                    if pend:
+                        region._seq += pend
+                        pend = 0
+                    rcur[tid] = cur_te[pc]
+                    words = persist_commit_tuple(tid, txid)
+                    t2 = now + stall
+                    n_te += 1
+                    wit = iter(words.items())
+                    wa0, wv0 = next(wit)
+                    wa1, wv1 = next(wit)
+                    changed = 0
+                    if wv0:
+                        media_words[wa0] = wv0
+                        changed = 1
+                    if wv1:
+                        media_words[wa1] = wv1
+                        changed += 1
+                    if changed:
+                        a_med_lines += 1
+                        a_med_words += changed
+                        sec = wa0 >> 6
+                        wear[sec] = wear_get(sec, 0) + 1
+                        dsec = 1
+                    else:
+                        a_med_redund += 1
+                        dsec = 0
+                    extra = 0
+                    if onpm_lines and len(onpm_lines) >= onpm_cap:
+                        extra = evict_lru()
+                    dsec += extra
+                    while wpq_heap and wpq_heap[0] <= t2:
+                        heappop(wpq_heap)
+                    if len(wpq_heap) < wpq_cap:
+                        adm = t2
+                    else:
+                        adm = wpq_heap[0]
+                        a_wpq_stall += adm - t2
+                        stall += adm - t2
+                    busy = chfree[chan]
+                    start = adm if adm > busy else busy
+                    persisted = start + BUS2
+                    chfree[chan] = persisted
+                    media_done = persisted
+                    if dsec:
+                        for _ in range(dsec):
+                            free = banks[0]
+                            begin = persisted if persisted > free else free
+                            media_done = begin + WSERV
+                            heapreplace(banks, media_done)
+                    heappush(wpq_heap, media_done)
+                    stall += media_done - t2
+                    tldv = 0
+                    if is_fwb:
+                        await_truncate_append((tid, txid))
+                    # base: the exact engine's discard_tx here is a
+                    # no-op on the fused path (no records created).
+                    cost += stall
+                    in_tx = False
+                    committed_add((tid, tx_index))
+                    a_committed += 1
+                else:  # kind 8: exact raises SimulationError
+                    return _EXACT
+                pc += 1
+                now += cost
+        finally:
+            core.pc = pc
+            core.time = now
+            core.in_tx = in_tx
+            core.txid = txid
+            core.tx_index = tx_index
+            tld[idx] = tldv
+            if pend:
+                region._seq += pend
+
+    def flush():
+        c = counters
+        if a_l1_hits:
+            c[k_l1_hits] += a_l1_hits
+        n_log = ns + n_te
+        n_data = 0 if is_fwb else ns
+        mcw = n_log + n_data
+        if mcw:
+            c["mc.writes"] += mcw
+        if n_log:
+            c["mc.writes.log"] += n_log
+            c["pm.requests.log"] += n_log
+            c["pm.request_bytes.log"] += 32 * ns + 16 * n_te
+        if n_data:
+            c["mc.writes.data"] += n_data
+            c["pm.requests.data"] += n_data
+            c["pm.request_bytes.data"] += 8 * n_data
+        if a_wpq_stall:
+            c["mc.wpq_stall_cycles"] += a_wpq_stall
+        onr = n_log + n_data
+        if onr:
+            # Every fused request hits the write-through empty/absent
+            # fast path: one buffer request, one immediate eviction.
+            c["onpm.requests"] += onr
+            c["onpm.line_evictions"] += onr
+        coal = 3 * ns + n_te
+        if coal:
+            c["onpm.coalesced_words"] += coal
+        med_l = a_med_lines + lp.n_static
+        if med_l:
+            c["media.line_writes"] += med_l
+            c["media.sector_writes"] += med_l
+            c["media.word_writes"] += a_med_words + lp.nz_static
+        if a_med_redund:
+            c["media.redundant_line_writes"] += a_med_redund
+        if a_committed:
+            c["engine.committed"] += a_committed
+        if ns:
+            c["region.requests"] += ns
+            c["region.entries.undo_redo"] += ns
+            # The exact engine leaves the logging thread's record
+            # table present but empty after truncation.
+            records.setdefault(tid, {})
+            media_words.update(lp.media)
+            for sec2, cnt in lp.wear.items():
+                wear[sec2] = wear_get(sec2, 0) + cnt
+        if ns or n_te:
+            rcur[tid] = lp.end_cur
+
+    return step, flush
+
+
+def _make_stepper(exact, idx, core, cpre, pre):
+    """Build the fused ``(step, flush)`` pair for one core, or ``None``
+    when the scheme/core combination is not eligible for fusion."""
+    scheme = exact.scheme
+    stype = type(scheme)
+    if stype is BaseScheme or stype is FWBScheme:
+        return _make_wal_stepper(exact, idx, core, cpre, pre,
+                                 stype is FWBScheme)
+    if stype is SiloScheme:
+        # Ablation configurations take different exact-engine branches
+        # (no merging / silent stores logged); only the paper's default
+        # configuration is fused.
+        if not all(b.merging for b in scheme._bufs):
+            return None
+        if not all(g.ignore_silent for g in scheme._gens):
+            return None
+        sk = 2
+    elif stype is MorLogScheme:
+        sk = 3
+    elif stype is LADScheme:
+        sk = 4
+    else:
+        return None
+    return _make_buffered_stepper(exact, idx, core, cpre, sk)
+
+
+def _make_buffered_stepper(exact, idx, core, cpre, sk):
+    """Fused stepper for the log-buffer designs: silo (``sk == 2``),
+    morlog (``sk == 3``) and lad (``sk == 4``)."""
+    scheme = exact.scheme
+    system = exact.system
+    tid = core.tid
+    fuse_ovf = True
+    if sk != 2:
+        # The fused log serializers need the thread's log area.
+        try:
+            lbase, larea = system.region.layout.thread_log_area(tid)
+        except AddressError:
+            return None
+    else:
+        # Silo only touches the region on overflow; without a valid
+        # area the overflow falls back to the bound handler (which
+        # raises from the exact serializer, like the exact engine).
+        try:
+            lbase, larea = system.region.layout.thread_log_area(tid)
+        except AddressError:
+            lbase = larea = 0
+            fuse_ovf = False
+    if not 0 <= tid < 256:
+        # LogEntry.__new__ below bypasses the constructor's field
+        # validation; an oversized tid must raise from the exact path.
+        return None
+
+    kinds = cpre.kinds
+    addrs = cpre.addrs
+    vals = cpre.vals
+    olds = cpre.olds
+    n_ops = core.n_ops
+
+    # ------------------------------------------------------------------
+    # Hoisted live state (shared with the exact engine and all designs)
+    # ------------------------------------------------------------------
+    mc = system.mc
+    chan = idx % mc.channels
+    wpq_heap = mc._wpq_heaps[chan]
+    wpq_cap = mc._wpq_capacity
+    chfree = mc._channel_free
+    banks = mc._bank_free[chan]
+    BUS = mc._bus_overhead
+    BEAT = mc._bus_beat
+    WSERV = mc._write_service
+    submit_write = mc.submit_write  # bound fallback for bail-out cases
+    submit_read = mc.submit_read
+
+    pm = system.pm
+    onpm = pm.buffer
+    onpm_lines = onpm._lines
+    onpm_get = onpm_lines.get
+    onpm_move = onpm_lines.move_to_end
+    onpm_pop = onpm_lines.popitem
+    onpm_cap = onpm._capacity
+    onpm_mask = onpm._line_mask
+    media_words = pm.media._words
+    media_get = media_words.get
+    wear = pm.media._sector_wear
+    wear_get = wear.get
+
+    hier = system.hierarchy
+    l1 = hier._l1[idx]
+    l1_sets = l1._sets
+    l1_shift = l1._line_shift
+    l1_nsets = l1._num_sets
+    k_l1_hits = l1._k_hits
+    LAT_L1 = hier._lat_l1
+    line_mask = hier._line_mask
+    hier_store = exact._hier_store
+    hier_load = exact._hier_load
+    writeback_line = hier.writeback_line
+    read_contention = exact._read_contention
+    on_evictions = exact._scheme_on_evictions
+
+    region = system.region
+    rcur = region._cursor
+    rcur_get = rcur.get
+    records = region._records
+    persist_commit_tuple = region.persist_commit_tuple
+
+    counters = system.stats.counters
+    current = exact._current
+    current_get = current.get
+    committed_add = exact._committed.add
+    OPOV = exact._op_overhead
+    M = WORD_MASK
+    new_entry = LogEntry.__new__
+
+    # ------------------------------------------------------------------
+    # Scheme-specific hoists
+    # ------------------------------------------------------------------
+    if sk == 2:
+        gen = scheme._gens[idx]
+        buf = scheme._bufs[idx]
+        sentries = buf._entries
+        sentries_get = sentries.get
+        k_buf_merged = buf._k_merged
+        k_buf_appended = buf._k_appended
+        k_buf_peak = buf._k_peak
+        SILO_CAP = scheme._buf_capacity
+        BUF_LAT = scheme._buf_latency
+        controller_free = scheme._controller_free
+        last_store = scheme._last_store
+        tx_total = scheme._tx_total
+        overflowed = scheme._overflowed
+        overflowed_add = overflowed.add
+        handle_overflow = scheme._handle_overflow
+        discard_tx = region.discard_tx
+        tx_log_counts_append = scheme.tx_log_counts.append
+        HANDSHAKE = system.config.commit_handshake_cycles
+        spop = sentries.popitem
+        OB = scheme._overflow_batch
+        OLINE = ONPM_LINE_SIZE
+        if OB > OVERFLOW_BATCH_ENTRIES:
+            # A larger batch would serialize as several requests; keep
+            # the single-request fusion for the paper configuration.
+            fuse_ovf = False
+    if sk == 3:
+        mbuf = scheme._bufs[idx]
+        mentries = mbuf._entries
+        mentries_get = mentries.get
+        mpop = mentries.popitem
+        k_mbuf_merged = mbuf._k_merged
+        k_mbuf_appended = mbuf._k_appended
+        k_mbuf_peak = mbuf._k_peak
+        flush_oldest = scheme._flush_oldest
+        mlog_ready = scheme._log_ready
+        mlr_get = mlog_ready.get
+        ml_unpersisted_add = scheme._unpersisted_lines[idx].add
+        ml_unpersisted_discard = scheme._unpersisted_lines[idx].discard
+        ml_dirty_add = scheme._dirty_lines[idx].add
+        await_truncate = scheme._await_truncate
+    if sk == 4:
+        slots = scheme._slots
+        slots_discard = slots.discard
+        captured_pop = scheme._captured.pop
+        tx_lines = scheme._tx_lines[idx]
+        fb_lines = scheme._fallback_lines[idx]
+        fb_txs = scheme._fallback_txs
+        lad_in_tx = scheme._in_tx
+        HANDSHAKE = system.config.commit_handshake_cycles
+
+    # ------------------------------------------------------------------
+    # Counter accumulators (flushed once, value-guarded)
+    # ------------------------------------------------------------------
+    a_l1_hits = 0
+    a_mc_log = 0
+    a_mc_data = 0
+    a_wpq_stall = 0
+    a_pmreq_log = 0
+    a_pmbytes_log = 0
+    a_pmreq_data = 0
+    a_pmbytes_data = 0
+    a_onpm_req = 0
+    a_onpm_coal = 0
+    a_onpm_evict = 0
+    a_med_lines = 0
+    a_med_secs = 0
+    a_med_words = 0
+    a_med_redund = 0
+    a_committed = 0
+    a_reg_req = 0
+    a_reg_ur = 0
+    a_reg_undo = 0
+    logged_any = False
+    # silo
+    a_seen = 0
+    a_ignored = 0
+    a_entries = 0
+    a_merged = 0
+    a_appended = 0
+    a_peak = 0
+    a_flushdisc = 0
+    a_inplace = 0
+    a_ncommits = 0
+    a_ovf = 0
+    a_ovf_entries = 0
+    # lad
+    a_captured = 0
+    a_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Fused MC+PM submit helpers.  Every fused request covers words of
+    # one 64-byte-aligned, <=64-byte window (log entries are serialized
+    # on aligned cursors with <=52-byte spans, commit tuples are 16
+    # bytes, cacheline flushes stay inside their line), so it touches
+    # exactly one on-PM buffer line and one media sector.
+    # ------------------------------------------------------------------
+    def evict1():
+        """Fused LRU victim eviction: pop the oldest on-PM buffer line
+        and apply its words to the media with data-comparison-write.
+        Returns the sector count (an evicted 256-byte line can span up
+        to four 64-byte media sectors)."""
+        nonlocal a_onpm_evict, a_med_lines, a_med_secs
+        nonlocal a_med_words, a_med_redund
+        pending = onpm_pop(last=False)[1]
+        a_onpm_evict += 1
+        changed = 0
+        secs = set()
+        secs_add = secs.add
+        for wa, wv in pending.items():
+            if media_get(wa, 0) != wv:
+                media_words[wa] = wv
+                changed += 1
+                secs_add(wa >> 6)
+        if changed:
+            a_med_lines += 1
+            a_med_words += changed
+            nsec = len(secs)
+            a_med_secs += nsec
+            for sector in secs:
+                wear[sector] = wear_get(sector, 0) + 1
+            return nsec
+        a_med_redund += 1
+        return 0
+
+    def wt_submit(t, words):
+        """Write-through submit (kind-agnostic).  Returns
+        ``(admission_stall, media_done)`` or ``None`` when the target
+        on-PM buffer line is resident (the request must coalesce with
+        buffered words — the caller re-runs it through the bound
+        ``submit_write``, which accounts everything live)."""
+        nonlocal a_onpm_req, a_onpm_coal, a_onpm_evict
+        nonlocal a_med_lines, a_med_secs, a_med_words
+        nonlocal a_med_redund, a_wpq_stall
+        a0 = next(iter(words))
+        extra = 0
+        if onpm_lines:
+            if (a0 & onpm_mask) in onpm_lines:
+                return None
+            if len(onpm_lines) >= onpm_cap:
+                extra = evict1()
+        a_onpm_req += 1
+        nw = len(words)
+        if nw > 1:
+            a_onpm_coal += nw - 1
+        a_onpm_evict += 1
+        changed = 0
+        for wa, wv in words.items():
+            if media_get(wa, 0) != wv:
+                media_words[wa] = wv
+                changed += 1
+        if changed:
+            a_med_lines += 1
+            a_med_secs += 1
+            a_med_words += changed
+            sector = a0 >> 6
+            wear[sector] = wear_get(sector, 0) + 1
+            sectors = extra + 1
+        else:
+            a_med_redund += 1
+            sectors = extra
+        while wpq_heap and wpq_heap[0] <= t:
+            heappop(wpq_heap)
+        adm = t if len(wpq_heap) < wpq_cap else wpq_heap[0]
+        if adm > t:
+            a_wpq_stall += adm - t
+        busy = chfree[chan]
+        start = adm if adm > busy else busy
+        persisted = start + BUS + BEAT * nw
+        chfree[chan] = persisted
+        media_done = persisted
+        if sectors:
+            for _ in range(sectors):
+                free = banks[0]
+                begin = persisted if persisted > free else free
+                media_done = begin + WSERV
+                heapreplace(banks, media_done)
+        heappush(wpq_heap, media_done)
+        return adm - t, media_done
+
+    def posted_submit(t, words, is_log=False):
+        """Posted submit (no write-through): the line lingers in the
+        on-PM buffer for coalescing.  Returns
+        ``(admission_stall, persisted)``.  Used for data write-backs
+        and for silo's batched overflow log request (whose words all
+        land on one 256-byte on-PM buffer line by construction)."""
+        nonlocal a_mc_data, a_pmreq_data, a_pmbytes_data
+        nonlocal a_mc_log, a_pmreq_log, a_pmbytes_log
+        nonlocal a_onpm_req, a_onpm_coal, a_wpq_stall
+        nw = len(words)
+        if is_log:
+            a_pmreq_log += 1
+            a_pmbytes_log += 8 * nw
+        else:
+            a_pmreq_data += 1
+            a_pmbytes_data += 8 * nw
+        a_onpm_req += 1
+        a0 = next(iter(words))
+        b = a0 & onpm_mask
+        pending = onpm_get(b)
+        extra = 0
+        if pending is None:
+            if len(onpm_lines) >= onpm_cap:
+                extra = evict1()
+            onpm_lines[b] = dict(words)
+            if nw > 1:
+                a_onpm_coal += nw - 1
+        else:
+            onpm_move(b)
+            pending.update(words)
+            a_onpm_coal += nw
+        if is_log:
+            a_mc_log += 1
+        else:
+            a_mc_data += 1
+        while wpq_heap and wpq_heap[0] <= t:
+            heappop(wpq_heap)
+        adm = t if len(wpq_heap) < wpq_cap else wpq_heap[0]
+        if adm > t:
+            a_wpq_stall += adm - t
+        busy = chfree[chan]
+        start = adm if adm > busy else busy
+        persisted = start + BUS + BEAT * nw
+        chfree[chan] = persisted
+        media_done = persisted
+        if extra:
+            for _ in range(extra):
+                free = banks[0]
+                begin = persisted if persisted > free else free
+                media_done = begin + WSERV
+                heapreplace(banks, media_done)
+        heappush(wpq_heap, media_done)
+        return adm - t, persisted
+
+    # ------------------------------------------------------------------
+    # The fused stepper
+    # ------------------------------------------------------------------
+    def step(limit_t, limit_i):
+        nonlocal a_l1_hits, a_mc_log, a_mc_data
+        nonlocal a_pmreq_log, a_pmbytes_log
+        nonlocal a_pmreq_data, a_pmbytes_data
+        nonlocal a_committed, a_reg_req, a_reg_ur, a_reg_undo, logged_any
+        nonlocal a_seen, a_ignored, a_entries, a_merged, a_appended
+        nonlocal a_peak, a_flushdisc, a_inplace, a_ncommits
+        nonlocal a_ovf, a_ovf_entries
+        nonlocal a_captured, a_fallbacks
+        pc = core.pc
+        now = core.time
+        in_tx = core.in_tx
+        txid = core.txid
+        tx_index = core.tx_index
+        # Single-compare epoch horizon: yield when now > limit_t, or at
+        # now == limit_t when this core loses the index tie.  Integer
+        # times make the tie foldable into the bound (inf - 1 == inf
+        # keeps the last remaining core unbounded).
+        lim = limit_t if idx < limit_i else limit_t - 1
+        try:
+            while True:
+                if pc >= n_ops:
+                    return _DONE
+                if now > lim:
+                    return _YIELD
+                k = kinds[pc]
+                cost = OPOV
+                if k == 2 or k == 4:  # --------------------------- Store
+                    a = addrs[pc]
+                    v = vals[pc]
+                    if k == 2:
+                        old = olds[pc]
+                    else:
+                        old = current_get(a)
+                        if old is None:
+                            old = media_get(a, 0)
+                    base = a & line_mask
+                    bucket = l1_sets[(base >> l1_shift) % l1_nsets]
+                    line = bucket.get(base)
+                    if line is not None:
+                        bucket.move_to_end(base)
+                        a_l1_hits += 1
+                        cost += LAT_L1
+                        line.dirty_words[a] = v
+                    else:
+                        access = hier_store(idx, a, v)
+                        cost += access.latency
+                        if access.hit_level == "pm":
+                            cost += read_contention(a, now, idx)
+                        wbs = access.writebacks
+                        if wbs:
+                            cost += on_evictions(idx, now, wbs)
+
+                    if sk == 2:  # silo
+                        tx_total[idx] += 1
+                        last_store[idx] = now
+                        a_seen += 1
+                        if old == v:
+                            a_ignored += 1
+                        else:
+                            a_entries += 1
+                            e = sentries_get(a)
+                            if e is not None:
+                                if e.tid != tid or e.txid != txid:
+                                    return _EXACT  # exact raises
+                                e.new = v & M
+                                a_merged += 1
+                            else:
+                                if len(sentries) >= SILO_CAP:
+                                    if fuse_ovf:
+                                        # _handle_overflow fused: pop
+                                        # the oldest batch, serialize
+                                        # the undo halves as one
+                                        # 256-byte-window posted log
+                                        # request, post unflushed new
+                                        # data per cacheline.
+                                        cf = controller_free[idx]
+                                        ostall = (
+                                            cf - now
+                                            - _CONTROLLER_QUEUE_CYCLES
+                                        )
+                                        if ostall < 0:
+                                            ostall = 0
+                                        start = now + ostall + BUF_LAT
+                                        nb = len(sentries)
+                                        if nb > OB:
+                                            nb = OB
+                                        new_data = {}
+                                        cursor = rcur_get(tid, 0)
+                                        rem = cursor % OLINE
+                                        if rem:
+                                            cursor += OLINE - rem
+                                        words = {}
+                                        for _ in range(nb):
+                                            e2 = spop(last=False)[1]
+                                            if not e2.flush_bit:
+                                                new_data[e2.addr] = e2.new
+                                                e2.flush_bit = True
+                                            la = lbase + (cursor % larea)
+                                            e2.log_addr = la
+                                            p = (
+                                                (e2.tid << 56)
+                                                ^ (e2.txid << 40)
+                                                ^ e2.addr
+                                                ^ (e2.old * _K1)
+                                                ^ (e2.new * _K2)
+                                            ) | 1
+                                            w = la & -8
+                                            end = la + 18
+                                            while w < end:
+                                                words[w] = p & M
+                                                p += 1
+                                                w += 8
+                                            cursor += 18
+                                        rcur[tid] = cursor
+                                        region._seq += nb
+                                        a_reg_req += 1
+                                        a_reg_undo += nb
+                                        logged_any = True
+                                        r = posted_submit(
+                                            start, words, True
+                                        )
+                                        free = r[1]
+                                        if free < start:
+                                            free = start
+                                        if new_data:
+                                            grouped = {}
+                                            for ea, ev in new_data.items():
+                                                gb = ea & line_mask
+                                                g = grouped.get(gb)
+                                                if g is None:
+                                                    grouped[gb] = {ea: ev}
+                                                else:
+                                                    g[ea] = ev
+                                            for w2 in grouped.values():
+                                                r = posted_submit(
+                                                    start, w2
+                                                )
+                                                if r[1] > free:
+                                                    free = r[1]
+                                        back = free - BUF_LAT
+                                        if back > controller_free[idx]:
+                                            controller_free[idx] = back
+                                        overflowed_add((tid, txid))
+                                        a_ovf += 1
+                                        a_ovf_entries += nb
+                                        cost += ostall
+                                    else:
+                                        cost += handle_overflow(
+                                            idx, tid, txid, now
+                                        )
+                                e = new_entry(LogEntry)
+                                e.tid = tid
+                                e.txid = txid
+                                e.addr = a
+                                e.old = old & M
+                                e.new = v & M
+                                e.flush_bit = False
+                                e.log_addr = 0
+                                sentries[a] = e
+                                a_appended += 1
+                                occ = len(sentries)
+                                if occ > a_peak:
+                                    a_peak = occ
+                    elif sk == 3:  # morlog
+                        e = mentries_get(a)
+                        if e is not None:
+                            if e.tid != tid or e.txid != txid:
+                                return _EXACT  # exact raises
+                            e.new = v & M
+                            a_merged += 1
+                        else:
+                            if len(mentries) >= MORPH_BUFFER_ENTRIES:
+                                # _flush_oldest fused: pop the two
+                                # oldest, serialize as one 64-byte
+                                # pair request, write through.
+                                e0 = mpop(last=False)[1]
+                                e1 = mpop(last=False)[1]
+                                cursor = rcur_get(tid, 0)
+                                rem = cursor & 63
+                                if rem:
+                                    cursor += 64 - rem
+                                la = lbase + (cursor % larea)
+                                p = (
+                                    (e0.tid << 56)
+                                    ^ (e0.txid << 40)
+                                    ^ e0.addr
+                                    ^ (e0.old * _K1)
+                                    ^ (e0.new * _K2)
+                                ) | 1
+                                words = {
+                                    la: p & M,
+                                    la + 8: (p + 1) & M,
+                                    la + 16: (p + 2) & M,
+                                    la + 24: (p + 3) & M,
+                                }
+                                cursor += 26
+                                la1 = lbase + (cursor % larea)
+                                p1 = (
+                                    (e1.tid << 56)
+                                    ^ (e1.txid << 40)
+                                    ^ e1.addr
+                                    ^ (e1.old * _K1)
+                                    ^ (e1.new * _K2)
+                                ) | 1
+                                w = la1 & -8
+                                end = la1 + 26
+                                while w < end:
+                                    words[w] = p1 & M
+                                    p1 += 1
+                                    w += 8
+                                cursor += 26
+                                rcur[tid] = cursor
+                                region._seq += 2
+                                a_reg_req += 1
+                                a_reg_ur += 2
+                                logged_any = True
+                                r = wt_submit(now, words)
+                                if r is None:
+                                    tkt = submit_write(
+                                        now, words, kind="log",
+                                        write_through=True,
+                                        channel=idx,
+                                    )
+                                    cost += tkt[0]
+                                    fdone = tkt[1]
+                                else:
+                                    a_mc_log += 1
+                                    a_pmreq_log += 1
+                                    a_pmbytes_log += 8 * len(words)
+                                    cost += r[0]
+                                    fdone = r[1]
+                                for e2 in (e0, e1):
+                                    ln = e2.addr & -64
+                                    if fdone > mlr_get(ln, 0):
+                                        mlog_ready[ln] = fdone
+                                    ml_unpersisted_discard(ln)
+                            e = new_entry(LogEntry)
+                            e.tid = tid
+                            e.txid = txid
+                            e.addr = a
+                            e.old = old & M
+                            e.new = v & M
+                            e.flush_bit = False
+                            e.log_addr = 0
+                            mentries[a] = e
+                            a_appended += 1
+                            occ = len(mentries)
+                            if occ > a_peak:
+                                a_peak = occ
+                        ml_unpersisted_add(base)
+                        ml_dirty_add(base)
+                    else:  # lad
+                        if base not in tx_lines:
+                            tx_lines.add(base)
+                            if len(slots) < CAPTURE_LINES:
+                                slots.add(base)
+                                a_captured += 1
+                            else:
+                                fb_lines.add(base)
+                                fb_txs.add((tid, txid))
+                                a_fallbacks += 1
+                                read_done = submit_read(
+                                    now, base, channel=idx
+                                )
+                                cost += read_done - now
+                        if base in fb_lines:
+                            # one undo entry: aligned cursor, 18-byte
+                            # slot -> three payload words
+                            cursor = rcur_get(tid, 0)
+                            rem = cursor & 63
+                            if rem:
+                                cursor += 64 - rem
+                            la = lbase + (cursor % larea)
+                            p = (
+                                (tid << 56)
+                                ^ (txid << 40)
+                                ^ a
+                                ^ ((old & M) * _K1)
+                                ^ ((v & M) * _K2)
+                            ) | 1
+                            words = {
+                                la: p & M,
+                                la + 8: (p + 1) & M,
+                                la + 16: (p + 2) & M,
+                            }
+                            rcur[tid] = cursor + 18
+                            region._seq += 1
+                            a_reg_req += 1
+                            a_reg_undo += 1
+                            logged_any = True
+                            r = wt_submit(now, words)
+                            if r is None:
+                                tkt = submit_write(
+                                    now, words, kind="log",
+                                    write_through=True, channel=idx,
+                                )
+                                cost += tkt[0] + (tkt[1] - now)
+                            else:
+                                a_mc_log += 1
+                                a_pmreq_log += 1
+                                a_pmbytes_log += 24
+                                cost += r[0] + (r[1] - now)
+                    current[a] = v
+                elif k == 3:  # ---------------------------------- Load
+                    a = addrs[pc]
+                    base = a & line_mask
+                    bucket = l1_sets[(base >> l1_shift) % l1_nsets]
+                    line = bucket.get(base)
+                    if line is not None:
+                        bucket.move_to_end(base)
+                        a_l1_hits += 1
+                        cost += LAT_L1
+                    else:
+                        access = hier_load(idx, a)
+                        cost += access.latency
+                        if access.hit_level == "pm":
+                            cost += read_contention(a, now, idx)
+                        wbs = access.writebacks
+                        if wbs:
+                            cost += on_evictions(idx, now, wbs)
+                elif k == 0 or k == 6:  # --------------------- TxBegin
+                    if sk == 2 and (k == 6 or gen._txid is not None):
+                        return _EXACT  # exact raises TransactionError
+                    tx_index += 1
+                    txid = (tx_index % 65535) + 1
+                    in_tx = True
+                    if sk == 2:
+                        gen._txid_register = txid
+                        gen._tid = tid
+                        gen._txid = txid
+                        tx_total[idx] = 0
+                    elif sk == 4:
+                        lad_in_tx[idx] = True
+                elif k == 1 or k == 7:  # ----------------------- TxEnd
+                    if sk == 2:  # silo
+                        if k == 7 or gen._txid is None:
+                            return _EXACT  # exact raises
+                        gen._tid = None
+                        gen._txid = None
+                        tx_log_counts_append(
+                            (tx_total[idx], len(sentries))
+                        )
+                        stall = HANDSHAKE
+                        cf = controller_free[idx]
+                        backlog = cf - now
+                        if backlog > _CONTROLLER_QUEUE_CYCLES:
+                            stall += backlog - _CONTROLLER_QUEUE_CYCLES
+                        drained = list(sentries.values())
+                        sentries.clear()
+                        discarded = 0
+                        new_data = {}
+                        for e in drained:
+                            if e.flush_bit:
+                                discarded += 1
+                            else:
+                                new_data[e.addr] = e.new
+                        if discarded:
+                            a_flushdisc += discarded
+                        start = (now if now > cf else cf) + BUF_LAT
+                        free = start
+                        if new_data:
+                            grouped = {}
+                            for ea, ev in new_data.items():
+                                gb = ea & line_mask
+                                g = grouped.get(gb)
+                                if g is None:
+                                    grouped[gb] = {ea: ev}
+                                else:
+                                    g[ea] = ev
+                            for w2 in grouped.values():
+                                r = posted_submit(start, w2)
+                                if r[1] > free:
+                                    free = r[1]
+                        back = free - BUF_LAT
+                        if back > controller_free[idx]:
+                            controller_free[idx] = back
+                        a_inplace += len(new_data)
+                        a_ncommits += 1
+                        if (tid, txid) in overflowed:
+                            overflowed.discard((tid, txid))
+                            discard_tx(tid, txid)
+                        cost += stall
+                    elif sk == 3:  # morlog
+                        drained = list(mentries.values())
+                        mentries.clear()
+                        flush_stall = 0
+                        done = now
+                        if drained:
+                            cursor = rcur_get(tid, 0)
+                            n = len(drained)
+                            i2 = 0
+                            while i2 < n:
+                                e0 = drained[i2]
+                                rem = cursor & 63
+                                if rem:
+                                    cursor += 64 - rem
+                                la = lbase + (cursor % larea)
+                                p = (
+                                    (e0.tid << 56)
+                                    ^ (e0.txid << 40)
+                                    ^ e0.addr
+                                    ^ (e0.old * _K1)
+                                    ^ (e0.new * _K2)
+                                ) | 1
+                                words = {
+                                    la: p & M,
+                                    la + 8: (p + 1) & M,
+                                    la + 16: (p + 2) & M,
+                                    la + 24: (p + 3) & M,
+                                }
+                                cursor += 26
+                                region._seq += 1
+                                if i2 + 1 < n:
+                                    e1 = drained[i2 + 1]
+                                    la1 = lbase + (cursor % larea)
+                                    p1 = (
+                                        (e1.tid << 56)
+                                        ^ (e1.txid << 40)
+                                        ^ e1.addr
+                                        ^ (e1.old * _K1)
+                                        ^ (e1.new * _K2)
+                                    ) | 1
+                                    w = la1 & -8
+                                    end = la1 + 26
+                                    while w < end:
+                                        words[w] = p1 & M
+                                        p1 += 1
+                                        w += 8
+                                    cursor += 26
+                                    region._seq += 1
+                                r = wt_submit(now, words)
+                                if r is None:
+                                    tkt = submit_write(
+                                        now, words, kind="log",
+                                        write_through=True, channel=idx,
+                                    )
+                                    flush_stall += tkt[0]
+                                    pd = tkt[1]
+                                else:
+                                    a_mc_log += 1
+                                    a_pmreq_log += 1
+                                    a_pmbytes_log += 8 * len(words)
+                                    flush_stall += r[0]
+                                    pd = r[1]
+                                if pd > done:
+                                    done = pd
+                                i2 += 2
+                            rcur[tid] = cursor
+                            a_reg_req += (n + 1) // 2
+                            a_reg_ur += n
+                            logged_any = True
+                            for e0 in drained:
+                                ln = e0.addr & -64
+                                if done > mlr_get(ln, 0):
+                                    mlog_ready[ln] = done
+                                ml_unpersisted_discard(ln)
+                        stall = flush_stall + (
+                            done - now if done > now else 0
+                        )
+                        words = persist_commit_tuple(tid, txid)
+                        t2 = now + stall
+                        r = wt_submit(t2, words)
+                        if r is None:
+                            tkt = submit_write(
+                                t2, words, kind="log",
+                                write_through=True, channel=idx,
+                            )
+                            stall += tkt[0] + (tkt[1] - t2)
+                        else:
+                            a_mc_log += 1
+                            a_pmreq_log += 1
+                            a_pmbytes_log += 16
+                            stall += r[0] + (r[1] - t2)
+                        await_truncate.append((tid, txid))
+                        cost += stall
+                    else:  # lad
+                        stall = 0
+                        groups = []
+                        for ln in sorted(tx_lines):
+                            w2 = writeback_line(idx, ln)
+                            merged2 = captured_pop(ln, None)
+                            if w2 or merged2:
+                                stall += PREPARE_CYCLES_PER_LINE
+                                if merged2 is None:
+                                    combined = w2
+                                else:
+                                    combined = dict(merged2)
+                                    if w2:
+                                        combined.update(w2)
+                                groups.append(combined)
+                        stall += HANDSHAKE
+                        t2 = now + stall
+                        for w2 in groups:
+                            r = posted_submit(t2, w2)
+                            stall += r[0]
+                        for ln in tx_lines:
+                            slots_discard(ln)
+                        if (tid, txid) in fb_txs:
+                            fb_txs.discard((tid, txid))
+                            # discard_tx: no records on the fused path
+                        tx_lines.clear()
+                        fb_lines.clear()
+                        lad_in_tx[idx] = False
+                        cost += stall
+                    in_tx = False
+                    committed_add((tid, tx_index))
+                    a_committed += 1
+                else:
+                    # kind 5 (store outside the 48-bit field: LogEntry
+                    # validation — or lad's and silo's silent handling
+                    # of it — must come from the exact code) and kind 8
+                    # (store outside tx / unknown op: exact raises).
+                    return _EXACT
+                pc += 1
+                now += cost
+        finally:
+            core.pc = pc
+            core.time = now
+            core.in_tx = in_tx
+            core.txid = txid
+            core.tx_index = tx_index
+
+    # ------------------------------------------------------------------
+    # End-of-run counter flush.  Every add is value-guarded so the key
+    # set matches the exact engine's (Counter creates keys on += 0);
+    # silo.inplace_words is guarded on commits instead of value because
+    # the exact engine creates that key unconditionally per commit.
+    # ------------------------------------------------------------------
+    def flush():
+        c = counters
+        if a_l1_hits:
+            c[k_l1_hits] += a_l1_hits
+        mcw = a_mc_log + a_mc_data
+        if mcw:
+            c["mc.writes"] += mcw
+        if a_mc_log:
+            c["mc.writes.log"] += a_mc_log
+        if a_mc_data:
+            c["mc.writes.data"] += a_mc_data
+        if a_wpq_stall:
+            c["mc.wpq_stall_cycles"] += a_wpq_stall
+        if a_pmreq_log:
+            c["pm.requests.log"] += a_pmreq_log
+            c["pm.request_bytes.log"] += a_pmbytes_log
+        if a_pmreq_data:
+            c["pm.requests.data"] += a_pmreq_data
+            c["pm.request_bytes.data"] += a_pmbytes_data
+        if a_onpm_req:
+            c["onpm.requests"] += a_onpm_req
+        if a_onpm_coal:
+            c["onpm.coalesced_words"] += a_onpm_coal
+        if a_onpm_evict:
+            c["onpm.line_evictions"] += a_onpm_evict
+        if a_med_lines:
+            c["media.line_writes"] += a_med_lines
+            c["media.sector_writes"] += a_med_secs
+            c["media.word_writes"] += a_med_words
+        if a_med_redund:
+            c["media.redundant_line_writes"] += a_med_redund
+        if a_committed:
+            c["engine.committed"] += a_committed
+        if a_reg_req:
+            c["region.requests"] += a_reg_req
+        if a_reg_ur:
+            c["region.entries.undo_redo"] += a_reg_ur
+        if a_reg_undo:
+            c["region.entries.undo"] += a_reg_undo
+        if logged_any:
+            # The exact engine leaves the logging thread's record table
+            # present but empty after commit/finalize truncation.
+            records.setdefault(tid, {})
+        if sk == 2:
+            if a_seen:
+                c["loggen.stores_seen"] += a_seen
+            if a_ignored:
+                c["loggen.ignored"] += a_ignored
+            if a_entries:
+                c["loggen.entries"] += a_entries
+            if a_merged:
+                c[k_buf_merged] += a_merged
+            if a_appended:
+                c[k_buf_appended] += a_appended
+            if a_peak > c.get(k_buf_peak, 0):
+                c[k_buf_peak] = a_peak
+            if a_flushdisc:
+                c["silo.flushbit_discarded"] += a_flushdisc
+            if a_ovf:
+                c["silo.overflows"] += a_ovf
+                c["silo.overflow_entries"] += a_ovf_entries
+            if a_ncommits:
+                c["silo.inplace_words"] += a_inplace
+        elif sk == 3:
+            if a_merged:
+                c[k_mbuf_merged] += a_merged
+            if a_appended:
+                c[k_mbuf_appended] += a_appended
+            if a_peak > c.get(k_mbuf_peak, 0):
+                c[k_mbuf_peak] = a_peak
+        elif sk == 4:
+            if a_captured:
+                c["lad.captured_lines"] += a_captured
+            if a_fallbacks:
+                c["lad.fallbacks"] += a_fallbacks
+
+    return step, flush
+
+
+class ColumnarEngine:
+    """Batched columnar scheduler producing bit-identical results.
+
+    Wraps a :class:`TransactionEngine` built from the same arguments;
+    the fast path drives the exact engine's own core/scheme/system
+    state through the epoch scheduler and finishes through
+    ``TransactionEngine._finish``, so the :class:`RunResult` assembly
+    (drain, finalize, committed set, tx_log_counts) is shared code.
+    """
+
+    def __init__(
+        self,
+        system,
+        scheme,
+        trace,
+        crash_plan=None,
+        fault_plan=None,
+    ) -> None:
+        self._exact = TransactionEngine(
+            system, scheme, trace, crash_plan=crash_plan, fault_plan=fault_plan
+        )
+        self.system = system
+        self.scheme = scheme
+        self.trace = trace
+        self.crash_plan = crash_plan
+        self.fault_plan = fault_plan
+        # Diagnostics (not part of RunResult): whether the whole run
+        # was delegated to the exact engine, and the op/core mix.
+        self.delegated = False
+        self.delegated_reason: Optional[str] = None
+        self.fast_ops = 0
+        self.exact_ops = 0
+        self.fused_cores = 0
+        self.total_cores = len(self._exact._cores)
+
+    @property
+    def fault_ledger(self):
+        return self._exact.fault_ledger
+
+    def _delegation_reason(self) -> Optional[str]:
+        if self.crash_plan is not None:
+            return "crash_plan"
+        if self.fault_plan is not None:
+            return "fault_plan"
+        if self.system.obs is not None:
+            return "observability"
+        if self.system.pm.media._poisoned:
+            return "poisoned_media"
+        return None
+
+    def engine_stats(self) -> dict:
+        """Batching diagnostics for benchmarks and CI gates."""
+        total = self.fast_ops + self.exact_ops
+        return {
+            "engine": "columnar",
+            "delegated": self.delegated,
+            "delegated_reason": self.delegated_reason,
+            "fast_ops": self.fast_ops,
+            "exact_ops": self.exact_ops,
+            "fused_cores": self.fused_cores,
+            "total_cores": self.total_cores,
+            "fast_fraction": (self.fast_ops / total) if total else 0.0,
+        }
+
+    def run(self):
+        reason = self._delegation_reason()
+        if reason is not None:
+            self.delegated = True
+            self.delegated_reason = reason
+            return self._exact.run()
+        # Same collector pause as TransactionEngine.run (see there).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run_fast()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run_fast(self):
+        exact = self._exact
+        self.system.install_image(self.trace.initial_image)
+        cores = exact._cores
+        pre = _trace_pre(self.trace, cores)
+        steppers = []
+        flushes = []
+        fused = 0
+        for idx, c in enumerate(cores):
+            made = _make_stepper(exact, idx, c, pre.cores[idx], pre)
+            if made is None:
+                made = _make_generic_stepper(exact, idx, c)
+            else:
+                fused += 1
+            steppers.append(made[0])
+            flushes.append(made[1])
+        self.fused_cores = fused
+
+        total = sum(c.n_ops for c in cores)
+        n_exact = 0
+        heap = [(c.time, i) for i, c in enumerate(cores) if c.pc < c.n_ops]
+        heapify(heap)
+        exact_step = exact._step
+        while heap:
+            _, i = heappop(heap)
+            if heap:
+                limit_t, limit_i = heap[0]
+            else:
+                limit_t, limit_i = _INF, 0
+            c = cores[i]
+            st = steppers[i](limit_t, limit_i)
+            while st == _EXACT:
+                exact_step(i, c)
+                n_exact += 1
+                if c.pc >= c.n_ops:
+                    st = _DONE
+                    break
+                now = c.time
+                if now > limit_t or (now == limit_t and i > limit_i):
+                    st = _YIELD
+                    break
+                st = steppers[i](limit_t, limit_i)
+            if st == _YIELD:
+                heappush(heap, (c.time, i))
+
+        for flush in flushes:
+            flush()
+        exact._global_op += total
+        self.exact_ops = n_exact
+        self.fast_ops = total - n_exact
+        return exact._finish(False)

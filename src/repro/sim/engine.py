@@ -193,6 +193,19 @@ class TransactionEngine:
                     "validate nothing"
                 )
 
+        return self._finish(crashed)
+
+    def _finish(self, crashed: bool) -> RunResult:
+        """Post-loop drain, recovery and result assembly.
+
+        Split out of :meth:`_run` so the columnar engine — which drives
+        this engine's core/scheme/system state through a different
+        scheduler — produces its :class:`RunResult` through the exact
+        same code path.  A crashed run's ``end`` deliberately omits the
+        MC/PM drain the clean path folds in: the ADR drain after a
+        power failure is recovery work, not part of the measured run
+        (``pm.drain()`` below still retires it for the image checks).
+        """
         recovery = None
         obs = self._obs
         if crashed:
@@ -288,7 +301,9 @@ class TransactionEngine:
                 cost += self._scheme_on_evictions(core_idx, now, writebacks)
         elif op_type is TxBegin:
             core.tx_index += 1
-            core.txid = (core.tx_index + 1) % _TXID_WRAP
+            # txid 0 is the idle sentinel (_CoreState.txid at reset), so
+            # the 16-bit wrap must skip it: 1..65535, then back to 1.
+            core.txid = (core.tx_index % (_TXID_WRAP - 1)) + 1
             core.in_tx = True
             cost += self.scheme.on_tx_begin(core_idx, core.tid, core.txid, now)
         elif op_type is TxEnd:
@@ -372,17 +387,31 @@ def run_trace(
     fault_plan=None,
     system_factory: Optional[Callable[[], System]] = None,
     obs=None,
+    engine: str = "exact",
 ) -> RunResult:
     """Convenience entry point: build a system, run a trace, return the
     result.  ``scheme`` is a registry name (``base``, ``fwb``,
     ``morlog``, ``lad``, ``silo``); ``obs`` an optional
-    :class:`~repro.obs.ObsConfig` enabling the observability layer."""
+    :class:`~repro.obs.ObsConfig` enabling the observability layer;
+    ``engine`` selects the execution engine (``exact`` or the
+    bit-identical batched ``columnar`` one)."""
     if system_factory is not None:
         system = system_factory()
     else:
         system = System(config, obs=obs)
     scheme_obj = SchemeRegistry.create(scheme, system)
-    engine = TransactionEngine(
-        system, scheme_obj, trace, crash_plan=crash_plan, fault_plan=fault_plan
-    )
-    return engine.run()
+    if engine == "exact":
+        runner = TransactionEngine(
+            system, scheme_obj, trace, crash_plan=crash_plan, fault_plan=fault_plan
+        )
+    elif engine == "columnar":
+        # Imported lazily: repro.sim.columnar imports the design
+        # modules for kernel dispatch, which import this module.
+        from repro.sim.columnar import ColumnarEngine
+
+        runner = ColumnarEngine(
+            system, scheme_obj, trace, crash_plan=crash_plan, fault_plan=fault_plan
+        )
+    else:
+        raise ConfigError(f"unknown engine {engine!r} (exact or columnar)")
+    return runner.run()

@@ -48,6 +48,18 @@ class TestBoundedQueueModel:
         with pytest.raises(ConfigError):
             BoundedQueueModel(0)
 
+    def test_occupancy_probe_keeps_earlier_admit_blocked(self):
+        # Regression: occupancy() used to prune the completion heap.
+        # Admits are non-monotone (background flushes admit at future
+        # times), so a later-time occupancy query must not retire
+        # entries an earlier-time admit still has to wait on.
+        q = BoundedQueueModel(2)
+        q.record(100)
+        q.record(200)
+        assert q.occupancy(now=150) == 1  # later-time observer
+        assert list(q._completions) == [100, 200]  # heap untouched
+        assert q.admit(now=50) == 100  # still blocked on the oldest
+
 
 class TestEarliestAdmission:
     """Read-only admission probe (the demand-read path's view)."""
