@@ -1,0 +1,143 @@
+"""Gate a fresh engine-comparison record against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_engine_baseline.py BASELINE.json NEW.json
+
+Unlike the hot-path gate (``check_bench_baseline.py``), every check
+here is on a **deterministic** field, so all of them enforce
+unconditionally on any machine:
+
+* **Bit-identity.**  Every fresh cell must report ``identical: true``
+  — the columnar engine diverging from the exact engine is never
+  acceptable — and for cells present in both records with the same
+  transaction count, ``end_cycle`` must match exactly.
+
+* **Fused coverage.**  Per cell, the fresh ``fast_fraction`` may not
+  drop below the baseline's: fast_fraction is a pure function of the
+  trace and the fused kernels (no wall clocks involved), so any
+  decrease means a kernel stopped proving identity and silently fell
+  back to the exact path — exactly the coverage regression that erases
+  the columnar engine's speedup without failing any equivalence test.
+  The same floor applies to the per-scheme aggregate when both records
+  carry one.
+
+Wall-clock fields (``speedup``, ``aggregate_speedup``, the batching
+probe) are reported for trend-watching but never gated: they don't
+travel between machines.
+
+Exit status 0 = pass, 1 = failure (with a per-cell explanation).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Tuple
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _cells(record: dict) -> Dict[Tuple[str, str, int], dict]:
+    return {
+        (c["workload"], c["scheme"], c["cores"]): c for c in record["cells"]
+    }
+
+
+def check(baseline: dict, fresh: dict) -> List[str]:
+    """Return a list of failure messages (empty = pass)."""
+    failures: List[str] = []
+
+    if baseline.get("transactions") != fresh.get("transactions"):
+        failures.append(
+            f"records are not comparable: baseline ran "
+            f"{baseline.get('transactions')} transactions/thread, fresh ran "
+            f"{fresh.get('transactions')} — regenerate the baseline with "
+            f"the same grid"
+        )
+        return failures
+
+    base_cells = _cells(baseline)
+    new_cells = _cells(fresh)
+    shared = sorted(set(base_cells) & set(new_cells))
+    if not shared:
+        failures.append("no cells in common between baseline and fresh record")
+        return failures
+
+    for key in sorted(new_cells):
+        workload, scheme, cores = key
+        cell = new_cells[key]
+        label = f"{workload}/{scheme}@{cores}"
+        if not cell.get("identical", False):
+            failures.append(
+                f"{label}: engines diverged (identical=false) — the "
+                f"columnar engine must be bit-identical to the exact one"
+            )
+
+    for key in shared:
+        workload, scheme, cores = key
+        b, n = base_cells[key], new_cells[key]
+        label = f"{workload}/{scheme}@{cores}"
+        if b["end_cycle"] != n["end_cycle"]:
+            failures.append(
+                f"{label}: end_cycle changed {b['end_cycle']} -> "
+                f"{n['end_cycle']} (simulated timing is deterministic; "
+                f"a model change needs an explicit baseline update)"
+            )
+        if n["fast_fraction"] < b["fast_fraction"]:
+            failures.append(
+                f"{label}: fast_fraction regressed "
+                f"{b['fast_fraction']:.4f} -> {n['fast_fraction']:.4f} "
+                f"(fallbacks: {n.get('fallback_reasons', {})}; a fused "
+                f"kernel stopped proving identity)"
+            )
+
+    base_schemes = baseline.get("per_scheme") or {}
+    new_schemes = fresh.get("per_scheme") or {}
+    for scheme in sorted(set(base_schemes) & set(new_schemes)):
+        b_ff = base_schemes[scheme]["fast_fraction"]
+        n_ff = new_schemes[scheme]["fast_fraction"]
+        if n_ff < b_ff:
+            failures.append(
+                f"per-scheme {scheme}: fast_fraction regressed "
+                f"{b_ff:.4f} -> {n_ff:.4f} (fallbacks: "
+                f"{new_schemes[scheme].get('fallback_reasons', {})})"
+            )
+
+    agg_b = baseline.get("aggregate_speedup")
+    agg_n = fresh.get("aggregate_speedup")
+    if agg_b and agg_n:
+        print(
+            f"[check_engine_baseline] aggregate speedup {agg_b:.2f}x -> "
+            f"{agg_n:.2f}x (informational; wall clocks are not gated)"
+        )
+    batching = fresh.get("batching")
+    if batching:
+        print(
+            f"[check_engine_baseline] batching probe: "
+            f"{batching['batch1_seconds']:.1f}s -> "
+            f"{batching['batched_seconds']:.1f}s "
+            f"({batching['speedup']:.2f}x, informational)"
+        )
+    print(
+        f"[check_engine_baseline] {len(shared)} cells compared, "
+        f"{len(failures)} failure(s)"
+    )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 1
+    failures = check(_load(argv[1]), _load(argv[2]))
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -103,9 +103,7 @@ class FWBScheme(LoggingScheme):
         if all(not lines for lines in self._dirty_lines):
             # Everything written so far is persistent: the committed
             # transactions' logs are no longer needed (log truncation).
-            for tid, txid in self._await_truncate:
-                self.region.discard_tx(tid, txid)
-            self._await_truncate.clear()
+            self._truncate_awaiting()
         return stall
 
     def _flush_core_lines(
@@ -159,12 +157,20 @@ class FWBScheme(LoggingScheme):
     def recover(self) -> RecoveryReport:
         return wal_recover(self.region, self.pm, scheme=self.name)
 
+    def _truncate_awaiting(self) -> None:
+        """Truncate the committed transactions whose data is now
+        persistent.  Shared by :meth:`finalize`, the forced-writeback
+        epoch and the columnar engine's fused finalize kernel (which
+        flushes the dirty lines itself and leaves ``finalize`` a no-op
+        over cleared state)."""
+        for tid, txid in self._await_truncate:
+            self.region.discard_tx(tid, txid)
+        self._await_truncate.clear()
+
     def finalize(self, now: int) -> int:
         """Flush remaining dirty data so write accounting is complete,
         and truncate the now-covered committed transactions' logs."""
         for core in range(self.config.cores):
             self._flush_core_lines(core, now)
-        for tid, txid in self._await_truncate:
-            self.region.discard_tx(tid, txid)
-        self._await_truncate.clear()
+        self._truncate_awaiting()
         return now

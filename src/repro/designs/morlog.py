@@ -197,6 +197,15 @@ class MorLogScheme(LoggingScheme):
     def recover(self) -> RecoveryReport:
         return wal_recover(self.region, self.pm, scheme=self.name)
 
+    def _truncate_awaiting(self) -> None:
+        """All committed data is persistent: truncate covered logs.
+        Shared by :meth:`finalize` and the columnar engine's fused
+        finalize kernel (which flushes the dirty lines itself and
+        leaves ``finalize`` a no-op over cleared state)."""
+        for tid, txid in self._await_truncate:
+            self.region.discard_tx(tid, txid)
+        self._await_truncate.clear()
+
     def finalize(self, now: int) -> int:
         for core in range(self.config.cores):
             for line in sorted(self._dirty_lines[core]):
@@ -204,8 +213,5 @@ class MorLogScheme(LoggingScheme):
                 if words:
                     self.mc.submit_write(now, words, kind="data", channel=core)
             self._dirty_lines[core].clear()
-        # All committed data is persistent now: truncate covered logs.
-        for tid, txid in self._await_truncate:
-            self.region.discard_tx(tid, txid)
-        self._await_truncate.clear()
+        self._truncate_awaiting()
         return now

@@ -94,6 +94,9 @@ class HotpathCell:
     #: Fraction of ops the columnar engine ran through fused kernels
     #: (``None`` for the exact engine, which has no fast path).
     fast_fraction: Optional[float] = None
+    #: Why ops left the fast path: ``{reason: op count}`` from
+    #: ``engine_stats()`` (``None`` for the exact engine).
+    fallback_reasons: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -299,11 +302,89 @@ def run(
                         fast_fraction=(
                             estats["fast_fraction"] if estats else None
                         ),
+                        fallback_reasons=(
+                            dict(estats.get("fallback_reasons", {}))
+                            if estats
+                            else None
+                        ),
                     )
                 )
     if output:
         result.write_json(output)
     return result
+
+
+# ----------------------------------------------------------------------
+# Dispatch overhead: batching + shared trace artifacts
+# ----------------------------------------------------------------------
+def measure_batching(
+    jobs: int = 2, smoke: bool = True, repeats: int = 5
+) -> Dict[str, float]:
+    """Wall-clock of the experiment catalog under the two dispatch
+    stacks: **per-cell dispatch** — one cell per pool task, no trace
+    artifacts, worker pool torn down after every campaign (the
+    pre-batching executor, reproducible today with ``--batch 1`` on a
+    fresh executor per campaign) — versus **batched dispatch** —
+    auto-sized cell batches over a shared trace-artifact store on one
+    persistent worker pool spanning the whole catalog.
+
+    Both passes run cacheless with ``jobs`` workers, so the delta
+    isolates exactly what the dispatch layers removed: per-campaign
+    worker spawn + imports, per-cell IPC round-trips, and redundant
+    per-process trace synthesis.  The two stacks are timed as
+    ``repeats`` back-to-back *pairs* and the reported speedup is the
+    **median of the per-pair ratios**: machine noise on a shared host
+    is mostly drift (throttling, noisy neighbours) that lands on both
+    halves of a pair, so pair ratios damp it where independent
+    best-of minima cannot.  The batched passes share one store
+    directory — only the first pays the cold build, so the
+    steady-state pairs reflect the warm store every real campaign
+    after the first runs in.
+    """
+    import statistics
+    import tempfile
+    import time
+
+    from repro.harness.experiments import load_all, run_campaign
+    from repro.harness.traceartifacts import TraceArtifactStore
+
+    specs = load_all().specs()
+
+    def per_cell_seconds() -> float:
+        """Pre-batching stack: fresh pool per campaign, task per cell."""
+        started = time.perf_counter()
+        for spec in specs:
+            with Executor(jobs=jobs, batch=1) as executor:
+                run_campaign(spec, executor=executor, smoke=smoke)
+        return time.perf_counter() - started
+
+    def batched_seconds(store_dir: str) -> float:
+        """This executor's stack: one pool, batches, trace artifacts."""
+        started = time.perf_counter()
+        with Executor(
+            jobs=jobs, trace_store=TraceArtifactStore(store_dir)
+        ) as executor:
+            for spec in specs:
+                run_campaign(spec, executor=executor, smoke=smoke)
+        return time.perf_counter() - started
+
+    percell_samples = []
+    batched_samples = []
+    ratios = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for _ in range(max(1, repeats)):
+            b1 = per_cell_seconds()
+            bd = batched_seconds(tmp)
+            percell_samples.append(b1)
+            batched_samples.append(bd)
+            if bd:
+                ratios.append(b1 / bd)
+    return {
+        "jobs": float(jobs),
+        "batch1_seconds": min(percell_samples),
+        "batched_seconds": min(batched_samples),
+        "speedup": statistics.median(ratios) if ratios else 0.0,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -323,6 +404,8 @@ class EngineCompareCell:
     fast_fraction: float
     end_cycle: int
     identical: bool
+    #: Why ops left the columnar fast path (``{reason: op count}``).
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -344,6 +427,10 @@ class EngineBenchResult:
     cells: List[EngineCompareCell] = field(default_factory=list)
     machine: str = field(default_factory=machine_fingerprint)
     jobs: int = 1
+    #: Wall-clock of the smoke experiment catalog dispatched one cell
+    #: per task versus auto-batched over shared trace artifacts (see
+    #: :func:`measure_batching`); ``None`` when the probe was skipped.
+    batching: Optional[Dict[str, float]] = None
 
     @property
     def identical(self) -> bool:
@@ -359,6 +446,29 @@ class EngineBenchResult:
         exact = sum(c.ops / c.exact_ops_per_sec for c in self.cells if c.exact_ops_per_sec)
         col = sum(c.ops / c.columnar_ops_per_sec for c in self.cells if c.columnar_ops_per_sec)
         return exact / col if col else 0.0
+
+    @property
+    def per_scheme(self) -> Dict[str, dict]:
+        """Kernel-coverage roll-up: ops-weighted ``fast_fraction`` and
+        summed fallback-reason counts per scheme, so a fused-stepper
+        regression is visible in the trajectory even when the cell list
+        changes shape."""
+        acc: Dict[str, dict] = {}
+        for c in self.cells:
+            d = acc.setdefault(
+                c.scheme, {"ops": 0, "fast": 0.0, "reasons": {}}
+            )
+            d["ops"] += c.ops
+            d["fast"] += c.fast_fraction * c.ops
+            for reason, count in c.fallback_reasons.items():
+                d["reasons"][reason] = d["reasons"].get(reason, 0) + count
+        return {
+            scheme: {
+                "fast_fraction": d["fast"] / d["ops"] if d["ops"] else 0.0,
+                "fallback_reasons": dict(sorted(d["reasons"].items())),
+            }
+            for scheme, d in sorted(acc.items())
+        }
 
     def format_report(self) -> str:
         rows = [
@@ -391,10 +501,30 @@ class EngineBenchResult:
             rows,
             title=title,
         )
-        return (
+        text = (
             f"{text}\n\naggregate speedup: {self.aggregate_speedup:.2f}x | "
             f"full fallbacks: {self.full_fallback_cells}/{len(self.cells)}"
         )
+        for scheme, d in self.per_scheme.items():
+            reasons = d["fallback_reasons"]
+            detail = (
+                " ".join(f"{k}={v}" for k, v in reasons.items())
+                if reasons
+                else "no fallbacks"
+            )
+            text += (
+                f"\n  {scheme}: fast_fraction {d['fast_fraction']:.3f} "
+                f"({detail})"
+            )
+        if self.batching:
+            b = self.batching
+            text += (
+                f"\nbatching probe (smoke catalog, jobs={b['jobs']:.0f}): "
+                f"per-cell dispatch {b['batch1_seconds']:.1f}s -> "
+                f"batched+pooled+artifacts {b['batched_seconds']:.1f}s "
+                f"({b['speedup']:.2f}x median pair ratio)"
+            )
+        return text
 
     def to_json(self) -> dict:
         return {
@@ -408,6 +538,8 @@ class EngineBenchResult:
             "identical": self.identical,
             "aggregate_speedup": self.aggregate_speedup,
             "full_fallback_cells": self.full_fallback_cells,
+            "per_scheme": self.per_scheme,
+            "batching": self.batching,
             "cells": [asdict(c) for c in self.cells],
         }
 
@@ -427,8 +559,14 @@ def run_engine_comparison(
     smoke: bool = False,
     output: Optional[str] = "BENCH_engine.json",
     executor: Optional[Executor] = None,
+    batching_probe: bool = True,
 ) -> EngineBenchResult:
     """Run the hot-path grid under both engines and compare.
+
+    ``batching_probe`` additionally times the smoke experiment catalog
+    under per-cell dispatch versus batching + persistent pool + shared
+    trace artifacts and records the ratio (see
+    :func:`measure_batching`).
 
     Raises :class:`~repro.common.errors.ExecutionError` when any cell's
     simulated results diverge between engines, or when the columnar
@@ -475,8 +613,11 @@ def run_engine_comparison(
                 fast_fraction=c.fast_fraction or 0.0,
                 end_cycle=e.end_cycle,
                 identical=identical,
+                fallback_reasons=dict(c.fallback_reasons or {}),
             )
         )
+    if batching_probe:
+        result.batching = measure_batching(jobs=2)
     if output:
         result.write_json(output)
     if not result.identical:

@@ -64,6 +64,7 @@ from repro.harness import (
 from repro.harness.executor import Executor
 from repro.harness.experiments import load_all, render, run_campaign
 from repro.harness.resultcache import ResultCache
+from repro.harness.traceartifacts import TraceArtifactStore
 
 #: Uniform exit codes for every subcommand (legacy, exp, cache, replay).
 EXIT_OK = 0
@@ -226,6 +227,13 @@ def build_parser() -> argparse.ArgumentParser:
         ".repro-cache)",
     )
     parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="cells per worker task (default: auto-sized from a cheap "
+        "cost estimate; 1 = one task per cell)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="bench only: shrink the grid to a <60s CI budget",
@@ -382,6 +390,13 @@ def build_exp_parser() -> argparse.ArgumentParser:
         help="result cache directory (default: $SILO_CACHE_DIR or "
         ".repro-cache)",
     )
+    p_run.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="cells per worker task (default: auto-sized from a cheap "
+        "cost estimate; 1 = one task per cell)",
+    )
     return parser
 
 
@@ -438,8 +453,14 @@ def _exp_run(args) -> int:
         else [registry.get(name) for name in args.names]
     )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    trace_store = None if args.no_cache else TraceArtifactStore(args.cache_dir)
     executor = Executor(
-        jobs=args.jobs, cache=cache, fresh=args.fresh, progress=args.fmt == "report"
+        jobs=args.jobs,
+        cache=cache,
+        fresh=args.fresh,
+        progress=args.fmt == "report",
+        batch=args.batch,
+        trace_store=trace_store,
     )
     failures = 0
     json_docs: Dict[str, object] = {}
@@ -501,11 +522,15 @@ def _exp_main(argv: List[str]) -> int:
 
 def _cache_command(args) -> int:
     cache = ResultCache(args.cache_dir)
+    traces = TraceArtifactStore(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
+        removed_traces = traces.clear()
         print(f"removed {removed} cache entries from {cache.root}")
+        print(f"removed {removed_traces} trace artifacts from {traces.root}")
     else:
         print(cache.format_stats())
+        print(traces.format_stats())
     return 0
 
 
@@ -533,8 +558,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--spec is only valid with the 'replay' command")
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    trace_store = None if args.no_cache else TraceArtifactStore(args.cache_dir)
     executor = Executor(
-        jobs=args.jobs, cache=cache, fresh=args.fresh, progress=True
+        jobs=args.jobs,
+        cache=cache,
+        fresh=args.fresh,
+        progress=True,
+        batch=args.batch,
+        trace_store=trace_store,
     )
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     failures = 0

@@ -23,6 +23,15 @@ It also accounts the columnar engine's fused coverage: a cell whose
 catalog where more than half the simulated cells silently fall back
 fails the gate (the fast engine would be decorative).
 
+Beyond the catalog, the gate runs dedicated **stress cells** for the
+paths smoke campaigns barely touch: an eviction-storm workload (arena
+far larger than the cache, so on-PM-buffer writeback storms dominate)
+and a finalize-heavy one (large dirty-line tails drained at end of
+run).  Those cells must be bit-identical *and* fully fused
+(``fast_fraction == 1.0``) — morlog/fwb eviction storms falling back
+to the exact path is exactly the coverage regression this gate exists
+to catch.
+
 CI entry point::
 
     PYTHONPATH=src python -m repro.harness.equivalence
@@ -61,6 +70,7 @@ class EquivalenceReport:
     simulated_cells: int = 0
     full_fallback_cells: int = 0
     delegated_cells: int = 0
+    stress_cells: int = 0
 
     @property
     def ok(self) -> bool:
@@ -76,7 +86,8 @@ class EquivalenceReport:
             f"({'smoke' if self.smoke else 'full'} catalog): "
             f"{self.simulated_cells} simulated cells, "
             f"{self.full_fallback_cells} full fallbacks, "
-            f"{self.delegated_cells} delegated",
+            f"{self.delegated_cells} delegated, "
+            f"{self.stress_cells} stress cells",
         ]
         if self.excessive_fallback:
             lines.append(
@@ -153,10 +164,94 @@ def check_engine_equivalence(
     return report
 
 
+#: Stress cells for the fused paths the smoke catalog barely touches:
+#: ``(label, synthetic-trace kwargs, schemes, must_fuse)``.  The
+#: eviction-heavy cell's arena (512 KiB of words) dwarfs the cache, so
+#: on-PM-buffer writeback storms dominate; the finalize-heavy cell
+#: leaves each core hundreds of dirty lines to drain at end of run.
+#: ``must_fuse`` demands ``fast_fraction == 1.0``: these schemes have
+#: fused eviction/finalize kernels, and silently losing them is the
+#: coverage regression this gate exists to catch.
+STRESS_CELLS = (
+    (
+        "eviction-heavy",
+        dict(
+            threads=4,
+            transactions_per_thread=20,
+            write_set_words=64,
+            rewrite_fraction=0.1,
+            silent_fraction=0.0,
+            loads_per_store=1.0,
+            arena_words=65536,
+            seed=5,
+        ),
+        ("morlog", "fwb", "silo", "swlog", "wrap"),
+        True,
+    ),
+    (
+        "morlog-finalize-heavy",
+        dict(
+            threads=2,
+            transactions_per_thread=10,
+            write_set_words=200,
+            rewrite_fraction=0.0,
+            silent_fraction=0.0,
+            loads_per_store=0.0,
+            arena_words=8192,
+            seed=9,
+        ),
+        ("morlog", "fwb"),
+        True,
+    ),
+)
+
+
+def check_stress_cells(report: EquivalenceReport) -> None:
+    """Run the stress cells under both engines; append any divergence
+    or lost fusion to ``report.mismatches``."""
+    from repro.common.config import SystemConfig
+    from repro.designs.scheme import SchemeRegistry
+    from repro.sim.columnar import ColumnarEngine
+    from repro.sim.engine import TransactionEngine
+    from repro.sim.system import System
+    from repro.trace.synthetic import SyntheticTraceConfig, synthetic_trace
+
+    for label, kwargs, schemes, must_fuse in STRESS_CELLS:
+        trace = synthetic_trace(SyntheticTraceConfig(**kwargs))
+        cores = kwargs["threads"]
+        for scheme_name in schemes:
+            report.stress_cells += 1
+            where = f"stress {label}/{scheme_name}"
+            sys_exact = System(SystemConfig.table2(cores))
+            exact = TransactionEngine(
+                sys_exact, SchemeRegistry.create(scheme_name, sys_exact), trace
+            ).run()
+            sys_col = System(SystemConfig.table2(cores))
+            engine = ColumnarEngine(
+                sys_col, SchemeRegistry.create(scheme_name, sys_col), trace
+            )
+            col = engine.run()
+            if exact.end_cycle != col.end_cycle:
+                report.mismatches.append(
+                    f"{where}: end_cycle {exact.end_cycle} != {col.end_cycle}"
+                )
+            if exact.committed != col.committed:
+                report.mismatches.append(f"{where}: committed differs")
+            if dict(exact.stats.counters) != dict(col.stats.counters):
+                report.mismatches.append(f"{where}: stats counters differ")
+            stats = engine.engine_stats()
+            if must_fuse and stats["fast_fraction"] != 1.0:
+                report.mismatches.append(
+                    f"{where}: fast_fraction {stats['fast_fraction']:.3f} "
+                    f"!= 1.0 (fallbacks: {stats['fallback_reasons']})"
+                )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
     smoke = "--full" not in args
     report = check_engine_equivalence(smoke=smoke)
+    check_stress_cells(report)
     print(report.format_report())
     return 0 if report.ok else 1
 

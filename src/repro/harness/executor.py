@@ -16,7 +16,16 @@ module is the one execution service they all share:
   previously computed cells are served from disk;
 * each worker process memoizes trace construction per
   ``(workload, threads, transactions, kwargs)``, so a trace is built
-  once and replayed read-only under every scheme — never per cell.
+  once and replayed read-only under every scheme — never per cell;
+* an optional :class:`~repro.harness.traceartifacts.TraceArtifactStore`
+  lifts trace synthesis + columnar decode out of the per-process memo
+  entirely: the parent builds each distinct pending recipe once per
+  campaign, workers load the serialized flat columns zero-parse;
+* small cells are dispatched in **batches** per pool task (auto-sized
+  from a cheap cost estimate, or fixed via ``batch=N`` / ``--batch``),
+  so litmus-scale campaigns stop paying one IPC round-trip per cell;
+* the worker pool persists across ``run()`` calls, so a catalog sweep
+  pays interpreter spawn + imports once, not once per campaign.
 
 Determinism: cells share no mutable state (each gets a fresh
 :class:`~repro.sim.system.System`; the engine never mutates the trace;
@@ -35,6 +44,7 @@ import os
 import sys
 import time
 import traceback
+import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -78,15 +88,25 @@ class WorkloadSpec:
         return cls(name, threads, transactions, tuple(sorted(kwargs.items())))
 
     def build(self) -> Trace:
-        """Build (or fetch the per-process memoized) trace."""
+        """Build (or fetch the per-process memoized) trace.
+
+        When a trace-artifact store is active in this process, a memo
+        miss consults it before synthesizing: workers of a store-backed
+        executor load the parent's prebuilt artifact (flat columns +
+        seeded decode) instead of rebuilding the workload.
+        """
         trace = _TRACE_MEMO.get(self)
         if trace is None:
-            trace = build_workload(
-                self.name,
-                threads=self.threads,
-                transactions=self.transactions,
-                **dict(self.kwargs),
-            )
+            store = _TRACE_STORE
+            if store is not None:
+                trace = store.build(self)
+            else:
+                trace = build_workload(
+                    self.name,
+                    threads=self.threads,
+                    transactions=self.transactions,
+                    **dict(self.kwargs),
+                )
             _TRACE_MEMO[self] = trace
         return trace
 
@@ -96,6 +116,24 @@ class WorkloadSpec:
 #: the process executes.  Worker processes persist across cells, so
 #: the memo warms exactly like the serial path's.
 _TRACE_MEMO: Dict[WorkloadSpec, Trace] = {}
+
+#: Per-process trace-artifact store (L2 behind the memo), installed by
+#: the executor in the parent and by :func:`_pool_init` in workers.
+_TRACE_STORE = None
+
+
+def _pool_init(store_root: Optional[str], fingerprint: Optional[str]) -> None:
+    """Worker-process initializer: attach the campaign's trace store.
+
+    The parent passes the store's *cache root* and its precomputed
+    fingerprint, so workers neither rehash the source tree nor rebuild
+    traces the parent already serialized.
+    """
+    global _TRACE_STORE
+    if store_root is not None:
+        from repro.harness.traceartifacts import TraceArtifactStore
+
+        _TRACE_STORE = TraceArtifactStore(store_root, fingerprint)
 
 
 @dataclass(frozen=True)
@@ -284,9 +322,25 @@ def _worker(item: Tuple[int, CellSpec]) -> Tuple[int, CellOutcome]:
     return index, _execute_safely(spec)
 
 
+def _worker_batch(
+    items: Sequence[Tuple[int, CellSpec]]
+) -> List[Tuple[int, CellOutcome]]:
+    """Run a batch of cells in one pool task (one IPC round-trip)."""
+    return [(index, _execute_safely(spec)) for index, spec in items]
+
+
 # ----------------------------------------------------------------------
 # The executor
 # ----------------------------------------------------------------------
+#: Hard cap on cells per pool task: keeps a single task's result
+#: payload (and the blast radius of a dying worker) bounded.
+MAX_BATCH = 32
+
+#: Auto-batching granularity: aim for about this many tasks per
+#: worker, so stragglers still load-balance.
+BATCHES_PER_WORKER = 4
+
+
 @dataclass
 class CampaignStats:
     """Cumulative accounting across every ``run()`` of one executor."""
@@ -307,6 +361,27 @@ class Executor:
     :class:`ResultCache` or ``None`` (no reads, no writes); ``fresh``
     recomputes every cell but still writes the cache.  ``progress``
     streams ``done/total`` + ETA lines to stderr.
+
+    ``batch`` sets how many cells ride one pool task: ``None``
+    auto-sizes batches from a cheap per-cell cost estimate (targeting
+    a few tasks per worker, capped at :data:`MAX_BATCH` cells), an
+    explicit ``N`` fixes the chunk size (``1`` restores one task per
+    cell).  Batching only changes dispatch packaging — per-cell
+    results, cache entries and outcome order are identical.
+
+    ``trace_store`` attaches a
+    :class:`~repro.harness.traceartifacts.TraceArtifactStore`: the
+    parent prebuilds every distinct pending workload recipe once per
+    ``run()``, and worker processes load the serialized artifacts
+    instead of re-synthesizing traces.
+
+    The worker pool **persists across** ``run()`` **calls**: a catalog
+    sweep (``exp run --all``) reuses one set of warm worker processes
+    instead of paying interpreter spawn + imports per campaign, and
+    the workers' trace memos stay warm with them.  ``close()`` (or the
+    context-manager form) shuts the pool down; an executor that is
+    garbage-collected or a pool whose worker died are cleaned up
+    automatically.
     """
 
     def __init__(
@@ -315,12 +390,55 @@ class Executor:
         cache: Optional[ResultCache] = None,
         fresh: bool = False,
         progress: bool = False,
+        batch: Optional[int] = None,
+        trace_store=None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = cache
         self.fresh = fresh
         self.progress = progress
+        self.batch = batch
+        self.trace_store = trace_store
         self.stats = CampaignStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_finalizer = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        """The persistent pool, created lazily.  Worker processes are
+        spawned on demand up to ``jobs``, initialized once with this
+        executor's trace-store coordinates."""
+        if self._pool is None:
+            store = self.trace_store
+            initargs = (
+                (str(store.root.parent), store.fingerprint)
+                if store is not None
+                else (None, None)
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_pool_init,
+                initargs=initargs,
+            )
+            self._pool_finalizer = weakref.finalize(
+                self, self._pool.shutdown, wait=False
+            )
+        return self._pool
 
     # ------------------------------------------------------------------
     def run(self, cells: Sequence[CellSpec]) -> List[CellOutcome]:
@@ -342,6 +460,9 @@ class Executor:
         self.stats.cells += len(cells)
         self.stats.cache_hits += hits
         done_live = 0
+
+        if self.trace_store is not None and pending:
+            self._prebuild_traces(cells, pending)
 
         def finish(index: int, outcome: CellOutcome) -> None:
             nonlocal done_live
@@ -367,28 +488,108 @@ class Executor:
         return [o for o in outcomes if o is not None]
 
     # ------------------------------------------------------------------
+    def _prebuild_traces(self, cells, pending) -> None:
+        """Build every distinct pending workload recipe once, in the
+        parent, so workers (and the serial path) only ever load
+        artifacts.  Installs the store as this process's L2 too."""
+        global _TRACE_STORE
+        _TRACE_STORE = store = self.trace_store
+        seen = set()
+        for index in pending:
+            wspec = cells[index].workload
+            if wspec in seen:
+                continue
+            seen.add(wspec)
+            memo = _TRACE_MEMO.get(wspec)
+            if memo is not None:
+                # Already built in this process (e.g. an earlier plain
+                # run): serialize it so workers can still load it.
+                store.ensure(wspec, memo)
+            else:
+                _TRACE_MEMO[wspec] = store.build(wspec)
+
+    # ------------------------------------------------------------------
+    def _cell_cost(self, spec: CellSpec) -> int:
+        """Cheap relative cost estimate: ops scale with threads x
+        transactions, wall time with repeats."""
+        w = spec.workload
+        return max(1, w.threads * w.transactions * max(1, spec.repeats))
+
+    def _plan_batches(self, cells, pending) -> List[List[int]]:
+        """Chunk pending cell indices into per-task batches.
+
+        Auto mode packs consecutive cells until a batch carries about
+        ``total_cost / (workers * BATCHES_PER_WORKER)`` — big cells get
+        their own task, litmus-sized cells share one — so every worker
+        still sees several tasks for load balancing.
+        """
+        if self.batch is not None:
+            size = max(1, self.batch)
+            return [
+                list(pending[i : i + size])
+                for i in range(0, len(pending), size)
+            ]
+        costs = [self._cell_cost(cells[index]) for index in pending]
+        workers = max(1, min(self.jobs, len(pending)))
+        target = max(1, sum(costs) // (workers * BATCHES_PER_WORKER))
+        batches: List[List[int]] = []
+        current: List[int] = []
+        current_cost = 0
+        for index, cost in zip(pending, costs):
+            current.append(index)
+            current_cost += cost
+            if current_cost >= target or len(current) >= MAX_BATCH:
+                batches.append(current)
+                current = []
+                current_cost = 0
+        if current:
+            batches.append(current)
+        return batches
+
+    # ------------------------------------------------------------------
     def _run_pool(self, cells, pending, finish) -> None:
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_worker, (index, cells[index])): index
-                for index in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = futures[future]
-                    try:
-                        index, outcome = future.result()
-                    except BaseException:
-                        # The worker process died (not a Python-level
-                        # cell failure): report it against this cell
-                        # and keep draining what other workers finish.
-                        outcome = CellOutcome(
-                            spec=cells[index], error=traceback.format_exc()
-                        )
+        batches = self._plan_batches(cells, pending)
+        pool = self._get_pool()
+        broken = False
+        futures = {}
+        for batch in batches:
+            try:
+                future = pool.submit(
+                    _worker_batch, [(index, cells[index]) for index in batch]
+                )
+            except BaseException:
+                # The pool itself is unusable (a worker died and broke
+                # it mid-campaign): report against the batch's cells
+                # and keep going so every cell gets an outcome.
+                broken = True
+                tb = traceback.format_exc()
+                for index in batch:
+                    finish(index, CellOutcome(spec=cells[index], error=tb))
+                continue
+            futures[future] = batch
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in done:
+                batch = futures[future]
+                try:
+                    results = future.result()
+                except BaseException:
+                    # The worker process died (not a Python-level cell
+                    # failure): report it against every cell of this
+                    # batch and keep draining the rest.
+                    broken = True
+                    tb = traceback.format_exc()
+                    results = [
+                        (index, CellOutcome(spec=cells[index], error=tb))
+                        for index in batch
+                    ]
+                for index, outcome in results:
                     finish(index, outcome)
+        if broken:
+            # Never reuse a pool that lost a worker: the next run()
+            # lazily spawns a fresh one.
+            self.close()
 
     # ------------------------------------------------------------------
     def _report(

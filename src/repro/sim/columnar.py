@@ -30,6 +30,12 @@ exact engine flattened into straight-line code over hoisted locals:
 the L1-hit probe, the MC write path (WPQ prune/admit, channel bus,
 bank heap), the on-PM buffer fast paths and the media's
 data-comparison-write run inline against the *live* simulator state.
+Cacheline eviction storms (dirty L3 victims surfacing mid-epoch) run
+through a per-scheme fused eviction kernel instead of the exact
+``on_evictions`` hook, and the morlog/fwb end-of-run ``finalize``
+data flushes run through :func:`_fused_finalize` before
+``TransactionEngine._finish`` (leaving the schemes' own finalize a
+natural no-op over already-cleared state).
 Counter increments are accumulated in closure integers and flushed
 once at the end of the run; every flush is value-guarded so the final
 counter key set matches the exact engine's exactly (a
@@ -42,11 +48,11 @@ Exact-engine fallback.  Three levels:
   exact engine (``delegated_reason`` records why).  Crash/fault
   windows and observability hooks are timing-sensitive rare paths
   that batching must not touch.
-* **Core fallback** — a core whose scheme is not one of the five
-  fused designs (base, fwb, silo, morlog, lad), whose silo ablation
-  flags are non-default, or whose thread id has no valid log area
-  runs entirely through ``TransactionEngine._step`` (same global
-  order, same results, no speedup).
+* **Core fallback** — a core whose scheme is not one of the seven
+  fused designs (base, fwb, silo, morlog, lad, swlog, wrap), whose
+  silo ablation flags are non-default, or whose thread id has no
+  valid log area runs entirely through ``TransactionEngine._step``
+  (same global order, same results, no speedup).
 * **Op fallback** — a fused stepper returns the op to
   ``TransactionEngine._step`` unconsumed when it cannot prove the
   fast path identical (op outside a transaction, address outside the
@@ -54,6 +60,13 @@ Exact-engine fallback.  Three levels:
   line is already resident and must coalesce, unknown op kinds).
   Paths where the exact engine would raise are also routed here so
   the exception (and its message) comes from the exact code.
+
+Every fallback is tallied under a reason tag — ``core:<why>`` when a
+whole core runs generic (the stepper factories return the reason
+string instead of a kernel), ``op:<why>`` keyed off the op kind for
+mid-epoch per-op fallbacks — exposed as ``fallback_reasons`` in
+:meth:`ColumnarEngine.engine_stats` so kernel-coverage regressions
+are visible in benchmarks and CI.
 
 Determinism argument.  The fused kernels mutate the same objects the
 exact engine would (media image, on-PM buffer, WPQ/bank heaps, cache
@@ -81,6 +94,8 @@ from repro.designs.base import BaseScheme
 from repro.designs.fwb import FWB_INTERVAL_CYCLES, FWBScheme
 from repro.designs.lad import CAPTURE_LINES, PREPARE_CYCLES_PER_LINE, LADScheme
 from repro.designs.morlog import MORPH_BUFFER_ENTRIES, MorLogScheme
+from repro.designs.swlog import FENCE_CYCLES, LOG_BUILD_CYCLES, SoftwareLogScheme
+from repro.designs.wrap import WrAPScheme
 from repro.hwlog.entry import LogEntry
 from repro.sim.engine import TransactionEngine
 from repro.trace.ops import Load, Store, TxBegin, TxEnd
@@ -107,6 +122,20 @@ _INF = float("inf")
 #   2 Store, static old   7 unmatched TxEnd (in_tx clear)
 #   3 Load                8 exact-engine op (store outside tx /
 #   4 Store, dynamic old     unknown op kind; the exact engine raises)
+
+#: Fallback-reason tag per op kind, for ops a fused stepper hands back
+#: to the exact engine mid-epoch (indexed by the kind column above).
+_OP_REASON = (
+    "op:tx_state",  # 0 TxBegin (silo regeneration guard)
+    "op:tx_state",  # 1 TxEnd (silo commit without an open tx)
+    "op:conflict",  # 2 store merging onto another tx's buffered entry
+    "op:load",      # 3 loads are never handed back (placeholder)
+    "op:conflict",  # 4 as kind 2, dynamic old value
+    "op:addr48",    # 5 address outside the 48-bit log-entry field
+    "op:tx_state",  # 6 nested TxBegin
+    "op:tx_state",  # 7 unmatched TxEnd
+    "op:illegal",   # 8 the exact engine raises
+)
 
 
 class _CorePre:
@@ -267,6 +296,83 @@ def _trace_pre(trace, cores):
     return pre
 
 
+# ----------------------------------------------------------------------
+# Decode export/import for the trace-artifact store
+# ----------------------------------------------------------------------
+#: Version of the exported decode columns.  Bump whenever the shape of
+#: :class:`_CorePre`/:class:`_TracePre` (or the meaning of a kind code)
+#: changes, so stale trace artifacts read as misses instead of feeding
+#: the engine columns it would misinterpret.
+DECODE_VERSION = 1
+
+
+class _CoreOps:
+    """Minimal core stand-in for :func:`_analyze` (needs ``.ops`` only)."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops):
+        self.ops = ops
+
+
+def precompute_trace(trace):
+    """Run the columnar decode for ``trace`` and memoize it, exactly as
+    the engine would on first run.  Returns the :class:`_TracePre`."""
+    from repro.sim.engine import _flatten
+
+    pre = _analyze(trace, [_CoreOps(ops) for ops in _flatten(trace)])
+    try:
+        _PRE_MEMO[trace] = pre
+    except TypeError:
+        pass
+    return pre
+
+
+def export_decode_columns(trace):
+    """Flat, picklable decode columns for ``trace`` (building the decode
+    if it is not memoized yet).  The WAL ``log`` layout is *not*
+    exported — it depends on the memory configuration and is lazily
+    recomputed per cell."""
+    try:
+        pre = _PRE_MEMO.get(trace)
+    except TypeError:
+        pre = None
+    if pre is None:
+        pre = precompute_trace(trace)
+    return (
+        DECODE_VERSION,
+        [(c.kinds, c.addrs, c.vals, c.olds) for c in pre.cores],
+        pre.amin,
+        pre.amax,
+        pre.imin,
+        pre.imax,
+    )
+
+
+def seed_decode_columns(trace, columns):
+    """Memoize previously exported decode columns for ``trace`` so the
+    engine's first run skips :func:`_analyze` entirely.  Columns with a
+    stale :data:`DECODE_VERSION` are ignored (the engine will simply
+    re-analyze).  Returns ``True`` when the seed was accepted."""
+    if not columns or columns[0] != DECODE_VERSION:
+        return False
+    version, cores, amin, amax, imin, imax = columns
+    if len(cores) != len(trace.threads):
+        return False
+    pre = _TracePre(
+        [_CorePre(kinds, addrs, vals, olds) for kinds, addrs, vals, olds in cores],
+        amin,
+        amax,
+        imin,
+        imax,
+    )
+    try:
+        _PRE_MEMO[trace] = pre
+    except TypeError:
+        return False
+    return True
+
+
 def _log_pass(pre, cpre, tid, lbase, larea):
     """Static WAL log layout for one base/fwb core, or ``None`` when
     the *virgin log area* precondition fails.
@@ -388,8 +494,9 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
     fully static log layout.
 
     Requires the virgin-log-area precondition (see :func:`_log_pass`)
-    plus a zero starting cursor; otherwise returns ``None`` and the
-    core falls back to the generic stepper (rare, correct, slow).
+    plus a zero starting cursor; otherwise returns a fallback-reason
+    string and the core falls back to the generic stepper (rare,
+    correct, slow).
     Under it the per-store hot path is pure timing arithmetic: the
     static entries' media words/wear/counters are applied in bulk at
     flush time, and the log submit does not even need the entry's
@@ -415,9 +522,9 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
     try:
         lbase, larea = region.layout.thread_log_area(tid)
     except AddressError:
-        return None
+        return "no_log_area"
     if region._cursor.get(tid, 0) != 0:
-        return None
+        return "log_cursor_in_use"
     cached = cpre.log
     if cached is not None and cached[0] == lbase and cached[1] == larea:
         lp = cached[2]
@@ -425,7 +532,7 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
         lp = _log_pass(pre, cpre, tid, lbase, larea)
         cpre.log = (lbase, larea, lp)
     if lp is None:
-        return None
+        return "wal_layout"
 
     kinds = cpre.kinds
     addrs = cpre.addrs
@@ -452,7 +559,10 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
     pm = system.pm
     onpm = pm.buffer
     onpm_lines = onpm._lines
+    onpm_get = onpm_lines.get
+    onpm_move = onpm_lines.move_to_end
     onpm_cap = onpm._capacity
+    onpm_mask = onpm._line_mask
     evict_lru = onpm._evict_lru
     media_words = pm.media._words
     media_get = media_words.get
@@ -470,7 +580,6 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
     hier_store = exact._hier_store
     hier_load = exact._hier_load
     read_contention = exact._read_contention
-    on_evictions = exact._scheme_on_evictions
 
     rcur = region._cursor
     records = region._records
@@ -501,6 +610,57 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
     a_committed = 0
     ns = 0  # fused log entries (static + dynamic)
     n_te = 0  # fused commit tuples
+    a_p_data = 0  # fused posted data write-backs (fwb eviction storms)
+    a_p_bytes = 0
+    a_p_coal = 0
+
+    def posted_data(t, wbs):
+        """Fused eviction storm: the default scheme hook posts every
+        dirty victim line as a data write (base/fwb never override
+        it).  Replicates ``submit_write(kind="data")`` without
+        write-through: the line lingers in the on-PM buffer, capacity
+        victims fall to the live ``_evict_lru``."""
+        nonlocal a_p_data, a_p_bytes, a_p_coal, a_wpq_stall
+        stall = 0
+        for _lb, words in wbs:
+            nw = len(words)
+            a_p_data += 1
+            a_p_bytes += 8 * nw
+            a0 = next(iter(words))
+            b = a0 & onpm_mask
+            pending = onpm_get(b)
+            extra = 0
+            if pending is None:
+                if len(onpm_lines) >= onpm_cap:
+                    extra = evict_lru()
+                onpm_lines[b] = dict(words)
+                if nw > 1:
+                    a_p_coal += nw - 1
+            else:
+                onpm_move(b)
+                pending.update(words)
+                a_p_coal += nw
+            while wpq_heap and wpq_heap[0] <= t:
+                heappop(wpq_heap)
+            if len(wpq_heap) < wpq_cap:
+                adm = t
+            else:
+                adm = wpq_heap[0]
+                a_wpq_stall += adm - t
+                stall += adm - t
+            busy = chfree[chan]
+            start = adm if adm > busy else busy
+            persisted = start + BUS + BEAT * nw
+            chfree[chan] = persisted
+            media_done = persisted
+            if extra:
+                for _ in range(extra):
+                    free = banks[0]
+                    begin = persisted if persisted > free else free
+                    media_done = begin + WSERV
+                    heapreplace(banks, media_done)
+            heappush(wpq_heap, media_done)
+        return stall
 
     def step(limit_t, limit_i):
         nonlocal a_l1_hits, a_wpq_stall
@@ -541,7 +701,7 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
                             cost += read_contention(a, now, idx)
                         wbs = access.writebacks
                         if wbs:
-                            cost += on_evictions(idx, now, wbs)
+                            cost += posted_data(now, wbs)
                         dw = bucket[base].dirty_words
                     if k == 2:
                         # Static entry: media words/wear precomputed
@@ -672,7 +832,7 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
                             cost += read_contention(a, now, idx)
                         wbs = access.writebacks
                         if wbs:
-                            cost += on_evictions(idx, now, wbs)
+                            cost += posted_data(now, wbs)
                 elif k == 0 or k == 6:  # ------------------- TxBegin
                     tx_index += 1
                     txid = (tx_index % 65535) + 1
@@ -762,7 +922,7 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
         if a_l1_hits:
             c[k_l1_hits] += a_l1_hits
         n_log = ns + n_te
-        n_data = 0 if is_fwb else ns
+        n_data = (0 if is_fwb else ns) + a_p_data
         mcw = n_log + n_data
         if mcw:
             c["mc.writes"] += mcw
@@ -773,16 +933,20 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
         if n_data:
             c["mc.writes.data"] += n_data
             c["pm.requests.data"] += n_data
-            c["pm.request_bytes.data"] += 8 * n_data
+            c["pm.request_bytes.data"] += 8 * (n_data - a_p_data) + a_p_bytes
         if a_wpq_stall:
             c["mc.wpq_stall_cycles"] += a_wpq_stall
-        onr = n_log + n_data
+        # Every fused write-through request hits the empty/absent fast
+        # path (one buffer request, one immediate eviction); posted
+        # eviction data lines linger in the buffer, so they add a
+        # request without a line eviction (capacity victims are
+        # accounted live by the bound ``_evict_lru``).
+        onr = n_log + n_data - a_p_data
+        if onr or a_p_data:
+            c["onpm.requests"] += onr + a_p_data
         if onr:
-            # Every fused request hits the write-through empty/absent
-            # fast path: one buffer request, one immediate eviction.
-            c["onpm.requests"] += onr
             c["onpm.line_evictions"] += onr
-        coal = 3 * ns + n_te
+        coal = 3 * ns + n_te + a_p_coal
         if coal:
             c["onpm.coalesced_words"] += coal
         med_l = a_med_lines + lp.n_static
@@ -810,8 +974,9 @@ def _make_wal_stepper(exact, idx, core, cpre, pre, is_fwb):
 
 
 def _make_stepper(exact, idx, core, cpre, pre):
-    """Build the fused ``(step, flush)`` pair for one core, or ``None``
-    when the scheme/core combination is not eligible for fusion."""
+    """Build the fused ``(step, flush)`` pair for one core, or a
+    fallback-reason string when the scheme/core combination is not
+    eligible for fusion."""
     scheme = exact.scheme
     stype = type(scheme)
     if stype is BaseScheme or stype is FWBScheme:
@@ -822,22 +987,27 @@ def _make_stepper(exact, idx, core, cpre, pre):
         # (no merging / silent stores logged); only the paper's default
         # configuration is fused.
         if not all(b.merging for b in scheme._bufs):
-            return None
+            return "silo_ablation"
         if not all(g.ignore_silent for g in scheme._gens):
-            return None
+            return "silo_ablation"
         sk = 2
     elif stype is MorLogScheme:
         sk = 3
     elif stype is LADScheme:
         sk = 4
+    elif stype is SoftwareLogScheme:
+        sk = 5
+    elif stype is WrAPScheme:
+        sk = 6
     else:
-        return None
+        return "unfused_scheme:" + stype.__name__
     return _make_buffered_stepper(exact, idx, core, cpre, sk)
 
 
 def _make_buffered_stepper(exact, idx, core, cpre, sk):
-    """Fused stepper for the log-buffer designs: silo (``sk == 2``),
-    morlog (``sk == 3``) and lad (``sk == 4``)."""
+    """Fused stepper for the per-entry logging designs: silo
+    (``sk == 2``), morlog (``sk == 3``), lad (``sk == 4``), swlog
+    (``sk == 5``) and wrap (``sk == 6``)."""
     scheme = exact.scheme
     system = exact.system
     tid = core.tid
@@ -847,7 +1017,7 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
         try:
             lbase, larea = system.region.layout.thread_log_area(tid)
         except AddressError:
-            return None
+            return "no_log_area"
     else:
         # Silo only touches the region on overflow; without a valid
         # area the overflow falls back to the bound handler (which
@@ -860,7 +1030,7 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
     if not 0 <= tid < 256:
         # LogEntry.__new__ below bypasses the constructor's field
         # validation; an oversized tid must raise from the exact path.
-        return None
+        return "oversized_tid"
 
     kinds = cpre.kinds
     addrs = cpre.addrs
@@ -971,12 +1141,23 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
     if sk == 4:
         slots = scheme._slots
         slots_discard = slots.discard
-        captured_pop = scheme._captured.pop
+        captured = scheme._captured
+        captured_pop = captured.pop
         tx_lines = scheme._tx_lines[idx]
         fb_lines = scheme._fallback_lines[idx]
         fb_txs = scheme._fallback_txs
         lad_in_tx = scheme._in_tx
         HANDSHAKE = system.config.commit_handshake_cycles
+    if sk == 5:
+        sw_data_done = scheme._tx_data_done
+    if sk == 6:
+        wr_log_done = scheme._tx_log_done
+        wr_entries = scheme._tx_entries[idx]
+        wr_entries_append = wr_entries.append
+        wr_uncommitted = scheme._uncommitted_lines
+        wr_my_unc = wr_uncommitted[idx]
+        wr_my_unc_add = wr_my_unc.add
+        wr_in_tx = scheme._in_tx
 
     # ------------------------------------------------------------------
     # Counter accumulators (flushed once, value-guarded)
@@ -1016,6 +1197,9 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
     # lad
     a_captured = 0
     a_fallbacks = 0
+    # wrap
+    a_reg_redo = 0
+    a_wrap_reads = 0
 
     # ------------------------------------------------------------------
     # Fused MC+PM submit helpers.  Every fused request covers words of
@@ -1162,6 +1346,99 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
         return adm - t, persisted
 
     # ------------------------------------------------------------------
+    # Fused eviction kernel.  Dirty L3 victims surfacing mid-epoch run
+    # the scheme's ``on_evictions`` semantics inline: every fused
+    # design posts its victim lines through ``posted_submit`` (the
+    # exact hook's ``submit_write(kind="data")`` + admission stall),
+    # with the scheme-specific twists replicated per ``sk``.
+    # ------------------------------------------------------------------
+    if sk == 2:
+        # Silo additionally sets the flush bit on buffered entries
+        # whose words just reached PM (live counters, like the exact
+        # hook; all buffers are merging dicts in the fused config).
+        silo_bufs = scheme._bufs
+
+        def fused_evict(t, wbs):
+            stall = 0
+            for _lb, words in wbs:
+                r = posted_submit(t, words)
+                stall += r[0]
+                for buf2 in silo_bufs:
+                    entries2 = buf2._entries
+                    if not entries2:
+                        continue
+                    marked = 0
+                    lookup = entries2.get
+                    for wa in words:
+                        e2 = lookup(wa)
+                        if e2 is not None and not e2.flush_bit:
+                            e2.flush_bit = True
+                            marked += 1
+                    if marked:
+                        counters[buf2._k_flush_bits] += marked
+            return stall
+
+    elif sk == 3:
+        # Morlog must persist a victim line's buffered log entries
+        # before its data leaves the cache domain (log-before-data);
+        # that rare path runs the exact hook for the whole batch.
+        ml_unpersisted_all = scheme._unpersisted_lines
+
+        def fused_evict(t, wbs):
+            for lb, _w in wbs:
+                for s2 in ml_unpersisted_all:
+                    if lb in s2:
+                        return on_evictions(idx, t, wbs)
+            stall = 0
+            for _lb, words in wbs:
+                r = posted_submit(t, words)
+                stall += r[0]
+            return stall
+
+    elif sk == 4:
+        # LAD absorbs victims of captured lines into the slot's merge
+        # dict (no PM traffic, no stall).
+        def fused_evict(t, wbs):
+            stall = 0
+            for lb, words in wbs:
+                if lb in slots:
+                    c2 = captured.get(lb)
+                    if c2 is None:
+                        captured[lb] = dict(words)
+                    else:
+                        c2.update(words)
+                else:
+                    r = posted_submit(t, words)
+                    stall += r[0]
+            return stall
+
+    elif sk == 6:
+        # WrAP drops victims of lines belonging to open transactions
+        # (the redo log is the durable copy).
+        def fused_evict(t, wbs):
+            unc = set()
+            for c2 in range(len(wr_in_tx)):
+                if wr_in_tx[c2]:
+                    unc |= wr_uncommitted[c2]
+            stall = 0
+            for lb, words in wbs:
+                if lb in unc:
+                    continue
+                r = posted_submit(t, words)
+                stall += r[0]
+            return stall
+
+    else:
+        # swlog: the default LoggingScheme hook, a plain posted write
+        # per victim line.
+        def fused_evict(t, wbs):
+            stall = 0
+            for _lb, words in wbs:
+                r = posted_submit(t, words)
+                stall += r[0]
+            return stall
+
+    # ------------------------------------------------------------------
     # The fused stepper
     # ------------------------------------------------------------------
     def step(limit_t, limit_i):
@@ -1173,6 +1450,7 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
         nonlocal a_peak, a_flushdisc, a_inplace, a_ncommits
         nonlocal a_ovf, a_ovf_entries
         nonlocal a_captured, a_fallbacks
+        nonlocal a_reg_redo, a_wrap_reads
         pc = core.pc
         now = core.time
         in_tx = core.in_tx
@@ -1215,7 +1493,7 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
                             cost += read_contention(a, now, idx)
                         wbs = access.writebacks
                         if wbs:
-                            cost += on_evictions(idx, now, wbs)
+                            cost += fused_evict(now, wbs)
 
                     if sk == 2:  # silo
                         tx_total[idx] += 1
@@ -1416,7 +1694,7 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
                                 a_peak = occ
                         ml_unpersisted_add(base)
                         ml_dirty_add(base)
-                    else:  # lad
+                    elif sk == 4:  # lad
                         if base not in tx_lines:
                             tx_lines.add(base)
                             if len(slots) < CAPTURE_LINES:
@@ -1467,6 +1745,123 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
                                 a_pmreq_log += 1
                                 a_pmbytes_log += 24
                                 cost += r[0] + (r[1] - now)
+                    elif sk == 5:  # swlog
+                        # Build the entry (inline CPU work), persist
+                        # one 26-byte undo+redo record (span-64
+                        # cursor -> the line's first four words),
+                        # clwb+sfence it, then write the data line
+                        # through and fence again.
+                        stall = LOG_BUILD_CYCLES
+                        cursor = rcur_get(tid, 0)
+                        rem = cursor & 63
+                        if rem:
+                            cursor += 64 - rem
+                        la = lbase + (cursor % larea)
+                        p = (
+                            (tid << 56)
+                            ^ (txid << 40)
+                            ^ a
+                            ^ ((old & M) * _K1)
+                            ^ ((v & M) * _K2)
+                        ) | 1
+                        words = {
+                            la: p & M,
+                            la + 8: (p + 1) & M,
+                            la + 16: (p + 2) & M,
+                            la + 24: (p + 3) & M,
+                        }
+                        rcur[tid] = cursor + 26
+                        region._seq += 1
+                        a_reg_req += 1
+                        a_reg_ur += 1
+                        logged_any = True
+                        t2 = now + stall
+                        r = wt_submit(t2, words)
+                        if r is None:
+                            tkt = submit_write(
+                                t2, words, kind="log",
+                                write_through=True, channel=idx,
+                            )
+                            stall += tkt[0] + (tkt[1] - t2)
+                        else:
+                            a_mc_log += 1
+                            a_pmreq_log += 1
+                            a_pmbytes_log += 32
+                            stall += r[0] + (r[1] - t2)
+                        stall += FENCE_CYCLES
+                        lw = writeback_line(idx, base)
+                        if lw:
+                            t2 = now + stall
+                            r = wt_submit(t2, lw)
+                            if r is None:
+                                tkt = submit_write(
+                                    t2, lw, kind="data",
+                                    write_through=True, channel=idx,
+                                )
+                                stall += tkt[0] + (tkt[1] - t2)
+                            else:
+                                a_mc_data += 1
+                                a_pmreq_data += 1
+                                a_pmbytes_data += 8 * len(lw)
+                                stall += r[0] + (r[1] - t2)
+                        stall += FENCE_CYCLES
+                        t2 = now + stall
+                        if t2 > sw_data_done[idx]:
+                            sw_data_done[idx] = t2
+                        cost += stall
+                    else:  # wrap
+                        # One 18-byte redo record (span-64 cursor ->
+                        # three words) written through; commit waits
+                        # on the persist, the store itself only pays
+                        # the admission stall.
+                        cursor = rcur_get(tid, 0)
+                        rem = cursor & 63
+                        if rem:
+                            cursor += 64 - rem
+                        la = lbase + (cursor % larea)
+                        p = (
+                            (tid << 56)
+                            ^ (txid << 40)
+                            ^ a
+                            ^ ((old & M) * _K1)
+                            ^ ((v & M) * _K2)
+                        ) | 1
+                        words = {
+                            la: p & M,
+                            la + 8: (p + 1) & M,
+                            la + 16: (p + 2) & M,
+                        }
+                        rcur[tid] = cursor + 18
+                        region._seq += 1
+                        a_reg_req += 1
+                        a_reg_redo += 1
+                        logged_any = True
+                        r = wt_submit(now, words)
+                        if r is None:
+                            tkt = submit_write(
+                                now, words, kind="log",
+                                write_through=True, channel=idx,
+                            )
+                            cost += tkt[0]
+                            pd = tkt[1]
+                        else:
+                            a_mc_log += 1
+                            a_pmreq_log += 1
+                            a_pmbytes_log += 24
+                            cost += r[0]
+                            pd = r[1]
+                        if pd > wr_log_done[idx]:
+                            wr_log_done[idx] = pd
+                        e = new_entry(LogEntry)
+                        e.tid = tid
+                        e.txid = txid
+                        e.addr = a
+                        e.old = old & M
+                        e.new = v & M
+                        e.flush_bit = False
+                        e.log_addr = la
+                        wr_entries_append(e)
+                        wr_my_unc_add(base)
                     current[a] = v
                 elif k == 3:  # ---------------------------------- Load
                     a = addrs[pc]
@@ -1484,7 +1879,7 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
                             cost += read_contention(a, now, idx)
                         wbs = access.writebacks
                         if wbs:
-                            cost += on_evictions(idx, now, wbs)
+                            cost += fused_evict(now, wbs)
                 elif k == 0 or k == 6:  # --------------------- TxBegin
                     if sk == 2 and (k == 6 or gen._txid is not None):
                         return _EXACT  # exact raises TransactionError
@@ -1498,6 +1893,8 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
                         tx_total[idx] = 0
                     elif sk == 4:
                         lad_in_tx[idx] = True
+                    elif sk == 6:
+                        wr_in_tx[idx] = True
                 elif k == 1 or k == 7:  # ----------------------- TxEnd
                     if sk == 2:  # silo
                         if k == 7 or gen._txid is None:
@@ -1640,7 +2037,7 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
                             stall += r[0] + (r[1] - t2)
                         await_truncate.append((tid, txid))
                         cost += stall
-                    else:  # lad
+                    elif sk == 4:  # lad
                         stall = 0
                         groups = []
                         for ln in sorted(tx_lines):
@@ -1668,6 +2065,62 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
                         tx_lines.clear()
                         fb_lines.clear()
                         lad_in_tx[idx] = False
+                        cost += stall
+                    elif sk == 5:  # swlog
+                        # Everything already persisted per store; wait
+                        # it out, seal the commit tuple, fence.
+                        stall = sw_data_done[idx] - now
+                        if stall < 0:
+                            stall = 0
+                        words = persist_commit_tuple(tid, txid)
+                        t2 = now + stall
+                        r = wt_submit(t2, words)
+                        if r is None:
+                            tkt = submit_write(
+                                t2, words, kind="log",
+                                write_through=True, channel=idx,
+                            )
+                            stall += tkt[0] + (tkt[1] - t2)
+                        else:
+                            a_mc_log += 1
+                            a_pmreq_log += 1
+                            a_pmbytes_log += 16
+                            stall += r[0] + (r[1] - t2)
+                        stall += FENCE_CYCLES
+                        sw_data_done[idx] = 0
+                        # discard_tx: no records on the fused path
+                        cost += stall
+                    else:  # wrap
+                        # Redo commit rule: wait for the tx's logs,
+                        # seal the tuple, then the background copier
+                        # reads every log entry back and posts its
+                        # data word (stall unaffected).
+                        stall = wr_log_done[idx] - now
+                        if stall < 0:
+                            stall = 0
+                        words = persist_commit_tuple(tid, txid)
+                        t2 = now + stall
+                        r = wt_submit(t2, words)
+                        if r is None:
+                            tkt = submit_write(
+                                t2, words, kind="log",
+                                write_through=True, channel=idx,
+                            )
+                            stall += tkt[0] + (tkt[1] - t2)
+                        else:
+                            a_mc_log += 1
+                            a_pmreq_log += 1
+                            a_pmbytes_log += 16
+                            stall += r[0] + (r[1] - t2)
+                        t3 = now + stall
+                        for e in wr_entries:
+                            submit_read(t3, e.log_addr, channel=idx)
+                            a_wrap_reads += 1
+                            posted_submit(t3, {e.addr: e.new})
+                        # discard_tx: no records on the fused path
+                        wr_entries.clear()
+                        wr_my_unc.clear()
+                        wr_in_tx[idx] = False
                         cost += stall
                     in_tx = False
                     committed_add((tid, tx_index))
@@ -1732,6 +2185,8 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
             c["region.entries.undo_redo"] += a_reg_ur
         if a_reg_undo:
             c["region.entries.undo"] += a_reg_undo
+        if a_reg_redo:
+            c["region.entries.redo"] += a_reg_redo
         if logged_any:
             # The exact engine leaves the logging thread's record table
             # present but empty after commit/finalize truncation.
@@ -1768,8 +2223,114 @@ def _make_buffered_stepper(exact, idx, core, cpre, sk):
                 c["lad.captured_lines"] += a_captured
             if a_fallbacks:
                 c["lad.fallbacks"] += a_fallbacks
+        elif sk == 6:
+            if a_wrap_reads:
+                c["wrap.log_reads"] += a_wrap_reads
 
     return step, flush
+
+
+def _fused_finalize(exact):
+    """Fused morlog/fwb end-of-run finalize: flush every core's dirty
+    lines as posted data writes and truncate the awaiting commits,
+    exactly as the schemes' own ``finalize`` would at the same time
+    (``end = max(core times)``, the value ``_finish`` passes it).
+
+    Runs *before* ``TransactionEngine._finish``; the scheme's real
+    ``finalize`` then iterates already-cleared dirty sets and an empty
+    truncation list, returning ``now`` unchanged — a natural no-op —
+    and ``mc.drain_completion()`` (computed afterwards) picks up the
+    flushed writes.  Proof-of-identity conditions: the per-line flush
+    order is the exact one (cores ascending, lines sorted), each
+    victim line's words stay inside one 256-byte on-PM buffer line,
+    and the posted-path arithmetic below is the same fused form the
+    eviction kernel uses (tickets are discarded by the exact finalize,
+    so only counters and queue/bank state matter).
+    """
+    scheme = exact.scheme
+    system = exact.system
+    end = 0
+    for c in exact._cores:
+        if c.time > end:
+            end = c.time
+    mc = system.mc
+    nch = mc.channels
+    wpq_heaps = mc._wpq_heaps
+    wpq_cap = mc._wpq_capacity
+    chfree = mc._channel_free
+    bank_free = mc._bank_free
+    BUS = mc._bus_overhead
+    BEAT = mc._bus_beat
+    WSERV = mc._write_service
+    pm = system.pm
+    onpm = pm.buffer
+    onpm_lines = onpm._lines
+    onpm_get = onpm_lines.get
+    onpm_move = onpm_lines.move_to_end
+    onpm_cap = onpm._capacity
+    onpm_mask = onpm._line_mask
+    evict_lru = onpm._evict_lru  # live counters (rare capacity victims)
+    writeback_line = system.hierarchy.writeback_line
+    counters = system.stats.counters
+    a_mc = a_bytes = a_onpm = a_coal = a_stall = 0
+    for core, lines in enumerate(scheme._dirty_lines):
+        if not lines:
+            continue
+        chan = core % nch
+        wpq_heap = wpq_heaps[chan]
+        banks = bank_free[chan]
+        for line in sorted(lines):
+            words = writeback_line(core, line)
+            if not words:
+                continue
+            nw = len(words)
+            a_mc += 1
+            a_bytes += 8 * nw
+            a_onpm += 1
+            b = line & onpm_mask
+            pending = onpm_get(b)
+            extra = 0
+            if pending is None:
+                if len(onpm_lines) >= onpm_cap:
+                    extra = evict_lru()
+                onpm_lines[b] = dict(words)
+                if nw > 1:
+                    a_coal += nw - 1
+            else:
+                onpm_move(b)
+                pending.update(words)
+                a_coal += nw
+            while wpq_heap and wpq_heap[0] <= end:
+                heappop(wpq_heap)
+            if len(wpq_heap) < wpq_cap:
+                adm = end
+            else:
+                adm = wpq_heap[0]
+                a_stall += adm - end
+            busy = chfree[chan]
+            start = adm if adm > busy else busy
+            persisted = start + BUS + BEAT * nw
+            chfree[chan] = persisted
+            media_done = persisted
+            if extra:
+                for _ in range(extra):
+                    free = banks[0]
+                    begin = persisted if persisted > free else free
+                    media_done = begin + WSERV
+                    heapreplace(banks, media_done)
+            heappush(wpq_heap, media_done)
+        lines.clear()
+    if a_mc:
+        counters["mc.writes"] += a_mc
+        counters["mc.writes.data"] += a_mc
+        counters["pm.requests.data"] += a_mc
+        counters["pm.request_bytes.data"] += a_bytes
+        counters["onpm.requests"] += a_onpm
+    if a_coal:
+        counters["onpm.coalesced_words"] += a_coal
+    if a_stall:
+        counters["mc.wpq_stall_cycles"] += a_stall
+    scheme._truncate_awaiting()
 
 
 class ColumnarEngine:
@@ -1806,6 +2367,10 @@ class ColumnarEngine:
         self.exact_ops = 0
         self.fused_cores = 0
         self.total_cores = len(self._exact._cores)
+        #: ``reason tag -> exact-op count``: ``core:<why>`` for ops of
+        #: cores that never got a fused kernel, ``op:<why>`` for
+        #: mid-epoch per-op fallbacks of fused cores.
+        self.fallback_reasons: dict = {}
 
     @property
     def fault_ledger(self):
@@ -1834,6 +2399,7 @@ class ColumnarEngine:
             "fused_cores": self.fused_cores,
             "total_cores": self.total_cores,
             "fast_fraction": (self.fast_ops / total) if total else 0.0,
+            "fallback_reasons": dict(self.fallback_reasons),
         }
 
     def run(self):
@@ -1859,12 +2425,15 @@ class ColumnarEngine:
         pre = _trace_pre(self.trace, cores)
         steppers = []
         flushes = []
+        tags = []
         fused = 0
         for idx, c in enumerate(cores):
             made = _make_stepper(exact, idx, c, pre.cores[idx], pre)
-            if made is None:
+            if isinstance(made, str):
+                tags.append("core:" + made)
                 made = _make_generic_stepper(exact, idx, c)
             else:
+                tags.append(None)
                 fused += 1
             steppers.append(made[0])
             flushes.append(made[1])
@@ -1872,6 +2441,8 @@ class ColumnarEngine:
 
         total = sum(c.n_ops for c in cores)
         n_exact = 0
+        fb = self.fallback_reasons
+        pcores = pre.cores
         heap = [(c.time, i) for i, c in enumerate(cores) if c.pc < c.n_ops]
         heapify(heap)
         exact_step = exact._step
@@ -1884,6 +2455,10 @@ class ColumnarEngine:
             c = cores[i]
             st = steppers[i](limit_t, limit_i)
             while st == _EXACT:
+                tag = tags[i]
+                if tag is None:
+                    tag = _OP_REASON[pcores[i].kinds[c.pc]]
+                fb[tag] = fb.get(tag, 0) + 1
                 exact_step(i, c)
                 n_exact += 1
                 if c.pc >= c.n_ops:
@@ -1899,6 +2474,9 @@ class ColumnarEngine:
 
         for flush in flushes:
             flush()
+        stype = type(self.scheme)
+        if stype is MorLogScheme or stype is FWBScheme:
+            _fused_finalize(exact)
         exact._global_op += total
         self.exact_ops = n_exact
         self.fast_ops = total - n_exact

@@ -285,3 +285,131 @@ class TestFaultPlanCells:
         rebuilt = cell_spec_from_json(cell_spec_to_json(spec))
         assert rebuilt == spec
         assert spec_key(rebuilt) == spec_key(spec)
+
+
+class TestBatching:
+    """Cell batching is dispatch packaging only: per-cell results,
+    outcome order and failure isolation must be unchanged."""
+
+    def test_fixed_batch_matches_serial_bit_for_bit(self):
+        cells = small_cells()
+        serial = run_cells(cells, jobs=1)
+        batched = Executor(jobs=2, batch=3).run(cells)
+        for s, b in zip(serial, batched):
+            assert s.ok and b.ok
+            assert s.result.end_cycle == b.result.end_cycle
+            assert s.result.stats.as_dict() == b.result.stats.as_dict()
+
+    def test_auto_batch_matches_serial_bit_for_bit(self):
+        cells = small_cells() * 3
+        serial = run_cells(cells, jobs=1)
+        batched = Executor(jobs=2, batch=None).run(cells)
+        for s, b in zip(serial, batched):
+            assert s.ok and b.ok
+            assert s.result.end_cycle == b.result.end_cycle
+
+    def test_plan_batches_auto_groups_small_cells(self):
+        cells = small_cells() * 8
+        executor = Executor(jobs=2)
+        batches = executor._plan_batches(cells, list(range(len(cells))))
+        # Equal-cost cells at 2 jobs should land in ~8 batches (4 per
+        # worker), each carrying several cells, covering every index.
+        assert 1 < len(batches) < len(cells)
+        flat = [i for batch in batches for i in batch]
+        assert flat == list(range(len(cells)))
+
+    def test_plan_batches_fixed_override(self):
+        cells = small_cells()
+        executor = Executor(jobs=2, batch=1)
+        batches = executor._plan_batches(cells, list(range(len(cells))))
+        assert batches == [[0], [1], [2], [3]]
+
+    def test_batched_campaign_survives_failing_cell(self):
+        cells = small_cells()
+        bad = CellSpec(
+            workload=WorkloadSpec.make("hash", threads=2, transactions=10),
+            scheme="no-such-scheme",
+            cores=2,
+        )
+        outcomes = Executor(jobs=2, batch=2).run(cells[:2] + [bad] + cells[2:])
+        assert [o.ok for o in outcomes] == [True, True, False, True, True]
+        assert "no-such-scheme" in outcomes[2].error
+
+
+class TestTraceArtifactStore:
+    """The shared trace-artifact store must be invisible in results
+    and visible only in wall-clock."""
+
+    def test_store_backed_run_matches_plain(self, tmp_path):
+        from repro.harness.traceartifacts import TraceArtifactStore
+
+        cells = small_cells()
+        plain = run_cells(cells, jobs=1)
+        store = TraceArtifactStore(str(tmp_path / "cache"))
+        backed = Executor(jobs=2, trace_store=store).run(cells)
+        for p, b in zip(plain, backed):
+            assert p.ok and b.ok
+            assert p.result.end_cycle == b.result.end_cycle
+            assert p.result.committed == b.result.committed
+            assert p.result.stats.as_dict() == b.result.stats.as_dict()
+        # The parent prebuilt one artifact per distinct recipe.
+        assert store.stats()["entries"] == 2
+
+    def test_columnar_on_loaded_artifact_matches(self, tmp_path):
+        from repro.harness.traceartifacts import TraceArtifactStore
+
+        cells = [
+            CellSpec(
+                workload=WorkloadSpec.make("hash", threads=2, transactions=10),
+                scheme="silo",
+                cores=2,
+                engine=engine,
+            )
+            for engine in ("exact", "columnar")
+        ]
+        store = TraceArtifactStore(str(tmp_path / "cache"))
+        exact, columnar = Executor(jobs=2, trace_store=store).run(cells)
+        assert exact.ok and columnar.ok
+        assert exact.result.end_cycle == columnar.result.end_cycle
+        assert (
+            exact.result.stats.as_dict() == columnar.result.stats.as_dict()
+        )
+        # The seeded decode keeps the loaded trace fully fused.
+        assert columnar.engine_stats["fast_fraction"] == 1.0
+
+    def test_artifact_round_trip_equals_built_trace(self, tmp_path):
+        from repro.harness.traceartifacts import TraceArtifactStore
+
+        spec = WorkloadSpec.make("btree", threads=2, transactions=8)
+        store = TraceArtifactStore(str(tmp_path / "cache"))
+        built = store.build(spec)
+        loaded = store.load(spec)
+        assert loaded is not None
+        assert loaded.name == built.name
+        assert loaded.initial_image == built.initial_image
+        assert [t.tid for t in loaded.threads] == [t.tid for t in built.threads]
+        for lt, bt in zip(loaded.threads, built.threads):
+            assert [tx.ops for tx in lt.transactions] == [
+                tx.ops for tx in bt.transactions
+            ]
+
+    def test_stale_format_reads_as_miss(self, tmp_path):
+        import pickle
+
+        from repro.harness.traceartifacts import TraceArtifactStore
+
+        spec = WorkloadSpec.make("queue", threads=1, transactions=4)
+        store = TraceArtifactStore(str(tmp_path / "cache"))
+        store.build(spec)
+        (path,) = (store.root / "objects").rglob("*.pkl")
+        with open(path, "wb") as fh:
+            pickle.dump({"version": -1}, fh)
+        assert store.load(spec) is None
+
+    def test_clear_removes_artifacts(self, tmp_path):
+        from repro.harness.traceartifacts import TraceArtifactStore
+
+        store = TraceArtifactStore(str(tmp_path / "cache"))
+        store.build(WorkloadSpec.make("hash", threads=1, transactions=4))
+        assert store.clear() == 1
+        assert store.stats()["entries"] == 0

@@ -10,6 +10,8 @@ including runs where a crash plan forces the columnar engine down its
 exact-delegation path.
 """
 
+import random
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -20,6 +22,7 @@ from repro.sim.crash import CrashPlan
 from repro.sim.engine import TransactionEngine
 from repro.sim.system import System
 from repro.trace.synthetic import SyntheticTraceConfig, synthetic_trace
+from repro.trace.trace import ThreadTrace, Trace, Transaction
 
 ALL_SCHEMES = tuple(sorted(SchemeRegistry.names()))
 
@@ -112,6 +115,78 @@ class TestColumnarBitIdentity:
         stats = engine.engine_stats()
         assert not stats["delegated"]
         assert stats["fast_fraction"] > 0.5, stats
+
+
+#: A word-aligned address just past the 48-bit log-entry field: the
+#: fused kernels cannot prove such a store identical (log entries
+#: truncate the address), so it must fall back per-op.  Silo completes
+#: it exactly when the store is *silent* (old == new: the generator
+#: ignores it before building a log entry), which makes it the one
+#: kind-5 store a run survives — and thus the perfect probe for the
+#: mid-epoch fallback path.
+_BIG_ADDR = 1 << 48
+_BIG_VAL = 0xD00D
+
+
+def _addr48_trace(lead, trail, txs, seed):
+    """Two threads of random-store transactions; thread 0's first
+    transaction hides one silent out-of-range store mid-stream."""
+    rng = random.Random(seed)
+    arena = [8 * i for i in range(64)]
+    threads = []
+    for tid in range(2):
+        transactions = []
+        for t in range(txs):
+            tx = Transaction()
+            for _ in range(lead):
+                tx.store(rng.choice(arena), rng.randrange(1, 1 << 32))
+            if tid == 0 and t == 0:
+                tx.store(_BIG_ADDR, _BIG_VAL)
+            for _ in range(trail):
+                tx.store(rng.choice(arena), rng.randrange(1, 1 << 32))
+            transactions.append(tx)
+        threads.append(ThreadTrace(tid, transactions))
+    return Trace(threads, initial_image={_BIG_ADDR: _BIG_VAL}, name="addr48")
+
+
+class TestColumnarPerOpFallback:
+    """Mid-epoch per-op fallback in the buffered stepper: one op the
+    fast path cannot prove identical is handed to the exact engine,
+    then fused stepping resumes on the very next op."""
+
+    @_SETTINGS
+    @given(
+        lead=st.integers(1, 8),
+        trail=st.integers(1, 8),
+        txs=st.integers(1, 3),
+        seed=st.integers(0, 2**16),
+    )
+    def test_mid_epoch_fallback_bit_identical(self, lead, trail, txs, seed):
+        trace = _addr48_trace(lead, trail, txs, seed)
+
+        def run(engine_cls):
+            system = System(SystemConfig.table2(2))
+            engine = engine_cls(
+                system, SchemeRegistry.create("silo", system), trace
+            )
+            return engine, engine.run()
+
+        _, exact = run(TransactionEngine)
+        engine, columnar = run(ColumnarEngine)
+        assert exact.end_cycle == columnar.end_cycle
+        assert exact.committed == columnar.committed
+        assert exact.tx_log_counts == columnar.tx_log_counts
+        assert dict(exact.stats.counters) == dict(columnar.stats.counters)
+
+        stats = engine.engine_stats()
+        assert not stats["delegated"]
+        # Both cores run the fused silo kernel; exactly the one
+        # out-of-range store fell back, correctly attributed.
+        assert stats["fused_cores"] == stats["total_cores"] == 2
+        assert stats["exact_ops"] == 1
+        assert stats["fast_ops"] > 0
+        assert 0.0 < stats["fast_fraction"] < 1.0
+        assert stats["fallback_reasons"] == {"op:addr48": 1}
 
 
 class TestColumnarCrashDelegation:
