@@ -20,7 +20,10 @@ Examples::
 Exit codes are uniform across all subcommands: 0 on success, 1 when
 an experiment fails (a raised cell or an oracle violation), 2 on a
 usage or configuration error (unknown experiment, bad ``--set`` key,
-malformed flags).
+malformed flags), 3 when a ``--partial`` run completed with holes
+(results rendered, but cells are missing), and 130 when a campaign
+was interrupted (SIGINT) and drained gracefully — its journal is
+flushed and ``--resume`` continues where it stopped.
 
 Every experiment fans its (workload x scheme x cores x config) cells
 out through :class:`repro.harness.executor.Executor`: ``--jobs N``
@@ -61,8 +64,10 @@ from repro.harness import (
     table4,
     tracecmd,
 )
-from repro.harness.executor import Executor
+from repro.harness.executor import CampaignInterrupted, Executor, spec_key
 from repro.harness.experiments import load_all, render, run_campaign
+from repro.harness.experiments.engine import PartialCampaignResult
+from repro.harness.journal import CampaignJournal
 from repro.harness.resultcache import ResultCache
 from repro.harness.traceartifacts import TraceArtifactStore
 
@@ -70,6 +75,10 @@ from repro.harness.traceartifacts import TraceArtifactStore
 EXIT_OK = 0
 EXIT_FAILURE = 1
 EXIT_USAGE = 2
+#: A --partial campaign rendered, but with missing cells.
+EXIT_PARTIAL = 3
+#: SIGINT drained gracefully (128 + SIGINT, the shell convention).
+EXIT_INTERRUPTED = 130
 
 _EXPERIMENTS = {
     "bench": lambda args, ex: (
@@ -145,10 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "cache", "replay"],
+        choices=sorted(_EXPERIMENTS) + ["all", "cache", "chaos", "replay"],
         help="which table/figure to regenerate, 'cache' to manage the "
-        "result cache, or 'replay' to re-run one failed cell from its "
-        "--spec JSON",
+        "result cache, 'chaos' to self-test the execution layer under "
+        "injected faults, or 'replay' to re-run one failed cell from "
+        "its --spec JSON",
     )
     parser.add_argument(
         "action",
@@ -234,9 +244,38 @@ def build_parser() -> argparse.ArgumentParser:
         "cost estimate; 1 = one task per cell)",
     )
     parser.add_argument(
+        "--cell-timeout",
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock watchdog per cell: a task exceeding "
+        "SECONDS x its cell count has its worker killed and the cells "
+        "recorded as 'timeout' (or retried); 'auto' calibrates from "
+        "observed completions, 0 disables (default: off)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-dispatch cells whose worker died or timed out up to N "
+        "extra times, with exponential backoff (default: 0)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="faultsweep only: continue an interrupted campaign from "
+        "its journal, re-running only unfinished cells",
+    )
+    parser.add_argument(
+        "--chaos-output",
+        default="CHAOS.json",
+        help="chaos only: where to write the self-test report "
+        "(default: CHAOS.json)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="bench only: shrink the grid to a <60s CI budget",
+        help="bench/faultsweep/chaos: shrink the grid to a <60s CI "
+        "budget",
     )
     parser.add_argument(
         "--repeats",
@@ -397,7 +436,89 @@ def build_exp_parser() -> argparse.ArgumentParser:
         help="cells per worker task (default: auto-sized from a cheap "
         "cost estimate; 1 = one task per cell)",
     )
+    p_run.add_argument(
+        "--cell-timeout",
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock watchdog per cell: a task exceeding "
+        "SECONDS x its cell count has its worker killed and the cells "
+        "recorded as 'timeout' (or retried); 'auto' calibrates from "
+        "observed completions, 0 disables (default: off)",
+    )
+    p_run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-dispatch cells whose worker died or timed out up to N "
+        "extra times, with exponential backoff (default: 0)",
+    )
+    p_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted campaign from its journal, "
+        "re-running only unfinished cells (needs the result cache)",
+    )
+    p_run.add_argument(
+        "--partial",
+        action="store_true",
+        help="degrade gracefully: render failed/timed-out cells as "
+        "explicit holes (with replay one-liners) around whatever "
+        "assembles, exit 3 instead of aborting the report",
+    )
     return parser
+
+
+def _parse_cell_timeout(value):
+    """``--cell-timeout`` values: ``None``/``0`` off, ``"auto"``, or a
+    positive float of seconds."""
+    if value is None:
+        return None
+    if value == "auto":
+        return "auto"
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise ConfigError(
+            f"--cell-timeout expects a number of seconds or 'auto', "
+            f"got {value!r}"
+        )
+    return seconds if seconds > 0 else None
+
+
+def _campaign_journal(args, campaign_key: str):
+    """The checkpoint journal for one campaign identity, honoring
+    ``--resume`` (keep it) vs. a fresh run (discard any leftover).
+    Resilience flags never join the key: they change scheduling, not
+    which cells the campaign contains."""
+    if getattr(args, "no_cache", False):
+        if getattr(args, "resume", False):
+            raise ConfigError("--resume needs the result cache "
+                              "(drop --no-cache)")
+        return None
+    journal = CampaignJournal(args.cache_dir, campaign=campaign_key)
+    if not getattr(args, "resume", False):
+        journal.discard()
+    return journal
+
+
+def _report_interrupted(exc: CampaignInterrupted, name: str) -> int:
+    """Render a graceful partial stop: flush the journal's partial
+    manifest, say how to continue, exit 130 — never a stack trace."""
+    records = []
+    for outcome in exc.outcomes:
+        record = {
+            "spec": json.loads(spec_key(outcome.spec)),
+            "ok": outcome.ok,
+            "kind": outcome.kind,
+            "cached": outcome.cached,
+        }
+        records.append(record)
+    print(f"[{name} interrupted] {exc}", file=sys.stderr)
+    if exc.journal is not None:
+        path = exc.journal.write_partial_manifest(records)
+        if path:
+            print(f"[{name}] partial manifest: {path}", file=sys.stderr)
+    return EXIT_INTERRUPTED
 
 
 def _parse_overrides(pairs: List[str]) -> Dict[str, object]:
@@ -461,8 +582,11 @@ def _exp_run(args) -> int:
         progress=args.fmt == "report",
         batch=args.batch,
         trace_store=trace_store,
+        cell_timeout=_parse_cell_timeout(args.cell_timeout),
+        retries=args.retries,
     )
     failures = 0
+    partials = 0
     json_docs: Dict[str, object] = {}
     for spec in specs:
         applicable = (
@@ -470,6 +594,12 @@ def _exp_run(args) -> int:
             if args.all
             else overrides
         )
+        campaign_key = (
+            f"exp|{spec.name}|smoke={args.smoke}|engine={args.engine}|"
+            + json.dumps(applicable, sort_keys=True, default=repr)
+        )
+        journal = _campaign_journal(args, campaign_key)
+        executor.journal = journal
         started = time.time()
         try:
             result, campaign = run_campaign(
@@ -477,25 +607,43 @@ def _exp_run(args) -> int:
                 executor=executor,
                 smoke=args.smoke,
                 engine=args.engine,
+                partial=args.partial,
                 **applicable,
             )
+        except CampaignInterrupted as exc:
+            return _report_interrupted(exc, spec.name)
         except ExecutionError as exc:
             print(f"[{spec.name} FAILED]\n{exc}", file=sys.stderr)
             failures += 1
             continue
+        if journal is not None:
+            # Clean completion: the checkpoint has served its purpose
+            # (reusable outcomes live on in the result cache).
+            journal.discard()
+        is_partial = isinstance(result, PartialCampaignResult)
+        partials += is_partial
         if args.fmt == "json":
             json_docs[spec.name] = {
                 "manifest": campaign.manifest(),
-                "tables": result.to_json_payload(),
+                "tables": (
+                    result.to_json_dict()
+                    if is_partial
+                    else result.to_json_payload()
+                ),
             }
             continue
         print(render(result, args.fmt))
         if args.fmt == "report":
             stats = executor.stats
+            journal_text = (
+                f", {stats.journal_hits} journal-served"
+                if stats.journal_hits
+                else ""
+            )
             print(
                 f"[{spec.name} completed in {time.time() - started:.1f}s; "
-                f"campaign: {stats.cells} cells, {stats.cache_hits} cached, "
-                f"{executor.jobs} jobs]\n"
+                f"campaign: {stats.cells} cells, {stats.cache_hits} cached"
+                f"{journal_text}, {executor.jobs} jobs]\n"
             )
     if args.fmt == "json" and json_docs:
         if len(json_docs) == 1 and not args.all:
@@ -503,7 +651,9 @@ def _exp_run(args) -> int:
             print(json.dumps(payload, indent=2))
         else:
             print(json.dumps(json_docs, indent=2))
-    return EXIT_FAILURE if failures else EXIT_OK
+    if failures:
+        return EXIT_FAILURE
+    return EXIT_PARTIAL if partials else EXIT_OK
 
 
 def _exp_main(argv: List[str]) -> int:
@@ -556,9 +706,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_OK if result.passed else EXIT_FAILURE
     if args.spec is not None:
         parser.error("--spec is only valid with the 'replay' command")
+    if args.experiment == "chaos":
+        from repro.harness import chaos
+
+        result = chaos.run(
+            smoke=args.smoke,
+            jobs=args.jobs if args.jobs is not None else 2,
+            seed=args.seed,
+            output=args.chaos_output,
+        )
+        print(result.format_report())
+        return EXIT_OK if result.passed else EXIT_FAILURE
+    if args.resume and args.experiment != "faultsweep":
+        parser.error(
+            "--resume is only supported for 'faultsweep' here "
+            "(and for 'silo-repro exp run')"
+        )
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the result cache (drop --no-cache)")
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     trace_store = None if args.no_cache else TraceArtifactStore(args.cache_dir)
+    try:
+        cell_timeout = _parse_cell_timeout(args.cell_timeout)
+    except ConfigError as exc:
+        print(f"silo-repro: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     executor = Executor(
         jobs=args.jobs,
         cache=cache,
@@ -566,13 +739,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         progress=True,
         batch=args.batch,
         trace_store=trace_store,
+        cell_timeout=cell_timeout,
+        retries=args.retries,
     )
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     failures = 0
     for name in names:
+        journal = None
+        if name == "faultsweep" and cache is not None:
+            campaign_key = (
+                f"faultsweep|seed={args.seed}|points={args.crash_points}"
+                f"|smoke={args.smoke}"
+            )
+            try:
+                journal = _campaign_journal(args, campaign_key)
+            except ConfigError as exc:
+                print(f"silo-repro: error: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+        executor.journal = journal
         started = time.time()
         try:
             result = _EXPERIMENTS[name](args, executor)
+        except CampaignInterrupted as exc:
+            return _report_interrupted(exc, name)
         except ExecutionError as exc:
             print(f"[{name} FAILED]\n{exc}", file=sys.stderr)
             failures += 1
@@ -580,6 +769,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ConfigError as exc:
             print(f"silo-repro: error: {exc}", file=sys.stderr)
             return EXIT_USAGE
+        if journal is not None:
+            journal.discard()
         print(result.format_report())
         if getattr(result, "passed", True) is False:
             # Validation sweeps (crashtest/faultsweep) fail the run on

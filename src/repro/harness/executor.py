@@ -25,7 +25,22 @@ module is the one execution service they all share:
   from a cheap cost estimate, or fixed via ``batch=N`` / ``--batch``),
   so litmus-scale campaigns stop paying one IPC round-trip per cell;
 * the worker pool persists across ``run()`` calls, so a catalog sweep
-  pays interpreter spawn + imports once, not once per campaign.
+  pays interpreter spawn + imports once, not once per campaign;
+* the layer is **resilient**: every outcome carries a ``kind``
+  (``ok`` / ``error`` / ``timeout`` / ``infra``) that distinguishes "the
+  cell raised" from "the infrastructure died under it"; a per-cell
+  wall-clock watchdog (``cell_timeout``) kills a hung worker and
+  records a ``timeout``; bounded retries (``retries``) with
+  deterministic, jitterless exponential backoff respawn a fresh pool
+  after a broken one and re-run only the genuinely-unfinished cells —
+  survivors are never blanket-failed; a
+  :class:`~repro.harness.journal.CampaignJournal` checkpoints every
+  completed outcome incrementally so an interrupted campaign resumes
+  where it stopped; and SIGINT drains gracefully, raising
+  :class:`CampaignInterrupted` with the journal flushed instead of a
+  bare stack trace.  None of these options is part of a cell's content
+  address: retries and timeouts change *whether and when* a cell runs,
+  never what it computes.
 
 Determinism: cells share no mutable state (each gets a fresh
 :class:`~repro.sim.system.System`; the engine never mutates the trace;
@@ -45,7 +60,13 @@ import sys
 import time
 import traceback
 import weakref
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -121,19 +142,29 @@ _TRACE_MEMO: Dict[WorkloadSpec, Trace] = {}
 #: the executor in the parent and by :func:`_pool_init` in workers.
 _TRACE_STORE = None
 
+#: Per-process chaos plan (test/CI fault injection for the harness
+#: itself — see :mod:`repro.harness.chaos`).  ``None`` in production.
+_CHAOS = None
 
-def _pool_init(store_root: Optional[str], fingerprint: Optional[str]) -> None:
-    """Worker-process initializer: attach the campaign's trace store.
+
+def _pool_init(
+    store_root: Optional[str],
+    fingerprint: Optional[str],
+    chaos: Any = None,
+) -> None:
+    """Worker-process initializer: attach the campaign's trace store
+    and (chaos self-tests only) the executor-level fault plan.
 
     The parent passes the store's *cache root* and its precomputed
     fingerprint, so workers neither rehash the source tree nor rebuild
     traces the parent already serialized.
     """
-    global _TRACE_STORE
+    global _TRACE_STORE, _CHAOS
     if store_root is not None:
         from repro.harness.traceartifacts import TraceArtifactStore
 
         _TRACE_STORE = TraceArtifactStore(store_root, fingerprint)
+    _CHAOS = chaos
 
 
 @dataclass(frozen=True)
@@ -185,6 +216,12 @@ class TraceStats:
     total_ops: int
 
 
+#: Outcome kinds a retry may fix: the infrastructure failed, not the
+#: cell.  ``error`` is deterministic (the cell itself raised) and is
+#: never retried.
+RETRYABLE_KINDS = ("timeout", "infra")
+
+
 @dataclass
 class CellOutcome:
     """What one cell produced.
@@ -192,6 +229,22 @@ class CellOutcome:
     Exactly one of ``result`` / ``error`` is set.  ``seconds`` holds
     the per-repeat wall times measured where the cell actually ran
     (cache hits replay the recorded times of the original run).
+
+    ``kind`` classifies the outcome:
+
+    * ``ok`` — the cell completed and ``result`` is set;
+    * ``error`` — the cell's own code raised (deterministic; retrying
+      would reproduce it bit-for-bit, so it is never retried);
+    * ``timeout`` — the cell exceeded its wall-clock allowance and the
+      watchdog killed its worker (retries exhausted, if any);
+    * ``infra`` — the execution infrastructure died under the cell (a
+      broken pool, a killed worker, a cancelled future) with every
+      retry exhausted; the cell itself never misbehaved.
+
+    ``attempts`` counts how many times the cell was dispatched;
+    ``retry_reasons`` records, in order, why each earlier attempt was
+    thrown away.  Resilience metadata never joins the content address:
+    a retried cell's ``result`` is bit-identical to a first-try run's.
     """
 
     spec: CellSpec
@@ -208,6 +261,12 @@ class CellOutcome:
     #: Engine diagnostics (``ColumnarEngine.engine_stats()``) for
     #: non-exact engines: fused/exact op counts and delegation reason.
     engine_stats: Optional[dict] = None
+    #: ``ok`` / ``error`` / ``timeout`` / ``infra`` (see class docs).
+    kind: str = "ok"
+    #: Times this cell was dispatched (1 = first try succeeded).
+    attempts: int = 1
+    #: Why each earlier attempt was discarded, oldest first.
+    retry_reasons: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -313,20 +372,35 @@ def execute_cell(spec: CellSpec) -> CellOutcome:
 def _execute_safely(spec: CellSpec) -> CellOutcome:
     try:
         return execute_cell(spec)
+    except (KeyboardInterrupt, SystemExit):
+        # Interrupts drain at the campaign level (graceful SIGINT
+        # handling); swallowing them here would mislabel a user's ^C
+        # as a failed cell.
+        raise
     except BaseException:
-        return CellOutcome(spec=spec, error=traceback.format_exc())
-
-
-def _worker(item: Tuple[int, CellSpec]) -> Tuple[int, CellOutcome]:
-    index, spec = item
-    return index, _execute_safely(spec)
+        return CellOutcome(
+            spec=spec, error=traceback.format_exc(), kind="error"
+        )
 
 
 def _worker_batch(
-    items: Sequence[Tuple[int, CellSpec]]
+    items: Sequence[Tuple[int, CellSpec, int]]
 ) -> List[Tuple[int, CellOutcome]]:
-    """Run a batch of cells in one pool task (one IPC round-trip)."""
-    return [(index, _execute_safely(spec)) for index, spec in items]
+    """Run a batch of cells in one pool task (one IPC round-trip).
+
+    Each item carries its campaign-level attempt number so the chaos
+    plan (when one is installed) can target first attempts only —
+    injected faults must converge under retry, like real ones.
+    """
+    results = []
+    for index, spec, attempt in items:
+        if _CHAOS is not None:
+            # May kill this worker, hang, or raise a transient error;
+            # raising here (outside _execute_safely) makes the whole
+            # task fail, which the parent classifies as ``infra``.
+            _CHAOS.preflight(spec_key(spec), attempt)
+        results.append((index, _execute_safely(spec)))
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -340,16 +414,56 @@ MAX_BATCH = 32
 #: worker, so stragglers still load-balance.
 BATCHES_PER_WORKER = 4
 
+#: ``cell_timeout="auto"``: a task's allowance is FACTOR x the slowest
+#: observed seconds-per-cost-unit x the task's cost estimate, but never
+#: below MIN seconds — generous enough that honest variance can't trip
+#: it, tight enough that a truly hung worker is reaped within minutes.
+AUTO_TIMEOUT_FACTOR = 50.0
+AUTO_TIMEOUT_MIN = 30.0
+
 
 @dataclass
 class CampaignStats:
-    """Cumulative accounting across every ``run()`` of one executor."""
+    """Cumulative accounting across every ``run()`` of one executor.
+
+    ``failures`` counts final not-ok outcomes of any kind; ``errors``,
+    ``timeouts_final`` and ``infra_final`` break them down.
+    ``timeouts`` and ``infra`` count *events* (including ones a retry
+    later repaired); ``retries`` counts cell re-dispatches.
+    """
 
     cells: int = 0
     executed: int = 0
     cache_hits: int = 0
+    journal_hits: int = 0
     failures: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    timeouts_final: int = 0
+    infra: int = 0
+    infra_final: int = 0
+    retries: int = 0
     elapsed_seconds: float = 0.0
+
+
+class CampaignInterrupted(ExecutionError):
+    """Raised when a campaign drains after SIGINT.
+
+    Carries everything the caller needs to report a *graceful* partial
+    stop: the completed outcomes (all journaled/cached where stores are
+    attached), the total cell count, and the journal that checkpoints
+    them for ``--resume``.
+    """
+
+    def __init__(self, outcomes: List[CellOutcome], total: int, journal=None):
+        self.outcomes = outcomes
+        self.total = total
+        self.journal = journal
+        super().__init__(
+            f"campaign interrupted: {len(outcomes)} of {total} cells "
+            "completed (journal flushed — re-run with --resume to "
+            "continue where it stopped)"
+        )
 
 
 class Executor:
@@ -379,9 +493,34 @@ class Executor:
     sweep (``exp run --all``) reuses one set of warm worker processes
     instead of paying interpreter spawn + imports per campaign, and
     the workers' trace memos stay warm with them.  ``close()`` (or the
-    context-manager form) shuts the pool down; an executor that is
-    garbage-collected or a pool whose worker died are cleaned up
+    context-manager form) shuts the pool down symmetrically — queued
+    futures cancelled, worker processes reaped — and an executor that
+    is garbage-collected or a pool whose worker died are cleaned up
     automatically.
+
+    Resilience options (none joins a cell's content address):
+
+    ``cell_timeout`` arms a wall-clock watchdog per pool task: a task
+    running longer than ``cell_timeout x cells-in-task`` seconds has
+    its worker killed and its cells recorded as ``timeout`` (or
+    retried).  The string ``"auto"`` calibrates the allowance from the
+    slowest completion observed this run (see :meth:`_batch_allowance`).
+    Timeouts need process isolation, so ``jobs=1`` ignores them.
+
+    ``retries`` re-dispatches cells whose outcome kind is retryable
+    (``timeout``/``infra``) up to N extra times, with deterministic
+    jitterless exponential backoff (``retry_backoff * 2**attempt``
+    seconds) between rounds.  A broken pool is respawned fresh; cells
+    that already finished are never re-run or blanket-failed.
+
+    ``journal`` attaches a
+    :class:`~repro.harness.journal.CampaignJournal`: completed
+    outcomes (kinds ``ok``/``error``) are checkpointed incrementally
+    and served back on a resumed run.
+
+    ``chaos`` installs a :class:`~repro.harness.chaos.ChaosPlan` in
+    every worker (self-test only: injected kills/hangs/transient
+    raises must be invisible in final results).
     """
 
     def __init__(
@@ -392,6 +531,11 @@ class Executor:
         progress: bool = False,
         batch: Optional[int] = None,
         trace_store=None,
+        cell_timeout=None,
+        retries: int = 0,
+        retry_backoff: float = 0.5,
+        journal=None,
+        chaos=None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = cache
@@ -399,19 +543,50 @@ class Executor:
         self.progress = progress
         self.batch = batch
         self.trace_store = trace_store
+        if cell_timeout is not None and cell_timeout != "auto":
+            cell_timeout = float(cell_timeout)
+            if cell_timeout <= 0:
+                cell_timeout = None
+        self.cell_timeout = cell_timeout
+        self.retries = max(0, int(retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
+        self.journal = journal
+        self.chaos = chaos
         self.stats = CampaignStats()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_finalizer = None
+        #: Slowest observed seconds-per-cost-unit, for "auto" timeouts.
+        self._auto_rate: Optional[float] = None
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the persistent worker pool (idempotent)."""
+        """Shut down the persistent worker pool (idempotent).
+
+        Teardown is symmetric with startup: queued futures are
+        cancelled *and* worker processes are joined, so no child ever
+        outlives a ``with Executor(...)`` block."""
         if self._pool_finalizer is not None:
             self._pool_finalizer.detach()
             self._pool_finalizer = None
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+
+    def _kill_pool_workers(self) -> None:
+        """Forcibly kill every worker, then reap the pool.
+
+        Used by the watchdog (a hung cell cannot be cancelled, only
+        killed) and the SIGINT drain.  The kill makes the subsequent
+        ``shutdown(wait=True)`` return promptly."""
+        pool = self._pool
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        self.close()
 
     def __enter__(self) -> "Executor":
         return self
@@ -422,68 +597,166 @@ class Executor:
     def _get_pool(self) -> ProcessPoolExecutor:
         """The persistent pool, created lazily.  Worker processes are
         spawned on demand up to ``jobs``, initialized once with this
-        executor's trace-store coordinates."""
+        executor's trace-store coordinates (and chaos plan, if any)."""
         if self._pool is None:
             store = self.trace_store
             initargs = (
                 (str(store.root.parent), store.fingerprint)
                 if store is not None
                 else (None, None)
-            )
+            ) + (self.chaos,)
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_pool_init,
                 initargs=initargs,
             )
             self._pool_finalizer = weakref.finalize(
-                self, self._pool.shutdown, wait=False
+                self, self._pool.shutdown, wait=True, cancel_futures=True
             )
         return self._pool
 
     # ------------------------------------------------------------------
     def run(self, cells: Sequence[CellSpec]) -> List[CellOutcome]:
-        """Execute every cell; outcomes are returned in input order."""
+        """Execute every cell; outcomes are returned in input order.
+
+        Raises :class:`CampaignInterrupted` on SIGINT/``^C``: the pool
+        is torn down, completed outcomes stay checkpointed in the
+        attached journal/cache, and the exception carries them for a
+        graceful partial report instead of a bare stack trace.
+        """
         started = time.monotonic()
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
         pending: List[int] = []
+        journal = self.journal
 
         for index, spec in enumerate(cells):
-            if self.cache is not None and not self.fresh:
-                hit = self.cache.get(spec_key(spec))
+            if self.fresh:
+                pending.append(index)
+                continue
+            key = (
+                spec_key(spec)
+                if self.cache is not None or journal is not None
+                else None
+            )
+            if self.cache is not None:
+                hit = self.cache.get(key)
                 if hit is not MISS and isinstance(hit, CellOutcome):
                     hit.cached = True
                     outcomes[index] = hit
+                    self.stats.cache_hits += 1
+                    continue
+            if journal is not None:
+                hit = journal.get(key)
+                if hit is not MISS and isinstance(hit, CellOutcome):
+                    hit.cached = True
+                    outcomes[index] = hit
+                    self.stats.journal_hits += 1
+                    if not hit.ok:
+                        self.stats.failures += 1
                     continue
             pending.append(index)
 
-        hits = len(cells) - len(pending)
+        served = len(cells) - len(pending)
         self.stats.cells += len(cells)
-        self.stats.cache_hits += hits
         done_live = 0
 
         if self.trace_store is not None and pending:
             self._prebuild_traces(cells, pending)
 
-        def finish(index: int, outcome: CellOutcome) -> None:
+        #: index -> why each earlier attempt was discarded, in order.
+        reasons: Dict[int, List[str]] = {}
+
+        def finish(index: int, outcome: CellOutcome, attempt: int) -> None:
             nonlocal done_live
+            outcome.attempts = attempt + 1
+            outcome.retry_reasons = tuple(reasons.get(index, ()))
             outcomes[index] = outcome
             done_live += 1
             self.stats.executed += 1
             if not outcome.ok:
                 self.stats.failures += 1
-            elif self.cache is not None:
+                if outcome.kind == "timeout":
+                    self.stats.timeouts_final += 1
+                elif outcome.kind == "infra":
+                    self.stats.infra_final += 1
+                else:
+                    self.stats.errors += 1
+            if outcome.ok and self.cache is not None:
                 self.cache.put(spec_key(outcome.spec), outcome)
-            self._report(hits + done_live, len(cells), hits, started, done_live, len(pending))
+            if journal is not None and outcome.kind in ("ok", "error"):
+                # Deterministic outcomes checkpoint; timeout/infra
+                # describe the infrastructure and must re-run on resume.
+                journal.put(spec_key(outcome.spec), outcome)
+            self._report(
+                served + done_live, len(cells), served, started, done_live, len(pending)
+            )
+            interrupt_after = getattr(self.chaos, "interrupt_after", None)
+            if interrupt_after is not None and done_live >= interrupt_after:
+                # Parent-side chaos: simulate a SIGINT landing mid-
+                # campaign, after N completions (drain-path self-test).
+                raise KeyboardInterrupt
 
-        if self.jobs == 1 or len(pending) <= 1:
-            for index in pending:
-                finish(index, _execute_safely(cells[index]))
-        else:
-            self._run_pool(cells, pending, finish)
+        try:
+            attempt = 0
+            unfinished = list(pending)
+            while unfinished:
+                retryable: List[Tuple[int, str, str]] = []
+
+                def defer(index: int, kind: str, reason: str) -> None:
+                    """Record a retry candidate: this attempt produced
+                    no deterministic outcome for the cell."""
+                    retryable.append((index, kind, reason))
+                    if kind == "timeout":
+                        self.stats.timeouts += 1
+                    else:
+                        self.stats.infra += 1
+
+                if self.jobs == 1 or len(unfinished) <= 1:
+                    for index in unfinished:
+                        finish(index, _execute_safely(cells[index]), attempt)
+                else:
+                    self._run_attempt(cells, unfinished, attempt, finish, defer)
+
+                if not retryable:
+                    break
+                if attempt >= self.retries:
+                    # Out of budget: the retryable kinds become final
+                    # outcomes, attributed with every failed attempt.
+                    for index, kind, reason in retryable:
+                        finish(
+                            index,
+                            CellOutcome(
+                                spec=cells[index], error=reason, kind=kind
+                            ),
+                            attempt,
+                        )
+                    break
+                for index, kind, reason in retryable:
+                    reasons.setdefault(index, []).append(
+                        f"attempt {attempt + 1} {kind}: "
+                        f"{reason.strip().splitlines()[-1]}"
+                    )
+                self.stats.retries += len(retryable)
+                attempt += 1
+                if self.retry_backoff:
+                    # Deterministic, jitterless exponential backoff:
+                    # identical schedules on identical campaigns.
+                    time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                unfinished = [index for index, _, _ in retryable]
+        except KeyboardInterrupt:
+            # Graceful drain: kill the workers (a second ^C must not be
+            # needed), keep every completed outcome — all checkpointed
+            # already — and hand the caller a partial campaign.
+            self._kill_pool_workers()
+            self.stats.elapsed_seconds += time.monotonic() - started
+            completed = [o for o in outcomes if o is not None]
+            raise CampaignInterrupted(
+                completed, len(cells), journal=journal
+            ) from None
 
         self.stats.elapsed_seconds += time.monotonic() - started
         self._report(
-            len(cells), len(cells), hits, started, done_live, len(pending), final=True
+            len(cells), len(cells), served, started, done_live, len(pending), final=True
         )
         return [o for o in outcomes if o is not None]
 
@@ -547,48 +820,136 @@ class Executor:
         return batches
 
     # ------------------------------------------------------------------
-    def _run_pool(self, cells, pending, finish) -> None:
-        batches = self._plan_batches(cells, pending)
+    def _batch_allowance(self, cost: int, count: int) -> Optional[float]:
+        """Wall-clock allowance for one pool task, or ``None`` when the
+        watchdog has nothing to compare against yet (auto mode before
+        the first completion calibrates it)."""
+        if self.cell_timeout == "auto":
+            if self._auto_rate is None:
+                return None
+            return max(
+                AUTO_TIMEOUT_MIN,
+                AUTO_TIMEOUT_FACTOR * self._auto_rate * cost,
+            )
+        return float(self.cell_timeout) * count
+
+    def _run_attempt(self, cells, unfinished, attempt, finish, defer) -> None:
+        """One pool dispatch round over ``unfinished`` cell indices.
+
+        Completed cells flow to ``finish``; cells whose task timed out
+        or whose infrastructure failed flow to ``defer`` (the caller's
+        retry loop decides their fate).  Exactly one of the two is
+        called per index, every round.
+        """
+        batches = self._plan_batches(cells, unfinished)
         pool = self._get_pool()
         broken = False
-        futures = {}
+        watchdog = self.cell_timeout is not None
+        futures: Dict[Any, List[int]] = {}
+        meta: Dict[Any, Dict[str, Any]] = {}
         for batch in batches:
             try:
                 future = pool.submit(
-                    _worker_batch, [(index, cells[index]) for index in batch]
+                    _worker_batch,
+                    [(index, cells[index], attempt) for index in batch],
                 )
+            except (KeyboardInterrupt, SystemExit):
+                raise
             except BaseException:
                 # The pool itself is unusable (a worker died and broke
-                # it mid-campaign): report against the batch's cells
-                # and keep going so every cell gets an outcome.
+                # it mid-campaign): infrastructure, hence retryable.
                 broken = True
-                tb = traceback.format_exc()
+                reason = traceback.format_exc()
                 for index in batch:
-                    finish(index, CellOutcome(spec=cells[index], error=tb))
+                    defer(index, "infra", reason)
                 continue
             futures[future] = batch
+            meta[future] = {
+                "started": None,
+                "cost": sum(self._cell_cost(cells[i]) for i in batch),
+                "count": len(batch),
+            }
         remaining = set(futures)
+        timed_out = set()
         while remaining:
-            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            tick = 0.1 if watchdog else None
+            done, _ = wait(remaining, timeout=tick, return_when=FIRST_COMPLETED)
+            now = time.monotonic()
             for future in done:
+                remaining.discard(future)
                 batch = futures[future]
+                task = meta[future]
+                if future in timed_out:
+                    # Already deferred as timeout when its worker was
+                    # killed; its BrokenProcessPool echo is expected.
+                    continue
                 try:
                     results = future.result()
-                except BaseException:
-                    # The worker process died (not a Python-level cell
-                    # failure): report it against every cell of this
-                    # batch and keep draining the rest.
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except CancelledError:
                     broken = True
-                    tb = traceback.format_exc()
-                    results = [
-                        (index, CellOutcome(spec=cells[index], error=tb))
-                        for index in batch
-                    ]
-                for index, outcome in results:
-                    finish(index, outcome)
+                    for index in batch:
+                        defer(
+                            index,
+                            "infra",
+                            "task cancelled while the pool was torn down",
+                        )
+                except BrokenExecutor:
+                    broken = True
+                    reason = traceback.format_exc()
+                    for index in batch:
+                        defer(index, "infra", reason)
+                except BaseException:
+                    # Anything else a pool task can raise (an unpickl-
+                    # able payload, a chaos-injected transient) is an
+                    # infrastructure event too: the cell never produced
+                    # a deterministic outcome.
+                    reason = traceback.format_exc()
+                    for index in batch:
+                        defer(index, "infra", reason)
+                else:
+                    if task["started"] is not None:
+                        rate = (now - task["started"]) / max(1, task["cost"])
+                        if rate > (self._auto_rate or 0.0):
+                            self._auto_rate = rate
+                    for index, outcome in results:
+                        finish(index, outcome, attempt)
+            if watchdog and remaining:
+                hung = []
+                for future in remaining:
+                    task = meta[future]
+                    if task["started"] is None:
+                        if future.running():
+                            task["started"] = now
+                        continue
+                    allowance = self._batch_allowance(
+                        task["cost"], task["count"]
+                    )
+                    if (
+                        allowance is not None
+                        and now - task["started"] > allowance
+                    ):
+                        hung.append((future, allowance))
+                if hung:
+                    broken = True
+                    for future, allowance in hung:
+                        timed_out.add(future)
+                        for index in futures[future]:
+                            defer(
+                                index,
+                                "timeout",
+                                f"cell exceeded its {allowance:.1f}s "
+                                "wall-clock allowance; worker killed",
+                            )
+                    # A hung task cannot be cancelled, only killed.
+                    # Killing the workers breaks every other in-flight
+                    # future; they resolve on the next loop passes and
+                    # are deferred as ``infra`` (retryable) above.
+                    self._kill_pool_workers()
         if broken:
-            # Never reuse a pool that lost a worker: the next run()
-            # lazily spawns a fresh one.
+            # Never reuse a pool that lost a worker: the next attempt
+            # (or the next run()) lazily spawns a fresh one.
             self.close()
 
     # ------------------------------------------------------------------
@@ -667,6 +1028,7 @@ def raise_on_failures(outcomes: Sequence[CellOutcome]) -> None:
         spec = outcome.spec
         lines.append(
             f"  - {spec.workload.name}/{spec.scheme} @ {spec.cores} core(s)"
+            f" [{outcome.kind}]"
         )
     for outcome in failed[:3]:
         lines.append("")

@@ -112,6 +112,16 @@ class Campaign:
             if outcome is not None
         ]
 
+    def holes(self) -> List[Tuple[Point, CellOutcome]]:
+        """Simulated points whose final outcome is not ok — the cells
+        a partial (graceful-degradation) assembly must render as
+        explicit gaps rather than silently dropping."""
+        return [
+            (point, outcome)
+            for point, outcome in zip(self.points, self.outcomes)
+            if outcome is not None and not outcome.ok
+        ]
+
     def outcome(self, **coords: Any) -> CellOutcome:
         """The outcome at the axis coordinates given (all must match)."""
         for point, outcome in zip(self.points, self.outcomes):
@@ -143,6 +153,10 @@ class Campaign:
                 record["spec"] = json.loads(spec_key(outcome.spec))
                 record["cached"] = outcome.cached
                 record["ok"] = outcome.ok
+                if outcome.kind != "ok":
+                    # Emitted only for degraded cells, so every fully-
+                    # green manifest keeps its historical shape.
+                    record["kind"] = outcome.kind
             cells.append(record)
         return {
             "experiment": self.spec.name,

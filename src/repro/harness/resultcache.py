@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import sys
 import tempfile
 from pathlib import Path
 from typing import Dict, Optional
@@ -37,6 +38,57 @@ _FORMAT_VERSION = 1
 MISS = object()
 
 _FINGERPRINT_MEMO: Dict[str, str] = {}
+
+#: Store labels that already printed a quarantine warning this process.
+_QUARANTINE_WARNED: set = set()
+
+
+def quarantine(path: Path, label: str) -> None:
+    """Move a corrupt object file aside as ``<name>.corrupt``.
+
+    The bad bytes are preserved for post-mortems instead of being
+    overwritten by the rebuild, and the rename takes the entry off the
+    store's read path so it is reported exactly once.  One warning per
+    store label per process — a campaign re-reading a damaged cache
+    must not flood stderr.
+    """
+    target = Path(str(path) + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    if label not in _QUARANTINE_WARNED:
+        _QUARANTINE_WARNED.add(label)
+        print(
+            f"[{label}] quarantined corrupt entry {path.name} -> "
+            f"{target.name}; treating as a miss and rebuilding "
+            "(further quarantines this run are silent)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
+def load_pickle_hardened(path: Path, label: str):
+    """Load one pickled object file, surviving any corruption.
+
+    A missing file is a plain miss.  Anything else that goes wrong —
+    truncated pickle, garbage bytes, an unpicklable class after a
+    refactor, even a ``MemoryError`` from a hostile length prefix —
+    quarantines the file (see :func:`quarantine`) and reads as a miss,
+    so a damaged store entry can never crash a campaign.  Returns the
+    value or :data:`MISS`.
+    """
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except FileNotFoundError:
+        return MISS
+    except Exception:
+        quarantine(path, label)
+        return MISS
 
 
 def source_fingerprint(package_root: Optional[str] = None) -> str:
@@ -110,12 +162,14 @@ class ResultCache:
     # Store / load
     # ------------------------------------------------------------------
     def get(self, key: str):
-        """Return the stored value for ``key`` or :data:`MISS`."""
+        """Return the stored value for ``key`` or :data:`MISS`.
+
+        A truncated or corrupt entry is quarantined (renamed to
+        ``*.corrupt``) and reads as a miss — the cell simply recomputes
+        and rewrites the slot."""
         path = self._path(self.digest(key))
-        try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        value = load_pickle_hardened(path, label="result cache")
+        if value is MISS:
             self.misses += 1
             return MISS
         self.hits += 1
@@ -145,6 +199,7 @@ class ResultCache:
         process's hit/miss counters."""
         entries = 0
         total_bytes = 0
+        quarantined = 0
         objects = self.root / "objects"
         if objects.is_dir():
             for path in objects.rglob("*.pkl"):
@@ -153,17 +208,20 @@ class ResultCache:
                 except OSError:
                     continue
                 entries += 1
+            quarantined = sum(1 for _ in objects.rglob("*.corrupt"))
         return {
             "root": str(self.root),
             "entries": entries,
             "bytes": total_bytes,
+            "quarantined": quarantined,
             "hits": self.hits,
             "misses": self.misses,
             "fingerprint": self.fingerprint[:16],
         }
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (quarantined ones included); returns how
+        many live entries were removed."""
         removed = 0
         objects = self.root / "objects"
         if not objects.is_dir():
@@ -172,6 +230,11 @@ class ResultCache:
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                continue
+        for path in objects.rglob("*.corrupt"):
+            try:
+                path.unlink()
             except OSError:
                 continue
         for shard in sorted(objects.glob("*"), reverse=True):
@@ -183,8 +246,12 @@ class ResultCache:
 
     def format_stats(self) -> str:
         s = self.stats()
+        quarantined = (
+            f", {s['quarantined']} quarantined" if s["quarantined"] else ""
+        )
         return (
             f"cache {s['root']}: {s['entries']} entries, "
-            f"{s['bytes'] / 1024:.1f} KiB, fingerprint {s['fingerprint']} "
+            f"{s['bytes'] / 1024:.1f} KiB{quarantined}, "
+            f"fingerprint {s['fingerprint']} "
             f"(this process: {s['hits']} hits / {s['misses']} misses)"
         )

@@ -41,7 +41,11 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from repro.harness.resultcache import default_cache_dir
+from repro.harness.resultcache import (
+    MISS,
+    default_cache_dir,
+    load_pickle_hardened,
+)
 from repro.sim.columnar import (
     DECODE_VERSION,
     export_decode_columns,
@@ -221,13 +225,15 @@ class TraceArtifactStore:
     # Load / build
     # ------------------------------------------------------------------
     def load(self, spec: Any) -> Optional[Trace]:
-        """Load the artifact for ``spec``; ``None`` on miss (including
-        a corrupt or stale-format entry)."""
+        """Load the artifact for ``spec``; ``None`` on miss.
+
+        A truncated or corrupt pickle is quarantined (renamed to
+        ``*.corrupt``) and treated as a miss, so the recipe is simply
+        rebuilt; a well-formed artifact of a stale format version is a
+        plain miss (it is overwritten in place by the rebuild)."""
         path = self._path(self.digest(self.key(spec)))
-        try:
-            with open(path, "rb") as fh:
-                columns = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        columns = load_pickle_hardened(path, label="trace store")
+        if columns is MISS:
             self.misses += 1
             return None
         if (
@@ -317,6 +323,11 @@ class TraceArtifactStore:
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                continue
+        for path in objects.rglob("*.corrupt"):
+            try:
+                path.unlink()
             except OSError:
                 continue
         for shard in sorted(objects.glob("*"), reverse=True):

@@ -1,0 +1,323 @@
+"""Integration tests for the executor's resilience layer: outcome
+kinds, the watchdog, bounded retries, the campaign journal,
+interrupt draining and checkpoint/resume."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.harness.chaos import ChaosPlan, cell_digest
+from repro.harness.executor import (
+    CampaignInterrupted,
+    CellSpec,
+    Executor,
+    WorkloadSpec,
+    spec_key,
+)
+from repro.harness.experiments import load_all
+from repro.harness.experiments.engine import (
+    PartialCampaignResult,
+    lower,
+    run_campaign,
+)
+from repro.harness.journal import CampaignJournal
+from repro.harness.resultcache import ResultCache
+
+
+def small_cells(n=4):
+    """Distinct, fast, deterministic cells (distinct content addresses)."""
+    schemes = ["base", "silo", "fwb", "swlog", "wrap", "redu"]
+    return [
+        CellSpec(
+            workload=WorkloadSpec.make("hash", threads=2, transactions=5),
+            scheme=schemes[i % len(schemes)],
+            cores=2,
+        )
+        for i in range(n)
+    ]
+
+
+class TestOutcomeKinds:
+    def test_cell_error_is_deterministic_and_never_retried(self):
+        bad = CellSpec(
+            workload=WorkloadSpec.make("hash", threads=1, transactions=2),
+            scheme="silo",
+            cores=1,
+            engine="bogus",
+        )
+        good = small_cells(1)[0]
+        with Executor(jobs=2, batch=1, retries=2, retry_backoff=0.01) as ex:
+            outcomes = ex.run([bad, good])
+        assert outcomes[0].kind == "error"
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 1
+        assert outcomes[1].ok and outcomes[1].kind == "ok"
+        assert ex.stats.retries == 0
+        assert ex.stats.errors == 1 and ex.stats.failures == 1
+
+    def test_worker_kill_is_infra_and_converges_under_retry(self):
+        cells = small_cells(4)
+        target = cell_digest(spec_key(cells[0]))[:16]
+        plan = ChaosPlan(targets=((target, "kill"),))
+        with Executor(
+            jobs=2, batch=1, retries=2, retry_backoff=0.01, chaos=plan
+        ) as ex:
+            outcomes = ex.run(cells)
+        assert all(o.ok for o in outcomes)
+        assert ex.stats.infra >= 1
+        assert ex.stats.retries >= 1
+        assert ex.stats.failures == 0
+        killed = outcomes[0]
+        assert killed.attempts >= 2
+        assert killed.retry_reasons
+        assert "infra" in killed.retry_reasons[0]
+
+    def test_infra_without_retry_budget_is_final(self):
+        cells = small_cells(2)
+        target = cell_digest(spec_key(cells[0]))[:16]
+        plan = ChaosPlan(targets=((target, "raise"),))
+        with Executor(jobs=2, batch=1, retries=0, chaos=plan) as ex:
+            outcomes = ex.run(cells)
+        assert outcomes[0].kind == "infra" and not outcomes[0].ok
+        assert "ChaosError" in outcomes[0].error
+        assert ex.stats.infra_final == 1
+
+
+class TestWatchdog:
+    def test_hung_worker_is_timed_out_and_retried(self):
+        cells = small_cells(3)
+        target = cell_digest(spec_key(cells[0]))[:16]
+        plan = ChaosPlan(hang_seconds=30.0, targets=((target, "hang"),))
+        with Executor(
+            jobs=2,
+            batch=1,
+            retries=1,
+            retry_backoff=0.05,
+            cell_timeout=1.5,
+            chaos=plan,
+        ) as ex:
+            outcomes = ex.run(cells)
+        assert all(o.ok for o in outcomes)
+        assert ex.stats.timeouts >= 1
+        hung = outcomes[0]
+        assert hung.attempts == 2
+        assert "timeout" in hung.retry_reasons[0]
+
+    def test_timeout_without_retry_budget_is_final(self):
+        cells = small_cells(3)
+        target = cell_digest(spec_key(cells[0]))[:16]
+        plan = ChaosPlan(hang_seconds=30.0, targets=((target, "hang"),))
+        with Executor(
+            jobs=2, batch=1, retries=0, cell_timeout=1.5, chaos=plan
+        ) as ex:
+            outcomes = ex.run(cells)
+        assert outcomes[0].kind == "timeout" and not outcomes[0].ok
+        assert "wall-clock allowance" in outcomes[0].error
+        assert ex.stats.timeouts_final == 1
+        # The survivors of the same round must not be blanket-failed.
+        assert all(o.ok for o in outcomes[1:])
+
+    def test_serial_path_ignores_cell_timeout(self):
+        with Executor(jobs=1, cell_timeout=0.0001) as ex:
+            outcomes = ex.run(small_cells(2))
+        assert all(o.ok for o in outcomes)
+
+
+class TestTeardown:
+    def test_no_worker_outlives_the_with_block(self):
+        cells = small_cells(4)
+        with Executor(jobs=2, batch=1) as ex:
+            outcomes = ex.run(cells)
+            assert all(o.ok for o in outcomes)
+            pids = [p.pid for p in ex._pool._processes.values()]
+            assert pids
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_close_is_idempotent(self):
+        ex = Executor(jobs=2)
+        ex.run(small_cells(2))
+        ex.close()
+        ex.close()
+        assert ex._pool is None
+
+
+class TestJournal:
+    def test_journal_serves_completed_cells(self, tmp_path):
+        cells = small_cells(3)
+        with Executor(
+            jobs=1,
+            journal=CampaignJournal(str(tmp_path), "t", fingerprint="fp"),
+        ) as ex:
+            first = ex.run(cells)
+        assert ex.stats.executed == 3
+        with Executor(
+            jobs=1,
+            journal=CampaignJournal(str(tmp_path), "t", fingerprint="fp"),
+        ) as ex2:
+            second = ex2.run(cells)
+        assert ex2.stats.executed == 0
+        assert ex2.stats.journal_hits == 3
+        assert all(o.cached for o in second)
+        assert [o.result.committed for o in second] == [
+            o.result.committed for o in first
+        ]
+
+    def test_error_outcomes_are_journaled_too(self, tmp_path):
+        bad = CellSpec(
+            workload=WorkloadSpec.make("hash", threads=1, transactions=2),
+            scheme="silo",
+            cores=1,
+            engine="bogus",
+        )
+        journal = CampaignJournal(str(tmp_path), "t", fingerprint="fp")
+        with Executor(jobs=1, journal=journal) as ex:
+            ex.run([bad])
+        assert journal.entries() == 1
+        with Executor(
+            jobs=1,
+            journal=CampaignJournal(str(tmp_path), "t", fingerprint="fp"),
+        ) as ex2:
+            outcomes = ex2.run([bad])
+        assert ex2.stats.journal_hits == 1
+        assert not outcomes[0].ok and outcomes[0].kind == "error"
+        assert ex2.stats.failures == 1
+
+    def test_interrupt_drains_with_journal_flushed(self, tmp_path):
+        cells = small_cells(6)
+        journal = CampaignJournal(str(tmp_path), "t", fingerprint="fp")
+        plan = ChaosPlan(interrupt_after=2)
+        ex = Executor(jobs=2, batch=1, journal=journal, chaos=plan)
+        with pytest.raises(CampaignInterrupted) as info:
+            ex.run(cells)
+        exc = info.value
+        assert len(exc.outcomes) == 2
+        assert exc.total == 6
+        assert exc.journal is journal
+        assert journal.entries() == 2
+        assert "--resume" in str(exc)
+        # The drain killed and reaped the pool.
+        assert ex._pool is None
+
+
+class TestContentAddress:
+    def test_resilience_options_never_join_the_cell_address(self, tmp_path):
+        cell = small_cells(1)[0]
+        key = spec_key(cell)
+        for token in ("retries", "retry", "timeout", "journal", "resume"):
+            assert token not in key
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        with Executor(
+            jobs=1, cache=cache, retries=3, retry_backoff=0.2,
+            cell_timeout=60.0,
+        ) as ex:
+            ex.run([cell])
+        plain_cache = ResultCache(str(tmp_path), fingerprint="fp")
+        with Executor(jobs=1, cache=plain_cache) as ex2:
+            outcomes = ex2.run([cell])
+        assert outcomes[0].cached
+        assert ex2.stats.cache_hits == 1
+
+
+class TestResume:
+    def test_resumed_campaign_is_byte_identical(self, tmp_path):
+        """An interrupted campaign, resumed, must (a) re-run only the
+        genuinely-unfinished cells and (b) produce exactly the result
+        and manifest a never-interrupted run produces."""
+        registry = load_all()
+        spec = registry.get("fig13")
+        total = len(
+            [c for c in lower(spec, spec.merged_params(smoke=True))[2] if c]
+        )
+        dir_a = tmp_path / "a"
+
+        # Interrupted run in cache dir A (chaos raises SIGINT after the
+        # first completion).
+        ex = Executor(
+            jobs=2,
+            batch=1,
+            cache=ResultCache(str(dir_a)),
+            journal=CampaignJournal(str(dir_a), "k"),
+            chaos=ChaosPlan(interrupt_after=1),
+        )
+        with pytest.raises(CampaignInterrupted) as info:
+            run_campaign(spec, executor=ex, smoke=True)
+        ex.close()
+        completed = len(info.value.outcomes)
+        assert 0 < completed < total
+
+        # Freeze the interrupted state: B is a byte copy of A.
+        dir_b = tmp_path / "b"
+        shutil.copytree(dir_a, dir_b)
+
+        # Resume in A (journal kept).
+        ex_a = Executor(
+            jobs=2,
+            batch=1,
+            cache=ResultCache(str(dir_a)),
+            journal=CampaignJournal(str(dir_a), "k"),
+        )
+        result_a, campaign_a = run_campaign(spec, executor=ex_a, smoke=True)
+        ex_a.close()
+        # Only the unfinished cells ran; the rest were store-served.
+        assert ex_a.stats.executed == total - completed
+        assert (
+            ex_a.stats.cache_hits + ex_a.stats.journal_hits == completed
+        )
+
+        # Cold completion in B without --resume (journal discarded, the
+        # CLI's non-resume path).
+        CampaignJournal(str(dir_b), "k").discard()
+        ex_b = Executor(jobs=2, batch=1, cache=ResultCache(str(dir_b)))
+        result_b, campaign_b = run_campaign(spec, executor=ex_b, smoke=True)
+        ex_b.close()
+
+        dumps = lambda m: json.dumps(m, indent=2, sort_keys=True)
+        assert dumps(campaign_a.manifest()) == dumps(campaign_b.manifest())
+        assert dumps(result_a.to_json_payload()) == dumps(
+            result_b.to_json_payload()
+        )
+        assert result_a.format_report() == result_b.format_report()
+
+
+class TestPartialCampaign:
+    def test_partial_mode_renders_holes_instead_of_raising(self):
+        registry = load_all()
+        spec = registry.get("fig13")
+        params = spec.merged_params(smoke=True)
+        cells = [c for c in lower(spec, params)[2] if c is not None]
+        target = cell_digest(spec_key(cells[0]))[:16]
+        plan = ChaosPlan(targets=((target, "raise"),))
+        with Executor(jobs=2, batch=1, retries=0, chaos=plan) as ex:
+            result, campaign = run_campaign(
+                spec, executor=ex, smoke=True, partial=True
+            )
+        assert isinstance(result, PartialCampaignResult)
+        assert result.passed is False
+        assert len(result.holes) == 1
+        assert campaign.holes()[0][1].kind == "infra"
+        report = result.format_report()
+        assert "PARTIAL RESULT" in report
+        assert "missing [infra]" in report
+        payload = result.to_json_dict()
+        assert payload["partial"] is True
+        assert payload["holes"][0]["kind"] == "infra"
+        # The degraded manifest names the hole's kind explicitly.
+        kinds = [
+            c.get("kind")
+            for c in campaign.manifest()["cells"]
+            if not c.get("ok", True)
+        ]
+        assert kinds == ["infra"]
+
+    def test_partial_mode_without_holes_is_the_plain_result(self):
+        registry = load_all()
+        spec = registry.get("fig13")
+        with Executor(jobs=1) as ex:
+            result, _ = run_campaign(
+                spec, executor=ex, smoke=True, partial=True
+            )
+        assert not isinstance(result, PartialCampaignResult)

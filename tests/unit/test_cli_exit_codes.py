@@ -13,7 +13,9 @@ from repro.common.errors import ConfigError, ExecutionError
 from repro.harness import cli
 from repro.harness.cli import (
     EXIT_FAILURE,
+    EXIT_INTERRUPTED,
     EXIT_OK,
+    EXIT_PARTIAL,
     EXIT_USAGE,
     _EXPERIMENTS,
     main,
@@ -38,6 +40,10 @@ class TestVersion:
 class TestDispatchTable:
     def test_exit_code_constants(self):
         assert (EXIT_OK, EXIT_FAILURE, EXIT_USAGE) == (0, 1, 2)
+        # Partial renders distinguish themselves from both clean runs
+        # and hard failures; 130 is the shell's 128+SIGINT convention.
+        assert EXIT_PARTIAL == 3
+        assert EXIT_INTERRUPTED == 130
 
     def test_every_legacy_entry_is_callable(self):
         assert _EXPERIMENTS
@@ -100,6 +106,43 @@ class TestUsageErrors:
         monkeypatch.setitem(_EXPERIMENTS, "table1", _boom)
         assert main(["table1"]) == EXIT_USAGE
         assert "bad knob" in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def test_exp_resume_requires_the_cache(self, capsys):
+        assert (
+            main(["exp", "run", "table1", "--resume", "--no-cache"])
+            == EXIT_USAGE
+        )
+        assert "--resume needs the result cache" in capsys.readouterr().err
+
+    def test_legacy_resume_is_faultsweep_only(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig13", "--resume"])
+        assert excinfo.value.code == EXIT_USAGE
+
+    def test_exp_bad_cell_timeout(self, capsys):
+        assert (
+            main(["exp", "run", "table1", "--cell-timeout", "soon"])
+            == EXIT_USAGE
+        )
+        assert "--cell-timeout" in capsys.readouterr().err
+
+    def test_legacy_bad_cell_timeout(self, capsys):
+        assert main(["table1", "--cell-timeout", "soon"]) == EXIT_USAGE
+
+    def test_resilience_flags_accepted_on_a_clean_run(self, capsys):
+        assert (
+            main(
+                [
+                    "exp", "run", "table1",
+                    "--retries", "2",
+                    "--cell-timeout", "auto",
+                    "--no-cache",
+                ]
+            )
+            == EXIT_OK
+        )
 
 
 class TestFailures:

@@ -1,0 +1,141 @@
+"""Unit tests for the campaign checkpoint journal (and the hardened
+trace-store load path it shares)."""
+
+import json
+
+from repro.harness.executor import CellOutcome, CellSpec, WorkloadSpec
+from repro.harness.journal import CampaignJournal
+from repro.harness.resultcache import MISS
+from repro.harness.traceartifacts import TraceArtifactStore
+
+
+def make_journal(tmp_path, campaign="c", fingerprint="fp"):
+    return CampaignJournal(
+        str(tmp_path / "cache"), campaign=campaign, fingerprint=fingerprint
+    )
+
+
+def outcome(value=1):
+    spec = CellSpec(
+        workload=WorkloadSpec.make("hash", threads=1, transactions=2),
+        scheme="base",
+        cores=1,
+    )
+    return CellOutcome(spec=spec, result=value)
+
+
+class TestCheckpointRestore:
+    def test_round_trip(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.put("k", outcome(7))
+        restored = journal.get("k")
+        assert restored is not MISS
+        assert restored.result == 7
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        assert make_journal(tmp_path).get("absent") is MISS
+
+    def test_entries_counts_checkpoints(self, tmp_path):
+        journal = make_journal(tmp_path)
+        assert journal.entries() == 0
+        journal.put("a", outcome())
+        journal.put("b", outcome())
+        journal.put("a", outcome())  # same slot, last wins
+        assert journal.entries() == 2
+
+    def test_corrupt_entry_is_quarantined_miss(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.put("k", outcome())
+        path = journal._path(journal.digest("k"))
+        path.write_bytes(path.read_bytes()[:5])
+        assert journal.get("k") is MISS
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_meta_records_campaign(self, tmp_path):
+        journal = make_journal(tmp_path, campaign="exp|fig11|smoke=True")
+        journal.put("k", outcome())
+        meta = json.loads((journal.root / "meta.json").read_text())
+        assert meta["campaign"] == "exp|fig11|smoke=True"
+
+
+class TestIdentity:
+    def test_campaigns_do_not_share_journals(self, tmp_path):
+        a = make_journal(tmp_path, campaign="a")
+        b = make_journal(tmp_path, campaign="b")
+        a.put("k", outcome())
+        assert b.get("k") is MISS
+        assert a.root != b.root
+
+    def test_fingerprint_changes_orphan_the_journal(self, tmp_path):
+        old = make_journal(tmp_path, fingerprint="fp-old")
+        old.put("k", outcome())
+        new = make_journal(tmp_path, fingerprint="fp-new")
+        assert new.get("k") is MISS
+
+    def test_nested_under_cache_root(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.put("k", outcome())
+        assert journal.root.is_relative_to(tmp_path / "cache" / "journal")
+
+
+class TestManagement:
+    def test_discard_removes_everything(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.put("a", outcome())
+        journal.put("b", outcome())
+        assert journal.discard() == 2
+        assert not journal.root.exists()
+        assert journal.get("a") is MISS
+
+    def test_discard_on_missing_journal(self, tmp_path):
+        assert make_journal(tmp_path).discard() == 0
+
+    def test_partial_manifest_written(self, tmp_path):
+        journal = make_journal(tmp_path, campaign="interrupted-run")
+        journal.put("k", outcome())
+        path = journal.write_partial_manifest(
+            [{"spec": {"scheme": "base"}, "ok": True, "kind": "ok"}]
+        )
+        payload = json.loads(open(path).read())
+        assert payload["campaign"] == "interrupted-run"
+        assert payload["completed"] == 1
+        assert payload["cells"][0]["kind"] == "ok"
+
+    def test_partial_manifest_without_entries_is_noop(self, tmp_path):
+        assert make_journal(tmp_path).write_partial_manifest([]) is None
+
+    def test_stats(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.put("k", outcome())
+        journal.get("k")
+        journal.get("absent")
+        stats = journal.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["writes"] == 1
+
+
+class TestTraceStoreHardening:
+    def test_corrupt_artifact_quarantined_and_rebuilt(self, tmp_path):
+        store = TraceArtifactStore(str(tmp_path / "cache"))
+        wspec = WorkloadSpec.make("hash", threads=1, transactions=2)
+        built = store.build(wspec)
+        path = store._path(store.digest(store.key(wspec)))
+        assert path.exists()
+        path.write_bytes(b"\x80not a pickle")
+        assert store.load(wspec) is None  # quarantined, not crashed
+        assert path.with_name(path.name + ".corrupt").exists()
+        rebuilt = store.build(wspec)
+        assert rebuilt.total_transactions == built.total_transactions
+        assert store.load(wspec) is not None
+
+    def test_clear_removes_quarantined_artifacts(self, tmp_path):
+        store = TraceArtifactStore(str(tmp_path / "cache"))
+        wspec = WorkloadSpec.make("hash", threads=1, transactions=2)
+        store.build(wspec)
+        path = store._path(store.digest(store.key(wspec)))
+        path.write_bytes(b"junk")
+        store.load(wspec)
+        store.clear()
+        objects = store.root / "objects"
+        assert not objects.is_dir() or not list(objects.rglob("*.corrupt"))

@@ -4,6 +4,7 @@ from repro.harness.resultcache import (
     _FINGERPRINT_MEMO,
     MISS,
     ResultCache,
+    load_pickle_hardened,
     source_fingerprint,
 )
 
@@ -38,6 +39,55 @@ class TestStoreLoad:
         path = cache._path(cache.digest("k"))
         path.write_bytes(b"not a pickle")
         assert cache.get("k") is MISS
+
+
+class TestQuarantine:
+    def test_truncated_entry_is_quarantined_and_rebuilt(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("k", list(range(1000)))
+        path = cache._path(cache.digest("k"))
+        path.write_bytes(path.read_bytes()[:10])  # killed writer
+        assert cache.get("k") is MISS
+        # The bad bytes moved aside for post-mortems; the slot is free.
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.exists()
+        assert not path.exists()
+        assert cache.stats()["quarantined"] == 1
+        # The rebuild overwrites the slot and hits normally again.
+        cache.put("k", "rebuilt")
+        assert cache.get("k") == "rebuilt"
+        assert cache.stats()["quarantined"] == 1
+
+    def test_garbage_bytes_are_quarantined(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("k", 42)
+        path = cache._path(cache.digest("k"))
+        path.write_bytes(b"\x80\x05garbage that is no pickle")
+        assert cache.get("k") is MISS
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_load_pickle_hardened_missing_file_is_plain_miss(self, tmp_path):
+        target = tmp_path / "absent.pkl"
+        assert load_pickle_hardened(target, "test") is MISS
+        # A missing file must not leave a quarantine artifact behind.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_format_stats_mentions_quarantined_entries(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("k", 1)
+        path = cache._path(cache.digest("k"))
+        path.write_bytes(b"junk")
+        cache.get("k")
+        assert "quarantined" in cache.format_stats()
+
+    def test_clear_removes_quarantined_files(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put("k", 1)
+        path = cache._path(cache.digest("k"))
+        path.write_bytes(b"junk")
+        cache.get("k")
+        cache.clear()
+        assert cache.stats()["quarantined"] == 0
 
 
 class TestAddressing:
