@@ -410,7 +410,7 @@ class SiloScheme(LoggingScheme):
             )
         return True
 
-    def recover(self) -> RecoveryReport:
+    def _do_recover(self) -> RecoveryReport:
         return wal_recover(
             self.region,
             self.pm,

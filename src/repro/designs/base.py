@@ -83,5 +83,5 @@ class BaseScheme(LoggingScheme):
         self.on_tx_end(core, tid, txid, now)
         return True
 
-    def recover(self) -> RecoveryReport:
+    def _do_recover(self) -> RecoveryReport:
         return wal_recover(self.region, self.pm, scheme=self.name)

@@ -176,7 +176,7 @@ class LADScheme(LoggingScheme):
         self.on_tx_end(core, tid, txid, now)
         return True
 
-    def recover(self) -> RecoveryReport:
+    def _do_recover(self) -> RecoveryReport:
         # Only the slow-mode undo logs of uncommitted transactions can
         # require work: revoke them.
         return wal_recover(self.region, self.pm, scheme=self.name)

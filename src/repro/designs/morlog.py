@@ -194,7 +194,7 @@ class MorLogScheme(LoggingScheme):
         self.on_tx_end(core, tid, txid, now)
         return True
 
-    def recover(self) -> RecoveryReport:
+    def _do_recover(self) -> RecoveryReport:
         return wal_recover(self.region, self.pm, scheme=self.name)
 
     def _truncate_awaiting(self) -> None:

@@ -161,7 +161,7 @@ class ProteusScheme(LoggingScheme):
         self.on_tx_end(core, tid, txid, now)
         return True
 
-    def recover(self) -> RecoveryReport:
+    def _do_recover(self) -> RecoveryReport:
         # Committed transactions persisted their data at commit; only
         # uncommitted partial updates need revoking.
         return wal_recover(self.region, self.pm, scheme=self.name)

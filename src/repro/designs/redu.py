@@ -162,5 +162,5 @@ class ReDUScheme(LoggingScheme):
         self._in_tx[core] = False
         return True
 
-    def recover(self) -> RecoveryReport:
+    def _do_recover(self) -> RecoveryReport:
         return wal_recover(self.region, self.pm, scheme=self.name)

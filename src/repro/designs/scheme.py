@@ -15,7 +15,7 @@ the writes of the committed transactions.  The property-based tests in
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable, Dict, List, Tuple, Type
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.common.errors import ConfigError
 
@@ -45,6 +45,11 @@ class LoggingScheme(ABC):
         #: The run's observability holder, or ``None`` (the default);
         #: design hooks guard every use with one ``is not None`` check.
         self.obs = getattr(system, "obs", None)
+        #: Memoized recovery report: :meth:`recover` must be
+        #: idempotent, and the underlying log walk is not (it truncates
+        #: the log region and re-applies words), so the first report is
+        #: cached and returned on every later call.
+        self._recovery_report: Optional["RecoveryReport"] = None
 
     # ------------------------------------------------------------------
     # Transaction lifecycle hooks (return extra stall cycles)
@@ -107,10 +112,25 @@ class LoggingScheme(ABC):
 
         Every design must return a :class:`RecoveryReport` — the crash
         harnesses and the fault-aware oracle read its corruption
-        accounting.  The default runs the shared corruption-aware WAL
-        walk with the standard redo/undo predicates; designs with
-        non-standard log semantics override this with their own
-        predicates.
+        accounting.
+
+        **Idempotent**: the recovery walk itself truncates the log
+        region and issues redo/undo writes, so running it twice would
+        double-apply words and report an empty second walk.  The first
+        call therefore runs :meth:`_do_recover` and caches its report;
+        every later call returns the *same* report object with no PM
+        traffic.  Designs override :meth:`_do_recover`, never this.
+        """
+        if self._recovery_report is None:
+            self._recovery_report = self._do_recover()
+        return self._recovery_report
+
+    def _do_recover(self) -> "RecoveryReport":
+        """One actual recovery walk (called at most once per crash).
+
+        The default runs the shared corruption-aware WAL walk with the
+        standard redo/undo predicates; designs with non-standard log
+        semantics override this with their own predicates.
         """
         # Imported lazily: repro.core imports the design modules, so a
         # top-level import here would be circular.

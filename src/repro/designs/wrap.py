@@ -128,5 +128,5 @@ class WrAPScheme(LoggingScheme):
         )
         return True
 
-    def recover(self) -> RecoveryReport:
+    def _do_recover(self) -> RecoveryReport:
         return wal_recover(self.region, self.pm, scheme=self.name)

@@ -57,6 +57,7 @@ from repro.harness import (
     fig13,
     fig14,
     fig15,
+    litmus,
     mcsweep,
     recovery_cost,
     replay,
@@ -108,6 +109,11 @@ _EXPERIMENTS = {
         output=args.fault_output,
         smoke=args.smoke,
         trace_output=args.fault_trace_output,
+    ),
+    "litmus": lambda args, ex: litmus.run(
+        smoke=args.smoke,
+        executor=ex,
+        output=args.litmus_output,
     ),
     "mcsweep": lambda args, ex: mcsweep.run(
         transactions=args.transactions, executor=ex
@@ -208,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
         "one representative faulted cell (crash + recovery events)",
     )
     parser.add_argument(
+        "--litmus-output",
+        default="LITMUS.json",
+        help="litmus only: where to write the campaign report "
+        "(default: LITMUS.json)",
+    )
+    parser.add_argument(
         "--spec",
         default=None,
         help="replay only: the cell-spec JSON printed by a failing "
@@ -274,8 +286,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="bench/faultsweep/chaos: shrink the grid to a <60s CI "
-        "budget",
+        help="bench/faultsweep/litmus/chaos: shrink the grid to a "
+        "<60s CI budget",
     )
     parser.add_argument(
         "--repeats",
@@ -717,10 +729,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(result.format_report())
         return EXIT_OK if result.passed else EXIT_FAILURE
-    if args.resume and args.experiment != "faultsweep":
+    if args.resume and args.experiment not in ("faultsweep", "litmus"):
         parser.error(
-            "--resume is only supported for 'faultsweep' here "
-            "(and for 'silo-repro exp run')"
+            "--resume is only supported for 'faultsweep' and 'litmus' "
+            "here (and for 'silo-repro exp run')"
         )
     if args.resume and args.no_cache:
         parser.error("--resume needs the result cache (drop --no-cache)")
@@ -746,10 +758,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = 0
     for name in names:
         journal = None
-        if name == "faultsweep" and cache is not None:
+        if name in ("faultsweep", "litmus") and cache is not None:
             campaign_key = (
                 f"faultsweep|seed={args.seed}|points={args.crash_points}"
                 f"|smoke={args.smoke}"
+                if name == "faultsweep"
+                else f"litmus|smoke={args.smoke}"
             )
             try:
                 journal = _campaign_journal(args, campaign_key)

@@ -247,11 +247,78 @@ def check_stress_cells(report: EquivalenceReport) -> None:
                 )
 
 
+#: Crash-point boundary cells: ``at_op=0`` (power fails before any
+#: operation executes) and ``at_op == total_ops`` (power fails after
+#: the last operation retires, before the clean end-of-run drain).
+#: The PR-6 drain/crash end_cycle contract only pins interior crash
+#: points; these two pin the boundary semantics — both engines must
+#: produce bit-identical results (the columnar engine delegates
+#: crash-plan runs, and that delegation must cover the boundaries) and
+#: recovery must satisfy atomic durability at each.
+BOUNDARY_SCHEMES = ("base", "fwb", "morlog", "silo", "swlog")
+
+
+def check_boundary_cells(report: EquivalenceReport) -> None:
+    """Run the two crash-point boundary cells under both engines;
+    append any divergence or oracle violation to ``report.mismatches``."""
+    from repro.common.config import SystemConfig
+    from repro.designs.scheme import SchemeRegistry
+    from repro.sim.columnar import ColumnarEngine
+    from repro.sim.crash import CrashPlan
+    from repro.sim.engine import TransactionEngine
+    from repro.sim.system import System
+    from repro.sim.verify import check_atomic_durability
+    from repro.workloads.registry import build_workload
+
+    trace = build_workload("hash", threads=2, transactions=4)
+    total_ops = sum(
+        len(tx.ops) + 2 for th in trace.threads for tx in th.transactions
+    )
+    for at_op in (0, total_ops):
+        for scheme_name in BOUNDARY_SCHEMES:
+            report.stress_cells += 1
+            where = f"boundary at_op={at_op}/{scheme_name}"
+            results = {}
+            for engine_name, engine_cls in (
+                ("exact", TransactionEngine),
+                ("columnar", ColumnarEngine),
+            ):
+                system = System(SystemConfig.table2(2))
+                result = engine_cls(
+                    system,
+                    SchemeRegistry.create(scheme_name, system),
+                    trace,
+                    crash_plan=CrashPlan(at_op=at_op),
+                ).run()
+                if not result.crashed:
+                    report.mismatches.append(
+                        f"{where}: {engine_name} engine did not crash"
+                    )
+                if check_atomic_durability(system, trace, result.committed):
+                    report.mismatches.append(
+                        f"{where}: {engine_name} engine violated atomic "
+                        "durability"
+                    )
+                results[engine_name] = result
+            exact, col = results["exact"], results["columnar"]
+            if exact.end_cycle != col.end_cycle:
+                report.mismatches.append(
+                    f"{where}: end_cycle {exact.end_cycle} != {col.end_cycle}"
+                )
+            if exact.committed != col.committed:
+                report.mismatches.append(f"{where}: committed differs")
+            if dict(exact.stats.counters) != dict(col.stats.counters):
+                report.mismatches.append(f"{where}: stats counters differ")
+            if exact.recovery != col.recovery:
+                report.mismatches.append(f"{where}: recovery report differs")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
     smoke = "--full" not in args
     report = check_engine_equivalence(smoke=smoke)
     check_stress_cells(report)
+    check_boundary_cells(report)
     print(report.format_report())
     return 0 if report.ok else 1
 

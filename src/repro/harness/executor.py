@@ -89,6 +89,18 @@ from repro.workloads.registry import build_workload
 # ----------------------------------------------------------------------
 # Cell specification
 # ----------------------------------------------------------------------
+def _canon_kwarg(value: Any) -> Any:
+    """Canonicalize one workload kwarg value for spec identity.
+
+    JSON round-trips turn tuples into lists; a rebuilt spec must be
+    *equal and hashable*, so sequence values are normalized to tuples
+    (recursively) on the way in.  Scalars pass through untouched.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon_kwarg(v) for v in value)
+    return value
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """Recipe for one trace: registry name plus builder arguments.
@@ -106,7 +118,12 @@ class WorkloadSpec:
     def make(
         cls, name: str, threads: int, transactions: int, **kwargs: Any
     ) -> "WorkloadSpec":
-        return cls(name, threads, transactions, tuple(sorted(kwargs.items())))
+        return cls(
+            name,
+            threads,
+            transactions,
+            tuple(sorted((k, _canon_kwarg(v)) for k, v in kwargs.items())),
+        )
 
     def build(self) -> Trace:
         """Build (or fetch the per-process memoized) trace.
@@ -190,6 +207,12 @@ class CellSpec:
     but because a columnar outcome carries engine diagnostics and the
     cache must be able to answer "has this cell run under engine X"
     when the equivalence gate compares engines.
+    ``capture_image=True`` additionally snapshots the post-recovery PM
+    media over the trace's touched words into the outcome — the litmus
+    oracle judges recovered images declaratively, outside the cell.
+    It joins the content address (only when set, so every pre-existing
+    cache entry keeps its address): a captured outcome carries data a
+    plain one does not.
     """
 
     workload: WorkloadSpec
@@ -202,6 +225,7 @@ class CellSpec:
     repeats: int = 1
     obs: Optional[ObsConfig] = None
     engine: str = "exact"
+    capture_image: bool = False
 
     def effective_config(self) -> SystemConfig:
         return self.config if self.config is not None else SystemConfig.table2(self.cores)
@@ -261,6 +285,9 @@ class CellOutcome:
     #: Engine diagnostics (``ColumnarEngine.engine_stats()``) for
     #: non-exact engines: fused/exact op counts and delegation reason.
     engine_stats: Optional[dict] = None
+    #: Post-recovery PM image over the trace's touched words, for
+    #: ``capture_image=True`` cells (the litmus oracle's input).
+    image: Optional[Dict[int, int]] = None
     #: ``ok`` / ``error`` / ``timeout`` / ``infra`` (see class docs).
     kind: str = "ok"
     #: Times this cell was dispatched (1 = first try succeeded).
@@ -301,6 +328,9 @@ def spec_key(spec: CellSpec) -> str:
         # Emitted only for non-default engines so every pre-existing
         # cache entry (and golden manifest) keeps its address.
         payload["engine"] = spec.engine
+    if spec.capture_image:
+        # Same reasoning: default-off, emitted only when set.
+        payload["capture_image"] = True
     return json.dumps(payload, sort_keys=True, default=repr)
 
 
@@ -359,6 +389,13 @@ def execute_cell(spec: CellSpec) -> CellOutcome:
             mismatches = list(fault_verdict.unattributed)
         else:
             mismatches = check_atomic_durability(system, trace, result.committed)
+    image = None
+    if spec.capture_image:
+        media = system.pm.media
+        image = {
+            addr: media.read_word(addr)
+            for addr in sorted(trace.touched_words())
+        }
     return CellOutcome(
         spec=spec,
         result=result,
@@ -366,6 +403,7 @@ def execute_cell(spec: CellSpec) -> CellOutcome:
         mismatches=mismatches,
         fault_verdict=fault_verdict,
         engine_stats=engine_stats,
+        image=image,
     )
 
 
@@ -1068,6 +1106,12 @@ def cell_spec_to_json(spec: CellSpec) -> str:
         "repeats": spec.repeats,
         "obs": spec.obs.to_json_dict() if spec.obs is not None else None,
     }
+    # Non-default fields are emitted only when set, keeping historical
+    # replay commands parseable and byte-stable.
+    if spec.engine != "exact":
+        payload["engine"] = spec.engine
+    if spec.capture_image:
+        payload["capture_image"] = True
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
@@ -1099,6 +1143,8 @@ def cell_spec_from_json(text: str) -> CellSpec:
         verify=data.get("verify", False),
         repeats=data.get("repeats", 1),
         obs=ObsConfig.from_json_dict(data.get("obs")),
+        engine=data.get("engine", "exact"),
+        capture_image=data.get("capture_image", False),
     )
 
 

@@ -16,7 +16,8 @@ This store lifts both out of the per-cell path:
   decode columns (:func:`repro.sim.columnar.export_decode_columns`);
 * artifacts are **content-addressed** by the canonical JSON of the
   workload recipe plus a fingerprint of the trace-affecting sources
-  (``repro/trace`` + ``repro/workloads``) and the decode format
+  (``repro/trace`` + ``repro/workloads`` + ``repro/litmus``) and the
+  decode format
   version — an edit to the simulator proper does *not* invalidate
   them, an edit to a workload builder or the columnar decode does;
 * loading is **zero-parse**: ops are rebuilt by slot assignment
@@ -64,8 +65,8 @@ _FINGERPRINT_MEMO: Dict[str, str] = {}
 
 def trace_source_fingerprint() -> str:
     """SHA-256 over the sources that determine a built trace and its
-    decode: ``repro/trace``, ``repro/workloads`` and the columnar
-    decode version.
+    decode: ``repro/trace``, ``repro/workloads``, ``repro/litmus``
+    (pattern lowering) and the columnar decode version.
 
     Deliberately *narrower* than the result cache's whole-package
     fingerprint: a timing-model edit changes every simulated result
@@ -79,7 +80,7 @@ def trace_source_fingerprint() -> str:
         return memo
     digest = hashlib.sha256()
     digest.update(f"decode-v{DECODE_VERSION}\0".encode())
-    for sub in ("trace", "workloads"):
+    for sub in ("trace", "workloads", "litmus"):
         base = root / sub
         for path in sorted(base.rglob("*.py"), key=lambda p: str(p.relative_to(base))):
             digest.update(f"{sub}/{path.relative_to(base)}".encode())

@@ -1,0 +1,47 @@
+"""Persistency-model litmus engine (small-scope model checking).
+
+Sampled crash plans (crashtest, faultsweep) validate recovery at
+*random* persist boundaries; this package validates it at *every* one.
+A litmus **pattern** is a small multi-core persist-ordering program
+(2-3 cores, a handful of stores arranged to hit the interesting
+structure: store chains, cross-core false sharing on one cache line,
+commit/crash races, torn multi-word transactions).  Each pattern
+lowers to an ordinary :class:`~repro.trace.trace.Trace` and runs under
+**exhaustive crash-point enumeration** — one cell per ``at_op`` in
+``[0, total_ops]`` — across every registered design.  Each recovered
+image is judged by a small *declarative* persistency-model oracle
+(per-location legality plus per-transaction atomicity/durability),
+and any failure is shrunk to a minimal cell that replays with one
+``silo-repro replay --spec`` line.
+
+Modules:
+
+* :mod:`repro.litmus.patterns` — the pattern grammar, the deterministic
+  enumerator and the lowering to traces;
+* :mod:`repro.litmus.oracle` — the declarative oracle and its verdict
+  taxonomy;
+* :mod:`repro.litmus.shrink` — greedy structural shrinking of failing
+  cells.
+
+The campaign driver lives in :mod:`repro.harness.litmus`
+(``silo-repro litmus``).
+"""
+
+from repro.litmus.oracle import LitmusVerdict, check_litmus
+from repro.litmus.patterns import (
+    Pattern,
+    decode_pattern,
+    enumerate_patterns,
+    lower_pattern,
+)
+from repro.litmus.shrink import shrink_pattern
+
+__all__ = [
+    "LitmusVerdict",
+    "Pattern",
+    "check_litmus",
+    "decode_pattern",
+    "enumerate_patterns",
+    "lower_pattern",
+    "shrink_pattern",
+]

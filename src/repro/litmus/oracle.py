@@ -1,0 +1,184 @@
+"""The declarative persistency-model oracle.
+
+Judges one recovered PM image against the litmus persistency model
+without re-deriving what recovery *should have done* — only what
+states are *legal*:
+
+* **legality** — every recovered word holds a value some program-order
+  prefix of its owning thread could have left (its pre value or one of
+  its writers' values); anything else is a torn or invented word;
+* **atomicity** — each transaction's locations recover all-pre or
+  all-post: the durable transactions of a thread must form a
+  program-order *prefix* (a design cannot persist transaction *k+1*
+  while losing *k*);
+* **durability** — every transaction whose commit was acknowledged
+  before the crash is in the durable prefix;
+* **no spurious commits** — a transaction that never acknowledged is
+  *not* in the durable prefix (recovery must revoke it).
+
+Formally, for each thread the oracle computes the images after
+applying its first ``k`` transactions (``k = 0..n``) to the initial
+image, restricted to the thread's words, and the set ``K`` of ``k``
+whose image matches the recovered words.  With ``cc`` the thread's
+acknowledged-commit count, the thread passes iff ``cc in K``; the
+failure taxonomy falls out of *how* ``K`` misses ``cc``.  Under the
+word-isolation assumption (threads never store the same word —
+enforced by the pattern decoder, true of every registry workload) this
+conjunction is exactly equivalent to the PR-3 exact oracle
+``check_atomic_durability`` (pinned by a hypothesis suite), but it is
+computed per-location/per-transaction and therefore *names* the broken
+axiom instead of dumping raw word mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.common.errors import ConfigError
+from repro.trace.trace import Trace
+
+#: Verdict kinds, roughly ordered by how alarming they are.
+KINDS = (
+    "ok",
+    "illegal-value",    # a word holds a value no prefix could produce
+    "atomicity",        # legal words, but no single prefix matches
+    "durability",       # an acknowledged commit did not survive
+    "spurious-commit",  # an unacknowledged transaction survived
+)
+
+
+@dataclass(frozen=True)
+class LitmusVerdict:
+    """What the oracle concluded about one recovered image."""
+
+    kind: str
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+    def __str__(self) -> str:
+        return self.kind if not self.detail else f"{self.kind}: {self.detail}"
+
+
+def _thread_prefix_images(
+    thread, initial: Dict[int, int]
+) -> Tuple[List[Dict[int, int]], Set[int]]:
+    """Images of one thread's words after each committed prefix.
+
+    Returns ``(images, words)`` where ``images[k]`` maps every word the
+    thread ever stores to its value after the first ``k`` transactions
+    (missing initial words default to 0, matching
+    :func:`~repro.sim.verify.expected_image`).
+    """
+    words: Set[int] = set()
+    for tx in thread.transactions:
+        words.update(tx.final_values())
+    image = {addr: initial.get(addr, 0) for addr in words}
+    images = [dict(image)]
+    for tx in thread.transactions:
+        image.update(tx.final_values())
+        images.append(dict(image))
+    return images, words
+
+
+def check_litmus(
+    trace: Trace,
+    committed: Iterable[Tuple[int, int]],
+    image: Dict[int, int],
+) -> LitmusVerdict:
+    """Judge a recovered image (word address -> recovered value).
+
+    ``committed`` holds the engine's acknowledged ``(tid, tx_index)``
+    pairs; ``image`` must cover every word in
+    ``trace.touched_words()`` (the executor's ``capture_image=True``
+    snapshot does).  Raises :class:`ConfigError` when the oracle's
+    preconditions do not hold (word sharing across threads, an
+    incomplete image, a non-prefix commit set) — those are harness
+    bugs, not persistency verdicts.
+    """
+    committed = set(committed)
+    seen_words: Dict[int, int] = {}
+    stored_words: Set[int] = set()
+
+    def recovered(addr: int) -> int:
+        try:
+            return image[addr]
+        except KeyError:
+            raise ConfigError(
+                f"recovered image does not cover word {addr:#x} "
+                "(capture_image missing from the cell?)"
+            ) from None
+
+    for thread in trace.threads:
+        images, words = _thread_prefix_images(thread, trace.initial_image)
+        for addr in words:
+            if addr in seen_words and seen_words[addr] != thread.tid:
+                raise ConfigError(
+                    f"threads {seen_words[addr]} and {thread.tid} both "
+                    f"store word {addr:#x}: the oracle needs word "
+                    "isolation"
+                )
+            seen_words[addr] = thread.tid
+        stored_words.update(words)
+
+        n = len(thread.transactions)
+        cc = sum(1 for tid, idx in committed if tid == thread.tid)
+        prefix = {idx for tid, idx in committed if tid == thread.tid}
+        if prefix != set(range(cc)):
+            raise ConfigError(
+                f"thread {thread.tid} committed a non-prefix set "
+                f"{sorted(prefix)}: engine invariant broken"
+            )
+
+        matches = [
+            k
+            for k in range(n + 1)
+            if all(recovered(addr) == images[k][addr] for addr in words)
+        ]
+        if cc in matches:
+            continue
+        if not matches:
+            # No prefix matches: either some word holds an outright
+            # illegal value, or the words mix two different prefixes.
+            for addr in sorted(words):
+                got = recovered(addr)
+                legal = {images[k][addr] for k in range(n + 1)}
+                if got not in legal:
+                    return LitmusVerdict(
+                        "illegal-value",
+                        f"thread {thread.tid} word {addr:#x} recovered "
+                        f"{got:#x}, legal values {sorted(legal)}",
+                    )
+            return LitmusVerdict(
+                "atomicity",
+                f"thread {thread.tid}: words mix transaction prefixes "
+                f"(no k in 0..{n} matches; {cc} acknowledged)",
+            )
+        if all(k < cc for k in matches):
+            return LitmusVerdict(
+                "durability",
+                f"thread {thread.tid}: image matches prefix "
+                f"{max(matches)} but {cc} commit(s) were acknowledged",
+            )
+        return LitmusVerdict(
+            "spurious-commit",
+            f"thread {thread.tid}: image matches prefix "
+            f"{min(k for k in matches if k > cc)} but only {cc} "
+            "commit(s) were acknowledged",
+        )
+
+    # Words in the initial image no transaction ever stores must
+    # survive untouched — recovery has no business rewriting them.
+    for addr in sorted(set(trace.initial_image) - stored_words):
+        got = recovered(addr)
+        want = trace.initial_image[addr]
+        if got != want:
+            return LitmusVerdict(
+                "illegal-value",
+                f"untouched word {addr:#x} recovered {got:#x}, "
+                f"initial value {want:#x}",
+            )
+    return LitmusVerdict("ok")

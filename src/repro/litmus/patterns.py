@@ -1,0 +1,275 @@
+"""Litmus pattern grammar, enumerator and trace lowering.
+
+A pattern is a tiny multi-core persist-ordering program over a fixed
+table of word **slots**:
+
+* slots ``0..7`` are the eight words of one shared cache line — the
+  *false-sharing line*: different cores storing different slots of it
+  contend at line granularity while staying word-disjoint (the
+  isolation assumption of Section III-A holds at word granularity);
+* slots ``8..`` each live at the base of their own private line.
+
+The textual **key** is the pattern's identity everywhere (spec kwargs,
+cache addresses, replay commands)::
+
+    <family>/<threads>            threads  := thread ('|' thread)*
+                                  thread   := tx (';' tx)*
+                                  tx       := op ('.' op)*
+                                  op       := 's' slot | 'l' slot
+
+``s<slot>`` is a transactional store to the slot, ``l<slot>`` a load.
+Example: ``false_share/s0.s1|s2`` — core 0 runs one transaction
+storing slots 0 and 1, core 1 one transaction storing slot 2, all on
+the shared line.
+
+Lowering assigns every store a value unique across the whole pattern
+(``(tid+1) << 20 | store-sequence``), and every slot a distinct
+nonzero initial value (``0xF00 | slot``), so the declarative oracle
+can attribute any recovered word to exactly one writer — a torn or
+invented value is never mistaken for a legal state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.common.constants import LINE_SIZE, WORD_SIZE
+from repro.common.errors import ConfigError
+from repro.trace.trace import ThreadTrace, Trace, Transaction
+
+#: The litmus arena sits in its own region of the PM data space
+#: (synthetic traces use 0x1000_0000, workload heaps 0x2000_0000).
+LITMUS_BASE = 0x3000_0000
+
+#: Words per cache line (slots 0..SHARED_SLOTS-1 share line 0).
+SHARED_SLOTS = LINE_SIZE // WORD_SIZE
+
+#: One op is ``('s'|'l', slot)``; a tx is a tuple of ops; a thread a
+#: tuple of txs; a pattern body a tuple of threads.
+OpTuple = Tuple[str, int]
+TxTuple = Tuple[OpTuple, ...]
+ThreadTuple = Tuple[TxTuple, ...]
+BodyTuple = Tuple[ThreadTuple, ...]
+
+
+def slot_addr(slot: int) -> int:
+    """Word address of one slot (see module docstring)."""
+    if slot < 0:
+        raise ConfigError(f"negative litmus slot {slot}")
+    if slot < SHARED_SLOTS:
+        return LITMUS_BASE + slot * WORD_SIZE
+    return LITMUS_BASE + (slot - SHARED_SLOTS + 1) * LINE_SIZE
+
+
+def initial_value(slot: int) -> int:
+    """Distinct nonzero pre-crash value of one slot (< any store
+    value, which start at ``1 << 20``)."""
+    return 0xF00 | slot
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One litmus pattern: family label plus the decoded body."""
+
+    family: str
+    body: BodyTuple
+
+    @property
+    def key(self) -> str:
+        threads = "|".join(
+            ";".join(".".join(f"{kind}{slot}" for kind, slot in tx) for tx in thread)
+            for thread in self.body
+        )
+        return f"{self.family}/{threads}"
+
+    @property
+    def cores(self) -> int:
+        return len(self.body)
+
+    @property
+    def total_txs(self) -> int:
+        return sum(len(thread) for thread in self.body)
+
+    @property
+    def total_ops(self) -> int:
+        """Engine-visible op count: every tx contributes its ops plus
+        the implicit ``Tx_begin``/``Tx_end`` markers."""
+        return sum(len(tx) + 2 for thread in self.body for tx in thread)
+
+    def stored_slots(self, tid: int) -> Tuple[int, ...]:
+        """Slots thread ``tid`` stores to, deduplicated, in order."""
+        seen: List[int] = []
+        for tx in self.body[tid]:
+            for kind, slot in tx:
+                if kind == "s" and slot not in seen:
+                    seen.append(slot)
+        return tuple(seen)
+
+    def all_slots(self) -> Tuple[int, ...]:
+        """Every slot any op touches, sorted."""
+        slots = {
+            slot for thread in self.body for tx in thread for _, slot in tx
+        }
+        return tuple(sorted(slots))
+
+
+def decode_pattern(key: str) -> Pattern:
+    """Parse a pattern key back into a :class:`Pattern`.
+
+    The grammar is validated strictly — a malformed key raises
+    :class:`ConfigError` — and cross-thread *word* disjointness is
+    enforced: two threads may share the false-sharing line, never a
+    slot (the isolation assumption the oracle relies on).
+    """
+    family, sep, text = key.partition("/")
+    if not sep or not family or not text:
+        raise ConfigError(f"malformed litmus key {key!r} (want family/body)")
+    threads: List[ThreadTuple] = []
+    for thread_text in text.split("|"):
+        txs: List[TxTuple] = []
+        for tx_text in thread_text.split(";"):
+            ops: List[OpTuple] = []
+            for op_text in tx_text.split("."):
+                if len(op_text) < 2 or op_text[0] not in ("s", "l"):
+                    raise ConfigError(
+                        f"malformed litmus op {op_text!r} in {key!r}"
+                    )
+                if not op_text[1:].isdigit():
+                    raise ConfigError(
+                        f"malformed litmus op {op_text!r} in {key!r}"
+                    )
+                slot = int(op_text[1:])
+                ops.append((op_text[0], slot))
+            if not ops:
+                raise ConfigError(f"empty transaction in {key!r}")
+            txs.append(tuple(ops))
+        if not txs:
+            raise ConfigError(f"empty thread in {key!r}")
+        threads.append(tuple(txs))
+    pattern = Pattern(family=family, body=tuple(threads))
+    stored = [set(pattern.stored_slots(tid)) for tid in range(pattern.cores)]
+    for a in range(len(stored)):
+        for b in range(a + 1, len(stored)):
+            overlap = stored[a] & stored[b]
+            if overlap:
+                raise ConfigError(
+                    f"litmus pattern {key!r} violates word isolation: "
+                    f"threads {a} and {b} both store slot(s) "
+                    f"{sorted(overlap)}"
+                )
+    return pattern
+
+
+def lower_pattern(pattern: Pattern) -> Trace:
+    """Lower a pattern to an executable :class:`Trace`.
+
+    Store values are globally unique (``(tid+1) << 20 | seq``), and
+    every touched slot appears in the initial image with its distinct
+    :func:`initial_value` — so each recovered word names exactly one
+    legal writer (or none).
+    """
+    threads: List[ThreadTrace] = []
+    for tid, thread_body in enumerate(pattern.body):
+        thread = ThreadTrace(tid)
+        seq = 0
+        for tx_body in thread_body:
+            tx = Transaction()
+            for kind, slot in tx_body:
+                if kind == "s":
+                    seq += 1
+                    tx.store(slot_addr(slot), ((tid + 1) << 20) | seq)
+                else:
+                    tx.load(slot_addr(slot))
+            thread.append(tx)
+        threads.append(thread)
+    image = {slot_addr(slot): initial_value(slot) for slot in pattern.all_slots()}
+    return Trace(threads, initial_image=image, name=f"litmus:{pattern.key}")
+
+
+# ----------------------------------------------------------------------
+# Enumeration
+# ----------------------------------------------------------------------
+def _patterns(family: str, bodies: List[str]) -> Iterator[Pattern]:
+    for body in bodies:
+        yield decode_pattern(f"{family}/{body}")
+
+
+def _chains(max_len: int) -> List[str]:
+    """Single-core store chains over private lines, plus same-word
+    rewrite chains (persist ordering within one transaction)."""
+    bodies = []
+    for length in range(2, max_len + 1):
+        bodies.append(".".join(f"s{8 + i}" for i in range(length)))
+    bodies.append("s8.s8")          # rewrite: last store must win
+    bodies.append("s8.s8.s9")       # rewrite then move on
+    bodies.append("s8.l8.s9")       # load between the stores
+    return bodies
+
+
+def _torn(full: bool) -> List[str]:
+    """Single transactions spanning the shared line and private lines:
+    a crash mid-drain may tear the multi-word write set."""
+    bodies = ["s0.s8", "s0.s1.s8", "s0.s1.s8.s9"]
+    if full:
+        bodies += ["s0.s1.s2.s8.s9.s10", "s0.s4.s8", "s0.s7.s8.s15"]
+    return bodies
+
+
+def _multitx(full: bool) -> List[str]:
+    """Single-core multi-transaction programs: the durable set must be
+    a program-order prefix, so crash points between commits
+    discriminate."""
+    bodies = ["s8;s9", "s8;s8", "s0.s8;s1.s9"]
+    if full:
+        bodies += ["s8;s9;s10", "s8.s9;s8", "s0;s1;s2"]
+    return bodies
+
+
+def _false_share(full: bool) -> List[str]:
+    """2-3 cores storing disjoint words of the one shared line."""
+    bodies = ["s0|s1", "s0.s1|s2", "s0|s1|s2", "s0.s2|s1.s3"]
+    if full:
+        bodies += [
+            "s0.s1|s2.s3",
+            "s0.s1.s2|s3",
+            "s0|s1.s2|s3",
+            "s0.s4|s1.s5|s2.s6",
+            "s0;s1|s2;s3",
+        ]
+    return bodies
+
+
+def _races(full: bool) -> List[str]:
+    """Cross-core programs whose commits race each other (and, under
+    exhaustive enumeration, the crash point): private lines, mixed
+    private/shared, multi-transaction."""
+    bodies = ["s8|s9", "s0.s8|s1.s9", "s8;s0|s9;s1"]
+    if full:
+        bodies += [
+            "s8.s9|s10.s11",
+            "s8.s0|s9.s1|s10.s2",
+            "s8;s9|s10;s11",
+            "l8.s8|s9.l9",
+        ]
+    return bodies
+
+
+def enumerate_patterns(smoke: bool = False) -> List[Pattern]:
+    """The deterministic pattern catalog, in a fixed order.
+
+    ``smoke=True`` keeps the catalog CI-sized (still >500 cells once
+    crossed with exhaustive crash points and all nine designs); the
+    full catalog widens every family.
+    """
+    full = not smoke
+    out: List[Pattern] = []
+    out += _patterns("chain", _chains(6 if full else 4))
+    out += _patterns("torn", _torn(full))
+    out += _patterns("multitx", _multitx(full))
+    out += _patterns("false_share", _false_share(full))
+    out += _patterns("race", _races(full))
+    keys = [p.key for p in out]
+    if len(set(keys)) != len(keys):  # pragma: no cover - catalog bug
+        raise ConfigError("duplicate litmus pattern keys in the catalog")
+    return out

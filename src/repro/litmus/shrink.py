@@ -1,0 +1,91 @@
+"""Greedy structural shrinking of failing litmus cells.
+
+A violation found by the exhaustive sweep usually fires on a pattern
+with more structure than the bug needs.  The shrinker minimizes it
+with the classic delta-debugging moves, in decreasing order of how
+much they remove:
+
+1. drop a whole thread,
+2. drop a whole transaction,
+3. drop a single op.
+
+Each candidate reduction is re-judged by a caller-supplied predicate
+(``fails(pattern) -> Optional[int]``: the smallest failing ``at_op``
+under exhaustive re-enumeration, or ``None`` if the reduction made the
+failure vanish).  The first failing candidate is taken and the search
+restarts from it — a fixpoint loop, so the result is 1-minimal: no
+single thread, transaction or op can be removed without losing the
+failure.  The crash window narrows automatically: every accepted
+reduction re-enumerates all of the (now fewer) crash points and keeps
+the smallest failing one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.litmus.patterns import Pattern
+
+#: Re-judge predicate: smallest failing ``at_op`` or ``None``.
+Fails = Callable[[Pattern], Optional[int]]
+
+#: Safety valve: structural reductions only ever remove elements, so
+#: the fixpoint loop is bounded by the op count anyway — this guards
+#: against a pathological predicate.
+MAX_ROUNDS = 64
+
+
+def _reductions(pattern: Pattern) -> Iterator[Pattern]:
+    """Every pattern one structural deletion away, largest cuts first.
+
+    Deletions never produce an empty program: the last thread, a
+    thread's last transaction and a transaction's last op are removed
+    as a unit by the coarser move instead.
+    """
+    body = pattern.body
+    if len(body) > 1:
+        for t in range(len(body)):
+            yield Pattern(pattern.family, body[:t] + body[t + 1 :])
+    for t, thread in enumerate(body):
+        if len(thread) > 1:
+            for x in range(len(thread)):
+                reduced = thread[:x] + thread[x + 1 :]
+                yield Pattern(
+                    pattern.family, body[:t] + (reduced,) + body[t + 1 :]
+                )
+    for t, thread in enumerate(body):
+        for x, tx in enumerate(thread):
+            if len(tx) > 1:
+                for o in range(len(tx)):
+                    reduced_tx = tx[:o] + tx[o + 1 :]
+                    reduced = thread[:x] + (reduced_tx,) + thread[x + 1 :]
+                    yield Pattern(
+                        pattern.family, body[:t] + (reduced,) + body[t + 1 :]
+                    )
+
+
+def shrink_pattern(
+    pattern: Pattern, at_op: int, fails: Fails
+) -> Tuple[Pattern, int]:
+    """Minimize a failing ``(pattern, at_op)`` cell.
+
+    ``at_op`` is the crash point the original failure fired at; the
+    returned pair is the 1-minimal pattern and the smallest crash
+    point at which it still fails.  The original cell is assumed to
+    fail (the caller just observed it); if ``fails`` disagrees even on
+    the unreduced pattern — flaky predicate — the original cell is
+    returned unchanged.
+    """
+    confirmed = fails(pattern)
+    if confirmed is None:
+        return pattern, at_op
+    best, best_at = pattern, confirmed
+    for _ in range(MAX_ROUNDS):
+        for candidate in _reductions(best):
+            candidate_at = fails(candidate)
+            if candidate_at is not None:
+                best, best_at = candidate, candidate_at
+                break
+        else:
+            break
+    return best, best_at

@@ -17,6 +17,18 @@ Two situations arise:
   transaction still counts (designs guaranteeing durability at commit
   must make it recoverable; Silo flushes redo logs + the ID tuple,
   Fig. 10f).
+
+Boundary semantics (identical on both engines, pinned by the
+equivalence gate's boundary cells):
+
+* ``at_op=0`` fires before the first operation executes — nothing ran,
+  recovery walks an empty log and the data region holds the initial
+  image;
+* ``at_op == total_ops`` fires after the last operation retires but
+  *before* the clean end-of-run drain/finalize — every transaction
+  committed and recovery must reproduce all of them;
+* ``at_op > total_ops`` (and an ``at_commit_of`` matching no
+  transaction) can never fire and raises ``SimulationError``.
 """
 
 from __future__ import annotations

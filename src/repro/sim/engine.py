@@ -16,10 +16,15 @@ trace operation:
 Crash injection replaces the operation at the plan's global index with
 a power failure, after which the engine models the ADR drain, the
 scheme's battery-backed flushes, the loss of the volatile caches and
-finally runs the scheme's recovery.  A crash plan that never fires
-(an ``at_op`` past the end of the trace, or an ``at_commit_of`` that
-matches no transaction) raises :class:`SimulationError` instead of
-silently completing, so crash sweeps cannot validate nothing.
+finally runs the scheme's recovery.  Both boundaries are well-defined:
+``at_op=0`` fires before any operation executes (recovery sees the
+initial image), and ``at_op == total_ops`` fires after the last
+operation retires but before the clean end-of-run drain (every
+transaction committed; recovery must reproduce all of them).  A crash
+plan that can never fire (an ``at_op`` strictly past ``total_ops``, or
+an ``at_commit_of`` that matches no transaction) raises
+:class:`SimulationError` instead of silently completing, so crash
+sweeps cannot validate nothing.
 
 Scheduling is a binary heap of ``(core_time, core_index)`` pairs: each
 step pops the minimum, executes one operation and pushes the core back
@@ -186,12 +191,30 @@ class TransactionEngine:
                 if core.pc < core.n_ops:
                     heappush(heap, (core.time, idx))
             if not crashed:
-                raise SimulationError(
-                    f"crash plan {self.crash_plan} never fired: the trace "
-                    f"ended after {self._global_op} operations with no "
-                    "matching op/commit — the sweep would silently "
-                    "validate nothing"
-                )
+                plan = self.crash_plan
+                if (
+                    plan.at_op is not None
+                    and plan.at_op == self._global_op
+                    and self._cores
+                ):
+                    # End-boundary crash (``at_op == total_ops``): power
+                    # fails after the last operation retires but before
+                    # the clean end-of-run drain/finalize.  Every
+                    # transaction committed; the ADR drain and recovery
+                    # must reproduce all of them.  This is a distinct
+                    # point from ``at_op == total_ops - 1`` (which fires
+                    # *instead of* the final ``Tx_end``) and is pinned,
+                    # on both engines, by the equivalence gate's
+                    # boundary cells.
+                    crashed = True
+                    self._crash(0, self._cores[0])
+                else:
+                    raise SimulationError(
+                        f"crash plan {self.crash_plan} never fired: the trace "
+                        f"ended after {self._global_op} operations with no "
+                        "matching op/commit — the sweep would silently "
+                        "validate nothing"
+                    )
 
         return self._finish(crashed)
 

@@ -1,0 +1,39 @@
+"""Litmus workload: lower an encoded persist-ordering pattern.
+
+Registered as ``litmus`` so a pattern rides the ordinary executor
+machinery — a :class:`~repro.harness.executor.WorkloadSpec` recipe
+``("litmus", threads, transactions, pattern=<key>)`` is picklable,
+content-addressable and replayable with ``silo-repro replay --spec``
+like any other cell.  ``threads``/``transactions`` are redundant with
+the key (every recipe carries them) and are validated against it, so
+a hand-edited replay spec cannot silently run a different program
+than it claims.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.litmus.patterns import decode_pattern, lower_pattern
+from repro.trace.trace import Trace
+
+
+def build(threads: int = 1, transactions: int = 1, pattern: str = "") -> Trace:
+    """Build the trace of one litmus pattern key."""
+    if not pattern:
+        raise ConfigError(
+            "the litmus workload needs pattern=<family/body> "
+            "(see repro.litmus.patterns)"
+        )
+    decoded = decode_pattern(pattern)
+    if threads != decoded.cores:
+        raise ConfigError(
+            f"litmus pattern {pattern!r} runs on {decoded.cores} core(s), "
+            f"but the recipe says threads={threads}"
+        )
+    if transactions != decoded.total_txs:
+        raise ConfigError(
+            f"litmus pattern {pattern!r} has {decoded.total_txs} "
+            f"transaction(s), but the recipe says "
+            f"transactions={transactions}"
+        )
+    return lower_pattern(decoded)

@@ -17,6 +17,7 @@ from repro.workloads import (
     btree,
     ctrie,
     hashtable,
+    litmus,
     queue,
     rbtree,
     rtree,
@@ -39,6 +40,7 @@ WORKLOADS: Dict[str, Builder] = {
     "ycsb": ycsb.build,
     "tatp": tatp.build,
     "bank": bank.build,
+    "litmus": litmus.build,
 }
 
 #: The five micro-benchmarks of Table III.

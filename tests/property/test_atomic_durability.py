@@ -45,9 +45,10 @@ def run_crashed(scheme, params, crash_fraction):
     total_ops = sum(
         len(tx.ops) + 2 for thread in trace.threads for tx in thread.transactions
     )
-    # Clamp to the last real operation: an at_op == total_ops plan can
-    # never fire and the engine (correctly) refuses to run it.
-    at_op = min(int(crash_fraction * total_ops), total_ops - 1)
+    # ``at_op == total_ops`` is the end-boundary crash (fires after the
+    # last op retires, before the clean drain): atomic durability must
+    # hold there too, so the clamp includes it.
+    at_op = min(int(crash_fraction * total_ops), total_ops)
     system = System(SystemConfig.table2(max(params["threads"], 1)))
     engine = TransactionEngine(
         system,

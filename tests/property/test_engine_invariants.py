@@ -69,9 +69,11 @@ class TestAccounting:
         crash=st.integers(0, 10_000),
     )
     def test_crash_beyond_trace_fails_loudly(self, p, scheme, crash):
-        """An at_op past the end of the trace can never fire; silently
-        finishing would make the crash experiment vacuous, so the
-        engine must refuse instead."""
+        """An at_op *strictly* past the end of the trace can never
+        fire; silently finishing would make the crash experiment
+        vacuous, so the engine must refuse instead.  (``at_op ==
+        total_ops`` is the well-defined end-boundary crash and does
+        fire — see TestCrashBoundaries.)"""
         trace = synthetic_trace(SyntheticTraceConfig(arena_words=64, **p))
         total_ops = sum(
             len(tx.ops) + 2 for th in trace.threads for tx in th.transactions
@@ -81,10 +83,49 @@ class TestAccounting:
             system,
             SchemeRegistry.create(scheme, system),
             trace,
-            crash_plan=CrashPlan(at_op=total_ops + crash),
+            crash_plan=CrashPlan(at_op=total_ops + 1 + crash),
         )
         with pytest.raises(SimulationError, match="never fired"):
             engine.run()
+
+
+class TestCrashBoundaries:
+    """Both ends of the crash-point range are well-defined cells.
+
+    ``at_op=0`` fires before any op issues: nothing commits and the
+    recovered image is the initial one.  ``at_op == total_ops`` fires
+    after the last op retires but before the clean end-of-run drain:
+    every transaction has acknowledged, and recovery must still
+    reproduce all of them from whatever had drained.  (The equivalence
+    gate additionally pins that both engines agree on these cells.)
+    """
+
+    @_SETTINGS
+    @given(p=params, scheme=st.sampled_from(ALL_SCHEMES))
+    def test_crash_before_first_op_recovers_initial_image(self, p, scheme):
+        from repro.sim.verify import check_atomic_durability
+
+        trace, system, result = run(scheme, p, crash_at=0)
+        assert result.crashed
+        assert result.committed_count == 0
+        assert check_atomic_durability(system, trace, result.committed) == []
+        media = system.pm.media
+        for addr in trace.touched_words():
+            assert media.read_word(addr) == trace.initial_image.get(addr, 0)
+
+    @_SETTINGS
+    @given(p=params, scheme=st.sampled_from(ALL_SCHEMES))
+    def test_crash_after_last_op_recovers_all_commits(self, p, scheme):
+        from repro.sim.verify import check_atomic_durability
+
+        probe = synthetic_trace(SyntheticTraceConfig(arena_words=64, **p))
+        total_ops = sum(
+            len(tx.ops) + 2 for th in probe.threads for tx in th.transactions
+        )
+        trace, system, result = run(scheme, p, crash_at=total_ops)
+        assert result.crashed
+        assert result.committed_count == trace.total_transactions
+        assert check_atomic_durability(system, trace, result.committed) == []
 
 
 class TestMonotonicity:

@@ -1,0 +1,246 @@
+"""Unit tests for the litmus pattern grammar, oracle and shrinker."""
+
+import pytest
+
+from repro.common.constants import LINE_SIZE
+from repro.common.errors import ConfigError
+from repro.litmus.oracle import check_litmus
+from repro.litmus.patterns import (
+    SHARED_SLOTS,
+    decode_pattern,
+    enumerate_patterns,
+    initial_value,
+    lower_pattern,
+    slot_addr,
+)
+from repro.litmus.shrink import _reductions, shrink_pattern
+
+
+class TestGrammar:
+    def test_round_trips_every_catalog_key(self):
+        for pattern in enumerate_patterns(smoke=False):
+            assert decode_pattern(pattern.key) == pattern
+
+    def test_key_encodes_structure(self):
+        pattern = decode_pattern("race/s0.s8|s1.l8")
+        assert pattern.family == "race"
+        assert pattern.cores == 2
+        assert pattern.total_txs == 2
+        # two ops + (begin, end) markers per transaction
+        assert pattern.total_ops == 8
+        assert pattern.body == (
+            ((("s", 0), ("s", 8)),),
+            ((("s", 1), ("l", 8)),),
+        )
+
+    def test_multi_transaction_thread(self):
+        pattern = decode_pattern("multitx/s8;s9;s10")
+        assert pattern.cores == 1
+        assert pattern.total_txs == 3
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nobody",  # no slash
+            "f/",  # empty body
+            "f/x0",  # unknown op kind
+            "f/s",  # missing slot
+            "f/s-1",  # negative slot
+            "f/s+1",  # sign prefix (would not round-trip)
+            "f/s0..s1",  # empty op
+            "f/s0|",  # empty thread
+            "f/s0;;s1",  # empty transaction
+        ],
+    )
+    def test_malformed_keys_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            decode_pattern(bad)
+
+    def test_cross_thread_same_word_rejected(self):
+        # Word-level isolation is what makes the declarative oracle
+        # exact; two threads storing the same *word* (not just the same
+        # line) must be refused at decode time.
+        with pytest.raises(ConfigError, match="word isolation"):
+            decode_pattern("f/s0|s0")
+
+    def test_false_sharing_slots_share_a_line(self):
+        line = slot_addr(0) // LINE_SIZE
+        assert all(
+            slot_addr(s) // LINE_SIZE == line for s in range(SHARED_SLOTS)
+        )
+        privates = {slot_addr(s) // LINE_SIZE for s in range(8, 12)}
+        assert line not in privates
+        assert len(privates) == 4  # each private slot on its own line
+
+
+class TestLowering:
+    def test_store_values_globally_unique(self):
+        trace = lower_pattern(decode_pattern("race/s0.s8|s1.s9"))
+        values = [
+            op.value
+            for thread in trace.threads
+            for tx in thread.transactions
+            for op in tx.ops
+            if hasattr(op, "value")
+        ]
+        assert len(values) == len(set(values))
+        assert all(v != 0 for v in values)
+
+    def test_initial_image_covers_every_slot(self):
+        pattern = decode_pattern("torn/s0.s1.l8")
+        trace = lower_pattern(pattern)
+        for slot in (0, 1, 8):
+            assert trace.initial_image[slot_addr(slot)] == initial_value(slot)
+
+    def test_catalog_cell_budget(self):
+        # The ISSUE floor: the smoke catalog alone must enumerate >=500
+        # (pattern x crash point x design) cells across nine designs.
+        smoke = enumerate_patterns(smoke=True)
+        assert sum((p.total_ops + 1) * 9 for p in smoke) >= 500
+        full = enumerate_patterns(smoke=False)
+        assert {p.key for p in smoke} <= {p.key for p in full}
+        assert {p.family for p in full} == {
+            "chain", "torn", "multitx", "false_share", "race",
+        }
+
+
+def _image(trace, overrides=None):
+    image = {
+        addr: trace.initial_image.get(addr, 0)
+        for addr in trace.touched_words()
+    }
+    if overrides:
+        image.update(overrides)
+    return image
+
+
+def _final(trace, tid, txid, slot):
+    return trace.threads[tid].transactions[txid].final_values()[slot_addr(slot)]
+
+
+class TestOracle:
+    def test_all_pre_with_nothing_committed_ok(self):
+        trace = lower_pattern(decode_pattern("torn/s0.s1"))
+        assert check_litmus(trace, set(), _image(trace)).ok
+
+    def test_all_post_with_commit_ok(self):
+        trace = lower_pattern(decode_pattern("torn/s0.s1"))
+        image = _image(
+            trace,
+            {
+                slot_addr(0): _final(trace, 0, 0, 0),
+                slot_addr(1): _final(trace, 0, 0, 1),
+            },
+        )
+        assert check_litmus(trace, {(0, 0)}, image).ok
+
+    def test_torn_transaction_is_atomicity_violation(self):
+        trace = lower_pattern(decode_pattern("torn/s0.s1"))
+        image = _image(trace, {slot_addr(0): _final(trace, 0, 0, 0)})
+        verdict = check_litmus(trace, {(0, 0)}, image)
+        assert verdict.kind == "atomicity"
+
+    def test_lost_committed_store_is_durability_violation(self):
+        trace = lower_pattern(decode_pattern("torn/s0.s1"))
+        verdict = check_litmus(trace, {(0, 0)}, _image(trace))
+        assert verdict.kind == "durability"
+
+    def test_uncommitted_store_is_spurious_commit(self):
+        trace = lower_pattern(decode_pattern("torn/s0.s1"))
+        image = _image(
+            trace,
+            {
+                slot_addr(0): _final(trace, 0, 0, 0),
+                slot_addr(1): _final(trace, 0, 0, 1),
+            },
+        )
+        verdict = check_litmus(trace, set(), image)
+        assert verdict.kind == "spurious-commit"
+
+    def test_garbage_word_is_illegal_value(self):
+        trace = lower_pattern(decode_pattern("torn/s0.s1"))
+        verdict = check_litmus(
+            trace, set(), _image(trace, {slot_addr(0): 0xDEAD_BEEF})
+        )
+        assert verdict.kind == "illegal-value"
+
+    def test_clobbered_load_only_word_is_illegal_value(self):
+        # Slot 9 is only ever loaded: recovery has no business
+        # rewriting it, whatever else happened.
+        trace = lower_pattern(decode_pattern("chain/s8.l9"))
+        verdict = check_litmus(
+            trace, set(), _image(trace, {slot_addr(9): 0xBAD})
+        )
+        assert verdict.kind == "illegal-value"
+
+    def test_per_thread_prefixes_judged_independently(self):
+        # Thread 0 committed and durable, thread 1 all-pre: legal.
+        trace = lower_pattern(decode_pattern("race/s0.s8|s1.s9"))
+        image = _image(
+            trace,
+            {
+                slot_addr(0): _final(trace, 0, 0, 0),
+                slot_addr(8): _final(trace, 0, 0, 8),
+            },
+        )
+        assert check_litmus(trace, {(0, 0)}, image).ok
+
+    def test_rewrite_chain_intermediate_value_is_atomicity(self):
+        # s8.s8 in one transaction: only the *last* store's value (or
+        # the pre value) is legal all-post; the first store's value
+        # proves a mid-transaction persist leaked out.
+        trace = lower_pattern(decode_pattern("chain/s8.s8"))
+        first = trace.threads[0].transactions[0].ops[0].value
+        verdict = check_litmus(
+            trace, {(0, 0)}, _image(trace, {slot_addr(8): first})
+        )
+        assert not verdict.ok
+
+    def test_incomplete_image_is_config_error(self):
+        trace = lower_pattern(decode_pattern("torn/s0.s1"))
+        image = _image(trace)
+        image.pop(slot_addr(0))
+        with pytest.raises(ConfigError, match="does not cover"):
+            check_litmus(trace, set(), image)
+
+    def test_non_prefix_commit_set_is_config_error(self):
+        trace = lower_pattern(decode_pattern("multitx/s8;s9"))
+        with pytest.raises(ConfigError, match="non-prefix"):
+            check_litmus(trace, {(0, 1)}, _image(trace))
+
+
+def _fails_on_double_s1(pattern):
+    """Synthetic bug predicate: any transaction storing slot 1 twice
+    'fails' at crash point 1."""
+    for thread in pattern.body:
+        for tx in thread:
+            if sum(1 for op in tx if op == ("s", 1)) >= 2:
+                return 1
+    return None
+
+
+class TestShrink:
+    def test_shrinks_to_one_minimal_cell(self):
+        big = decode_pattern("false_share/s0.s1.s1.s2|s3.s4|s5")
+        minimal, at_op = shrink_pattern(big, 1, _fails_on_double_s1)
+        assert minimal.key == "false_share/s1.s1"
+        assert at_op == 1
+        # 1-minimal: every single further reduction passes.
+        for candidate in _reductions(minimal):
+            assert _fails_on_double_s1(candidate) is None
+
+    def test_non_failing_pattern_returned_unchanged(self):
+        pattern = decode_pattern("chain/s8.s9")
+        minimal, at_op = shrink_pattern(pattern, 2, lambda p: None)
+        assert minimal == pattern
+        assert at_op == 2
+
+    def test_reductions_preserve_validity(self):
+        pattern = decode_pattern("race/s0.s8|s1.l8;s2")
+        for candidate in _reductions(pattern):
+            # every reduction is itself a decodable pattern
+            assert decode_pattern(candidate.key) == candidate
+            assert candidate.total_ops < pattern.total_ops
+
+    def test_reductions_of_minimal_pattern_empty(self):
+        assert list(_reductions(decode_pattern("chain/s8"))) == []
