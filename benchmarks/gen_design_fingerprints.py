@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Regenerate the design-fingerprint golden fixture.
+
+Runs every registered design over a small fixed set of workloads
+(clean, mid-run crash, and commit-boundary crash) and records the
+bit-exact observable surface of each run: ``end_cycle``, the committed
+transaction set, and the full stats-counter mapping.  The fixture pins
+the policy-framework ports of the legacy designs: any refactor of the
+design layer must reproduce these numbers exactly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/gen_design_fingerprints.py
+
+Writes ``tests/data/golden/design_fingerprints.json``; the pin lives in
+``tests/integration/test_design_fingerprints.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+FIXTURE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "tests"
+    / "data"
+    / "golden"
+    / "design_fingerprints.json"
+)
+
+
+def main() -> int:
+    from repro.harness.fingerprints import collect_fingerprints
+
+    payload = collect_fingerprints()
+    FIXTURE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    designs = sorted(payload["designs"])
+    print(f"wrote {FIXTURE} ({len(designs)} designs: {', '.join(designs)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

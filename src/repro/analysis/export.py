@@ -29,6 +29,7 @@ def result_to_dict(result: RunResult) -> Dict[str, object]:
         "throughput_tx_per_sec": result.throughput_tx_per_sec,
         "media_writes": result.media_writes,
         "writes_per_transaction": _json_safe(result.writes_per_transaction),
+        "media_waf": _json_safe(result.media_waf),
         "crashed": result.crashed,
         "traffic": result.traffic_breakdown(),
         "stats": {k: v for k, v in result.stats.items()},
@@ -57,6 +58,7 @@ _CSV_COLUMNS = (
     "throughput_tx_per_sec",
     "media_writes",
     "writes_per_transaction",
+    "media_waf",
 )
 
 

@@ -25,12 +25,17 @@ from typing import Dict, List, Set, Tuple
 
 from repro.common.constants import ONPM_LINE_SIZE, OVERFLOW_BATCH_ENTRIES, WORD_MASK
 from repro.common.errors import SimulationError
+from repro.designs.policy import (
+    DeltaGranularity,
+    DesignSpec,
+    ONE_FENCE_HW,
+    RecoveryWalk,
+)
 from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
 from repro.hwlog.entry import LogEntry
 from repro.hwlog.generator import LogGenerator
 from repro.hwlog.logbuffer import AppendResult, LogBuffer
 from repro.hwlog.region import PersistedLog
-from repro.core.recovery import RecoveryReport, wal_recover
 from repro.mem.address import split_words_by_line
 
 #: Dense crash-flush packing: undo+redo entries per 256-byte request.
@@ -61,6 +66,14 @@ class SiloScheme(LoggingScheme):
     """The paper's contribution (Fig. 2e, Fig. 5)."""
 
     name = "silo"
+    spec = DesignSpec(
+        name="silo",
+        summary="speculative logging; commit is a controller handshake",
+        granularity=DeltaGranularity(),
+        fences=ONE_FENCE_HW,
+        recovery=RecoveryWalk.selective(_silo_redo_filter, _silo_undo_filter),
+        columnar_profile="silo",
+    )
 
     def __init__(
         self,
@@ -409,15 +422,6 @@ class SiloScheme(LoggingScheme):
                 now, "crash.redo_flush", core, args={"entries": len(redo)}
             )
         return True
-
-    def _do_recover(self) -> RecoveryReport:
-        return wal_recover(
-            self.region,
-            self.pm,
-            redo_filter=_silo_redo_filter,
-            undo_filter=_silo_undo_filter,
-            scheme=self.name,
-        )
 
     def finalize(self, now: int) -> int:
         return max([now] + self._controller_free)

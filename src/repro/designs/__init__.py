@@ -1,13 +1,22 @@
-"""The evaluated logging designs (Section VI-A).
+"""The evaluated logging designs (Section VI-A) and the policy catalog.
 
 ``Base``, ``FWB``, ``MorLog`` and ``LAD`` are the paper's comparison
 points; Silo itself lives in :mod:`repro.core` because it is the
 paper's contribution.  All designs implement the common
 :class:`~repro.designs.scheme.LoggingScheme` interface and strictly
 guarantee durability at transaction commit.
+
+Every design carries a :class:`~repro.designs.policy.DesignSpec`
+placing it on three orthogonal axes — granularity, fence schedule,
+recovery walk.  The entries in :mod:`repro.designs.catalog` are built
+*from* their specs via :class:`~repro.designs.policy.PolicyScheme`;
+the legacy designs keep their hand-rolled hot paths (pinned
+bit-identical by the design-fingerprint fixture) and use the spec for
+recovery routing and catalog metadata.
 """
 
 from repro.designs.scheme import LoggingScheme, SchemeRegistry
+from repro.designs.policy import DesignSpec, PolicyScheme
 from repro.designs.base import BaseScheme
 from repro.designs.fwb import FWBScheme
 from repro.designs.morlog import MorLogScheme
@@ -16,10 +25,18 @@ from repro.designs.swlog import SoftwareLogScheme
 from repro.designs.wrap import WrAPScheme
 from repro.designs.redu import ReDUScheme
 from repro.designs.proteus import ProteusScheme
+from repro.designs.catalog import (
+    AGLogScheme,
+    Quadra1FScheme,
+    RedoLog4FScheme,
+    Trinity2FScheme,
+)
 
 __all__ = [
     "LoggingScheme",
     "SchemeRegistry",
+    "DesignSpec",
+    "PolicyScheme",
     "BaseScheme",
     "FWBScheme",
     "MorLogScheme",
@@ -28,4 +45,8 @@ __all__ = [
     "WrAPScheme",
     "ReDUScheme",
     "ProteusScheme",
+    "AGLogScheme",
+    "Quadra1FScheme",
+    "RedoLog4FScheme",
+    "Trinity2FScheme",
 ]

@@ -10,8 +10,14 @@ which is why all Fig. 11/12 results are normalized to it.
 
 from __future__ import annotations
 
+from repro.designs.policy import (
+    DesignSpec,
+    RecoveryWalk,
+    TWO_FENCE_HW,
+    WordGranularity,
+    seal_commit_fence,
+)
 from repro.designs.scheme import LoggingScheme, SchemeRegistry
-from repro.core.recovery import RecoveryReport, wal_recover
 
 
 @SchemeRegistry.register
@@ -19,6 +25,14 @@ class BaseScheme(LoggingScheme):
     """Flush one undo+redo log and one cacheline per write."""
 
     name = "base"
+    spec = DesignSpec(
+        name="base",
+        summary="per-store undo+redo log and cacheline flush",
+        granularity=WordGranularity(),
+        fences=TWO_FENCE_HW,
+        recovery=RecoveryWalk.wal(),
+        columnar_profile="wal_base",
+    )
 
     def __init__(self, system) -> None:
         super().__init__(system)
@@ -67,11 +81,7 @@ class BaseScheme(LoggingScheme):
         # The undo+redo commit rule: wait for all of the transaction's
         # logs to persist, then seal the ID tuple.
         stall = max(0, self._tx_log_done[core] - now)
-        words = self.region.persist_commit_tuple(tid, txid)
-        ticket = self.mc.submit_write(
-            now + stall, words, kind="log", write_through=True, channel=core
-        )
-        stall += ticket.admission_stall + (ticket.persisted - (now + stall))
+        stall += seal_commit_fence(self, core, tid, txid, now + stall)
         self._tx_log_done[core] = 0
         # Log truncation after commit.
         self.region.discard_tx(tid, txid)
@@ -82,6 +92,3 @@ class BaseScheme(LoggingScheme):
         # only commit work and the ADR domain completes it.
         self.on_tx_end(core, tid, txid, now)
         return True
-
-    def _do_recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm, scheme=self.name)

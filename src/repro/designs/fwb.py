@@ -14,8 +14,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.designs.policy import (
+    DesignSpec,
+    RecoveryWalk,
+    TWO_FENCE_HW,
+    WordGranularity,
+    seal_commit_fence,
+)
 from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
-from repro.core.recovery import RecoveryReport, wal_recover
 
 #: Cache force-write-back interval in cycles (Section VI-A).
 FWB_INTERVAL_CYCLES = 3_000_000
@@ -31,6 +37,14 @@ class FWBScheme(LoggingScheme):
     """Per-write undo+redo logging with log-before-data forcing."""
 
     name = "fwb"
+    spec = DesignSpec(
+        name="fwb",
+        summary="background undo+redo logs forced ahead of data",
+        granularity=WordGranularity(),
+        fences=TWO_FENCE_HW,
+        recovery=RecoveryWalk.wal(),
+        columnar_profile="wal_fwb",
+    )
 
     def __init__(self, system) -> None:
         super().__init__(system)
@@ -139,11 +153,7 @@ class FWBScheme(LoggingScheme):
     def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
         # Commit waits for every log of the transaction to persist.
         stall = max(0, self._tx_log_done[core] - now)
-        words = self.region.persist_commit_tuple(tid, txid)
-        ticket = self.mc.submit_write(
-            now + stall, words, kind="log", write_through=True, channel=core
-        )
-        stall += ticket.admission_stall + (ticket.persisted - (now + stall))
+        stall += seal_commit_fence(self, core, tid, txid, now + stall)
         self._tx_log_done[core] = 0
         self._await_truncate.append((tid, txid))
         return stall
@@ -153,9 +163,6 @@ class FWBScheme(LoggingScheme):
         # the tuple; recovery replays the redo data for durability.
         self.on_tx_end(core, tid, txid, now)
         return True
-
-    def _do_recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm, scheme=self.name)
 
     def _truncate_awaiting(self) -> None:
         """Truncate the committed transactions whose data is now

@@ -21,9 +21,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from repro.designs.policy import (
+    DesignSpec,
+    LineGranularity,
+    ONE_FENCE_HW,
+    RecoveryWalk,
+)
 from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
 from repro.hwlog.entry import LogEntry
-from repro.core.recovery import RecoveryReport, wal_recover
 
 #: Capacity (in cachelines) of LAD's MC capture buffer; matches the
 #: 64-entry ADR queue of Table II.
@@ -41,6 +46,14 @@ class LADScheme(LoggingScheme):
     """Logless atomic durability through MC buffering."""
 
     name = "lad"
+    spec = DesignSpec(
+        name="lad",
+        summary="logless MC line capture; two-phase Prepare/Commit",
+        granularity=LineGranularity(),
+        fences=ONE_FENCE_HW,
+        recovery=RecoveryWalk.wal(),
+        columnar_profile="lad",
+    )
 
     def __init__(self, system) -> None:
         super().__init__(system)
@@ -175,8 +188,3 @@ class LADScheme(LoggingScheme):
         # the persistent MC, which drains on the failure.
         self.on_tx_end(core, tid, txid, now)
         return True
-
-    def _do_recover(self) -> RecoveryReport:
-        # Only the slow-mode undo logs of uncommitted transactions can
-        # require work: revoke them.
-        return wal_recover(self.region, self.pm, scheme=self.name)

@@ -16,10 +16,16 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from repro.common.config import LogBufferConfig
+from repro.designs.policy import (
+    DeltaGranularity,
+    DesignSpec,
+    RecoveryWalk,
+    TWO_FENCE_HW,
+    seal_commit_fence,
+)
 from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
 from repro.hwlog.entry import LogEntry
 from repro.hwlog.logbuffer import AppendResult, LogBuffer
-from repro.core.recovery import RecoveryReport, wal_recover
 
 #: MorLog's on-chip morph buffer: larger than Silo's log buffer because
 #: it is the design's central structure (64 entries per core).
@@ -36,6 +42,14 @@ class MorLogScheme(LoggingScheme):
     """On-chip log morphing; commit flushes the merged logs."""
 
     name = "morlog"
+    spec = DesignSpec(
+        name="morlog",
+        summary="on-chip log morphing; commit flushes merged deltas",
+        granularity=DeltaGranularity(),
+        fences=TWO_FENCE_HW,
+        recovery=RecoveryWalk.wal(),
+        columnar_profile="morlog",
+    )
 
     def __init__(self, system) -> None:
         super().__init__(system)
@@ -171,12 +185,7 @@ class MorLogScheme(LoggingScheme):
         entries = self._bufs[core].drain()
         flush_stall, done = self._persist_entries(core, tid, entries, now)
         stall = flush_stall + max(0, done - now)
-        words = self.region.persist_commit_tuple(tid, txid)
-        t = now + stall
-        ticket = self.mc.submit_write(
-            t, words, kind="log", write_through=True, channel=core
-        )
-        stall += ticket.admission_stall + (ticket.persisted - t)
+        stall += seal_commit_fence(self, core, tid, txid, now + stall)
         self._await_truncate.append((tid, txid))
         return stall
 
@@ -193,9 +202,6 @@ class MorLogScheme(LoggingScheme):
         # in-flight writes, so durability holds at commit.
         self.on_tx_end(core, tid, txid, now)
         return True
-
-    def _do_recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm, scheme=self.name)
 
     def _truncate_awaiting(self) -> None:
         """All committed data is persistent: truncate covered logs.

@@ -1,0 +1,647 @@
+"""The composable design-policy framework.
+
+Every logging design answers three orthogonal questions, and the nine
+hand-rolled schemes answered them in fused class bodies:
+
+* **What is logged per store?** — the granularity axis
+  (:class:`GranularityPolicy`): fine word/delta entries, coarse
+  line-run ("page") records amortizing one header over a whole run,
+  or an adaptive per-op decision between the two with a size
+  threshold and write-amplification accounting.
+* **When does commit fence?** — the fence-schedule axis
+  (:class:`FenceSchedule`): a declarative 1/2/4-fence commit protocol
+  lowered onto the existing stall-cycle hooks (each fence is a
+  store-buffer drain plus a wait for the fenced persists).
+* **How is a crash repaired?** — the recovery axis
+  (:class:`RecoveryWalk`): undo / redo / DCW replay assembled from the
+  shared, checksum-aware walk in :mod:`repro.core.recovery`.
+
+A :class:`DesignSpec` binds one choice per axis (plus catalog
+metadata: summary, columnar fusion profile).  The nine legacy designs
+carry specs describing their hard-wired behaviour — their hot paths
+are untouched, pinned bit-identical by the design-fingerprint golden
+fixture — while new catalog entries subclass :class:`PolicyScheme`,
+whose generic transaction lifecycle is driven entirely by the spec.
+Adding a design is now a ~40-line spec declaration, not a subsystem.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.constants import WORD_MASK
+from repro.designs.scheme import LoggingScheme, Writebacks
+from repro.hwlog.entry import LogEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.recovery import RecoveryReport
+    from repro.hwlog.region import LogRegion, PersistedLog
+    from repro.mem.pm import PMDevice
+
+#: Cycles for one fence (store-buffer drain), matching the software
+#: logging baseline's ``sfence`` cost.
+FENCE_CYCLES = 10
+
+#: Capacity of a :class:`PolicyScheme`'s per-core staging buffer.
+STAGING_ENTRIES = 64
+
+#: Entries spilled per staging-overflow flush.
+SPILL_BATCH = 4
+
+
+# ----------------------------------------------------------------------
+# Axis 1: granularity
+# ----------------------------------------------------------------------
+class GranularityPolicy:
+    """What one transaction's staged stores become in the log region.
+
+    ``pack`` partitions a flush batch into ``("word", entries)`` and
+    ``("run", entries)`` chunks.  Word chunks serialize as standard
+    16-byte redo entries (two per 64-byte request); run chunks become
+    one coarse record per cacheline run — an 8-byte header plus one
+    8-byte payload word per store — via
+    :meth:`~repro.hwlog.region.LogRegion.persist_run`.  Policies are
+    stateless and shared class-wide; accounting goes to the run's own
+    ``counters``.
+    """
+
+    #: Catalog label ("word", "page", "adaptive:N").
+    name: str = "abstract"
+
+    def pack(
+        self, entries: List[LogEntry], counters: Counter
+    ) -> List[Tuple[str, List[LogEntry]]]:
+        raise NotImplementedError
+
+
+def _line_runs(entries: List[LogEntry]) -> List[List[LogEntry]]:
+    """Group a flush batch into per-cacheline runs, preserving the
+    batch's append order between runs."""
+    runs: Dict[int, List[LogEntry]] = {}
+    for entry in entries:
+        runs.setdefault(entry.addr & -64, []).append(entry)
+    return list(runs.values())
+
+
+class WordGranularity(GranularityPolicy):
+    """Fine-grained logging: one redo entry per word written."""
+
+    name = "word"
+
+    def pack(
+        self, entries: List[LogEntry], counters: Counter
+    ) -> List[Tuple[str, List[LogEntry]]]:
+        if entries:
+            counters["granularity.word_entries"] += len(entries)
+        return [("word", entries)] if entries else []
+
+
+class PageGranularity(GranularityPolicy):
+    """Coarse-grained logging: every cacheline run becomes one packed
+    record (header + payload words), however short the run."""
+
+    name = "page"
+
+    def pack(
+        self, entries: List[LogEntry], counters: Counter
+    ) -> List[Tuple[str, List[LogEntry]]]:
+        chunks: List[Tuple[str, List[LogEntry]]] = []
+        for run in _line_runs(entries):
+            counters["granularity.page_runs"] += 1
+            counters["granularity.page_words"] += len(run)
+            chunks.append(("run", run))
+        return chunks
+
+
+class DeltaGranularity(WordGranularity):
+    """Catalog label for word-granular designs whose entries merge in
+    on-chip buffers before flushing (MorLog-style delta logs): same
+    packing as :class:`WordGranularity`, coarser effective footprint."""
+
+    name = "delta"
+
+
+class LineGranularity(PageGranularity):
+    """Catalog label for designs that capture whole cachelines (LAD's
+    victim slots): line-granular runs."""
+
+    name = "line"
+
+
+class AdaptiveGranularity(GranularityPolicy):
+    """AG-Log-style per-op decision engine: a cacheline run of at
+    least ``threshold`` words is cheaper as one coarse record (8 B
+    header amortized), a shorter run is cheaper as word entries — so
+    each run is logged in whichever mode writes fewer log bytes.
+
+    The decision is the granularity axis's write-amplification lever:
+    a low threshold approaches page logging (lowest WAF, single large
+    fenced request), a high threshold approaches word logging (highest
+    WAF, more requests to drain at each fence).
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ValueError("adaptive granularity threshold must be >= 1")
+        self.threshold = threshold
+        self.name = f"adaptive:{threshold}"
+
+    def pack(
+        self, entries: List[LogEntry], counters: Counter
+    ) -> List[Tuple[str, List[LogEntry]]]:
+        chunks: List[Tuple[str, List[LogEntry]]] = []
+        word_chunk: List[LogEntry] = []
+        for run in _line_runs(entries):
+            if len(run) >= self.threshold:
+                counters["granularity.page_runs"] += 1
+                counters["granularity.page_words"] += len(run)
+                chunks.append(("run", run))
+            else:
+                counters["granularity.word_entries"] += len(run)
+                word_chunk.extend(run)
+        if word_chunk:
+            chunks.append(("word", word_chunk))
+        return chunks
+
+
+# ----------------------------------------------------------------------
+# Axis 2: fence schedule
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FenceSchedule:
+    """A declarative commit protocol: which persists commit waits on.
+
+    Lowered by :meth:`PolicyScheme.on_tx_end` onto the existing
+    stall-cycle hooks.  The commit-tuple seal is always fenced (a
+    design that did not wait for its commit marker could lose a
+    transaction it reported committed); the other three fences are the
+    ladder the durabletx family climbs:
+
+    * ``wait_log_persist`` — fence after the transaction's log writes
+      (the classic redo commit rule).  Without it, the tuple relies on
+      the memory controller's per-channel FIFO to order the log
+      writes ahead of it (Quadra's single-fence trick).
+    * ``inplace_fence`` — the post-commit in-place data update is
+      written through and fenced instead of riding the background
+      write path.
+    * ``truncate_fence`` — log truncation persists a marker and fences
+      (RedoLog's fourth fence).
+    """
+
+    name: str
+    fences: int
+    wait_log_persist: bool
+    inplace_fence: bool
+    truncate_fence: bool
+    fence_cycles: int = FENCE_CYCLES
+
+    def __post_init__(self) -> None:
+        declared = 1 + int(self.wait_log_persist) + int(self.inplace_fence) + int(
+            self.truncate_fence
+        )
+        if declared != self.fences:
+            raise ValueError(
+                f"fence schedule {self.name!r} declares {self.fences} fences "
+                f"but lowers to {declared}"
+            )
+
+
+#: Quadra-style: a single fence on the commit tuple; the per-channel
+#: FIFO write path orders the transaction's log writes ahead of it.
+ONE_FENCE = FenceSchedule(
+    "1f", fences=1, wait_log_persist=False, inplace_fence=False, truncate_fence=False
+)
+#: Trinity-style: fence the transaction's logs, then fence the tuple.
+TWO_FENCE = FenceSchedule(
+    "2f", fences=2, wait_log_persist=True, inplace_fence=False, truncate_fence=False
+)
+#: Classic four-fence redo WAL: logs, tuple, in-place data, truncation
+#: marker — every step synchronously fenced.
+FOUR_FENCE = FenceSchedule(
+    "4f", fences=4, wait_log_persist=True, inplace_fence=True, truncate_fence=True
+)
+#: Hardware variants: same ordering points, but enforced by the memory
+#: controller (no store-buffer-drain cycles).  These label the legacy
+#: hardware designs' commit protocols.
+ONE_FENCE_HW = FenceSchedule(
+    "1f-hw",
+    fences=1,
+    wait_log_persist=False,
+    inplace_fence=False,
+    truncate_fence=False,
+    fence_cycles=0,
+)
+TWO_FENCE_HW = FenceSchedule(
+    "2f-hw",
+    fences=2,
+    wait_log_persist=True,
+    inplace_fence=False,
+    truncate_fence=False,
+    fence_cycles=0,
+)
+
+
+# ----------------------------------------------------------------------
+# Axis 3: recovery walk
+# ----------------------------------------------------------------------
+#: Entry predicates, re-exported shape of repro.core.recovery's.
+_EntryFilter = Callable[["PersistedLog"], bool]
+
+
+@dataclass(frozen=True)
+class RecoveryWalk:
+    """How a crash is repaired, as a parameterization of the shared
+    checksum-aware walk (:func:`repro.core.recovery.wal_recover`).
+
+    ``mode``:
+
+    * ``"wal"`` — the standard walk with default predicates (replay
+      redo/undo_redo data of committed transactions, revoke
+      undo/undo_redo data of uncommitted ones).  All legacy
+      write-ahead designs use this.
+    * ``"selective"`` — the standard walk with design-supplied
+      predicates (Silo's flush-bit selective replay).
+    * ``"redo"`` — replay-only: committed redo data is replayed,
+      uncommitted entries are discarded (designs that never let
+      uncommitted data reach PM need no undo).
+    * ``"dcw"`` — redo replay with data-comparison writes: a word the
+      media already holds is not rewritten (poisoned cells and words
+      already touched by this walk are always written).
+    """
+
+    mode: str = "wal"
+    redo_filter: Optional[_EntryFilter] = None
+    undo_filter: Optional[_EntryFilter] = None
+
+    @classmethod
+    def wal(cls) -> "RecoveryWalk":
+        return cls(mode="wal")
+
+    @classmethod
+    def selective(
+        cls, redo_filter: _EntryFilter, undo_filter: _EntryFilter
+    ) -> "RecoveryWalk":
+        return cls(
+            mode="selective", redo_filter=redo_filter, undo_filter=undo_filter
+        )
+
+    @classmethod
+    def redo_only(cls) -> "RecoveryWalk":
+        return cls(mode="redo")
+
+    @classmethod
+    def dcw(cls) -> "RecoveryWalk":
+        return cls(mode="dcw")
+
+    def run(
+        self, region: "LogRegion", pm: "PMDevice", scheme: str = ""
+    ) -> "RecoveryReport":
+        # Imported lazily: repro.core imports the design modules, so a
+        # top-level import here would be circular.
+        from repro.core.recovery import wal_recover
+
+        if self.mode in ("wal", "selective"):
+            return wal_recover(
+                region,
+                pm,
+                redo_filter=self.redo_filter,
+                undo_filter=self.undo_filter,
+                scheme=scheme,
+            )
+        if self.mode == "redo":
+            return wal_recover(
+                region,
+                pm,
+                redo_filter=_replay_redo,
+                undo_filter=_never,
+                scheme=scheme,
+            )
+        if self.mode == "dcw":
+            return wal_recover(
+                region,
+                pm,
+                redo_filter=_dcw_filter(pm),
+                undo_filter=_never,
+                scheme=scheme,
+            )
+        raise ValueError(f"unknown recovery mode {self.mode!r}")
+
+
+def _replay_redo(entry: "PersistedLog") -> bool:
+    return entry.kind == "redo"
+
+
+def _never(entry: "PersistedLog") -> bool:
+    return False
+
+
+def _dcw_filter(pm: "PMDevice") -> _EntryFilter:
+    """Redo predicate with data-comparison writes.
+
+    Skipping is only safe against the *settled* media image: once this
+    walk has queued a write for a word, a later entry for the same
+    word must be replayed unconditionally (its comparison would read
+    the stale pre-walk value and could skip the final store of an
+    A->B->A rewrite).  Poisoned cells are likewise always rewritten so
+    the scrub's healing behaviour matches the plain walk.
+    """
+    poisoned = set(pm.media.poisoned_addrs())
+    read_word = pm.media.read_word
+    written: Set[int] = set()
+
+    def redo_dcw(entry: "PersistedLog") -> bool:
+        if entry.kind != "redo":
+            return False
+        addr = entry.addr
+        if (
+            addr in written
+            or addr in poisoned
+            or read_word(addr) != entry.new
+        ):
+            written.add(addr)
+            return True
+        return False
+
+    return redo_dcw
+
+
+# ----------------------------------------------------------------------
+# The assembled design
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DesignSpec:
+    """One catalog entry: a design assembled from the three axes.
+
+    For the nine legacy designs the spec *describes* the hand-rolled
+    behaviour (and routes recovery); for :class:`PolicyScheme`
+    subclasses it *drives* the behaviour.  ``columnar_profile`` names
+    the fused columnar kernel family (``None`` = the scheme runs on
+    the exact engine, with an attributed fallback reason).
+    """
+
+    name: str
+    summary: str
+    granularity: GranularityPolicy
+    fences: FenceSchedule
+    recovery: RecoveryWalk
+    columnar_profile: Optional[str] = None
+
+    def catalog_row(self) -> Dict[str, object]:
+        """Machine-readable axes, for docs/reports/tests."""
+        return {
+            "design": self.name,
+            "granularity": self.granularity.name,
+            "fences": self.fences.fences,
+            "fence_schedule": self.fences.name,
+            "recovery": self.recovery.mode,
+            "columnar": self.columnar_profile or "fallback",
+            "summary": self.summary,
+        }
+
+
+def seal_commit_fence(
+    scheme: LoggingScheme, core: int, tid: int, txid: int, t: int
+) -> int:
+    """The shared commit-seal primitive: persist the ``(tid, txid)``
+    tuple write-through at cycle ``t`` and return the fence stall (WPQ
+    admission plus the wait for the tuple to persist).
+
+    Extracted from the identical closing block of the six legacy
+    write-ahead commit paths; callers add design-specific costs (e.g.
+    the software baseline's explicit ``sfence`` cycles) on top.
+    """
+    words = scheme.region.persist_commit_tuple(tid, txid)
+    ticket = scheme.mc.submit_write(
+        t, words, kind="log", write_through=True, channel=core
+    )
+    return ticket.admission_stall + (ticket.persisted - t)
+
+
+class PolicyScheme(LoggingScheme):
+    """Generic redo-WAL transaction lifecycle driven by a
+    :class:`DesignSpec`.
+
+    The family's invariants (each delegated to one axis):
+
+    * stores stage merged redo entries in a small on-chip buffer;
+      overflow spills the oldest entries to the log region through the
+      granularity policy;
+    * uncommitted data never reaches the PM data region (evictions of
+      open transactions' lines are dropped — the volatile cache holds
+      the foreground copy, the log the durable one), so atomicity
+      holds by construction and recovery never needs undo;
+    * commit flushes the staged entries (granularity policy), walks
+      the fence schedule, applies the new data in place, and truncates
+      the transaction's logs;
+    * a crash discards staged entries of uncommitted transactions; a
+      crash exactly at commit flushes them with the commit tuple and
+      lets the recovery walk replay the redo data.
+    """
+
+    #: Subclasses must bind a spec; the registry key mirrors it.
+    spec: DesignSpec
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        cores = self.config.cores
+        self._line_mask = ~(self.config.l1.line_size - 1)
+        #: Per-core staging buffer: ``{addr: LogEntry}``, latest value
+        #: per word (same-word updates merge, MorLog-style).
+        self._staged: List[Dict[int, LogEntry]] = [{} for _ in range(cores)]
+        #: Lines written by each core's open transaction.
+        self._tx_lines: List[Set[int]] = [set() for _ in range(cores)]
+        #: Latest value per word of the open transaction (the in-place
+        #: update set at commit; staged entries alone would miss words
+        #: whose only entries were spilled).
+        self._tx_new: List[Dict[int, int]] = [{} for _ in range(cores)]
+        #: Persist time of the open transaction's spilled log writes.
+        self._tx_log_done: List[int] = [0] * cores
+        self._in_tx = [False] * cores
+        self._submit_write = self.mc.submit_write
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_tx_begin(self, core: int, tid: int, txid: int, now: int) -> int:
+        self._in_tx[core] = True
+        return 0
+
+    def on_store(
+        self,
+        core: int,
+        tid: int,
+        txid: int,
+        addr: int,
+        old: int,
+        new: int,
+        now: int,
+        access,
+    ) -> int:
+        staged = self._staged[core]
+        stall = 0
+        existing = staged.get(addr)
+        if existing is not None:
+            existing.merge_new(new)
+        else:
+            if len(staged) >= STAGING_ENTRIES:
+                stall += self._spill(core, tid, now)
+            staged[addr] = LogEntry(tid, txid, addr, old, new)
+            self.stats.counters["policy.staged_entries"] += 1
+        self._tx_new[core][addr] = new & WORD_MASK
+        self._tx_lines[core].add(addr & self._line_mask)
+        return stall
+
+    def _spill(self, core: int, tid: int, now: int) -> int:
+        """Staging overflow: flush the oldest entries to the log
+        region (posted write-through; commit's log fence waits on it
+        via ``_tx_log_done``)."""
+        staged = self._staged[core]
+        batch = [staged.pop(addr) for addr in list(staged)[:SPILL_BATCH]]
+        self.stats.counters["policy.spills"] += 1
+        stall, done = self._flush_entries(core, tid, batch, now)
+        if done > self._tx_log_done[core]:
+            self._tx_log_done[core] = done
+        return stall
+
+    def _flush_entries(
+        self, core: int, tid: int, entries: List[LogEntry], now: int
+    ) -> Tuple[int, int]:
+        """Persist a batch through the granularity policy; returns
+        ``(admission_stall, persist_completion)``."""
+        if not entries:
+            return 0, now
+        counters = self.stats.counters
+        submit_write = self._submit_write
+        stall = 0
+        done = now
+        for mode, chunk in self.spec.granularity.pack(entries, counters):
+            if mode == "run":
+                requests = [self.region.persist_run(tid, chunk, kind="redo")]
+            else:
+                requests = self.region.persist_entries(
+                    tid, chunk, kind="redo", per_request=2, request_span=64
+                )
+            for words in requests:
+                ticket = submit_write(
+                    now, words, kind="log", write_through=True, channel=core
+                )
+                stall += ticket.admission_stall
+                if ticket.persisted > done:
+                    done = ticket.persisted
+        return stall, done
+
+    def on_evictions(self, core: int, now: int, writebacks: Writebacks) -> int:
+        """In-place data may not change before commit: evictions of
+        open transactions' lines are dropped (the log region holds the
+        durable copy); other lines write back normally."""
+        stall = 0
+        uncommitted: Set[int] = set()
+        for c in range(self.config.cores):
+            if self._in_tx[c]:
+                uncommitted |= self._tx_lines[c]
+        for line_base, words in writebacks:
+            if line_base in uncommitted:
+                continue
+            ticket = self._submit_write(now, words, kind="data", channel=core)
+            stall += ticket.admission_stall
+        return stall
+
+    def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
+        sched = self.spec.fences
+        staged = self._staged[core]
+        entries = list(staged.values())
+        staged.clear()
+        stall, done = self._flush_entries(core, tid, entries, now)
+
+        if sched.wait_log_persist:
+            # Fence 1: drain until every log write of the transaction
+            # (staged flush and earlier spills) has persisted.
+            if self._tx_log_done[core] > done:
+                done = self._tx_log_done[core]
+            wait = done - now
+            if wait > stall:
+                stall = wait
+            stall += sched.fence_cycles
+
+        # The tuple fence (every schedule's last mandatory fence).
+        stall += seal_commit_fence(self, core, tid, txid, now + stall)
+        stall += sched.fence_cycles
+
+        # In-place update: the committed new data goes straight to the
+        # data region (the logs are never read back).
+        new_data = self._tx_new[core]
+        if new_data:
+            mask = self._line_mask
+            grouped: Dict[int, Dict[int, int]] = {}
+            for addr, value in new_data.items():
+                base = addr & mask
+                group = grouped.get(base)
+                if group is None:
+                    grouped[base] = {addr: value}
+                else:
+                    group[addr] = value
+            t = now + stall
+            if sched.inplace_fence:
+                # Fence 3: write through and wait for the data.
+                data_done = t
+                for words in grouped.values():
+                    ticket = self._submit_write(
+                        t, words, kind="data", write_through=True, channel=core
+                    )
+                    stall += ticket.admission_stall
+                    if ticket.persisted > data_done:
+                        data_done = ticket.persisted
+                stall += (data_done - t) + sched.fence_cycles
+            else:
+                # Background drain: committed data rides the posted
+                # write path (the ADR domain completes it on failure).
+                for words in grouped.values():
+                    ticket = self._submit_write(
+                        t, words, kind="data", channel=core
+                    )
+                    stall += ticket.admission_stall
+            self.stats.counters["policy.inplace_words"] += len(new_data)
+
+        if sched.truncate_fence:
+            # Fence 4: persist a truncation marker before dropping the
+            # transaction's log records.
+            stall += seal_commit_fence(self, core, tid, txid, now + stall)
+            stall += sched.fence_cycles
+        self.region.discard_tx(tid, txid)
+
+        self._tx_new[core] = {}
+        self._tx_lines[core].clear()
+        self._tx_log_done[core] = 0
+        self._in_tx[core] = False
+        return stall
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def on_crash(self, core_in_tx: Dict[int, Tuple[int, int]], now: int) -> None:
+        """Uncommitted transactions' staged entries die with the
+        power: their data never reached the PM region (evictions were
+        dropped), so atomicity holds with no flush at all."""
+        for staged in self._staged:
+            staged.clear()
+
+    def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
+        """Crash exactly at commit: flush the staged redo entries and
+        the commit tuple (the ADR domain completes the in-flight
+        writes); recovery replays the redo data because the in-place
+        update never ran (the cache died)."""
+        staged = self._staged[core]
+        entries = list(staged.values())
+        staged.clear()
+        self._flush_entries(core, tid, entries, now)
+        words = self.region.persist_commit_tuple(tid, txid)
+        self._submit_write(
+            now, words, kind="log", write_through=True, channel=core
+        )
+        self._tx_new[core] = {}
+        self._tx_lines[core].clear()
+        self._tx_log_done[core] = 0
+        self._in_tx[core] = False
+        return True

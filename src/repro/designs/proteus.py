@@ -20,10 +20,16 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from repro.common.config import LogBufferConfig
+from repro.designs.policy import (
+    DesignSpec,
+    RecoveryWalk,
+    TWO_FENCE_HW,
+    WordGranularity,
+    seal_commit_fence,
+)
 from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
 from repro.hwlog.entry import LogEntry
 from repro.hwlog.logbuffer import AppendResult, LogBuffer
-from repro.core.recovery import RecoveryReport, wal_recover
 
 #: Capacity of the log pending queue per core.
 PENDING_ENTRIES = 64
@@ -34,6 +40,13 @@ class ProteusScheme(LoggingScheme):
     """On-chip undo logs, discarded at commit; commit flushes data."""
 
     name = "proteus"
+    spec = DesignSpec(
+        name="proteus",
+        summary="on-chip undo queue; commit flushes data synchronously",
+        granularity=WordGranularity(),
+        fences=TWO_FENCE_HW,
+        recovery=RecoveryWalk.wal(),
+    )
 
     def __init__(self, system) -> None:
         super().__init__(system)
@@ -135,12 +148,7 @@ class ProteusScheme(LoggingScheme):
             done = max(done, ticket.persisted)
         stall = max(stall, done - now)
         # The last log entry is flushed to indicate the commit.
-        words = self.region.persist_commit_tuple(tid, txid)
-        t = now + stall
-        ticket = self.mc.submit_write(
-            t, words, kind="log", write_through=True, channel=core
-        )
-        stall += ticket.admission_stall + (ticket.persisted - t)
+        stall += seal_commit_fence(self, core, tid, txid, now + stall)
         # Data durable: pending undo logs (and any spilled ones) die.
         self._pending[core].drain()
         self.region.discard_tx(tid, txid)
@@ -160,8 +168,3 @@ class ProteusScheme(LoggingScheme):
     def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
         self.on_tx_end(core, tid, txid, now)
         return True
-
-    def _do_recover(self) -> RecoveryReport:
-        # Committed transactions persisted their data at commit; only
-        # uncommitted partial updates need revoking.
-        return wal_recover(self.region, self.pm, scheme=self.name)

@@ -17,10 +17,16 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.common.config import LogBufferConfig
+from repro.designs.policy import (
+    DeltaGranularity,
+    DesignSpec,
+    RecoveryWalk,
+    TWO_FENCE_HW,
+    seal_commit_fence,
+)
 from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
 from repro.hwlog.entry import LogEntry
 from repro.hwlog.logbuffer import AppendResult, LogBuffer
-from repro.core.recovery import RecoveryReport, wal_recover
 
 #: DRAM-side log staging buffer (coalesces same-word updates before
 #: the log write, ReDU's "log coalescing").
@@ -34,6 +40,13 @@ class ReDUScheme(LoggingScheme):
     """Redo logging + DRAM-buffered direct data updates."""
 
     name = "redu"
+    spec = DesignSpec(
+        name="redu",
+        summary="coalesced redo logs + DRAM-buffered direct updates",
+        granularity=DeltaGranularity(),
+        fences=TWO_FENCE_HW,
+        recovery=RecoveryWalk.wal(),
+    )
 
     def __init__(self, system) -> None:
         super().__init__(system)
@@ -131,12 +144,7 @@ class ReDUScheme(LoggingScheme):
             core, tid, self._staging[core].drain(), now
         )
         stall += max(0, self._tx_log_done[core] - now)
-        words = self.region.persist_commit_tuple(tid, txid)
-        t = now + stall
-        ticket = self.mc.submit_write(
-            t, words, kind="log", write_through=True, channel=core
-        )
-        stall += ticket.admission_stall + (ticket.persisted - t)
+        stall += seal_commit_fence(self, core, tid, txid, now + stall)
 
         # The DRAM-buffered cachelines now update the data region
         # directly — no log read-back (ReDU's improvement over WrAP).
@@ -161,6 +169,3 @@ class ReDUScheme(LoggingScheme):
         self._dram[core].clear()
         self._in_tx[core] = False
         return True
-
-    def _do_recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm, scheme=self.name)

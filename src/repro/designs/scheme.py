@@ -22,6 +22,7 @@ from repro.common.errors import ConfigError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.hierarchy import AccessResult
     from repro.core.recovery import RecoveryReport
+    from repro.designs.policy import DesignSpec
     from repro.sim.system import System
 
 #: ``[(line_base, {word_addr: value}), ...]`` leaving the cache hierarchy.
@@ -33,6 +34,15 @@ class LoggingScheme(ABC):
 
     #: Registry key and display name (e.g. ``"silo"``).
     name: str = "abstract"
+
+    #: The design's :class:`~repro.designs.policy.DesignSpec` — its
+    #: position on the three policy axes (granularity, fence schedule,
+    #: recovery walk) plus catalog metadata.  For the legacy designs
+    #: the spec describes hard-wired behaviour and routes recovery;
+    #: for :class:`~repro.designs.policy.PolicyScheme` subclasses it
+    #: drives the whole lifecycle.  ``None`` only for ad-hoc test
+    #: schemes.
+    spec: Optional["DesignSpec"] = None
 
     def __init__(self, system: "System") -> None:
         self.system = system
@@ -128,10 +138,13 @@ class LoggingScheme(ABC):
     def _do_recover(self) -> "RecoveryReport":
         """One actual recovery walk (called at most once per crash).
 
-        The default runs the shared corruption-aware WAL walk with the
-        standard redo/undo predicates; designs with non-standard log
-        semantics override this with their own predicates.
+        The walk is the design's recovery axis: specs route through
+        their :class:`~repro.designs.policy.RecoveryWalk`; spec-less
+        ad-hoc schemes get the shared corruption-aware WAL walk with
+        the standard redo/undo predicates.
         """
+        if self.spec is not None:
+            return self.spec.recovery.run(self.region, self.pm, scheme=self.name)
         # Imported lazily: repro.core imports the design modules, so a
         # top-level import here would be circular.
         from repro.core.recovery import wal_recover
@@ -163,9 +176,23 @@ class SchemeRegistry:
         try:
             scheme_cls = cls._schemes[name]
         except KeyError:
-            known = ", ".join(sorted(cls._schemes))
-            raise ConfigError(f"unknown scheme {name!r} (known: {known})") from None
+            raise cls.unknown_scheme_error(name) from None
         return scheme_cls(system)
+
+    @classmethod
+    def unknown_scheme_error(cls, name: str) -> ConfigError:
+        """A :class:`ConfigError` for an unregistered design name,
+        with a did-you-mean suggestion when a catalog entry is close
+        (typos like ``aglogg`` or ``trinity-2f`` are far more common
+        than genuinely novel names)."""
+        import difflib
+
+        known = sorted(cls._schemes)
+        message = f"unknown scheme {name!r} (known: {', '.join(known)})"
+        close = difflib.get_close_matches(name.lower(), known, n=1, cutoff=0.6)
+        if close:
+            message += f" — did you mean {close[0]!r}?"
+        return ConfigError(message)
 
     @classmethod
     def names(cls) -> List[str]:

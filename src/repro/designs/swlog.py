@@ -19,15 +19,20 @@ motivation chain: swlog << base < fwb < morlog < lad < silo.
 
 from __future__ import annotations
 
+from repro.designs.policy import (
+    DesignSpec,
+    FENCE_CYCLES,
+    RecoveryWalk,
+    TWO_FENCE,
+    WordGranularity,
+    seal_commit_fence,
+)
 from repro.designs.scheme import LoggingScheme, SchemeRegistry
 from repro.hwlog.entry import LogEntry
-from repro.core.recovery import RecoveryReport, wal_recover
 
 #: Cycles for the CPU to construct a log entry in its cache (several
 #: stores plus address arithmetic, all inline).
 LOG_BUILD_CYCLES = 12
-#: Cycles for an sfence draining the store buffer.
-FENCE_CYCLES = 10
 
 
 @SchemeRegistry.register
@@ -35,6 +40,14 @@ class SoftwareLogScheme(LoggingScheme):
     """clwb/sfence write-ahead logging executed by the CPU."""
 
     name = "swlog"
+    spec = DesignSpec(
+        name="swlog",
+        summary="clwb/sfence software WAL executed inline by the CPU",
+        granularity=WordGranularity(),
+        fences=TWO_FENCE,
+        recovery=RecoveryWalk.wal(),
+        columnar_profile="swlog",
+    )
 
     def __init__(self, system) -> None:
         super().__init__(system)
@@ -86,12 +99,7 @@ class SoftwareLogScheme(LoggingScheme):
     def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
         # Everything already persisted per store; seal the commit.
         stall = max(0, self._tx_data_done[core] - now)
-        words = self.region.persist_commit_tuple(tid, txid)
-        t = now + stall
-        ticket = self.mc.submit_write(
-            t, words, kind="log", write_through=True, channel=core
-        )
-        stall += ticket.admission_stall + (ticket.persisted - t) + FENCE_CYCLES
+        stall += seal_commit_fence(self, core, tid, txid, now + stall) + FENCE_CYCLES
         self._tx_data_done[core] = 0
         self.region.discard_tx(tid, txid)
         return stall
@@ -99,6 +107,3 @@ class SoftwareLogScheme(LoggingScheme):
     def interrupted_commit(self, core: int, tid: int, txid: int, now: int) -> bool:
         self.on_tx_end(core, tid, txid, now)
         return True
-
-    def _do_recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm, scheme=self.name)

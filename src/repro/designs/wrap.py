@@ -19,9 +19,15 @@ from __future__ import annotations
 
 from typing import List, Set
 
+from repro.designs.policy import (
+    DesignSpec,
+    RecoveryWalk,
+    TWO_FENCE_HW,
+    WordGranularity,
+    seal_commit_fence,
+)
 from repro.designs.scheme import LoggingScheme, SchemeRegistry, Writebacks
 from repro.hwlog.entry import LogEntry
-from repro.core.recovery import RecoveryReport, wal_recover
 
 
 @SchemeRegistry.register
@@ -29,6 +35,14 @@ class WrAPScheme(LoggingScheme):
     """Redo logging with log-read-based data updates."""
 
     name = "wrap"
+    spec = DesignSpec(
+        name="wrap",
+        summary="write-aside redo logs read back by a copier",
+        granularity=WordGranularity(),
+        fences=TWO_FENCE_HW,
+        recovery=RecoveryWalk.wal(),
+        columnar_profile="wrap",
+    )
 
     def __init__(self, system) -> None:
         super().__init__(system)
@@ -93,12 +107,7 @@ class WrAPScheme(LoggingScheme):
     def on_tx_end(self, core: int, tid: int, txid: int, now: int) -> int:
         # Redo commit rule: all logs persisted first.
         stall = max(0, self._tx_log_done[core] - now)
-        words = self.region.persist_commit_tuple(tid, txid)
-        t = now + stall
-        ticket = self.mc.submit_write(
-            t, words, kind="log", write_through=True, channel=core
-        )
-        stall += ticket.admission_stall + (ticket.persisted - t)
+        stall += seal_commit_fence(self, core, tid, txid, now + stall)
 
         # Background copier: READ each log entry back from PM, then
         # write its word to the data region (WrAP's extra reads).
@@ -127,6 +136,3 @@ class WrAPScheme(LoggingScheme):
             now, words, kind="log", write_through=True, channel=core
         )
         return True
-
-    def _do_recover(self) -> RecoveryReport:
-        return wal_recover(self.region, self.pm, scheme=self.name)

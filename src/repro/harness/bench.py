@@ -228,7 +228,8 @@ def run(
     """
     if smoke:
         core_counts = (8,)
-        schemes = ("base", "silo")
+        if schemes is DEFAULT_SCHEMES:
+            schemes = ("base", "silo")
         transactions = min(transactions, 40)
         repeats = min(repeats, 2)
     repeats = max(1, repeats)
@@ -576,6 +577,11 @@ def run_engine_comparison(
     """
     from repro.common.errors import ExecutionError
 
+    if smoke and schemes is DEFAULT_SCHEMES:
+        # One policy-assembled design rides along in the smoke grid so
+        # its (zero) fast_fraction and ``unfused_design`` fallback
+        # attribution stay baseline-gated next to the fused kernels.
+        schemes = ("base", "silo", "aglog")
     common = dict(
         core_counts=core_counts,
         workloads=workloads,

@@ -49,6 +49,7 @@ from repro import __version__
 from repro.common.errors import ConfigError, ExecutionError
 from repro.harness import (
     bench,
+    catalog,
     crashtest,
     faultsweep,
     fig4,
@@ -116,6 +117,9 @@ _EXPERIMENTS = {
         output=args.litmus_output,
     ),
     "mcsweep": lambda args, ex: mcsweep.run(
+        transactions=args.transactions, executor=ex
+    ),
+    "catalog": lambda args, ex: catalog.run(
         transactions=args.transactions, executor=ex
     ),
     "recovery": lambda args, ex: recovery_cost.run(

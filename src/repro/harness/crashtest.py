@@ -40,6 +40,10 @@ DEFAULT_SCHEMES: Tuple[str, ...] = (
     "proteus",
     "lad",
     "silo",
+    "aglog",
+    "quadra1f",
+    "trinity2f",
+    "redolog4f",
 )
 
 

@@ -203,6 +203,24 @@ STRESS_CELLS = (
         ("morlog", "fwb"),
         True,
     ),
+    # Policy-assembled catalog entries take the generic (unfused) path
+    # in the columnar engine; the cell still must be bit-identical
+    # between engines, it just is not required to fuse.
+    (
+        "policy-catalog",
+        dict(
+            threads=2,
+            transactions_per_thread=12,
+            write_set_words=96,
+            rewrite_fraction=0.2,
+            silent_fraction=0.0,
+            loads_per_store=0.5,
+            arena_words=16384,
+            seed=13,
+        ),
+        ("aglog", "quadra1f", "trinity2f", "redolog4f"),
+        False,
+    ),
 )
 
 
@@ -255,7 +273,16 @@ def check_stress_cells(report: EquivalenceReport) -> None:
 #: produce bit-identical results (the columnar engine delegates
 #: crash-plan runs, and that delegation must cover the boundaries) and
 #: recovery must satisfy atomic durability at each.
-BOUNDARY_SCHEMES = ("base", "fwb", "morlog", "silo", "swlog")
+BOUNDARY_SCHEMES = (
+    "base",
+    "fwb",
+    "morlog",
+    "silo",
+    "swlog",
+    "aglog",
+    "quadra1f",
+    "redolog4f",
+)
 
 
 def check_boundary_cells(report: EquivalenceReport) -> None:

@@ -227,6 +227,13 @@ class CellSpec:
     engine: str = "exact"
     capture_image: bool = False
 
+    def __post_init__(self) -> None:
+        # Fail at campaign construction, not inside a worker: a typo'd
+        # design name gets the did-you-mean ConfigError before any
+        # cell is dispatched.
+        if self.scheme is not None and self.scheme not in SchemeRegistry._schemes:
+            raise SchemeRegistry.unknown_scheme_error(self.scheme)
+
     def effective_config(self) -> SystemConfig:
         return self.config if self.config is not None else SystemConfig.table2(self.cores)
 

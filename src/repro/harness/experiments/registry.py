@@ -27,6 +27,7 @@ CATALOG_MODULES = (
     "table4",
     "mcsweep",
     "recovery_cost",
+    "catalog",
 )
 
 

@@ -40,16 +40,21 @@ from repro.litmus.patterns import Pattern, enumerate_patterns, lower_pattern
 from repro.litmus.shrink import shrink_pattern
 from repro.sim.crash import CrashPlan
 
-#: All nine registered designs, in registry order.
+#: All thirteen registered designs, in registry order: the nine
+#: legacy designs plus the policy-assembled catalog entries.
 LITMUS_SCHEMES: Tuple[str, ...] = (
+    "aglog",
     "base",
     "fwb",
     "lad",
     "morlog",
     "proteus",
+    "quadra1f",
+    "redolog4f",
     "redu",
     "silo",
     "swlog",
+    "trinity2f",
     "wrap",
 )
 

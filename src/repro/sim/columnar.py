@@ -89,13 +89,12 @@ from weakref import WeakKeyDictionary
 
 from repro.common.constants import ONPM_LINE_SIZE, OVERFLOW_BATCH_ENTRIES, WORD_MASK
 from repro.common.errors import AddressError
-from repro.core.silo import _CONTROLLER_QUEUE_CYCLES, SiloScheme
-from repro.designs.base import BaseScheme
+from repro.core.silo import _CONTROLLER_QUEUE_CYCLES
 from repro.designs.fwb import FWB_INTERVAL_CYCLES, FWBScheme
-from repro.designs.lad import CAPTURE_LINES, PREPARE_CYCLES_PER_LINE, LADScheme
+from repro.designs.lad import CAPTURE_LINES, PREPARE_CYCLES_PER_LINE
 from repro.designs.morlog import MORPH_BUFFER_ENTRIES, MorLogScheme
-from repro.designs.swlog import FENCE_CYCLES, LOG_BUILD_CYCLES, SoftwareLogScheme
-from repro.designs.wrap import WrAPScheme
+from repro.designs.policy import PolicyScheme
+from repro.designs.swlog import FENCE_CYCLES, LOG_BUILD_CYCLES
 from repro.hwlog.entry import LogEntry
 from repro.sim.engine import TransactionEngine
 from repro.trace.ops import Load, Store, TxBegin, TxEnd
@@ -979,10 +978,16 @@ def _make_stepper(exact, idx, core, cpre, pre):
     eligible for fusion."""
     scheme = exact.scheme
     stype = type(scheme)
-    if stype is BaseScheme or stype is FWBScheme:
+    # Dispatch on the design's declared columnar profile.  The spec
+    # must be the class's *own* (``__dict__`` lookup): a subclass that
+    # merely inherits a fused design's spec has unknown hot-path
+    # behaviour and falls back to the exact engine.
+    spec = stype.__dict__.get("spec")
+    profile = spec.columnar_profile if spec is not None else None
+    if profile == "wal_base" or profile == "wal_fwb":
         return _make_wal_stepper(exact, idx, core, cpre, pre,
-                                 stype is FWBScheme)
-    if stype is SiloScheme:
+                                 profile == "wal_fwb")
+    if profile == "silo":
         # Ablation configurations take different exact-engine branches
         # (no merging / silent stores logged); only the paper's default
         # configuration is fused.
@@ -991,14 +996,18 @@ def _make_stepper(exact, idx, core, cpre, pre):
         if not all(g.ignore_silent for g in scheme._gens):
             return "silo_ablation"
         sk = 2
-    elif stype is MorLogScheme:
+    elif profile == "morlog":
         sk = 3
-    elif stype is LADScheme:
+    elif profile == "lad":
         sk = 4
-    elif stype is SoftwareLogScheme:
+    elif profile == "swlog":
         sk = 5
-    elif stype is WrAPScheme:
+    elif profile == "wrap":
         sk = 6
+    elif isinstance(scheme, PolicyScheme):
+        # Spec-driven designs have no fused kernel yet; attribute the
+        # fallback to the catalog entry, not the shared class.
+        return "unfused_design:" + scheme.name
     else:
         return "unfused_scheme:" + stype.__name__
     return _make_buffered_stepper(exact, idx, core, cpre, sk)

@@ -75,6 +75,32 @@ class RunResult:
             return float("nan") if self.media_writes else 0.0
         return self.media_writes / self.committed_count
 
+    @property
+    def log_bytes(self) -> int:
+        """Bytes of log traffic submitted to the PM device."""
+        return int(self.stats.get("pm.request_bytes.log"))
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes of data traffic submitted to the PM device."""
+        return int(self.stats.get("pm.request_bytes.data"))
+
+    @property
+    def media_waf(self) -> float:
+        """Log write amplification: log bytes per dirty data byte.
+
+        The granularity axis's figure of merit — word entries cost
+        16 B per logged word where coarse run records cost 8 + 8·n B
+        per n-word run, and this ratio is where the difference lands.
+        Same NaN convention as :attr:`writes_per_transaction`: log
+        traffic with zero data bytes (a crash before any data drained)
+        is undefined rather than silently ``0.0``; no traffic at all
+        is a true zero.
+        """
+        if not self.data_bytes:
+            return float("nan") if self.log_bytes else 0.0
+        return self.log_bytes / self.data_bytes
+
     def traffic_breakdown(self) -> dict:
         """MC write requests by source kind.
 

@@ -1,0 +1,90 @@
+"""Bit-identity pins for the design catalog.
+
+The fixture ``tests/data/golden/design_fingerprints.json`` was first
+captured *before* the policy-framework refactor, so the nine legacy
+designs' entries prove the framework ports are bit-identical
+(end_cycle, committed set, every stats counter, on clean, mid-crash
+and end-boundary-crash runs).  New designs added since are pinned from
+the moment they enter the catalog: regenerate with
+
+    PYTHONPATH=src python benchmarks/gen_design_fingerprints.py
+
+and review the diff — legacy entries must never change.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.designs.scheme import SchemeRegistry
+from repro.harness.fingerprints import fingerprint_design
+
+FIXTURE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "data"
+    / "golden"
+    / "design_fingerprints.json"
+)
+
+#: The pre-refactor catalog.  These entries were generated from the
+#: original hand-rolled scheme bodies; the policy framework must
+#: reproduce them bit-for-bit.
+LEGACY_DESIGNS = (
+    "base",
+    "fwb",
+    "lad",
+    "morlog",
+    "proteus",
+    "redu",
+    "silo",
+    "swlog",
+    "wrap",
+)
+
+
+def _fixture():
+    return json.loads(FIXTURE.read_text())
+
+
+def test_fixture_covers_whole_registry():
+    """Every registered design must be fingerprint-pinned."""
+    pinned = set(_fixture()["designs"])
+    registered = set(SchemeRegistry.names())
+    assert registered <= pinned, (
+        f"unpinned designs: {sorted(registered - pinned)}; regenerate "
+        "the fixture with benchmarks/gen_design_fingerprints.py"
+    )
+
+
+def test_fixture_retains_legacy_designs():
+    pinned = set(_fixture()["designs"])
+    assert set(LEGACY_DESIGNS) <= pinned
+
+
+@pytest.mark.parametrize("design", sorted(_fixture()["designs"]))
+def test_design_fingerprint_is_bit_identical(design):
+    expected = _fixture()["designs"][design]
+    actual = fingerprint_design(design)
+    assert set(actual) == set(expected), "workload battery drifted"
+    for cell in sorted(expected):
+        exp, act = expected[cell], actual[cell]
+        assert act["end_cycle"] == exp["end_cycle"], (
+            f"{design}/{cell}: end_cycle {act['end_cycle']} != "
+            f"{exp['end_cycle']}"
+        )
+        assert sorted(map(list, act["committed"])) == exp["committed"], (
+            f"{design}/{cell}: committed set diverged"
+        )
+        exp_stats = exp["stats"]
+        act_stats = {k: v for k, v in sorted(act["stats"].items())}
+        assert act_stats == exp_stats, (
+            f"{design}/{cell}: stats diverged: "
+            + str(
+                {
+                    k: (exp_stats.get(k), act_stats.get(k))
+                    for k in sorted(set(exp_stats) | set(act_stats))
+                    if exp_stats.get(k) != act_stats.get(k)
+                }
+            )
+        )

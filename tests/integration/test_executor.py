@@ -325,15 +325,19 @@ class TestBatching:
         assert batches == [[0], [1], [2], [3]]
 
     def test_batched_campaign_survives_failing_cell(self):
+        # A typo'd scheme now fails at CellSpec construction, so the
+        # in-worker failure is a crash plan that can never fire (the
+        # engine raises SimulationError instead of completing).
         cells = small_cells()
         bad = CellSpec(
             workload=WorkloadSpec.make("hash", threads=2, transactions=10),
-            scheme="no-such-scheme",
+            scheme="base",
             cores=2,
+            crash_plan=CrashPlan(at_op=10**9),
         )
         outcomes = Executor(jobs=2, batch=2).run(cells[:2] + [bad] + cells[2:])
         assert [o.ok for o in outcomes] == [True, True, False, True, True]
-        assert "no-such-scheme" in outcomes[2].error
+        assert "never fired" in outcomes[2].error
 
 
 class TestTraceArtifactStore:

@@ -3,7 +3,8 @@
 The recovery walk itself is destructive — it truncates the log region
 and re-applies words — so a second call used to double-apply or report
 an empty walk.  ``LoggingScheme.recover`` now memoizes the first
-report; these tests pin that contract for all nine designs.
+report; these tests pin that contract for every registered design —
+the nine legacy ones plus the policy-assembled catalog entries.
 """
 
 import pytest
@@ -31,8 +32,9 @@ def _crashed_run(scheme_name, at_op):
 
 
 class TestRecoverIdempotence:
-    def test_registry_has_all_nine_designs(self):
-        assert len(ALL_SCHEMES) == 9
+    def test_registry_has_the_full_catalog(self):
+        # Nine legacy designs plus aglog/quadra1f/trinity2f/redolog4f.
+        assert len(ALL_SCHEMES) == 13
 
     @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
     def test_second_recover_returns_the_same_report(self, scheme_name):
